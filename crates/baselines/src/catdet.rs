@@ -1,0 +1,183 @@
+//! CaTDet (Mao et al., SysML 2019): cascaded tracked detector.
+//!
+//! CaTDet accelerates per-frame detection with a two-stage cascade: a
+//! cheap low-resolution *proposal* detector plus the tracker's predicted
+//! object positions select regions of interest, and the expensive
+//! refinement detector runs only inside those regions. Every frame is
+//! still processed — CaTDet optimizes neither the sampling rate nor the
+//! refinement resolution, which is why it trails OTIF and Chameleon in
+//! the paper's Table 2.
+
+use crate::common::Baseline;
+use otif_cv::{Component, CostLedger, CostModel, DetectorArch, DetectorConfig, SimDetector};
+use otif_geom::Rect;
+use otif_sim::Clip;
+use otif_track::{SortTracker, Track};
+
+/// The CaTDet baseline.
+pub struct CaTDetBaseline {
+    /// Detector noise seed.
+    pub detector_seed: u64,
+    /// Simulated cost-model constants.
+    pub cost: CostModel,
+    /// (proposal scale, proposal confidence threshold) per configuration.
+    pub configs: Vec<(f32, f32)>,
+    /// Side of the square refinement windows around proposals (native px).
+    pub window: f32,
+    /// Refinement detector.
+    pub refine_arch: DetectorArch,
+}
+
+impl CaTDetBaseline {
+    /// Build the default configuration grid.
+    pub fn new(detector_seed: u64, cost: CostModel) -> Self {
+        CaTDetBaseline {
+            detector_seed,
+            cost,
+            configs: vec![(1.0, 0.0), (0.5, 0.2), (0.375, 0.25), (0.25, 0.3), (0.25, 0.5)],
+            window: 96.0,
+            refine_arch: DetectorArch::YoloV3,
+        }
+    }
+
+    fn run_clip(&self, cfg: (f32, f32), clip: &Clip, ledger: &CostLedger) -> Vec<Track> {
+        let (prop_scale, prop_conf) = cfg;
+        let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
+        let frame = clip.scene.frame_rect();
+        let refine = SimDetector::new(
+            DetectorConfig::new(self.refine_arch, 1.0),
+            self.detector_seed,
+        );
+        let mut tracker = SortTracker::default();
+
+        // configuration (1.0, _) degenerates to full-frame refinement on
+        // every frame — the cascade's fallback operating point
+        let full_frame_mode = prop_scale >= 1.0;
+        let proposal = SimDetector::new(
+            DetectorConfig {
+                conf_threshold: prop_conf,
+                ..DetectorConfig::new(DetectorArch::YoloV3, prop_scale)
+            },
+            self.detector_seed ^ 0xCA7,
+        );
+
+        let mut predicted: Vec<Rect> = Vec::new();
+        for f in 0..clip.num_frames() {
+            ledger.charge(
+                Component::Decode,
+                otif_core::pipeline::decode_cost(&self.cost, native_px, 1.0, 1),
+            );
+            let dets = if full_frame_mode {
+                refine.detect_frame(clip, f, ledger)
+            } else {
+                // stage 1: cheap proposals + tracker predictions
+                let proposals = proposal.detect_frame(clip, f, ledger);
+                let mut regions: Vec<Rect> = proposals
+                    .iter()
+                    .map(|d| d.rect.center())
+                    .chain(predicted.iter().map(|r| r.center()))
+                    .map(|c| {
+                        Rect::new(
+                            c.x - self.window / 2.0,
+                            c.y - self.window / 2.0,
+                            self.window,
+                            self.window,
+                        )
+                        .clamp_to(&frame)
+                    })
+                    .filter(|r| !r.is_empty())
+                    .collect();
+                // merge heavily-overlapping regions to bound cost
+                regions.sort_by(|a, b| a.x.partial_cmp(&b.x).unwrap());
+                let mut merged: Vec<Rect> = Vec::new();
+                for r in regions {
+                    match merged.iter_mut().find(|m| m.iou(&r) > 0.4) {
+                        Some(m) => *m = m.union(&r),
+                        None => merged.push(r),
+                    }
+                }
+                if merged.is_empty() {
+                    Vec::new()
+                } else {
+                    refine.detect_windows(clip, f, &merged, ledger)
+                }
+            };
+            ledger.charge(
+                Component::Tracker,
+                self.cost.tracker_per_frame + dets.len() as f64 * self.cost.tracker_per_det,
+            );
+            predicted = dets.iter().map(|d| d.rect).collect();
+            tracker.step(f, dets);
+        }
+        tracker.finish()
+    }
+}
+
+impl Baseline for CaTDetBaseline {
+    fn name(&self) -> &'static str {
+        "catdet"
+    }
+
+    fn num_configs(&self) -> usize {
+        self.configs.len()
+    }
+
+    fn describe(&self, i: usize) -> String {
+        let (s, c) = self.configs[i];
+        format!("catdet proposal@{s}x conf={c}")
+    }
+
+    fn run(&self, i: usize, clips: &[Clip], ledger: &CostLedger) -> Vec<Vec<Track>> {
+        clips
+            .iter()
+            .map(|c| self.run_clip(self.configs[i], c, ledger))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    #[test]
+    fn cascade_cheaper_than_full_frame_on_sparse_scenes() {
+        let d = DatasetConfig::small(DatasetKind::Jackson, 95).generate();
+        let b = CaTDetBaseline::new(5, CostModel::default());
+        let l_full = CostLedger::new();
+        b.run(0, &d.test, &l_full);
+        let l_casc = CostLedger::new();
+        b.run(3, &d.test, &l_casc);
+        assert!(
+            l_casc.get(Component::Detector) < l_full.get(Component::Detector),
+            "cascade {} vs full {}",
+            l_casc.get(Component::Detector),
+            l_full.get(Component::Detector)
+        );
+    }
+
+    #[test]
+    fn cascade_still_finds_tracks() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 96).generate();
+        let b = CaTDetBaseline::new(5, CostModel::default());
+        let tracks = b.run(2, &d.test, &CostLedger::new());
+        let total: usize = tracks.iter().map(|t| t.len()).sum();
+        let gt: usize = d.test.iter().map(|c| c.gt_tracks.len()).sum();
+        assert!(
+            total as f32 > gt as f32 * 0.4,
+            "cascade found {total} tracks vs {gt} gt"
+        );
+    }
+
+    #[test]
+    fn every_frame_is_decoded() {
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 97).generate();
+        let b = CaTDetBaseline::new(5, CostModel::default());
+        let ledger = CostLedger::new();
+        b.run(3, &d.test[..1], &ledger);
+        let frames = d.test[0].num_frames() as f64;
+        let per_frame =
+            otif_core::pipeline::decode_cost(&CostModel::default(), (384 * 224) as f64, 1.0, 1);
+        assert!((ledger.get(Component::Decode) - frames * per_frame).abs() < 1e-9);
+    }
+}

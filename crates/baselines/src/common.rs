@@ -1,0 +1,97 @@
+//! The common interface track-extraction baselines expose to the
+//! experiment harness.
+
+use otif_cv::CostLedger;
+use otif_sim::Clip;
+use otif_track::Track;
+
+/// A track-extraction method with a family of speed–accuracy
+/// configurations.
+///
+/// The harness evaluates every configuration on the validation split,
+/// keeps the Pareto-optimal ones, and re-evaluates those on the hidden
+/// test split — the protocol of §4.1.
+pub trait Baseline: Sync {
+    /// Method name as used in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of candidate configurations.
+    fn num_configs(&self) -> usize;
+
+    /// Human-readable description of configuration `i`.
+    fn describe(&self, i: usize) -> String;
+
+    /// Execute configuration `i` over clips, charging simulated costs to
+    /// the ledger. Returns extracted tracks per clip.
+    fn run(&self, i: usize, clips: &[Clip], ledger: &CostLedger) -> Vec<Vec<Track>>;
+
+    /// Whether the method's execution is query-specific, i.e. its runtime
+    /// must be re-paid per query (Miris). Used to scale the "5 queries"
+    /// estimates in Table 2.
+    fn per_query_execution(&self) -> bool {
+        false
+    }
+}
+
+/// Evaluate all configurations of a baseline on a split: returns
+/// `(config index, accuracy, simulated seconds)` per configuration.
+pub fn sweep_configs(
+    baseline: &dyn Baseline,
+    clips: &[Clip],
+    metric: &dyn Fn(&[Vec<Track>]) -> f32,
+) -> Vec<(usize, f32, f64)> {
+    (0..baseline.num_configs())
+        .map(|i| {
+            let ledger = CostLedger::new();
+            let tracks = baseline.run(i, clips, &ledger);
+            (i, metric(&tracks), ledger.execution_total())
+        })
+        .collect()
+}
+
+/// Reduce sweep results to the Pareto-optimal set (no other config is
+/// both faster and at least as accurate), sorted slowest-first.
+pub fn pareto(points: &[(usize, f32, f64)]) -> Vec<(usize, f32, f64)> {
+    let mut out: Vec<(usize, f32, f64)> = points
+        .iter()
+        .filter(|(_, acc, secs)| {
+            !points
+                .iter()
+                .any(|(_, a2, s2)| *s2 < *secs && *a2 >= *acc && (*s2, *a2) != (*secs, *acc))
+        })
+        .copied()
+        .collect();
+    out.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
+    out.dedup_by(|a, b| a.2 == b.2 && a.1 == b.1);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pareto_removes_dominated_points() {
+        let pts = vec![
+            (0, 0.9, 100.0),
+            (1, 0.8, 50.0),
+            (2, 0.7, 60.0), // dominated by 1 (slower and less accurate)
+            (3, 0.5, 10.0),
+        ];
+        let p = pareto(&pts);
+        let ids: Vec<usize> = p.iter().map(|(i, _, _)| *i).collect();
+        assert_eq!(ids, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn pareto_sorted_slowest_first() {
+        let pts = vec![(0, 0.5, 10.0), (1, 0.9, 100.0)];
+        let p = pareto(&pts);
+        assert!(p[0].2 > p[1].2);
+    }
+
+    #[test]
+    fn pareto_of_empty_is_empty() {
+        assert!(pareto(&[]).is_empty());
+    }
+}

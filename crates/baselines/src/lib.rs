@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! Re-implementations of the seven systems OTIF is compared against
+//! (§4, "Baselines").
+//!
+//! Like the paper (which re-implements Miris, BlazeIt, NoScope, Chameleon
+//! and CaTDet because the original code bases are not adaptable), we
+//! implement every baseline over the same substrates OTIF uses — the same
+//! simulated detectors, cost ledger and dataset splits — so comparisons
+//! are paired:
+//!
+//! - [`MirisBaseline`] — variable-rate tracking with a pairwise matcher
+//!   and per-query track refinement by extra decoding;
+//! - [`ChameleonBaseline`] — detector architecture / resolution /
+//!   framerate profiling with periodic re-profiling cost;
+//! - [`NoScopeBaseline`] — classification proxy that skips entire frames
+//!   with no objects; no resolution or framerate optimization;
+//! - [`CaTDetBaseline`] — cascaded detection: a cheap low-resolution
+//!   detector plus tracker predictions propose regions for the expensive
+//!   detector; every frame processed;
+//! - [`CenterTrackBaseline`] — native-resolution joint detection +
+//!   tracking (heavier model, greedy center matching);
+//! - [`BlazeItBaseline`] — per-query regression proxy + limit-query
+//!   execution that applies the detector to top-scored frames;
+//! - [`TastiBaseline`] — query-agnostic per-frame embeddings (expensive
+//!   pre-processing) + per-query scorer + detector-at-query-time.
+//!
+//! Track-extraction baselines implement the [`Baseline`] trait so the
+//! experiment harness can sweep their configurations into speed–accuracy
+//! curves exactly as it does for OTIF.
+
+pub mod blazeit;
+pub mod catdet;
+pub mod centertrack;
+pub mod chameleon;
+pub mod common;
+pub mod miris;
+pub mod noscope;
+pub mod tasti;
+
+pub use blazeit::BlazeItBaseline;
+pub use catdet::CaTDetBaseline;
+pub use centertrack::CenterTrackBaseline;
+pub use chameleon::ChameleonBaseline;
+pub use common::Baseline;
+pub use miris::MirisBaseline;
+pub use noscope::NoScopeBaseline;
+pub use tasti::TastiBaseline;

@@ -1,0 +1,183 @@
+//! NoScope (Kang et al., VLDB 2017): classification proxy models that
+//! skip frames containing no objects.
+//!
+//! NoScope trains a cheap binary classifier over low-resolution frames;
+//! when the classifier is confident a frame is empty, the expensive
+//! detector is skipped entirely. The paper's §4.1 shows the limitation
+//! OTIF's segmentation proxy removes: in busy scenes every frame has
+//! objects, so frame-level skipping yields essentially two operating
+//! points (run everything, or skip everything) — while on sparse scenes
+//! like Amsterdam it provides a genuine trade-off.
+//!
+//! Our frame classifier is the max cell score of a trained segmentation
+//! proxy at the lowest resolution — equivalent to a classification head
+//! over the same features. NoScope does not optimize resolution or
+//! framerate (the paper notes this drives its poor showing).
+
+use crate::common::Baseline;
+use otif_core::proxy::SegProxyModel;
+use otif_cv::{Component, CostLedger, CostModel, DetectorConfig, SimDetector};
+use otif_sim::{Clip, Renderer};
+use otif_track::{SortTracker, Track};
+
+/// The NoScope baseline.
+pub struct NoScopeBaseline<'a> {
+    /// Detector applied on non-skipped frames.
+    pub detector: DetectorConfig,
+    /// Detector noise seed.
+    pub detector_seed: u64,
+    /// Simulated cost-model constants.
+    pub cost: CostModel,
+    /// Low-resolution classification proxy.
+    pub proxy: &'a SegProxyModel,
+    /// Candidate skip thresholds; a frame is skipped when the max cell
+    /// score is below the threshold. 0 disables skipping entirely.
+    pub thresholds: Vec<f32>,
+}
+
+impl<'a> NoScopeBaseline<'a> {
+    /// Build NoScope around a trained classification proxy.
+    pub fn new(
+        detector: DetectorConfig,
+        detector_seed: u64,
+        cost: CostModel,
+        proxy: &'a SegProxyModel,
+    ) -> Self {
+        NoScopeBaseline {
+            detector,
+            detector_seed,
+            cost,
+            proxy,
+            thresholds: vec![0.0, 0.3, 0.5, 0.7, 0.9, 1.01],
+        }
+    }
+
+    fn run_clip(&self, threshold: f32, clip: &Clip, ledger: &CostLedger) -> Vec<Track> {
+        let detector = SimDetector::new(self.detector, self.detector_seed);
+        let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
+        let renderer = Renderer::new(clip);
+        let mut tracker = SortTracker::default();
+        for f in 0..clip.num_frames() {
+            ledger.charge(
+                Component::Decode,
+                otif_core::pipeline::decode_cost(&self.cost, native_px, self.detector.scale, 1),
+            );
+            let skip = if threshold > 0.0 {
+                let img = renderer.render(f, self.proxy.in_w, self.proxy.in_h);
+                let grid = self.proxy.score_cells(&img, &self.cost, ledger);
+                let max = grid.scores.iter().cloned().fold(0.0f32, f32::max);
+                max < threshold
+            } else {
+                false
+            };
+            let dets = if skip {
+                Vec::new()
+            } else {
+                detector.detect_frame(clip, f, ledger)
+            };
+            ledger.charge(
+                Component::Tracker,
+                self.cost.tracker_per_frame + dets.len() as f64 * self.cost.tracker_per_det,
+            );
+            tracker.step(f, dets);
+        }
+        tracker.finish()
+    }
+}
+
+impl Baseline for NoScopeBaseline<'_> {
+    fn name(&self) -> &'static str {
+        "noscope"
+    }
+
+    fn num_configs(&self) -> usize {
+        self.thresholds.len()
+    }
+
+    fn describe(&self, i: usize) -> String {
+        format!("noscope skip<{}", self.thresholds[i])
+    }
+
+    fn run(&self, i: usize, clips: &[Clip], ledger: &CostLedger) -> Vec<Vec<Track>> {
+        clips
+            .iter()
+            .map(|c| self.run_clip(self.thresholds[i], c, ledger))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_cv::{Detection, DetectorArch};
+    use otif_sim::{DatasetConfig, DatasetKind, ObjectClass};
+
+    fn trained_proxy(d: &otif_sim::Dataset) -> SegProxyModel {
+        let clips: Vec<&Clip> = d.train.iter().collect();
+        let labels: Vec<Vec<Vec<Detection>>> = d
+            .train
+            .iter()
+            .map(|c| {
+                (0..c.num_frames())
+                    .map(|f| {
+                        c.gt_boxes(f)
+                            .into_iter()
+                            .map(|(_, _, r)| Detection {
+                                rect: r,
+                                class: ObjectClass::Car,
+                                confidence: 0.9,
+                                appearance: vec![],
+                                debug_gt: None,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut m = SegProxyModel::new(
+            d.scene.width as usize,
+            d.scene.height as usize,
+            0.375,
+            5,
+        );
+        m.train(&clips, &labels, 800, 0.01, 5);
+        m
+    }
+
+    #[test]
+    fn skipping_saves_detector_time_on_sparse_scenes() {
+        let d = DatasetConfig::small(DatasetKind::Amsterdam, 91).generate();
+        let proxy = trained_proxy(&d);
+        let b = NoScopeBaseline::new(
+            DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            3,
+            CostModel::default(),
+            &proxy,
+        );
+        let l_none = CostLedger::new();
+        b.run(0, &d.test, &l_none); // threshold 0: never skip
+        let l_skip = CostLedger::new();
+        let i = b.thresholds.iter().position(|&t| t == 0.5).unwrap();
+        b.run(i, &d.test, &l_skip);
+        assert!(
+            l_skip.get(Component::Detector) < l_none.get(Component::Detector),
+            "skipping should save detector time on amsterdam"
+        );
+    }
+
+    #[test]
+    fn threshold_above_one_skips_everything() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 92).generate();
+        let proxy = trained_proxy(&d);
+        let b = NoScopeBaseline::new(
+            DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            3,
+            CostModel::default(),
+            &proxy,
+        );
+        let ledger = CostLedger::new();
+        let tracks = b.run(b.thresholds.len() - 1, &d.test, &ledger);
+        assert!(tracks.iter().all(|t| t.is_empty()), "threshold>1 skips all");
+        assert_eq!(ledger.get(Component::Detector), 0.0);
+    }
+}

@@ -1,0 +1,273 @@
+//! TASTI (Kang et al.): task-agnostic indexes for queries over
+//! unstructured data.
+//!
+//! TASTI splits the proxy into a query-agnostic **feature extractor**
+//! (applied once per frame, at 224×224 in the original — much more
+//! expensive than BlazeIt's 64×64 proxy, hence its 8× pre-processing
+//! cost in Table 3) and a cheap per-query **scoring model** over the
+//! embeddings. Embeddings are reusable across queries, but query
+//! execution still applies the expensive detector to top-scored frames,
+//! so multi-query workloads stay costly (§4.2).
+//!
+//! Our embedding is the cell-score grid of a mid-resolution segmentation
+//! network (a spatial feature map describing where objects likely are —
+//! exactly what TASTI's embeddings encode for these queries); the
+//! per-query scorer aggregates the embedding with the same predicate-
+//! specific pooling BlazeIt uses.
+
+use otif_core::proxy::{CellGrid, SegProxyModel};
+use otif_cv::{Component, CostLedger, CostModel, DetectorConfig, SimDetector};
+use otif_query::{FrameLimitQuery, FrameQueryKind, FrameRef};
+use otif_sim::{Clip, Renderer};
+
+/// Per-frame embeddings for a split of clips.
+pub struct TastiIndex {
+    /// Embedding (cell-score grid) per frame per clip.
+    pub grids: Vec<Vec<CellGrid>>,
+    /// Simulated seconds spent building the index (query-agnostic
+    /// pre-processing).
+    pub build_seconds: f64,
+}
+
+/// The TASTI baseline (frame-level limit queries).
+pub struct TastiBaseline<'a> {
+    /// Detector applied at query time.
+    pub detector: DetectorConfig,
+    /// Detector noise seed.
+    pub detector_seed: u64,
+    /// Simulated cost-model constants.
+    pub cost: CostModel,
+    /// Mid-resolution feature extractor (≈224×224-class cost).
+    pub extractor: &'a SegProxyModel,
+}
+
+impl<'a> TastiBaseline<'a> {
+    /// Build TASTI around a trained mid-resolution extractor.
+    pub fn new(
+        detector: DetectorConfig,
+        detector_seed: u64,
+        cost: CostModel,
+        extractor: &'a SegProxyModel,
+    ) -> Self {
+        TastiBaseline {
+            detector,
+            detector_seed,
+            cost,
+            extractor,
+        }
+    }
+
+    /// Build the query-agnostic index: one embedding per frame.
+    pub fn build_index(&self, clips: &[Clip]) -> TastiIndex {
+        let ledger = CostLedger::new();
+        let grids: Vec<Vec<CellGrid>> = clips
+            .iter()
+            .map(|clip| {
+                let renderer = Renderer::new(clip);
+                let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
+                (0..clip.num_frames())
+                    .map(|f| {
+                        let scale = self.extractor.in_w as f32 / clip.scene.width as f32;
+                        ledger.charge(
+                            Component::Decode,
+                            otif_core::pipeline::decode_cost(&self.cost, native_px, scale, 1),
+                        );
+                        let img = renderer.render(f, self.extractor.in_w, self.extractor.in_h);
+                        self.extractor.score_cells(&img, &self.cost, &ledger)
+                    })
+                    .collect()
+            })
+            .collect();
+        TastiIndex {
+            grids,
+            build_seconds: ledger.execution_total(),
+        }
+    }
+
+    /// Per-query scoring model over an embedding.
+    fn score(&self, query: &FrameLimitQuery, grid: &CellGrid) -> f32 {
+        match &query.kind {
+            FrameQueryKind::Count => grid.scores.iter().sum(),
+            FrameQueryKind::Region(poly) => {
+                let mut acc = 0.0;
+                for cy in 0..grid.rows {
+                    for cx in 0..grid.cols {
+                        let c = otif_geom::Point::new(
+                            cx as f32 * 32.0 + 16.0,
+                            cy as f32 * 32.0 + 16.0,
+                        );
+                        if poly.contains(&c) {
+                            acc += grid.get(cx, cy);
+                        }
+                    }
+                }
+                acc
+            }
+            FrameQueryKind::HotSpot { radius } => {
+                let span = ((radius / 32.0).ceil() as usize).max(1);
+                let mut best = 0.0f32;
+                for cy in 0..grid.rows {
+                    for cx in 0..grid.cols {
+                        let mut acc = 0.0;
+                        for dy in 0..span {
+                            for dx in 0..span {
+                                if cy + dy < grid.rows && cx + dx < grid.cols {
+                                    acc += grid.get(cx + dx, cy + dy);
+                                }
+                            }
+                        }
+                        best = best.max(acc);
+                    }
+                }
+                best
+            }
+        }
+    }
+
+    /// Execute a limit query against a prebuilt index. Returns
+    /// `(outputs, query seconds, detector invocations)`.
+    pub fn execute(
+        &self,
+        query: &FrameLimitQuery,
+        index: &TastiIndex,
+        clips: &[Clip],
+    ) -> (Vec<FrameRef>, f64, usize) {
+        let mut ranked: Vec<(f32, FrameRef)> = Vec::new();
+        for (ci, clip_grids) in index.grids.iter().enumerate() {
+            for (f, grid) in clip_grids.iter().enumerate() {
+                ranked.push((self.score(query, grid), FrameRef { clip: ci, frame: f }));
+            }
+        }
+        ranked.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+
+        let detector = SimDetector::new(self.detector, self.detector_seed);
+        let ledger = CostLedger::new();
+        let mut outputs: Vec<FrameRef> = Vec::new();
+        let mut invocations = 0usize;
+        for (_, r) in ranked {
+            if outputs.len() >= query.limit {
+                break;
+            }
+            let clip = &clips[r.clip];
+            let sep = (query.min_separation_s * clip.scene.fps as f32) as usize;
+            if outputs
+                .iter()
+                .any(|o| o.clip == r.clip && o.frame.abs_diff(r.frame) < sep)
+            {
+                continue;
+            }
+            let dets = detector.detect_frame(clip, r.frame, &ledger);
+            invocations += 1;
+            let positions: Vec<otif_geom::Point> =
+                dets.iter().map(|d| d.rect.center()).collect();
+            if query.positions_match(&positions) {
+                outputs.push(r);
+            }
+        }
+        (outputs, ledger.execution_total(), invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_cv::{Detection, DetectorArch};
+    use otif_sim::{DatasetConfig, DatasetKind, ObjectClass};
+
+    fn trained_proxy(d: &otif_sim::Dataset, scale: f32) -> SegProxyModel {
+        let clips: Vec<&Clip> = d.train.iter().collect();
+        let labels: Vec<Vec<Vec<Detection>>> = d
+            .train
+            .iter()
+            .map(|c| {
+                (0..c.num_frames())
+                    .map(|f| {
+                        c.gt_boxes(f)
+                            .into_iter()
+                            .map(|(_, _, r)| Detection {
+                                rect: r,
+                                class: ObjectClass::Car,
+                                confidence: 0.9,
+                                appearance: vec![],
+                                debug_gt: None,
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut m = SegProxyModel::new(
+            d.scene.width as usize,
+            d.scene.height as usize,
+            scale,
+            5,
+        );
+        m.train(&clips, &labels, 800, 0.01, 5);
+        m
+    }
+
+    #[test]
+    fn index_is_reusable_across_queries() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 111).generate();
+        let extractor = trained_proxy(&d, 0.5);
+        let b = TastiBaseline::new(
+            DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            3,
+            CostModel::default(),
+            &extractor,
+        );
+        let index = b.build_index(&d.test);
+        assert!(index.build_seconds > 0.0);
+        let q1 = FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n: 2,
+            limit: 3,
+            min_separation_s: 2.0,
+        };
+        let q2 = FrameLimitQuery {
+            kind: FrameQueryKind::HotSpot { radius: 64.0 },
+            n: 2,
+            limit: 3,
+            min_separation_s: 2.0,
+        };
+        let (o1, s1, _) = b.execute(&q1, &index, &d.test);
+        let (o2, s2, _) = b.execute(&q2, &index, &d.test);
+        assert!(s1 > 0.0 && s2 > 0.0);
+        // queries run against the same index; at least one produces output
+        assert!(!o1.is_empty() || !o2.is_empty());
+    }
+
+    #[test]
+    fn tasti_preprocessing_costs_more_than_blazeit() {
+        // mid-res extractor vs low-res proxy: per the paper, TASTI's
+        // index build is several times more expensive
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 112).generate();
+        let extractor = trained_proxy(&d, 0.5);
+        let low = trained_proxy(&d, 0.25);
+        let tasti = TastiBaseline::new(
+            DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            3,
+            CostModel::default(),
+            &extractor,
+        );
+        let blazeit = crate::blazeit::BlazeItBaseline::new(
+            DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            3,
+            CostModel::default(),
+            &low,
+        );
+        let q = FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n: 1,
+            limit: 3,
+            min_separation_s: 2.0,
+        };
+        let idx = tasti.build_index(&d.test);
+        let (_, bz_pre) = blazeit.score_frames(&q, &d.test);
+        assert!(
+            idx.build_seconds > bz_pre * 1.5,
+            "tasti {} vs blazeit {bz_pre}",
+            idx.build_seconds
+        );
+    }
+}

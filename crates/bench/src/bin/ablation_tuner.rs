@@ -1,0 +1,80 @@
+//! Design-choice ablation (§3.5): the tuning coarseness C.
+//!
+//! The paper picks C = 30 % as the balance between curve fidelity
+//! (fine-grained steps) and tuning cost (few iterations). This binary
+//! sweeps C and reports, per setting: the number of curve points, the
+//! simulated tuning cost, and the curve's quality — the accuracy of the
+//! fastest configuration within 5 % of the best validation accuracy.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin ablation_tuner [tiny|small|experiment]`
+
+use otif_bench::harness::{make_dataset, otif_options, scale_from_args, track_query_for};
+use otif_bench::report::{pct, print_table, secs, write_json};
+use otif_core::{Otif, TunerOptions};
+use otif_sim::DatasetKind;
+use otif_track::Track;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct TunerRow {
+    c: f32,
+    curve_points: usize,
+    tuning_seconds: f64,
+    picked_seconds_hour: f64,
+    picked_accuracy: f32,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let dataset = make_dataset(DatasetKind::Caldot1, scale);
+    let hour = dataset.scale.hour_scale();
+    let query = track_query_for(&dataset);
+
+    let mut rows = Vec::new();
+    for c in [0.15f32, 0.30, 0.50] {
+        eprintln!("[ablation_tuner] C = {c}");
+        let mut opts = otif_options(scale);
+        opts.tuner = TunerOptions {
+            c,
+            // finer C needs more iterations to cover the same speed range
+            max_iters: ((3.0 / c) as usize).clamp(6, 24),
+            ..opts.tuner
+        };
+        let val = dataset.val.clone();
+        let q = query.clone();
+        let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+        let otif = Otif::prepare(&dataset, &metric, opts);
+
+        let point = otif.pick_config(0.05);
+        let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+        rows.push(TunerRow {
+            c,
+            curve_points: otif.curve.len(),
+            tuning_seconds: otif
+                .prep_ledger
+                .get(otif_cv::Component::Tuner),
+            picked_seconds_hour: ledger.execution_total() * hour,
+            picked_accuracy: query.accuracy(&tracks, &dataset.test),
+        });
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0}%", r.c * 100.0),
+                r.curve_points.to_string(),
+                secs(r.tuning_seconds),
+                secs(r.picked_seconds_hour),
+                pct(r.picked_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — tuning coarseness C (caldot1)",
+        &["C", "curve points", "tuning cost (s)", "picked config s/hr", "test acc"],
+        &table,
+    );
+
+    write_json("ablation_tuner", &rows);
+}

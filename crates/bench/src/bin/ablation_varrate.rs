@@ -1,0 +1,90 @@
+//! Design-choice ablation (§3.4, "Inference"): fixed sampling gap vs
+//! Miris-style variable-rate gap selection, both driving the recurrent
+//! tracker.
+//!
+//! The paper: *"we found the accuracy of the variable gap method
+//! comparable to simply using a fixed gap"* — so OTIF keeps the simpler
+//! fixed gap. This binary measures both on the same datasets.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin ablation_varrate [tiny|small|experiment]`
+
+use otif_bench::harness::{make_dataset, otif_options, prepare_otif, scale_from_args, track_query_for};
+use otif_bench::report::{pct, print_table, secs, write_json};
+use otif_core::pipeline::Pipeline;
+use otif_cv::CostLedger;
+use otif_sim::DatasetKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct VarRateRow {
+    dataset: String,
+    gap: usize,
+    fixed_seconds_hour: f64,
+    fixed_accuracy: f32,
+    variable_seconds_hour: f64,
+    variable_accuracy: f32,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut rows = Vec::new();
+    for kind in [DatasetKind::Caldot1, DatasetKind::Warsaw] {
+        eprintln!("[ablation_varrate] {}", kind.name());
+        let dataset = make_dataset(kind, scale);
+        let hour = dataset.scale.hour_scale();
+        let query = track_query_for(&dataset);
+        let otif = prepare_otif(&dataset, otif_options(scale));
+        let ctx = otif.context();
+
+        for gap in [4usize, 8, 16] {
+            // fixed-gap configuration derived from θ_best
+            let mut cfg = otif.theta_best;
+            cfg.gap = gap;
+            cfg.tracker = otif_core::config::TrackerKind::Recurrent;
+            cfg.refine = otif.refine_index.is_some();
+
+            let fixed_ledger = CostLedger::new();
+            let fixed_tracks: Vec<_> = dataset
+                .test
+                .iter()
+                .map(|c| Pipeline::run_clip(&cfg, &ctx, c, &fixed_ledger))
+                .collect();
+            let var_ledger = CostLedger::new();
+            let var_tracks: Vec<_> = dataset
+                .test
+                .iter()
+                .map(|c| Pipeline::run_clip_variable_rate(&cfg, &ctx, c, &var_ledger, 0.4))
+                .collect();
+
+            rows.push(VarRateRow {
+                dataset: kind.name().to_string(),
+                gap,
+                fixed_seconds_hour: fixed_ledger.execution_total() * hour,
+                fixed_accuracy: query.accuracy(&fixed_tracks, &dataset.test),
+                variable_seconds_hour: var_ledger.execution_total() * hour,
+                variable_accuracy: query.accuracy(&var_tracks, &dataset.test),
+            });
+        }
+    }
+
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.dataset.clone(),
+                r.gap.to_string(),
+                secs(r.fixed_seconds_hour),
+                pct(r.fixed_accuracy),
+                secs(r.variable_seconds_hour),
+                pct(r.variable_accuracy),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — fixed vs variable sampling gap (recurrent tracker)",
+        &["dataset", "max gap", "fixed s/hr", "fixed acc", "variable s/hr", "variable acc"],
+        &table,
+    );
+
+    write_json("ablation_varrate", &rows);
+}

@@ -1,0 +1,62 @@
+//! Figure 5: runtime–accuracy curves of every method on every dataset's
+//! object-track query, evaluated on the hidden test split.
+//!
+//! Usage:
+//!   `cargo run --release -p otif-bench --bin fig5 [tiny|small|experiment]`
+//!   `cargo run --release -p otif-bench --bin fig5 cached`
+//!
+//! `cached` renders the curves from `results/table2_curves.json` (written
+//! by the `table2` binary, which evaluates exactly the same sweep) instead
+//! of recomputing them — the two artifacts share their underlying data, as
+//! in the paper.
+
+use otif_bench::harness::{scale_from_args, track_query_comparison, MethodCurve};
+use otif_bench::report::{pct, print_table, results_dir, secs, write_json};
+use otif_sim::DatasetKind;
+
+fn print_curves(all: &[(String, Vec<MethodCurve>)]) {
+    for (ds, curves) in all {
+        for c in curves {
+            let rows: Vec<Vec<String>> = c
+                .points
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.config.clone(),
+                        secs(p.test_seconds_hour),
+                        pct(p.test_accuracy),
+                        secs(p.val_seconds_hour),
+                        pct(p.val_accuracy),
+                    ]
+                })
+                .collect();
+            print_table(
+                &format!("Figure 5 — {ds} / {}", c.method),
+                &["config", "test s/hr", "test acc", "val s/hr", "val acc"],
+                &rows,
+            );
+        }
+    }
+}
+
+fn main() {
+    if std::env::args().nth(1).as_deref() == Some("cached") {
+        let path = results_dir().join("table2_curves.json");
+        let json = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("{}: {e} — run the table2 binary first", path.display()));
+        let all: Vec<(String, Vec<MethodCurve>)> =
+            serde_json::from_str(&json).expect("parse table2_curves.json");
+        print_curves(&all);
+        write_json("fig5", &all);
+        return;
+    }
+    let scale = scale_from_args();
+    let mut all = Vec::new();
+    for kind in DatasetKind::ALL {
+        eprintln!("[fig5] running {}", kind.name());
+        let curves = track_query_comparison(kind, scale);
+        all.push((kind.name().to_string(), curves));
+    }
+    print_curves(&all);
+    write_json("fig5", &all);
+}

@@ -1,0 +1,65 @@
+//! Figure 6: cost breakdown of OTIF on Caldot1 — one-time pre-processing
+//! components vs execution components (which scale with dataset size),
+//! at the fastest configuration within 5 % of the best achieved accuracy.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin fig6 [tiny|small|experiment]`
+
+use otif_bench::harness::{make_dataset, otif_options, prepare_otif, scale_from_args};
+use otif_bench::report::{print_table, secs, write_json};
+use otif_sim::DatasetKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct BreakdownEntry {
+    component: String,
+    seconds: f64,
+    phase: String,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig6] preparing OTIF on caldot1");
+    let dataset = make_dataset(DatasetKind::Caldot1, scale);
+    let hour = dataset.scale.hour_scale();
+    let otif = prepare_otif(&dataset, otif_options(scale));
+
+    let point = otif.pick_config(0.05);
+    eprintln!("[fig6] executing {}", point.config.describe());
+    let (_, exec_ledger) = otif.execute(&point.config, &dataset.test);
+
+    let mut entries: Vec<BreakdownEntry> = Vec::new();
+    for (c, s) in otif.prep_ledger.breakdown() {
+        entries.push(BreakdownEntry {
+            component: c.name().to_string(),
+            seconds: s,
+            phase: "pre-processing".into(),
+        });
+    }
+    for (c, s) in exec_ledger.breakdown() {
+        entries.push(BreakdownEntry {
+            component: c.name().to_string(),
+            seconds: s * hour,
+            phase: "execution (per hour of video)".into(),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|e| vec![e.phase.clone(), e.component.clone(), secs(e.seconds)])
+        .collect();
+    print_table(
+        &format!(
+            "Figure 6 — OTIF cost breakdown, caldot1 ({})",
+            point.config.describe()
+        ),
+        &["phase", "component", "seconds"],
+        &rows,
+    );
+    println!(
+        "\nTotal pre-processing: {} s; total execution: {} s per hour of video",
+        secs(otif.prep_ledger.total()),
+        secs(exec_ledger.execution_total() * hour)
+    );
+
+    write_json("fig6", &entries);
+}

@@ -1,0 +1,212 @@
+//! Figure 7: direct evaluation of the segmentation proxy model on Caldot1.
+//!
+//! Left panel: detection speed (simulated per-frame detector seconds) vs
+//! mAP@50, for the detector alone at varying resolutions and for the
+//! detector + proxy with k ∈ {1, 2, 3, 4} window sizes (k = 1 ≡ detector
+//! only).
+//!
+//! Right panel: per-cell precision–recall curves of the proxy model at
+//! the five trained input resolutions, against cells intersecting
+//! ground-truth boxes on held-out frames.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin fig7 [tiny|small|experiment]`
+
+use otif_bench::harness::{make_dataset, otif_options, prepare_otif, scale_from_args, SEED};
+use otif_bench::report::{print_table, write_json};
+use otif_core::grouping::group_cells;
+use otif_core::proxy::CellGrid;
+use otif_core::windows::{cells_of_rects, select_window_sizes};
+use otif_cv::{average_precision, CostLedger, CostModel, DetectorArch, DetectorConfig, SimDetector};
+use otif_sim::{DatasetKind, Renderer};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SpeedMapPoint {
+    method: String,
+    config: String,
+    per_frame_seconds: f64,
+    map50: f32,
+}
+
+#[derive(Serialize)]
+struct PrPoint {
+    resolution: String,
+    threshold: f32,
+    precision: f32,
+    recall: f32,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    eprintln!("[fig7] preparing OTIF on caldot1");
+    let dataset = make_dataset(DatasetKind::Caldot1, scale);
+    let otif = prepare_otif(&dataset, otif_options(scale));
+    let cost = CostModel::default();
+    let (fw, fh) = otif.frame_dims();
+
+    // Held-out labeled frames (the paper hand-labels 50): sample evenly
+    // from the test split.
+    let mut labeled: Vec<(usize, usize)> = Vec::new(); // (clip, frame)
+    'outer: for (ci, clip) in dataset.test.iter().enumerate() {
+        for f in (0..clip.num_frames()).step_by(7) {
+            labeled.push((ci, f));
+            if labeled.len() >= 50 {
+                break 'outer;
+            }
+        }
+    }
+
+    // ---- Left panel: YOLOv3 alone vs + proxy with k window sizes ----
+    let mut left: Vec<SpeedMapPoint> = Vec::new();
+    let ledger = CostLedger::new();
+
+    // detector alone at varying resolutions
+    for s in DetectorConfig::SCALES {
+        let det = SimDetector::new(DetectorConfig::new(DetectorArch::YoloV3, s), SEED);
+        let per_frame: Vec<_> = labeled
+            .iter()
+            .map(|&(ci, f)| {
+                let clip = &dataset.test[ci];
+                let dets = det.detect_frame(clip, f, &ledger);
+                let gts: Vec<otif_geom::Rect> =
+                    clip.gt_boxes(f).into_iter().map(|(_, _, r)| r).collect();
+                (dets, gts)
+            })
+            .collect();
+        left.push(SpeedMapPoint {
+            method: "yolov3".into(),
+            config: format!("scale={s}"),
+            per_frame_seconds: det.frame_cost(&dataset.test[0]),
+            map50: average_precision(&per_frame, 0.5),
+        });
+    }
+
+    // detector + proxy with k window sizes
+    // window sets built from training-split ground-truth-equivalent cells
+    let frames_cells: Vec<Vec<(usize, usize)>> = dataset
+        .train
+        .iter()
+        .flat_map(|clip| {
+            (0..clip.num_frames()).step_by(5).map(|f| {
+                let rects: Vec<otif_geom::Rect> =
+                    clip.gt_boxes(f).into_iter().map(|(_, _, r)| r).collect();
+                cells_of_rects(&rects, fw, fh)
+            })
+        })
+        .take(100)
+        .collect();
+    let proxy = &otif.proxies[otif.proxies.len() / 2]; // mid resolution
+    for k in [1usize, 2, 3, 4] {
+        let ws = select_window_sizes(
+            fw,
+            fh,
+            &frames_cells,
+            k,
+            DetectorArch::YoloV3.per_px(),
+            DetectorArch::YoloV3.per_call(),
+        );
+        let det = SimDetector::new(DetectorConfig::new(DetectorArch::YoloV3, 1.0), SEED);
+        let mut time_acc = 0.0;
+        let per_frame: Vec<_> = labeled
+            .iter()
+            .map(|&(ci, f)| {
+                let clip = &dataset.test[ci];
+                let img = Renderer::new(clip).render(f, proxy.in_w, proxy.in_h);
+                let l = CostLedger::new();
+                let grid = proxy.score_cells(&img, &cost, &l);
+                // a recall-oriented threshold, as the tuner would select
+                // (§3.5.2 picks by recall, not by a fixed 0.5 cut)
+                let windows = group_cells(&grid.positive_cells(0.45), &ws);
+                let dets = if windows.is_empty() {
+                    Vec::new()
+                } else {
+                    det.detect_windows(clip, f, &windows, &l)
+                };
+                time_acc += l.total();
+                let gts: Vec<otif_geom::Rect> =
+                    clip.gt_boxes(f).into_iter().map(|(_, _, r)| r).collect();
+                (dets, gts)
+            })
+            .collect();
+        left.push(SpeedMapPoint {
+            method: format!("yolov3+proxy(k={k})"),
+            config: format!("|W|={}", ws.sizes.len()),
+            per_frame_seconds: time_acc / labeled.len() as f64,
+            map50: average_precision(&per_frame, 0.5),
+        });
+    }
+
+    let rows: Vec<Vec<String>> = left
+        .iter()
+        .map(|p| {
+            vec![
+                p.method.clone(),
+                p.config.clone(),
+                format!("{:.2} ms", p.per_frame_seconds * 1e3),
+                format!("{:.3}", p.map50),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 7 (left) — detection speed vs mAP@50 on caldot1",
+        &["method", "config", "per-frame time", "mAP@50"],
+        &rows,
+    );
+
+    // ---- Right panel: proxy per-cell precision–recall per resolution ----
+    let mut right: Vec<PrPoint> = Vec::new();
+    for proxy in &otif.proxies {
+        // score and label every labeled frame's cells
+        let mut scored: Vec<(f32, bool)> = Vec::new();
+        for &(ci, f) in &labeled {
+            let clip = &dataset.test[ci];
+            let img = Renderer::new(clip).render(f, proxy.in_w, proxy.in_h);
+            let grid = proxy.score_cells(&img, &cost, &ledger);
+            let rects: Vec<otif_geom::Rect> =
+                clip.gt_boxes(f).into_iter().map(|(_, _, r)| r).collect();
+            let gt_cells: std::collections::HashSet<(usize, usize)> =
+                cells_of_rects(&rects, fw, fh).into_iter().collect();
+            let _ = CellGrid::zeros(1, 1);
+            for cy in 0..grid.rows {
+                for cx in 0..grid.cols {
+                    scored.push((grid.get(cx, cy), gt_cells.contains(&(cx, cy))));
+                }
+            }
+        }
+        let total_pos = scored.iter().filter(|(_, l)| *l).count().max(1);
+        for t in [0.1f32, 0.3, 0.5, 0.7, 0.8, 0.9, 0.95, 0.99] {
+            let tp = scored.iter().filter(|(s, l)| *s > t && *l).count();
+            let fp = scored.iter().filter(|(s, l)| *s > t && !*l).count();
+            let precision = if tp + fp > 0 {
+                tp as f32 / (tp + fp) as f32
+            } else {
+                1.0
+            };
+            right.push(PrPoint {
+                resolution: format!("{}x{}", proxy.in_w, proxy.in_h),
+                threshold: t,
+                precision,
+                recall: tp as f32 / total_pos as f32,
+            });
+        }
+    }
+    let rows: Vec<Vec<String>> = right
+        .iter()
+        .map(|p| {
+            vec![
+                p.resolution.clone(),
+                format!("{:.2}", p.threshold),
+                format!("{:.3}", p.precision),
+                format!("{:.3}", p.recall),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 7 (right) — proxy per-cell precision–recall by input resolution",
+        &["resolution", "B_proxy", "precision", "recall"],
+        &rows,
+    );
+
+    write_json("fig7_left", &left);
+    write_json("fig7_right", &right);
+}

@@ -1,0 +1,145 @@
+//! Figure 8 / §4.6: implementation-fidelity validation.
+//!
+//! The paper validates its BlazeIt re-implementation against the authors'
+//! release, finding the original's detector "unreasonably poor" (3 of 6
+//! cars found on a busy Taipei frame, vs 6 of 6 + 1 FP for theirs), while
+//! proxy throughput matches (85 s vs 100 s over the 33-hour dataset).
+//!
+//! We reproduce both checks: (a) a degraded detector tier (standing in
+//! for the original implementation's weights) vs our standard tier on a
+//! busy frame — counting detections against ground truth; and (b) proxy
+//! throughput consistency between our BlazeIt proxy pass and the cost
+//! model's prediction.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin fig8 [tiny|small|experiment]`
+
+use otif_baselines::BlazeItBaseline;
+use otif_bench::harness::{make_dataset, otif_options, prepare_otif, scale_from_args, SEED};
+use otif_bench::report::{print_table, write_json};
+use otif_cv::{CostLedger, CostModel, DetectorArch, DetectorConfig, SimDetector};
+use otif_query::{FrameLimitQuery, FrameQueryKind};
+use otif_sim::DatasetKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Fig8Result {
+    impl_name: String,
+    busy_frame_gt: usize,
+    detected_true: usize,
+    false_positives: usize,
+    proxy_seconds_hour: Option<f64>,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let dataset = make_dataset(DatasetKind::Warsaw, scale);
+    let hour = dataset.scale.hour_scale();
+
+    // Busiest test frame.
+    let (ci, f) = dataset
+        .test
+        .iter()
+        .enumerate()
+        .flat_map(|(ci, c)| (0..c.num_frames()).map(move |f| (ci, f)))
+        .max_by_key(|&(ci, f)| dataset.test[ci].frames[f].objs.len())
+        .unwrap();
+    let clip = &dataset.test[ci];
+    let gt = clip.gt_boxes(f);
+    eprintln!("[fig8] busiest frame has {} objects", gt.len());
+
+    let ledger = CostLedger::new();
+    let mut results = Vec::new();
+    for (name, cfg) in [
+        (
+            // the "original implementation": a low-fidelity operating
+            // point (aggressively low resolution + high threshold)
+            "original-impl (degraded)",
+            DetectorConfig {
+                conf_threshold: 0.6,
+                ..DetectorConfig::new(DetectorArch::YoloV3, 0.25)
+            },
+        ),
+        (
+            "our-impl",
+            DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
+        ),
+    ] {
+        let det = SimDetector::new(cfg, SEED);
+        let dets = det.detect_frame(clip, f, &ledger);
+        let detected_true = gt
+            .iter()
+            .filter(|(id, _, _)| dets.iter().any(|d| d.debug_gt == Some(*id)))
+            .count();
+        let false_positives = dets.iter().filter(|d| d.debug_gt.is_none()).count();
+        results.push(Fig8Result {
+            impl_name: name.to_string(),
+            busy_frame_gt: gt.len(),
+            detected_true,
+            false_positives,
+            proxy_seconds_hour: None,
+        });
+    }
+
+    // Proxy throughput consistency: measured BlazeIt proxy pass vs the
+    // cost model's closed-form prediction.
+    let otif = prepare_otif(&dataset, otif_options(scale));
+    let low = otif.proxies.last().unwrap();
+    let blazeit = BlazeItBaseline::new(otif.theta_best.detector, SEED, CostModel::default(), low);
+    let q = FrameLimitQuery {
+        kind: FrameQueryKind::Count,
+        n: 3,
+        limit: 10,
+        min_separation_s: 5.0,
+    };
+    let (_, measured) = blazeit.score_frames(&q, &dataset.test);
+    let cm = CostModel::default();
+    let frames: usize = dataset.test.iter().map(|c| c.num_frames()).sum();
+    let native_px = (dataset.scene.width as f64) * (dataset.scene.height as f64);
+    let proxy_scale = low.in_w as f32 / dataset.scene.width as f32;
+    let predicted = frames as f64
+        * (low.inference_cost(&cm)
+            + otif_core::pipeline::decode_cost(&cm, native_px, proxy_scale, 1));
+    results.push(Fig8Result {
+        impl_name: "blazeit-proxy measured".into(),
+        busy_frame_gt: 0,
+        detected_true: 0,
+        false_positives: 0,
+        proxy_seconds_hour: Some(measured * hour),
+    });
+    results.push(Fig8Result {
+        impl_name: "blazeit-proxy predicted".into(),
+        busy_frame_gt: 0,
+        detected_true: 0,
+        false_positives: 0,
+        proxy_seconds_hour: Some(predicted * hour),
+    });
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.impl_name.clone(),
+                if r.busy_frame_gt > 0 {
+                    format!("{}/{}", r.detected_true, r.busy_frame_gt)
+                } else {
+                    "-".into()
+                },
+                if r.busy_frame_gt > 0 {
+                    r.false_positives.to_string()
+                } else {
+                    "-".into()
+                },
+                r.proxy_seconds_hour
+                    .map(|s| format!("{s:.1}"))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 8 / §4.6 — implementation validation (busy Warsaw frame)",
+        &["implementation", "cars detected", "false positives", "proxy s/hr"],
+        &rows,
+    );
+
+    write_json("fig8", &results);
+}

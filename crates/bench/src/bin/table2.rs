@@ -1,0 +1,123 @@
+//! Table 2: runtime (simulated seconds per hour of video) of each method
+//! on the test set of each dataset, using the fastest configuration within
+//! 5 % of the best achieved accuracy; 1 query and 5 queries (estimated).
+//!
+//! Usage: `cargo run --release -p otif-bench --bin table2 [tiny|small|experiment]`
+
+use otif_bench::harness::{
+    best_overall_accuracy, scale_from_args, track_query_comparison, MethodCurve,
+};
+use otif_bench::report::{print_table, secs, write_json};
+use otif_sim::DatasetKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Table2Row {
+    dataset: String,
+    /// (method, 1-query seconds, 5-query seconds, test accuracy) —
+    /// `None` seconds when the method has no configuration within 5 %.
+    methods: Vec<Table2Cell>,
+    best_accuracy: f32,
+}
+
+#[derive(Serialize)]
+struct Table2Cell {
+    method: String,
+    one_query: Option<f64>,
+    five_queries: Option<f64>,
+    accuracy: Option<f32>,
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let slack = 0.05;
+    let mut rows = Vec::new();
+    let mut curves_by_dataset: Vec<(String, Vec<MethodCurve>)> = Vec::new();
+
+    for kind in DatasetKind::ALL {
+        eprintln!("[table2] running {}", kind.name());
+        let curves = track_query_comparison(kind, scale);
+        let best = best_overall_accuracy(&curves);
+        let methods = curves
+            .iter()
+            .map(|c| {
+                let p = c.fastest_within(best, slack);
+                Table2Cell {
+                    method: c.method.clone(),
+                    one_query: p.map(|p| p.test_seconds_hour),
+                    five_queries: p.map(|p| {
+                        if c.per_query {
+                            p.test_seconds_hour * 5.0
+                        } else {
+                            p.test_seconds_hour
+                        }
+                    }),
+                    accuracy: p.map(|p| p.test_accuracy),
+                }
+            })
+            .collect();
+        rows.push(Table2Row {
+            dataset: kind.name().to_string(),
+            methods,
+            best_accuracy: best,
+        });
+        curves_by_dataset.push((kind.name().to_string(), curves));
+    }
+
+    // print both table halves
+    let method_names: Vec<String> = rows[0].methods.iter().map(|m| m.method.clone()).collect();
+    for (title, five) in [("Table 2 — 1 query", false), ("Table 2 — 5 queries (estimated)", true)] {
+        let mut headers: Vec<&str> = vec!["Dataset"];
+        headers.extend(method_names.iter().map(|s| s.as_str()));
+        let table_rows: Vec<Vec<String>> = rows
+            .iter()
+            .map(|r| {
+                let mut row = vec![r.dataset.clone()];
+                for m in &r.methods {
+                    let v = if five { m.five_queries } else { m.one_query };
+                    row.push(v.map(secs).unwrap_or_else(|| "-".to_string()));
+                }
+                row
+            })
+            .collect();
+        print_table(title, &headers, &table_rows);
+    }
+
+    // speedup summary (the paper's headline claims)
+    let mut miris_speedups_5q = Vec::new();
+    let mut next_best_speedups = Vec::new();
+    for r in &rows {
+        let otif = r.methods.iter().find(|m| m.method == "otif").unwrap();
+        if let Some(o1) = otif.one_query {
+            if let Some(m5) = r
+                .methods
+                .iter()
+                .find(|m| m.method == "miris")
+                .and_then(|m| m.five_queries)
+            {
+                miris_speedups_5q.push(m5 / o1);
+            }
+            let next = r
+                .methods
+                .iter()
+                .filter(|m| m.method != "otif" && m.method != "miris")
+                .filter_map(|m| m.one_query)
+                .fold(f64::INFINITY, f64::min);
+            if next.is_finite() {
+                next_best_speedups.push(next / o1);
+            }
+        }
+    }
+    let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "\nAverage speedup over Miris at 5 queries: {:.1}x (paper: 25x)",
+        avg(&miris_speedups_5q)
+    );
+    println!(
+        "Average speedup over next-best baseline (1 query): {:.1}x (paper: 3.4x)",
+        avg(&next_best_speedups)
+    );
+
+    write_json("table2", &rows);
+    write_json("table2_curves", &curves_by_dataset);
+}

@@ -1,0 +1,266 @@
+//! Decoding with seek semantics and cost accounting.
+
+use crate::encode::{BlockOp, EncFrame, EncodedClip};
+use crate::BLOCK;
+use otif_sim::GrayImage;
+
+/// Cumulative decode work counters.
+///
+/// `blocks_processed` counts every 8×8 block touched while reconstructing
+/// requested frames — including blocks of intermediate P-frames that had to
+/// be decoded to reach a seek target. This is the quantity the execution
+/// pipeline converts into simulated CPU seconds.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DecodeStats {
+    /// Frames the caller asked for.
+    pub frames_requested: usize,
+    /// Frames actually reconstructed (includes chain frames).
+    pub frames_decoded: usize,
+    /// 8x8 blocks touched during reconstruction.
+    pub blocks_processed: u64,
+}
+
+impl DecodeStats {
+    /// Pixels touched (blocks x 64).
+    pub fn pixels_processed(&self) -> u64 {
+        self.blocks_processed * (BLOCK * BLOCK) as u64
+    }
+}
+
+/// A stateful decoder over an [`EncodedClip`].
+///
+/// Sequential access (`decode(t)`, `decode(t + g)`, …) reuses the current
+/// reference frame when possible; seeking backwards or across an I-frame
+/// restarts from the nearest keyframe, decoding the whole chain — the same
+/// cost structure as H264 seeking.
+pub struct Decoder<'a> {
+    clip: &'a EncodedClip,
+    /// Currently reconstructed frame index and pixels.
+    cur: Option<(usize, Vec<u8>)>,
+    /// Cumulative decode-work counters.
+    pub stats: DecodeStats,
+}
+
+impl<'a> Decoder<'a> {
+    /// Create a decoder positioned before the first frame.
+    pub fn new(clip: &'a EncodedClip) -> Self {
+        Decoder {
+            clip,
+            cur: None,
+            stats: DecodeStats::default(),
+        }
+    }
+
+    fn blocks_per_frame(&self) -> u64 {
+        ((self.clip.w / BLOCK) * (self.clip.h / BLOCK)) as u64
+    }
+
+    /// Apply the encoded frame `idx` on top of the current reference.
+    fn apply(&mut self, idx: usize) {
+        let w = self.clip.w;
+        match &self.clip.frames[idx] {
+            EncFrame::I(px) => {
+                self.cur = Some((idx, px.clone()));
+                self.stats.blocks_processed += self.blocks_per_frame();
+            }
+            EncFrame::P(ops) => {
+                let (_, buf) = self.cur.as_mut().expect("P-frame without reference");
+                let bw = w / BLOCK;
+                for (bi, op) in ops.iter().enumerate() {
+                    if let BlockOp::Raw(raw) = op {
+                        let (bx, by) = (bi % bw, bi / bw);
+                        for y in 0..BLOCK {
+                            let row = (by * BLOCK + y) * w + bx * BLOCK;
+                            buf[row..row + BLOCK]
+                                .copy_from_slice(&raw[y * BLOCK..(y + 1) * BLOCK]);
+                        }
+                        self.stats.blocks_processed += 1;
+                    }
+                }
+                // skip blocks still cost a touch of work (header parse);
+                // count them at 1/16 of a raw block
+                let skips = ops.iter().filter(|o| matches!(o, BlockOp::Skip)).count();
+                self.stats.blocks_processed += (skips as u64) / 16;
+                self.cur.as_mut().unwrap().0 = idx;
+            }
+        }
+        self.stats.frames_decoded += 1;
+    }
+
+    /// Decode frame `t` at native resolution.
+    pub fn decode(&mut self, t: usize) -> GrayImage {
+        assert!(t < self.clip.num_frames(), "frame {t} out of range");
+        self.stats.frames_requested += 1;
+        let key = self.clip.keyframe_before(t);
+        let start = match &self.cur {
+            Some((cur_t, _)) if *cur_t <= t && *cur_t >= key => *cur_t + 1,
+            _ => {
+                self.apply(key);
+                key + 1
+            }
+        };
+        // If we're already exactly at t, start > t and the loop is empty.
+        let start = if let Some((cur_t, _)) = &self.cur {
+            if *cur_t == t {
+                t + 1
+            } else {
+                start
+            }
+        } else {
+            start
+        };
+        for i in start..=t {
+            self.apply(i);
+        }
+        let (_, buf) = self.cur.as_ref().unwrap();
+        GrayImage::from_u8(self.clip.w, self.clip.h, buf)
+    }
+
+    /// Decode frame `t` and box-downsample to `w × h` (the "decode at the
+    /// detector resolution" path). Downsampling cost is negligible next to
+    /// chain decoding and is folded into the block counters.
+    pub fn decode_scaled(&mut self, t: usize, w: usize, h: usize) -> GrayImage {
+        let native = self.decode(t);
+        if w == native.w && h == native.h {
+            return native;
+        }
+        let mut out = GrayImage::new(w, h);
+        let sx = native.w as f32 / w as f32;
+        let sy = native.h as f32 / h as f32;
+        for y in 0..h {
+            let ny0 = (y as f32 * sy) as usize;
+            let ny1 = (((y + 1) as f32 * sy) as usize).clamp(ny0 + 1, native.h);
+            for x in 0..w {
+                let nx0 = (x as f32 * sx) as usize;
+                let nx1 = (((x + 1) as f32 * sx) as usize).clamp(nx0 + 1, native.w);
+                out.set(x, y, native.mean_in(nx0, ny0, nx1, ny1));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::EncoderConfig;
+
+    fn frames(n: usize) -> Vec<GrayImage> {
+        (0..n)
+            .map(|t| {
+                let mut img = GrayImage::new(32, 16);
+                for y in 0..16 {
+                    for x in 0..32 {
+                        img.set(x, y, 0.2);
+                    }
+                }
+                let ox = (t * 2) % 24;
+                for y in 4..12 {
+                    for x in ox..ox + 8 {
+                        img.set(x, y, 0.9);
+                    }
+                }
+                img
+            })
+            .collect()
+    }
+
+    fn close(a: &GrayImage, b: &GrayImage, tol: f32) -> bool {
+        a.w == b.w
+            && a.h == b.h
+            && a.data.iter().zip(&b.data).all(|(x, y)| (x - y).abs() <= tol)
+    }
+
+    #[test]
+    fn lossless_roundtrip_with_zero_threshold() {
+        let fs = frames(20);
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let mut dec = Decoder::new(&enc);
+        for (t, f) in fs.iter().enumerate() {
+            let got = dec.decode(t);
+            assert!(close(&got, f, 1.0 / 255.0 + 1e-6), "frame {t}");
+        }
+    }
+
+    #[test]
+    fn lossy_roundtrip_within_threshold() {
+        let fs = frames(20);
+        let th = 10u8;
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 10, skip_threshold: th });
+        let mut dec = Decoder::new(&enc);
+        for (t, f) in fs.iter().enumerate() {
+            let got = dec.decode(t);
+            assert!(
+                close(&got, f, th as f32 / 255.0 + 1.0 / 255.0 + 1e-6),
+                "frame {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn random_seek_matches_sequential() {
+        let fs = frames(30);
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 7, skip_threshold: 0 });
+        let mut seq = Decoder::new(&enc);
+        let sequential: Vec<GrayImage> = (0..30).map(|t| seq.decode(t)).collect();
+        let mut rnd = Decoder::new(&enc);
+        for &t in &[17usize, 3, 29, 0, 12, 12, 11] {
+            let got = rnd.decode(t);
+            assert!(close(&got, &sequential[t], 1e-6), "seek to {t}");
+        }
+    }
+
+    #[test]
+    fn sampling_gap_decodes_fewer_blocks_sublinearly() {
+        let fs = frames(60);
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 15, skip_threshold: 0 });
+
+        let cost_at_gap = |g: usize| -> u64 {
+            let mut d = Decoder::new(&enc);
+            let mut t = 0;
+            while t < 60 {
+                d.decode(t);
+                t += g;
+            }
+            d.stats.blocks_processed
+        };
+        let c1 = cost_at_gap(1);
+        let c4 = cost_at_gap(4);
+        let c16 = cost_at_gap(16);
+        assert!(c4 < c1, "gap 4 should cost less than gap 1");
+        assert!(c16 < c4);
+        // but not proportionally less: chains from keyframes still decode
+        assert!(
+            (c16 as f64) > (c1 as f64) / 16.0,
+            "c1={c1} c16={c16}: gap-16 should pay chain overhead"
+        );
+    }
+
+    #[test]
+    fn decode_scaled_halves_dimensions() {
+        let fs = frames(5);
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let mut dec = Decoder::new(&enc);
+        let img = dec.decode_scaled(2, 16, 8);
+        assert_eq!((img.w, img.h), (16, 8));
+        // object region still brighter than background in downsampled frame
+        let obj = img.mean_in(2, 2, 8, 6);
+        let bg = img.mean_in(13, 0, 16, 2);
+        assert!(obj > bg);
+    }
+
+    #[test]
+    fn stats_count_requests() {
+        let fs = frames(10);
+        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let mut dec = Decoder::new(&enc);
+        dec.decode(0);
+        dec.decode(1);
+        dec.decode(9);
+        assert_eq!(dec.stats.frames_requested, 3);
+        // 0, 1, then keyframe 5 + chain 6..=9 → 2 + 5 = 7 decoded
+        assert_eq!(dec.stats.frames_decoded, 7);
+        assert!(dec.stats.blocks_processed > 0);
+        assert_eq!(dec.stats.pixels_processed(), dec.stats.blocks_processed * 64);
+    }
+}

@@ -1,0 +1,233 @@
+//! Encoding clips into the block-based store.
+
+use crate::BLOCK;
+use otif_sim::{Clip, GrayImage, Renderer};
+use serde::{Deserialize, Serialize};
+
+/// Encoder settings.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct EncoderConfig {
+    /// Frames per GOP (distance between I-frames).
+    pub gop: usize,
+    /// Maximum absolute per-pixel difference (0–255) below which a block
+    /// is coded as "skip" in a P-frame. Quantizes away sensor noise, like
+    /// any lossy codec.
+    pub skip_threshold: u8,
+}
+
+impl Default for EncoderConfig {
+    fn default() -> Self {
+        EncoderConfig {
+            gop: 30,
+            skip_threshold: 14,
+        }
+    }
+}
+
+/// One encoded block operation in a P-frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BlockOp {
+    /// Block unchanged from the previous frame.
+    Skip,
+    /// Raw replacement pixels (row-major within the block).
+    Raw(Vec<u8>),
+}
+
+/// One encoded frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum EncFrame {
+    /// Intra frame: full pixels.
+    I(Vec<u8>),
+    /// Predicted frame: one op per block, row-major over the block grid.
+    P(Vec<BlockOp>),
+}
+
+/// An encoded clip.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EncodedClip {
+    /// Frame width in pixels.
+    pub w: usize,
+    /// Frame height in pixels.
+    pub h: usize,
+    /// Source frame rate.
+    pub fps: u32,
+    /// Encoder settings used.
+    pub config: EncoderConfig,
+    /// Encoded frames, in presentation order.
+    pub frames: Vec<EncFrame>,
+}
+
+impl EncodedClip {
+    /// Encode a sequence of raw grayscale frames.
+    ///
+    /// All frames must share dimensions divisible by [`BLOCK`].
+    pub fn encode(frames: &[GrayImage], fps: u32, config: EncoderConfig) -> EncodedClip {
+        assert!(!frames.is_empty());
+        let (w, h) = (frames[0].w, frames[0].h);
+        assert!(w % BLOCK == 0 && h % BLOCK == 0, "dims must be block-aligned");
+        assert!(config.gop >= 1);
+        let bw = w / BLOCK;
+        let bh = h / BLOCK;
+
+        let mut out = Vec::with_capacity(frames.len());
+        let mut prev: Vec<u8> = Vec::new();
+        for (i, f) in frames.iter().enumerate() {
+            assert_eq!((f.w, f.h), (w, h), "frame dimension mismatch");
+            let cur = f.to_u8();
+            if i % config.gop == 0 {
+                out.push(EncFrame::I(cur.clone()));
+                prev = cur;
+                continue;
+            }
+            let mut ops = Vec::with_capacity(bw * bh);
+            let mut next = prev.clone();
+            for by in 0..bh {
+                for bx in 0..bw {
+                    let mut max_diff = 0u8;
+                    for y in 0..BLOCK {
+                        let row = (by * BLOCK + y) * w + bx * BLOCK;
+                        for x in 0..BLOCK {
+                            let d = cur[row + x].abs_diff(prev[row + x]);
+                            if d > max_diff {
+                                max_diff = d;
+                            }
+                        }
+                    }
+                    if max_diff <= config.skip_threshold {
+                        ops.push(BlockOp::Skip);
+                    } else {
+                        let mut raw = Vec::with_capacity(BLOCK * BLOCK);
+                        for y in 0..BLOCK {
+                            let row = (by * BLOCK + y) * w + bx * BLOCK;
+                            raw.extend_from_slice(&cur[row..row + BLOCK]);
+                            next[row..row + BLOCK].copy_from_slice(&cur[row..row + BLOCK]);
+                        }
+                        ops.push(BlockOp::Raw(raw));
+                    }
+                }
+            }
+            out.push(EncFrame::P(ops));
+            // reference for the next frame is the *reconstructed* frame
+            prev = next;
+        }
+        EncodedClip {
+            w,
+            h,
+            fps,
+            config,
+            frames: out,
+        }
+    }
+
+    /// Render and encode an entire simulated clip at its native resolution.
+    pub fn encode_clip(clip: &Clip, config: EncoderConfig) -> EncodedClip {
+        let r = Renderer::new(clip);
+        let frames: Vec<GrayImage> = (0..clip.num_frames())
+            .map(|f| r.render(f, clip.scene.width as usize, clip.scene.height as usize))
+            .collect();
+        EncodedClip::encode(&frames, clip.scene.fps, config)
+    }
+
+    /// Number of encoded frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Encoded payload size in bytes (pixel data only; headers ignored).
+    pub fn size_bytes(&self) -> usize {
+        self.frames
+            .iter()
+            .map(|f| match f {
+                EncFrame::I(px) => px.len(),
+                EncFrame::P(ops) => ops
+                    .iter()
+                    .map(|op| match op {
+                        BlockOp::Skip => 1,
+                        BlockOp::Raw(r) => 1 + r.len(),
+                    })
+                    .sum(),
+            })
+            .sum()
+    }
+
+    /// Raw (uncompressed) size in bytes.
+    pub fn raw_bytes(&self) -> usize {
+        self.frames.len() * self.w * self.h
+    }
+
+    /// Index of the I-frame at or before `frame`.
+    pub fn keyframe_before(&self, frame: usize) -> usize {
+        (frame / self.config.gop) * self.config.gop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn synthetic_frames(n: usize, w: usize, h: usize, moving: bool) -> Vec<GrayImage> {
+        (0..n)
+            .map(|t| {
+                let mut img = GrayImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        img.set(x, y, 0.3 + 0.1 * ((x / 8 + y / 8) % 2) as f32);
+                    }
+                }
+                if moving {
+                    // a bright 8x8 object sliding right one block per frame
+                    let ox = (t * 8) % (w - 8);
+                    for y in 8..16 {
+                        for x in ox..ox + 8 {
+                            img.set(x, y, 0.9);
+                        }
+                    }
+                }
+                img
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_scene_compresses_well() {
+        let frames = synthetic_frames(30, 64, 32, false);
+        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 30, skip_threshold: 4 });
+        // 1 I-frame + 29 all-skip P-frames.
+        let ratio = enc.size_bytes() as f32 / enc.raw_bytes() as f32;
+        assert!(ratio < 0.1, "ratio {ratio}");
+    }
+
+    #[test]
+    fn moving_object_produces_raw_blocks() {
+        let frames = synthetic_frames(10, 64, 32, true);
+        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 10, skip_threshold: 4 });
+        match &enc.frames[1] {
+            EncFrame::P(ops) => {
+                let raw = ops.iter().filter(|o| matches!(o, BlockOp::Raw(_))).count();
+                assert!(raw >= 1 && raw <= 8, "raw blocks = {raw}");
+            }
+            _ => panic!("frame 1 should be a P-frame"),
+        }
+    }
+
+    #[test]
+    fn gop_boundaries_are_i_frames() {
+        let frames = synthetic_frames(25, 64, 32, true);
+        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 10, skip_threshold: 4 });
+        for (i, f) in enc.frames.iter().enumerate() {
+            let is_i = matches!(f, EncFrame::I(_));
+            assert_eq!(is_i, i % 10 == 0, "frame {i}");
+        }
+        assert_eq!(enc.keyframe_before(0), 0);
+        assert_eq!(enc.keyframe_before(9), 0);
+        assert_eq!(enc.keyframe_before(10), 10);
+        assert_eq!(enc.keyframe_before(24), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "block-aligned")]
+    fn rejects_unaligned_dims() {
+        let frames = vec![GrayImage::new(30, 30)];
+        EncodedClip::encode(&frames, 10, EncoderConfig::default());
+    }
+}

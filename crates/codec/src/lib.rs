@@ -1,0 +1,28 @@
+#![warn(missing_docs)]
+
+//! A small block-based video store.
+//!
+//! The paper stores datasets as H264/mp4 and decodes with ffmpeg; it notes
+//! that once ML inference is cheap, *video decoding becomes a bottleneck*
+//! (≈⅓ of CPU time) and that decoding at the detector's resolution speeds
+//! execution up. This crate reproduces those dynamics with a real codec
+//! over the simulator's grayscale frames:
+//!
+//! - clips are encoded as **GOPs**: a full I-frame every `gop` frames,
+//!   then P-frames storing only the 8×8 blocks that changed beyond a
+//!   quantization threshold (conditional replenishment — the moving
+//!   objects — while the static background compresses away);
+//! - decoding a frame requires decoding the chain from the preceding
+//!   I-frame, so *reduced-rate* sampling saves less than proportionally —
+//!   exactly the effect that shapes the paper's sampling-gap trade-off;
+//! - [`Decoder`] tracks blocks/pixels processed so the execution pipeline
+//!   can charge realistic CPU decode costs.
+
+pub mod decode;
+pub mod encode;
+
+pub use decode::{DecodeStats, Decoder};
+pub use encode::{EncodedClip, EncoderConfig};
+
+/// Side of the square blocks used by the codec.
+pub const BLOCK: usize = 8;

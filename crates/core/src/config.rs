@@ -1,0 +1,124 @@
+//! Pipeline configurations (the paper's θ).
+
+use otif_cv::{DetectorArch, DetectorConfig};
+use serde::{Deserialize, Serialize};
+
+/// Segmentation-proxy parameters: which trained resolution to use and the
+/// confidence threshold B_proxy above which a cell is "positive".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProxyParams {
+    /// Index into [`crate::proxy::PROXY_SCALES`] (and the set of trained
+    /// proxy models).
+    pub resolution_idx: usize,
+    /// Cell-score threshold B_proxy in `[0, 1]`.
+    pub threshold: f32,
+}
+
+/// Which tracker the tracking module runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrackerKind {
+    /// Heuristic SORT (used in θ_best and the "+ Sampling Rate" ablation).
+    Sort,
+    /// The trained recurrent reduced-rate tracker (§3.4).
+    Recurrent,
+}
+
+/// A full OTIF configuration θ: settings for all six tunable parameters
+/// across the three modules (§3.5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OtifConfig {
+    /// Detection module: architecture + input resolution + confidence
+    /// threshold.
+    pub detector: DetectorConfig,
+    /// Proxy module; `None` disables the proxy (detector runs on the full
+    /// frame).
+    pub proxy: Option<ProxyParams>,
+    /// Tracking module: sampling gap g (process 1 in every g frames;
+    /// powers of two).
+    pub gap: usize,
+    /// Which tracker the tracking module runs.
+    pub tracker: TrackerKind,
+    /// Whether cluster-based start/end refinement is applied (fixed
+    /// cameras only, §3.4).
+    pub refine: bool,
+}
+
+impl OtifConfig {
+    /// The slowest possible configuration: native resolution, every frame,
+    /// no proxy, SORT tracker (the starting point of θ_best selection,
+    /// §3.3).
+    pub fn slowest() -> Self {
+        OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
+            proxy: None,
+            gap: 1,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        }
+    }
+
+    /// Short human-readable description for logs and experiment output.
+    pub fn describe(&self) -> String {
+        format!(
+            "{}@{:.3}x conf={:.2} proxy={} gap={} tracker={:?}{}",
+            self.detector.arch.name(),
+            self.detector.scale,
+            self.detector.conf_threshold,
+            match &self.proxy {
+                None => "off".to_string(),
+                Some(p) => format!("r{} B={:.2}", p.resolution_idx, p.threshold),
+            },
+            self.gap,
+            self.tracker,
+            if self.refine { " +refine" } else { "" },
+        )
+    }
+}
+
+/// Round up to the next power of two (min 1).
+pub fn next_pow2(x: f32) -> usize {
+    let mut g = 1usize;
+    while (g as f32) < x {
+        g *= 2;
+    }
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slowest_config_is_actually_slowest() {
+        let s = OtifConfig::slowest();
+        assert_eq!(s.detector.scale, 1.0);
+        assert_eq!(s.gap, 1);
+        assert!(s.proxy.is_none());
+        // Mask R-CNN is the more expensive architecture.
+        assert!(s.detector.arch.per_px() >= DetectorArch::YoloV3.per_px());
+    }
+
+    #[test]
+    fn next_pow2_rounds_up() {
+        assert_eq!(next_pow2(0.5), 1);
+        assert_eq!(next_pow2(1.0), 1);
+        assert_eq!(next_pow2(1.1), 2);
+        assert_eq!(next_pow2(2.0), 2);
+        assert_eq!(next_pow2(5.7), 8);
+        assert_eq!(next_pow2(8.0), 8);
+    }
+
+    #[test]
+    fn describe_mentions_key_params() {
+        let mut c = OtifConfig::slowest();
+        c.proxy = Some(ProxyParams {
+            resolution_idx: 2,
+            threshold: 0.9,
+        });
+        c.gap = 4;
+        let d = c.describe();
+        assert!(d.contains("gap=4"));
+        assert!(d.contains("r2"));
+        assert!(d.contains("mask-rcnn"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Grouping positive cells into detector windows (§3.3, "Grouping Cells
+//! during Execution").
+//!
+//! Given the set of positive cells from the proxy model and a fixed set of
+//! window sizes `W` with per-size detector execution times `T_{w,h}`, find
+//! a set of rectangles (sized from `W`) covering all positive cells with
+//! an (approximately) minimal estimated execution time `est(R) = Σ T`.
+//!
+//! Implementation follows the paper: initialize one cluster per connected
+//! component of positive cells, then greedily merge cluster pairs whenever
+//! the merge lowers `est(R)`; fall back to the whole frame when that is
+//! cheaper.
+
+use crate::windows::WindowSet;
+use otif_geom::Rect;
+
+/// A cluster of positive cells tracked by its cell-space bounding box.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Cluster {
+    cx0: usize,
+    cy0: usize,
+    cx1: usize, // inclusive
+    cy1: usize, // inclusive
+}
+
+impl Cluster {
+    fn of_cell(c: (usize, usize)) -> Self {
+        Cluster {
+            cx0: c.0,
+            cy0: c.1,
+            cx1: c.0,
+            cy1: c.1,
+        }
+    }
+
+    fn merge(&self, o: &Cluster) -> Cluster {
+        Cluster {
+            cx0: self.cx0.min(o.cx0),
+            cy0: self.cy0.min(o.cy0),
+            cx1: self.cx1.max(o.cx1),
+            cy1: self.cy1.max(o.cy1),
+        }
+    }
+
+    /// Pixel-space extent (cells are 32×32).
+    fn px_size(&self) -> (f32, f32) {
+        (
+            ((self.cx1 - self.cx0 + 1) * 32) as f32,
+            ((self.cy1 - self.cy0 + 1) * 32) as f32,
+        )
+    }
+}
+
+/// Connected components (4-connectivity) of positive cells.
+fn connected_components(cells: &[(usize, usize)]) -> Vec<Vec<(usize, usize)>> {
+    use std::collections::{HashMap, HashSet};
+    let set: HashSet<(usize, usize)> = cells.iter().copied().collect();
+    let mut visited: HashSet<(usize, usize)> = HashSet::new();
+    let mut comps = Vec::new();
+    let mut index: HashMap<(usize, usize), ()> = HashMap::new();
+    index.extend(set.iter().map(|&c| (c, ())));
+    for &start in cells {
+        if visited.contains(&start) {
+            continue;
+        }
+        let mut comp = Vec::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(c) = stack.pop() {
+            comp.push(c);
+            let (x, y) = c;
+            let mut push = |n: (usize, usize)| {
+                if set.contains(&n) && visited.insert(n) {
+                    stack.push(n);
+                }
+            };
+            push((x + 1, y));
+            push((x, y + 1));
+            if x > 0 {
+                push((x - 1, y));
+            }
+            if y > 0 {
+                push((x, y - 1));
+            }
+        }
+        comps.push(comp);
+    }
+    comps
+}
+
+/// Cost of covering one cluster with tiles of the cheapest suitable window
+/// size from `ws`, and the chosen size. Returns `(cost, size, tiles_x,
+/// tiles_y)`.
+fn cluster_cost(cluster: &Cluster, ws: &WindowSet) -> (f64, (f32, f32), usize, usize) {
+    let (need_w, need_h) = cluster.px_size();
+    let mut best: Option<(f64, (f32, f32), usize, usize)> = None;
+    for &(w, h) in &ws.sizes {
+        let tx = (need_w / w).ceil().max(1.0) as usize;
+        let ty = (need_h / h).ceil().max(1.0) as usize;
+        let cost = (tx * ty) as f64 * ws.window_time(w, h);
+        if best.map(|(c, ..)| cost < c).unwrap_or(true) {
+            best = Some((cost, (w, h), tx, ty));
+        }
+    }
+    best.expect("WindowSet always contains the full-frame size")
+}
+
+/// Group positive cells into detector windows.
+///
+/// Returns native-coordinate rectangles covering all positive cells,
+/// using sizes from `ws` only. Returns an empty vec when there are no
+/// positive cells (the frame can skip detection entirely — the NoScope
+/// case). Falls back to a single full-frame window when tiling would be
+/// slower.
+pub fn group_cells(cells: &[(usize, usize)], ws: &WindowSet) -> Vec<Rect> {
+    if cells.is_empty() {
+        return Vec::new();
+    }
+    // 1. connected components → initial clusters
+    let mut clusters: Vec<Cluster> = connected_components(cells)
+        .into_iter()
+        .map(|comp| {
+            comp.into_iter()
+                .map(Cluster::of_cell)
+                .reduce(|a, b| a.merge(&b))
+                .unwrap()
+        })
+        .collect();
+
+    // 2. greedy agglomerative merging while est(R) decreases
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None; // (i, j, gain)
+        for i in 0..clusters.len() {
+            let (ci, ..) = cluster_cost(&clusters[i], ws);
+            for j in (i + 1)..clusters.len() {
+                let (cj, ..) = cluster_cost(&clusters[j], ws);
+                let merged = clusters[i].merge(&clusters[j]);
+                let (cm, ..) = cluster_cost(&merged, ws);
+                let gain = ci + cj - cm;
+                if gain > 1e-12 && best.map(|(_, _, g)| gain > g).unwrap_or(true) {
+                    best = Some((i, j, gain));
+                }
+            }
+        }
+        match best {
+            Some((i, j, _)) => {
+                let cj = clusters.swap_remove(j);
+                let merged = clusters[i].merge(&cj);
+                clusters[i] = merged;
+            }
+            None => break,
+        }
+    }
+
+    // 3. emit tiled windows per cluster, clamped inside the frame
+    let frame = Rect::new(0.0, 0.0, ws.frame_w, ws.frame_h);
+    let mut rects = Vec::new();
+    let mut total_cost = 0.0;
+    for c in &clusters {
+        let (cost, (w, h), tx, ty) = cluster_cost(c, ws);
+        total_cost += cost;
+        let x0 = (c.cx0 * 32) as f32;
+        let y0 = (c.cy0 * 32) as f32;
+        for iy in 0..ty {
+            for ix in 0..tx {
+                let mut x = x0 + ix as f32 * w;
+                let mut y = y0 + iy as f32 * h;
+                // shift the final tiles back inside the frame
+                x = x.min(ws.frame_w - w).max(0.0);
+                y = y.min(ws.frame_h - h).max(0.0);
+                rects.push(Rect::new(x, y, w, h));
+            }
+        }
+    }
+    // 4. whole-frame fallback
+    let full_cost = ws.window_time(ws.frame_w, ws.frame_h);
+    if total_cost >= full_cost {
+        return vec![frame];
+    }
+    rects
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::windows::WindowSet;
+
+    /// A window set over a 384×224 frame with sizes full, 128×96, 64×64.
+    fn ws() -> WindowSet {
+        WindowSet::new(
+            384.0,
+            224.0,
+            vec![(384.0, 224.0), (128.0, 96.0), (64.0, 64.0)],
+            6.2e-8,
+            8.0e-4,
+        )
+    }
+
+    #[test]
+    fn no_cells_no_windows() {
+        assert!(group_cells(&[], &ws()).is_empty());
+    }
+
+    #[test]
+    fn single_cell_covered_by_smallest_window() {
+        let r = group_cells(&[(2, 3)], &ws());
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].w, r[0].h), (64.0, 64.0));
+        // covers the cell at (64..96, 96..128)
+        assert!(r[0].contains_point(&otif_geom::Point::new(70.0, 100.0)));
+    }
+
+    #[test]
+    fn adjacent_cells_merge_into_one_window() {
+        let r = group_cells(&[(2, 3), (3, 3)], &ws());
+        assert_eq!(r.len(), 1);
+        // two cells wide = 64 px fits a 64×64 window
+        assert_eq!((r[0].w, r[0].h), (64.0, 64.0));
+    }
+
+    #[test]
+    fn far_apart_cells_stay_separate() {
+        let r = group_cells(&[(0, 0), (10, 5)], &ws());
+        assert_eq!(r.len(), 2);
+        assert!(r.iter().all(|r| (r.w, r.h) == (64.0, 64.0)));
+    }
+
+    #[test]
+    fn windows_cover_all_positive_cells() {
+        let cells = vec![(0, 0), (1, 0), (5, 2), (6, 2), (6, 3), (11, 6)];
+        let r = group_cells(&cells, &ws());
+        for (cx, cy) in cells {
+            let center = otif_geom::Point::new(cx as f32 * 32.0 + 16.0, cy as f32 * 32.0 + 16.0);
+            assert!(
+                r.iter().any(|w| w.contains_point(&center)),
+                "cell ({cx},{cy}) uncovered by {r:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_frame_falls_back_to_full_frame() {
+        // every cell positive
+        let mut cells = Vec::new();
+        for cy in 0..7 {
+            for cx in 0..12 {
+                cells.push((cx, cy));
+            }
+        }
+        let r = group_cells(&cells, &ws());
+        assert_eq!(r.len(), 1);
+        assert_eq!((r[0].w, r[0].h), (384.0, 224.0));
+    }
+
+    #[test]
+    fn windows_stay_inside_frame() {
+        // cell at the bottom-right corner
+        let r = group_cells(&[(11, 6)], &ws());
+        let frame = Rect::new(0.0, 0.0, 384.0, 224.0);
+        for w in &r {
+            assert!(frame.contains_rect(w), "window {w:?} leaves the frame");
+        }
+    }
+
+    #[test]
+    fn grouped_cost_never_exceeds_full_frame() {
+        let ws = ws();
+        let full = ws.window_time(384.0, 224.0);
+        for pattern in [
+            vec![(0usize, 0usize)],
+            vec![(0, 0), (11, 6), (5, 3)],
+            (0..12).flat_map(|x| (0..7).map(move |y| (x, y))).collect::<Vec<_>>(),
+        ] {
+            let r = group_cells(&pattern, &ws);
+            let cost: f64 = r.iter().map(|w| ws.window_time(w.w, w.h)).sum();
+            assert!(
+                cost <= full + 1e-9,
+                "pattern of {} cells cost {cost} > full {full}",
+                pattern.len()
+            );
+        }
+    }
+
+    #[test]
+    fn connected_components_diagonals_are_separate() {
+        let comps = connected_components(&[(0, 0), (1, 1)]);
+        assert_eq!(comps.len(), 2, "4-connectivity: diagonal cells separate");
+        let comps = connected_components(&[(0, 0), (1, 0), (1, 1)]);
+        assert_eq!(comps.len(), 1);
+    }
+}

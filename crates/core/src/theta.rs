@@ -1,0 +1,167 @@
+//! Best-accuracy configuration selection (§3.3).
+//!
+//! θ_best provides the pseudo-labels used to train the proxy and tracker
+//! models. Selection starts from the slowest configuration (no proxy,
+//! maximum detector resolution, maximum sampling rate, SORT tracker),
+//! then repeatedly reduces the detector resolution in ~C speed steps
+//! until accuracy drops, then does the same for the sampling rate — the
+//! paper notes accuracy is often *higher* at lower resolutions, which is
+//! why the search does not simply stop at the native settings.
+
+use crate::config::{OtifConfig, TrackerKind};
+use crate::pipeline::{ExecutionContext, Pipeline};
+use otif_cv::{DetectorArch, DetectorConfig};
+use otif_sim::Clip;
+use otif_track::Track;
+
+/// Accuracy-comparison slack: differences below this are treated as "not
+/// a decrease" so noise does not halt the search prematurely.
+const EPS: f32 = 0.005;
+
+/// Select θ_best over the validation split with the user metric.
+///
+/// Returns the configuration, its validation accuracy, and the total
+/// simulated seconds spent on selection trials (a pre-processing cost).
+pub fn select_theta_best(
+    val: &[Clip],
+    ctx: &ExecutionContext,
+    metric: &(dyn Fn(&[Vec<Track>]) -> f32 + Sync),
+    c: f32,
+) -> (OtifConfig, f32, f64) {
+    let mut trial_seconds = 0.0;
+    let mut eval = |cfg: &OtifConfig| -> f32 {
+        let (_, acc, secs) = Pipeline::evaluate(cfg, ctx, val, metric);
+        trial_seconds += secs;
+        acc
+    };
+
+    // Architecture: evaluate both at native resolution, keep the more
+    // accurate one.
+    let mut best_cfg = OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
+        proxy: None,
+        gap: 1,
+        tracker: TrackerKind::Sort,
+        refine: false,
+    };
+    let mut best_acc = eval(&best_cfg);
+    {
+        let mut alt = best_cfg;
+        alt.detector.arch = DetectorArch::YoloV3;
+        let acc = eval(&alt);
+        if acc > best_acc {
+            best_cfg = alt;
+            best_acc = acc;
+        }
+    }
+
+    // Resolution descent: each step must be ≥ C faster (scale factor
+    // sqrt(1-C) per linear dimension ⇒ (1-C) in pixels).
+    let mut cur = best_cfg;
+    let mut cur_acc = best_acc;
+    loop {
+        let target_scale = cur.detector.scale * (1.0 - c).sqrt();
+        let next = DetectorConfig::SCALES
+            .iter()
+            .copied()
+            .filter(|&s| s <= target_scale + 1e-6 && s < cur.detector.scale)
+            .fold(None::<f32>, |acc, s| {
+                Some(acc.map(|a| a.max(s)).unwrap_or(s))
+            });
+        let Some(scale) = next else { break };
+        let mut cand = cur;
+        cand.detector.scale = scale;
+        let acc = eval(&cand);
+        if acc + EPS < cur_acc {
+            break; // accuracy decreased — keep the best seen so far
+        }
+        cur = cand;
+        cur_acc = acc;
+        if cur_acc > best_acc {
+            best_acc = cur_acc;
+            best_cfg = cur;
+        }
+    }
+    if cur_acc >= best_acc - EPS {
+        best_cfg = cur;
+        best_acc = best_acc.max(cur_acc);
+    }
+
+    // Sampling-rate descent: doubling the gap is always a ≥ C speedup for
+    // C ≤ 0.5.
+    let mut cur = best_cfg;
+    let mut cur_acc = best_acc;
+    while cur.gap < 32 {
+        let mut cand = cur;
+        cand.gap = cur.gap * 2;
+        let acc = eval(&cand);
+        if acc + EPS < cur_acc {
+            break;
+        }
+        cur = cand;
+        cur_acc = acc;
+        if cur_acc > best_acc {
+            best_acc = cur_acc;
+            best_cfg = cur;
+        }
+    }
+    if cur_acc >= best_acc - EPS {
+        best_cfg = cur;
+        best_acc = best_acc.max(cur_acc);
+    }
+
+    (best_cfg, best_acc, trial_seconds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_cv::CostModel;
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    /// Track-count accuracy vs ground truth: 1 − |x̂ − x*| / x*.
+    fn count_metric(clips: &[otif_sim::Clip]) -> impl Fn(&[Vec<Track>]) -> f32 + Sync + '_ {
+        move |tracks: &[Vec<Track>]| {
+            let mut acc = 0.0;
+            for (i, ts) in tracks.iter().enumerate() {
+                let gt = clips[i].gt_tracks.len() as f32;
+                let got = ts.len() as f32;
+                if gt > 0.0 {
+                    acc += (1.0 - (got - gt).abs() / gt).max(0.0);
+                } else {
+                    acc += if got == 0.0 { 1.0 } else { 0.0 };
+                }
+            }
+            acc / tracks.len().max(1) as f32
+        }
+    }
+
+    #[test]
+    fn theta_best_selection_terminates_and_has_no_proxy() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 21).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 9);
+        let metric = count_metric(&d.val);
+        let (cfg, acc, secs) = select_theta_best(&d.val, &ctx, &metric, 0.3);
+        assert!(cfg.proxy.is_none(), "θ_best never uses a proxy");
+        assert_eq!(cfg.tracker, TrackerKind::Sort, "θ_best uses SORT");
+        assert!(acc > 0.5, "θ_best accuracy {acc}");
+        assert!(secs > 0.0);
+        assert!(cfg.gap >= 1 && cfg.gap <= 32);
+    }
+
+    #[test]
+    fn theta_best_accuracy_not_worse_than_slowest() {
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 22).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 9);
+        let metric = count_metric(&d.val);
+        let slowest_acc = {
+            let (_, acc, _) = Pipeline::evaluate(&OtifConfig::slowest(), &ctx, &d.val, &metric);
+            acc
+        };
+        let (_, best_acc, _) = select_theta_best(&d.val, &ctx, &metric, 0.3);
+        assert!(
+            best_acc >= slowest_acc - 0.01,
+            "θ_best {best_acc} vs slowest {slowest_acc}"
+        );
+    }
+}

@@ -1,0 +1,450 @@
+//! The joint parameter tuner (§3.5).
+//!
+//! The tuner produces a sequence of configurations Θ = ⟨θ_1, …, θ_n⟩
+//! forming a speed–accuracy curve that approximates the Pareto frontier.
+//! Exhaustive search is exponential in the number of parameters, so the
+//! tuner runs a *modular* greedy hill-climb: starting from θ_best, each
+//! iteration asks every module (detection / proxy / tracking) for a
+//! candidate configuration ~C faster overall, evaluates each candidate on
+//! the validation split, and keeps the most accurate. With m modules and
+//! n output configurations this needs O(m·n) validation trials.
+//!
+//! Before the greedy loop, a **caching phase** gathers what the modules
+//! need to answer "give me a C-faster update": per (architecture,
+//! resolution) detector times and accuracies (§3.5.1), and per (proxy
+//! resolution, threshold) runtime estimates and recalls (§3.5.2).
+
+use crate::config::{next_pow2, OtifConfig, ProxyParams};
+use crate::grouping::group_cells;
+use crate::pipeline::{decode_cost, ExecutionContext, Pipeline};
+use otif_cv::{DetectorArch, DetectorConfig, SimDetector};
+use otif_sim::{Clip, Renderer};
+use otif_track::Track;
+use serde::{Deserialize, Serialize};
+
+/// Tuner options.
+#[derive(Debug, Clone)]
+pub struct TunerOptions {
+    /// Tuning coarseness C: each step targets a ~C overall speedup
+    /// (the paper uses 30 %).
+    pub c: f32,
+    /// Maximum number of greedy iterations (curve points − 1).
+    pub max_iters: usize,
+    /// Candidate proxy thresholds B_proxy.
+    pub thresholds: Vec<f32>,
+    /// Largest sampling gap considered.
+    pub max_gap: usize,
+    /// Stride over validation frames during the proxy caching phase (the
+    /// cached statistics are per-frame averages, so sub-sampling is safe).
+    pub proxy_cache_stride: usize,
+    /// Whether gap increases switch the tracker to the trained recurrent
+    /// model (§3.4). Off for the "+ Sampling Rate" ablation, which keeps
+    /// SORT at every gap.
+    pub use_recurrent: bool,
+}
+
+impl Default for TunerOptions {
+    fn default() -> Self {
+        TunerOptions {
+            c: 0.3,
+            max_iters: 10,
+            thresholds: vec![0.3, 0.5, 0.7, 0.85, 0.95],
+            max_gap: 32,
+            proxy_cache_stride: 4,
+            use_recurrent: true,
+        }
+    }
+}
+
+/// One point of the output speed–accuracy curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CurvePoint {
+    /// The configuration this point corresponds to.
+    pub config: OtifConfig,
+    /// Simulated execution seconds over the validation split.
+    pub val_seconds: f64,
+    /// Validation accuracy under the user metric.
+    pub accuracy: f32,
+}
+
+/// Cached statistics for one detector (arch, scale) combo.
+#[derive(Debug, Clone, Copy)]
+struct DetCacheEntry {
+    arch: DetectorArch,
+    scale: f32,
+    /// Simulated seconds per processed frame (detector + decode).
+    time_per_frame: f64,
+    accuracy: f32,
+}
+
+/// Cached statistics for one proxy (resolution, threshold) combo.
+#[derive(Debug, Clone, Copy)]
+struct ProxyCacheEntry {
+    resolution_idx: usize,
+    threshold: f32,
+    /// Simulated seconds per processed frame (proxy + windowed detector).
+    time_per_frame: f64,
+    /// Fraction of θ_best detections covered by the windows.
+    recall: f32,
+}
+
+/// The OTIF tuner.
+pub struct Tuner<'a> {
+    /// Tuner options in effect.
+    pub options: TunerOptions,
+    ctx: &'a ExecutionContext<'a>,
+    val: &'a [Clip],
+    det_cache: Vec<DetCacheEntry>,
+    proxy_cache: Vec<ProxyCacheEntry>,
+    /// Simulated seconds spent on caching + trials (pre-processing cost).
+    pub tuning_seconds: f64,
+}
+
+impl<'a> Tuner<'a> {
+    /// Run the caching phase (§3.5.1–3.5.2).
+    pub fn new(
+        ctx: &'a ExecutionContext<'a>,
+        val: &'a [Clip],
+        theta_best: &OtifConfig,
+        metric: &(dyn Fn(&[Vec<Track>]) -> f32 + Sync),
+        options: TunerOptions,
+    ) -> Self {
+        let mut tuning_seconds = 0.0;
+
+        // --- Detection cache: accuracy + per-frame time of each combo,
+        // other modules per θ_best.
+        let mut det_cache = Vec::new();
+        let frame_px = val
+            .first()
+            .map(|c| (c.scene.width as f64) * (c.scene.height as f64))
+            .unwrap_or(0.0);
+        for arch in DetectorArch::ALL {
+            for scale in DetectorConfig::SCALES {
+                let mut cfg = *theta_best;
+                cfg.detector = DetectorConfig::new(arch, scale);
+                cfg.detector.conf_threshold = theta_best.detector.conf_threshold;
+                let (_, accuracy, secs) = Pipeline::evaluate(&cfg, self_ctx(ctx), val, metric);
+                tuning_seconds += secs;
+                let det = SimDetector::new(cfg.detector, ctx.detector_seed);
+                let time_per_frame = det.windows_cost(&[otif_geom::Rect::new(
+                    0.0,
+                    0.0,
+                    frame_px.sqrt() as f32, // only px count matters here
+                    frame_px.sqrt() as f32,
+                )]) + decode_cost(&ctx.cost, frame_px, scale, cfg.gap);
+                det_cache.push(DetCacheEntry {
+                    arch,
+                    scale,
+                    time_per_frame,
+                    accuracy,
+                });
+            }
+        }
+
+        // --- Proxy cache: cached per-cell scores at every resolution on
+        // (a stride of) validation frames, then runtime/recall per
+        // threshold.
+        let mut proxy_cache = Vec::new();
+        if let (Some(proxies), Some(ws)) = (ctx.proxies, ctx.window_set) {
+            // θ_best detections per sampled frame (the recall reference).
+            let det_best = SimDetector::new(theta_best.detector, ctx.detector_seed);
+            let ledger = otif_cv::CostLedger::new();
+            let mut ref_dets: Vec<(usize, usize, Vec<otif_geom::Rect>)> = Vec::new();
+            for (ci, clip) in val.iter().enumerate() {
+                let mut f = 0;
+                while f < clip.num_frames() {
+                    let dets = det_best.detect_frame(clip, f, &ledger);
+                    ref_dets.push((ci, f, dets.into_iter().map(|d| d.rect).collect()));
+                    f += options.proxy_cache_stride.max(1);
+                }
+            }
+            tuning_seconds += ledger.total();
+
+            for (ri, proxy) in proxies.iter().enumerate() {
+                // score grids for all reference frames at this resolution
+                let grids: Vec<crate::proxy::CellGrid> = ref_dets
+                    .iter()
+                    .map(|(ci, f, _)| {
+                        let img = Renderer::new(&val[*ci]).render(*f, proxy.in_w, proxy.in_h);
+                        let ledger = otif_cv::CostLedger::new();
+                        let g = proxy.score_cells(&img, &ctx.cost, &ledger);
+                        tuning_seconds += ledger.total();
+                        g
+                    })
+                    .collect();
+                for &threshold in &options.thresholds {
+                    let mut time_acc = 0.0;
+                    let mut covered = 0usize;
+                    let mut total = 0usize;
+                    for (grid, (_, _, rects)) in grids.iter().zip(&ref_dets) {
+                        let windows = group_cells(&grid.positive_cells(threshold), ws);
+                        time_acc += proxy.inference_cost(&ctx.cost)
+                            + windows
+                                .iter()
+                                .map(|w| ws.window_time(w.w, w.h))
+                                .sum::<f64>();
+                        for r in rects {
+                            total += 1;
+                            if windows.iter().any(|w| w.contains_point(&r.center())) {
+                                covered += 1;
+                            }
+                        }
+                    }
+                    let n = grids.len().max(1) as f64;
+                    proxy_cache.push(ProxyCacheEntry {
+                        resolution_idx: ri,
+                        threshold,
+                        time_per_frame: time_acc / n,
+                        recall: if total > 0 {
+                            covered as f32 / total as f32
+                        } else {
+                            1.0
+                        },
+                    });
+                }
+            }
+        }
+
+        Tuner {
+            options,
+            ctx,
+            val,
+            det_cache,
+            proxy_cache,
+            tuning_seconds,
+        }
+    }
+
+    /// Per-frame time estimate of the current configuration's detection +
+    /// proxy work (used to translate "C faster overall" into module
+    /// budgets).
+    fn dp_time_per_frame(&self, cfg: &OtifConfig) -> f64 {
+        match &cfg.proxy {
+            Some(p) => self
+                .proxy_cache
+                .iter()
+                .find(|e| e.resolution_idx == p.resolution_idx && e.threshold == p.threshold)
+                .map(|e| e.time_per_frame)
+                .unwrap_or(0.0),
+            None => self
+                .det_cache
+                .iter()
+                .find(|e| e.arch == cfg.detector.arch && e.scale == cfg.detector.scale)
+                .map(|e| e.time_per_frame)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// §3.5.1: highest-accuracy (arch, resolution) at least C faster than
+    /// the current detector choice.
+    fn detection_candidate(&self, cur: &OtifConfig) -> Option<OtifConfig> {
+        let cur_t = self
+            .det_cache
+            .iter()
+            .find(|e| e.arch == cur.detector.arch && e.scale == cur.detector.scale)?
+            .time_per_frame;
+        let budget = cur_t * (1.0 - self.options.c as f64);
+        let best = self
+            .det_cache
+            .iter()
+            .filter(|e| e.time_per_frame <= budget)
+            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())?;
+        let mut cfg = *cur;
+        cfg.detector = DetectorConfig::new(best.arch, best.scale);
+        cfg.detector.conf_threshold = cur.detector.conf_threshold;
+        Some(cfg)
+    }
+
+    /// §3.5.2: highest-recall (resolution, threshold) whose estimated
+    /// per-frame time is at least C below the current detection+proxy
+    /// time.
+    fn proxy_candidate(&self, cur: &OtifConfig) -> Option<OtifConfig> {
+        if self.proxy_cache.is_empty() {
+            return None;
+        }
+        let budget = self.dp_time_per_frame(cur) * (1.0 - self.options.c as f64);
+        let best = self
+            .proxy_cache
+            .iter()
+            .filter(|e| e.time_per_frame <= budget)
+            .max_by(|a, b| a.recall.partial_cmp(&b.recall).unwrap())?;
+        let mut cfg = *cur;
+        cfg.proxy = Some(ProxyParams {
+            resolution_idx: best.resolution_idx,
+            threshold: best.threshold,
+        });
+        Some(cfg)
+    }
+
+    /// §3.5.3: raise the sampling gap so the tracker processes C fewer
+    /// frames (next power of two).
+    fn tracking_candidate(&self, cur: &OtifConfig) -> Option<OtifConfig> {
+        let g = next_pow2(cur.gap as f32 / (1.0 - self.options.c)).max(cur.gap * 2);
+        if g > self.options.max_gap {
+            return None;
+        }
+        let mut cfg = *cur;
+        cfg.gap = g;
+        // reduced-rate processing needs the recurrent tracker (SORT
+        // cannot bridge large inter-frame motion, §3.4)
+        if self.options.use_recurrent && self.ctx.tracker_model.is_some() {
+            cfg.tracker = crate::config::TrackerKind::Recurrent;
+        }
+        Some(cfg)
+    }
+
+    /// Run the greedy tuning loop, returning the speed–accuracy curve
+    /// (slowest configuration first).
+    pub fn tune(
+        &mut self,
+        theta_start: OtifConfig,
+        metric: &(dyn Fn(&[Vec<Track>]) -> f32 + Sync),
+    ) -> Vec<CurvePoint> {
+        let mut curve = Vec::new();
+        let (_, acc, secs) = Pipeline::evaluate(&theta_start, self.ctx, self.val, metric);
+        self.tuning_seconds += secs;
+        curve.push(CurvePoint {
+            config: theta_start,
+            val_seconds: secs,
+            accuracy: acc,
+        });
+        let mut cur = theta_start;
+
+        for _ in 0..self.options.max_iters {
+            let candidates: Vec<OtifConfig> = [
+                self.detection_candidate(&cur),
+                self.proxy_candidate(&cur),
+                self.tracking_candidate(&cur),
+            ]
+            .into_iter()
+            .flatten()
+            .filter(|c| c != &cur)
+            .collect();
+            if candidates.is_empty() {
+                break;
+            }
+            let mut best: Option<CurvePoint> = None;
+            for cand in candidates {
+                let (_, acc, secs) = Pipeline::evaluate(&cand, self.ctx, self.val, metric);
+                self.tuning_seconds += secs;
+                let point = CurvePoint {
+                    config: cand,
+                    val_seconds: secs,
+                    accuracy: acc,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        acc > b.accuracy || (acc == b.accuracy && secs < b.val_seconds)
+                    }
+                };
+                if better {
+                    best = Some(point);
+                }
+            }
+            let best = best.unwrap();
+            cur = best.config;
+            curve.push(best);
+        }
+        curve
+    }
+}
+
+/// Identity helper keeping borrowck happy in `Tuner::new` (the context is
+/// reused immutably across phases).
+fn self_ctx<'a, 'b>(ctx: &'b ExecutionContext<'a>) -> &'b ExecutionContext<'a> {
+    ctx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TrackerKind;
+    use otif_cv::CostModel;
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    fn count_metric(clips: &[Clip]) -> impl Fn(&[Vec<Track>]) -> f32 + Sync + '_ {
+        move |tracks: &[Vec<Track>]| {
+            let mut acc = 0.0;
+            for (i, ts) in tracks.iter().enumerate() {
+                let gt = clips[i].gt_tracks.len() as f32;
+                let got = ts.len() as f32;
+                if gt > 0.0 {
+                    acc += (1.0 - (got - gt).abs() / gt).max(0.0);
+                }
+            }
+            acc / tracks.len().max(1) as f32
+        }
+    }
+
+    /// Tuner without trained proxies: detection + tracking modules only
+    /// (the "+ Sampling Rate" ablation shape).
+    #[test]
+    fn tuner_produces_monotone_speed_curve() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 33).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 4);
+        let metric = count_metric(&d.val);
+        let theta_best = OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+            proxy: None,
+            gap: 1,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        };
+        let mut tuner = Tuner::new(&ctx, &d.val, &theta_best, &metric, TunerOptions::default());
+        let curve = tuner.tune(theta_best, &metric);
+        assert!(curve.len() >= 3, "curve has {} points", curve.len());
+        // speed must improve monotonically along the curve
+        for w in curve.windows(2) {
+            assert!(
+                w[1].val_seconds < w[0].val_seconds,
+                "curve not monotone: {} -> {}",
+                w[0].val_seconds,
+                w[1].val_seconds
+            );
+        }
+        // each step is roughly a ≥ 15 % speedup (C = 30 % target, greedy)
+        for w in curve.windows(2) {
+            assert!(w[1].val_seconds <= w[0].val_seconds * 0.9);
+        }
+        assert!(tuner.tuning_seconds > 0.0);
+    }
+
+    #[test]
+    fn detection_candidate_is_faster() {
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 35).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 4);
+        let metric = count_metric(&d.val);
+        let theta_best = OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
+            proxy: None,
+            gap: 1,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        };
+        let tuner = Tuner::new(&ctx, &d.val, &theta_best, &metric, TunerOptions::default());
+        let cand = tuner.detection_candidate(&theta_best).expect("candidate");
+        let t_of = |cfg: &OtifConfig| tuner.dp_time_per_frame(cfg);
+        assert!(t_of(&cand) <= t_of(&theta_best) * 0.7 + 1e-12);
+    }
+
+    #[test]
+    fn tracking_candidate_doubles_gap_until_cap() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 36).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 4);
+        let metric = count_metric(&d.val);
+        let theta = OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::YoloV3, 0.5),
+            proxy: None,
+            gap: 1,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        };
+        let tuner = Tuner::new(&ctx, &d.val, &theta, &metric, TunerOptions::default());
+        let c = tuner.tracking_candidate(&theta).unwrap();
+        assert_eq!(c.gap, 2);
+        let mut at_cap = theta;
+        at_cap.gap = 32;
+        assert!(tuner.tracking_candidate(&at_cap).is_none());
+    }
+}

@@ -1,0 +1,263 @@
+//! Ahead-of-time selection of the fixed detector window sizes `W`
+//! (§3.3, "Determining Fixed Set of Window Sizes").
+//!
+//! GPU detectors are efficient only when batching equal-size inputs, so
+//! OTIF pre-selects `k` window sizes (k = 3, bounded by GPU memory) and
+//! initializes the detector at each. The optimal set minimizes the
+//! expected per-frame detector time assuming a perfect proxy (positive
+//! cells = detection locations):
+//! `W* = argmin_W Σ_t est(R*(I_t; W))`.
+//!
+//! A greedy algorithm starts with `W = {full frame}` (so falling back to
+//! the whole frame is always possible) and repeatedly adds the candidate
+//! size that most reduces the summed estimate.
+
+use crate::grouping::group_cells;
+use otif_geom::Rect;
+use serde::{Deserialize, Serialize};
+
+/// The fixed window sizes and their per-window execution-time model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowSet {
+    /// Native frame width in pixels.
+    pub frame_w: f32,
+    /// Native frame height in pixels.
+    pub frame_h: f32,
+    /// Window sizes (native px); always contains `(frame_w, frame_h)`.
+    pub sizes: Vec<(f32, f32)>,
+    /// Detector GPU seconds per (scaled) input pixel.
+    pub per_px: f64,
+    /// Per-invocation launch overhead, amortized across a batch; charged
+    /// fractionally per window in the estimate.
+    pub per_call: f64,
+}
+
+impl WindowSet {
+    /// Build a window set, always including the full-frame size.
+    pub fn new(
+        frame_w: f32,
+        frame_h: f32,
+        mut sizes: Vec<(f32, f32)>,
+        per_px: f64,
+        per_call: f64,
+    ) -> Self {
+        if !sizes.iter().any(|&(w, h)| w == frame_w && h == frame_h) {
+            sizes.insert(0, (frame_w, frame_h));
+        }
+        WindowSet {
+            frame_w,
+            frame_h,
+            sizes,
+            per_px,
+            per_call,
+        }
+    }
+
+    /// `T_{w,h}`: estimated detector time for one window of this size
+    /// (batched — a small share of the launch overhead).
+    pub fn window_time(&self, w: f32, h: f32) -> f64 {
+        (w as f64) * (h as f64) * self.per_px + self.per_call * 0.25
+    }
+
+    /// Just the full-frame size (the k = 1 ablation in Figure 7).
+    pub fn full_frame_only(frame_w: f32, frame_h: f32, per_px: f64, per_call: f64) -> Self {
+        WindowSet::new(frame_w, frame_h, vec![(frame_w, frame_h)], per_px, per_call)
+    }
+}
+
+/// Candidate window sizes: the cell-aligned lattice of sizes between one
+/// cell and the full frame.
+fn candidate_sizes(frame_w: f32, frame_h: f32) -> Vec<(f32, f32)> {
+    let mut out = Vec::new();
+    let steps_w = (frame_w / 32.0) as usize;
+    let steps_h = (frame_h / 32.0) as usize;
+    // geometric-ish subset of the lattice keeps the greedy search cheap
+    let picks = |n: usize| -> Vec<usize> {
+        let mut v: Vec<usize> = vec![1, 2, 3, 4, 6, 8, 12, 16, 20]
+            .into_iter()
+            .filter(|&x| x <= n)
+            .collect();
+        if !v.contains(&n) {
+            v.push(n);
+        }
+        v
+    };
+    for &cw in &picks(steps_w) {
+        for &ch in &picks(steps_h) {
+            out.push(((cw * 32) as f32, (ch * 32) as f32));
+        }
+    }
+    out
+}
+
+/// Greedily select `k` window sizes minimizing the summed per-frame
+/// estimate over sample frames.
+///
+/// `frames_cells` holds, per sampled frame, the positive cells that a
+/// perfect proxy would produce (cells intersecting θ_best detections).
+pub fn select_window_sizes(
+    frame_w: f32,
+    frame_h: f32,
+    frames_cells: &[Vec<(usize, usize)>],
+    k: usize,
+    per_px: f64,
+    per_call: f64,
+) -> WindowSet {
+    assert!(k >= 1);
+    let mut ws = WindowSet::full_frame_only(frame_w, frame_h, per_px, per_call);
+    let est_total = |ws: &WindowSet| -> f64 {
+        frames_cells
+            .iter()
+            .map(|cells| {
+                group_cells(cells, ws)
+                    .iter()
+                    .map(|r| ws.window_time(r.w, r.h))
+                    .sum::<f64>()
+            })
+            .sum()
+    };
+    let candidates = candidate_sizes(frame_w, frame_h);
+    let mut cur = est_total(&ws);
+    while ws.sizes.len() < k {
+        let mut best: Option<(usize, f64)> = None;
+        for (ci, &cand) in candidates.iter().enumerate() {
+            if ws.sizes.contains(&cand) {
+                continue;
+            }
+            let mut trial = ws.clone();
+            trial.sizes.push(cand);
+            let e = est_total(&trial);
+            if e < cur - 1e-12 && best.map(|(_, b)| e < b).unwrap_or(true) {
+                best = Some((ci, e));
+            }
+        }
+        match best {
+            Some((ci, e)) => {
+                ws.sizes.push(candidates[ci]);
+                cur = e;
+            }
+            None => break, // no candidate helps further
+        }
+    }
+    ws
+}
+
+/// Convert θ_best detections in a frame into the positive cells a perfect
+/// proxy would output.
+pub fn cells_of_rects(rects: &[Rect], frame_w: f32, frame_h: f32) -> Vec<(usize, usize)> {
+    let cols = (frame_w / 32.0) as usize;
+    let rows = (frame_h / 32.0) as usize;
+    let mut out = std::collections::BTreeSet::new();
+    for r in rects {
+        let cx0 = (r.x / 32.0).floor().max(0.0) as usize;
+        let cy0 = (r.y / 32.0).floor().max(0.0) as usize;
+        let cx1 = ((r.x1() / 32.0).ceil() as usize).min(cols);
+        let cy1 = ((r.y1() / 32.0).ceil() as usize).min(rows);
+        for cy in cy0..cy1 {
+            for cx in cx0..cx1 {
+                out.insert((cx, cy));
+            }
+        }
+    }
+    out.into_iter().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PPX: f64 = 6.2e-8;
+    const PC: f64 = 8.0e-4;
+
+    #[test]
+    fn full_frame_always_in_set() {
+        let ws = select_window_sizes(384.0, 224.0, &[], 3, PPX, PC);
+        assert!(ws.sizes.contains(&(384.0, 224.0)));
+    }
+
+    #[test]
+    fn sparse_scenes_get_small_windows() {
+        // objects always in a single cell at varying positions
+        let frames: Vec<Vec<(usize, usize)>> = (0..20)
+            .map(|i| vec![((i * 3) % 12, (i * 2) % 7)])
+            .collect();
+        let ws = select_window_sizes(384.0, 224.0, &frames, 3, PPX, PC);
+        // greedy stops early if no further size helps; at least one small
+        // size must have been added for single-cell objects
+        assert!(ws.sizes.len() >= 2 && ws.sizes.len() <= 3);
+        // the added sizes should be much smaller than the frame
+        let small = ws
+            .sizes
+            .iter()
+            .filter(|&&(w, h)| w * h < 384.0 * 224.0 / 4.0)
+            .count();
+        assert!(small >= 1, "sizes = {:?}", ws.sizes);
+    }
+
+    #[test]
+    fn selection_reduces_estimated_cost() {
+        let frames: Vec<Vec<(usize, usize)>> = (0..20)
+            .map(|i| vec![((i * 3) % 12, (i * 2) % 7), (((i * 5) + 3) % 12, ((i * 3) + 1) % 7)])
+            .collect();
+        let est = |ws: &WindowSet| -> f64 {
+            frames
+                .iter()
+                .map(|c| {
+                    group_cells(c, ws)
+                        .iter()
+                        .map(|r| ws.window_time(r.w, r.h))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let k1 = WindowSet::full_frame_only(384.0, 224.0, PPX, PC);
+        let k3 = select_window_sizes(384.0, 224.0, &frames, 3, PPX, PC);
+        assert!(
+            est(&k3) < est(&k1) * 0.6,
+            "k3 {} vs k1 {}",
+            est(&k3),
+            est(&k1)
+        );
+    }
+
+    #[test]
+    fn more_sizes_never_hurt() {
+        let frames: Vec<Vec<(usize, usize)>> = (0..15)
+            .map(|i| vec![((i * 3) % 12, (i * 2) % 7), ((i * 7) % 12, (i * 5) % 7)])
+            .collect();
+        let est = |ws: &WindowSet| -> f64 {
+            frames
+                .iter()
+                .map(|c| {
+                    group_cells(c, ws)
+                        .iter()
+                        .map(|r| ws.window_time(r.w, r.h))
+                        .sum::<f64>()
+                })
+                .sum()
+        };
+        let k2 = select_window_sizes(384.0, 224.0, &frames, 2, PPX, PC);
+        let k3 = select_window_sizes(384.0, 224.0, &frames, 3, PPX, PC);
+        let k4 = select_window_sizes(384.0, 224.0, &frames, 4, PPX, PC);
+        assert!(est(&k3) <= est(&k2) + 1e-12);
+        assert!(est(&k4) <= est(&k3) + 1e-12);
+    }
+
+    #[test]
+    fn cells_of_rects_basic() {
+        let cells = cells_of_rects(&[Rect::new(30.0, 30.0, 10.0, 10.0)], 384.0, 224.0);
+        // box straddles cells (0,0),(1,0),(0,1),(1,1)
+        assert_eq!(cells.len(), 4);
+        assert!(cells.contains(&(0, 0)));
+        assert!(cells.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn empty_frames_keep_full_frame_only() {
+        let frames: Vec<Vec<(usize, usize)>> = vec![vec![]; 5];
+        let ws = select_window_sizes(384.0, 224.0, &frames, 3, PPX, PC);
+        // nothing to optimize: no candidate reduces cost, so only the
+        // mandatory full-frame size remains
+        assert_eq!(ws.sizes.len(), 1);
+    }
+}

@@ -1,0 +1,473 @@
+//! The end-to-end OTIF workflow (§3.1, Figure 1).
+//!
+//! Given a dataset with training and validation splits and a user-provided
+//! accuracy metric, [`Otif::prepare`]:
+//!
+//! 1. selects the best-accuracy configuration θ_best on the validation
+//!    split;
+//! 2. runs θ_best over the training split to obtain pseudo-labels;
+//! 3. trains segmentation proxy models at five input resolutions;
+//! 4. selects the fixed detector window sizes W (k = 3);
+//! 5. trains the recurrent tracking model with gap sampling;
+//! 6. builds the track-refinement cluster index (fixed cameras);
+//! 7. runs the joint tuner, producing the speed–accuracy curve Θ.
+//!
+//! The user then picks a point on the curve ([`Otif::pick_config`]) and
+//! executes it over the full dataset ([`Otif::execute`]).
+
+use crate::config::{OtifConfig, TrackerKind};
+use crate::pipeline::{ExecutionContext, Pipeline};
+use crate::proxy::{SegProxyModel, PROXY_SCALES};
+use crate::refine::RefineIndex;
+use crate::theta::select_theta_best;
+use crate::tuner::{CurvePoint, Tuner, TunerOptions};
+use crate::windows::{cells_of_rects, select_window_sizes, WindowSet};
+use otif_cv::{Component, CostLedger, CostModel, Detection};
+use otif_sim::{Clip, Dataset};
+use otif_track::{train_tracker_model, Track, TrackerModel, TrainConfig};
+
+/// Knobs for [`Otif::prepare`].
+#[derive(Debug, Clone)]
+pub struct OtifOptions {
+    /// Seed for models, detector noise and sampling.
+    pub seed: u64,
+    /// Simulated cost-model constants.
+    pub cost: CostModel,
+    /// Number of fixed window sizes k (the paper uses 3).
+    pub k_windows: usize,
+    /// Training steps per proxy model.
+    pub proxy_train_steps: usize,
+    /// Proxy-model learning rate.
+    pub proxy_lr: f32,
+    /// Which [`PROXY_SCALES`] indices to train (all five by default;
+    /// tests may restrict to one or two for speed).
+    pub proxy_scale_indices: Vec<usize>,
+    /// Recurrent-tracker training hyper-parameters.
+    pub tracker_train: TrainConfig,
+    /// Joint-tuner options.
+    pub tuner: TunerOptions,
+    /// Whether the tuner may enable the proxy module at all (off for the
+    /// "+ Recurrent Tracker" ablation level).
+    pub enable_proxy: bool,
+    /// Whether tracking-module tuning (gap) and the recurrent tracker are
+    /// enabled (off for the "Detector Only" ablation level).
+    pub enable_tracking: bool,
+    /// Whether the recurrent tracker replaces SORT (off for the
+    /// "+ Sampling Rate" ablation level).
+    pub enable_recurrent: bool,
+}
+
+impl Default for OtifOptions {
+    fn default() -> Self {
+        OtifOptions {
+            seed: 0,
+            cost: CostModel::default(),
+            k_windows: 3,
+            proxy_train_steps: 500,
+            proxy_lr: 0.01,
+            proxy_scale_indices: (0..PROXY_SCALES.len()).collect(),
+            tracker_train: TrainConfig::default(),
+            tuner: TunerOptions::default(),
+            enable_proxy: true,
+            enable_tracking: true,
+            enable_recurrent: true,
+        }
+    }
+}
+
+impl OtifOptions {
+    /// A configuration small enough for unit tests: one proxy resolution,
+    /// few training steps.
+    pub fn fast_test() -> Self {
+        OtifOptions {
+            proxy_train_steps: 150,
+            proxy_scale_indices: vec![2],
+            tracker_train: TrainConfig {
+                steps: 150,
+                ..TrainConfig::default()
+            },
+            tuner: TunerOptions {
+                max_iters: 6,
+                ..TunerOptions::default()
+            },
+            ..OtifOptions::default()
+        }
+    }
+}
+
+/// A prepared OTIF instance: θ_best, trained models, window sizes,
+/// refinement index and the tuned speed–accuracy curve.
+pub struct Otif {
+    /// The options preparation ran with.
+    pub options: OtifOptions,
+    /// Best-accuracy configuration (pseudo-label source, 3.3).
+    pub theta_best: OtifConfig,
+    /// Validation accuracy achieved by theta_best.
+    pub theta_best_accuracy: f32,
+    /// Trained proxies aligned with [`PROXY_SCALES`]; untrained scales are
+    /// omitted from `proxy_scale_indices` and never referenced by tuned
+    /// configurations.
+    pub proxies: Vec<SegProxyModel>,
+    /// Fixed detector window sizes W (3.3).
+    pub window_set: WindowSet,
+    /// Trained recurrent tracking model (3.4).
+    pub tracker_model: TrackerModel,
+    /// Track-refinement cluster index (fixed cameras only).
+    pub refine_index: Option<RefineIndex>,
+    /// Speed–accuracy curve from the tuner (slowest first).
+    pub curve: Vec<CurvePoint>,
+    /// One-time pre-processing costs (simulated seconds per component) —
+    /// the upper half of Figure 6.
+    pub prep_ledger: CostLedger,
+    frame_w: f32,
+    frame_h: f32,
+}
+
+impl Otif {
+    /// Run the full preparation workflow on a dataset.
+    ///
+    /// `metric` maps per-clip track sets (aligned with `dataset.val`) to
+    /// an accuracy in `[0, 1]`.
+    pub fn prepare(
+        dataset: &Dataset,
+        metric: &(dyn Fn(&[Vec<Track>]) -> f32 + Sync),
+        options: OtifOptions,
+    ) -> Otif {
+        let prep = CostLedger::new();
+        let scene = &dataset.scene;
+        let (fw, fh) = (scene.width as f32, scene.height as f32);
+
+        // The paper fine-tunes the object detector per dataset; that
+        // dominates pre-processing in Figure 6. Simulated flat cost.
+        prep.charge(Component::TrainDetector, 1800.0);
+
+        // 1. θ_best on the validation split.
+        let bare = ExecutionContext::bare(options.cost, options.seed);
+        let (theta_best, theta_best_accuracy, trial_secs) =
+            select_theta_best(&dataset.val, &bare, metric, options.tuner.c);
+        prep.charge(Component::Tuner, trial_secs);
+
+        // 2. θ_best over the training split: pseudo-labels.
+        let mut train_tracks: Vec<Vec<Track>> = Vec::new();
+        let mut train_dets: Vec<Vec<Vec<Detection>>> = Vec::new();
+        {
+            let ledger = CostLedger::new();
+            for clip in &dataset.train {
+                let (tracks, per_frame) =
+                    Pipeline::run_clip_detailed(&theta_best, &bare, clip, &ledger);
+                let mut by_frame = vec![Vec::new(); clip.num_frames()];
+                for (f, dets) in per_frame {
+                    by_frame[f] = dets;
+                }
+                train_tracks.push(tracks);
+                train_dets.push(by_frame);
+            }
+            prep.charge(Component::Tuner, ledger.execution_total());
+        }
+
+        // 3. Proxy models (only when the proxy module is enabled).
+        let mut proxies = Vec::new();
+        if options.enable_proxy {
+            let clips: Vec<&Clip> = dataset.train.iter().collect();
+            for &si in &options.proxy_scale_indices {
+                let mut m = SegProxyModel::new(
+                    scene.width as usize,
+                    scene.height as usize,
+                    PROXY_SCALES[si],
+                    options.seed ^ (si as u64) << 8,
+                );
+                m.train(
+                    &clips,
+                    &train_dets,
+                    options.proxy_train_steps,
+                    options.proxy_lr,
+                    options.seed ^ 0x9E37,
+                );
+                proxies.push(m);
+            }
+            // Paper: all five models train in < 10 minutes.
+            prep.charge(Component::TrainProxy, 120.0 * proxies.len() as f64);
+        }
+
+        // 4. Fixed window sizes from θ_best training detections (perfect-
+        // proxy assumption).
+        let frames_cells: Vec<Vec<(usize, usize)>> = train_dets
+            .iter()
+            .flat_map(|per_frame| {
+                per_frame
+                    .iter()
+                    .filter(|d| !d.is_empty())
+                    .map(|dets| {
+                        cells_of_rects(
+                            &dets.iter().map(|d| d.rect).collect::<Vec<_>>(),
+                            fw,
+                            fh,
+                        )
+                    })
+            })
+            .take(120)
+            .collect();
+        let det_arch = theta_best.detector.arch;
+        let window_set = select_window_sizes(
+            fw,
+            fh,
+            &frames_cells,
+            options.k_windows,
+            det_arch.per_px(),
+            det_arch.per_call(),
+        );
+        prep.charge(Component::WindowSelect, 3.0);
+
+        // 5. Recurrent tracker.
+        let (tracker_model, _) = train_tracker_model(
+            &train_tracks,
+            fw,
+            fh,
+            TrainConfig {
+                seed: options.seed,
+                ..options.tracker_train
+            },
+        );
+        prep.charge(Component::TrainTracker, 300.0);
+
+        // 6. Refinement index (fixed cameras only).
+        let refine_index = if dataset.kind.fixed_camera() {
+            let all: Vec<Track> = train_tracks.iter().flatten().cloned().collect();
+            Some(RefineIndex::build(&all, fw, fh, None))
+        } else {
+            None
+        };
+
+        // 7. Joint tuning from θ_best. The starting point keeps SORT (at
+        // gap 1 SORT and the recurrent tracker are equivalent, and the
+        // paper notes methods share the same slowest point); the tuner's
+        // tracking module switches to the recurrent tracker as soon as
+        // the gap grows (when enabled).
+        let mut theta_start = theta_best;
+        theta_start.tracker = TrackerKind::Sort;
+        theta_start.refine = refine_index.is_some();
+        if !options.enable_tracking {
+            theta_start.gap = 1;
+        }
+        let ctx = ExecutionContext {
+            cost: options.cost,
+            detector_seed: options.seed,
+            proxies: if proxies.is_empty() {
+                None
+            } else {
+                Some(&proxies)
+            },
+            window_set: if proxies.is_empty() {
+                None
+            } else {
+                Some(&window_set)
+            },
+            tracker_model: Some(&tracker_model),
+            refine_index: refine_index.as_ref(),
+        };
+        let mut tuner_opts = options.tuner.clone();
+        tuner_opts.use_recurrent = options.enable_recurrent;
+        if !options.enable_tracking {
+            tuner_opts.max_gap = 1; // disables tracking candidates
+        }
+        let mut tuner = Tuner::new(&ctx, &dataset.val, &theta_best, metric, tuner_opts);
+        let curve = tuner.tune(theta_start, metric);
+        prep.charge(Component::Tuner, tuner.tuning_seconds);
+
+        Otif {
+            options,
+            theta_best,
+            theta_best_accuracy,
+            proxies,
+            window_set,
+            tracker_model,
+            refine_index,
+            curve,
+            prep_ledger: prep,
+            frame_w: fw,
+            frame_h: fh,
+        }
+    }
+
+    /// Execution context referencing this instance's trained artifacts.
+    pub fn context(&self) -> ExecutionContext<'_> {
+        ExecutionContext {
+            cost: self.options.cost,
+            detector_seed: self.options.seed,
+            proxies: if self.proxies.is_empty() {
+                None
+            } else {
+                Some(&self.proxies)
+            },
+            window_set: if self.proxies.is_empty() {
+                None
+            } else {
+                Some(&self.window_set)
+            },
+            tracker_model: Some(&self.tracker_model),
+            refine_index: self.refine_index.as_ref(),
+        }
+    }
+
+    /// The fastest curve configuration whose validation accuracy is within
+    /// `max_drop` of the best accuracy on the curve (the paper's results
+    /// use `max_drop = 0.05`).
+    pub fn pick_config(&self, max_drop: f32) -> &CurvePoint {
+        let best = self
+            .curve
+            .iter()
+            .map(|p| p.accuracy)
+            .fold(f32::NEG_INFINITY, f32::max);
+        self.curve
+            .iter()
+            .filter(|p| p.accuracy >= best - max_drop)
+            .min_by(|a, b| a.val_seconds.partial_cmp(&b.val_seconds).unwrap())
+            .expect("curve is never empty")
+    }
+
+    /// Execute a configuration over arbitrary clips, returning per-clip
+    /// tracks and the execution ledger (Figure 6's lower half).
+    pub fn execute(&self, config: &OtifConfig, clips: &[Clip]) -> (Vec<Vec<Track>>, CostLedger) {
+        let ledger = CostLedger::new();
+        let ctx = self.context();
+        let tracks = Pipeline::run_split(config, &ctx, clips, &ledger);
+        (tracks, ledger)
+    }
+
+    /// Native frame dimensions of the prepared dataset.
+    pub fn frame_dims(&self) -> (f32, f32) {
+        (self.frame_w, self.frame_h)
+    }
+
+    /// Snapshot every trained artifact into a serializable bundle — the
+    /// "deployment" output of the pre-processing workflow.
+    pub fn to_artifacts(&self) -> OtifArtifacts {
+        OtifArtifacts {
+            theta_best: self.theta_best,
+            theta_best_accuracy: self.theta_best_accuracy,
+            proxies: self.proxies.clone(),
+            window_set: self.window_set.clone(),
+            tracker_model: self.tracker_model.clone(),
+            refine_clusters: self
+                .refine_index
+                .as_ref()
+                .map(|idx| idx.clusters.clone()),
+            curve: self.curve.clone(),
+            frame_w: self.frame_w,
+            frame_h: self.frame_h,
+        }
+    }
+
+    /// Restore a prepared instance from serialized artifacts (no
+    /// re-training). The preparation ledger starts empty.
+    pub fn from_artifacts(artifacts: OtifArtifacts, options: OtifOptions) -> Otif {
+        let refine_index = artifacts
+            .refine_clusters
+            .map(|c| RefineIndex::from_clusters(c, artifacts.frame_w, artifacts.frame_h));
+        Otif {
+            options,
+            theta_best: artifacts.theta_best,
+            theta_best_accuracy: artifacts.theta_best_accuracy,
+            proxies: artifacts.proxies,
+            window_set: artifacts.window_set,
+            tracker_model: artifacts.tracker_model,
+            refine_index,
+            curve: artifacts.curve,
+            prep_ledger: CostLedger::new(),
+            frame_w: artifacts.frame_w,
+            frame_h: artifacts.frame_h,
+        }
+    }
+}
+
+/// Serializable snapshot of a prepared OTIF instance: train once during
+/// pre-processing, persist, and reload for execution elsewhere.
+#[derive(serde::Serialize, serde::Deserialize)]
+pub struct OtifArtifacts {
+    /// Best-accuracy configuration.
+    pub theta_best: OtifConfig,
+    /// Validation accuracy of theta_best.
+    pub theta_best_accuracy: f32,
+    /// Trained proxy models.
+    pub proxies: Vec<SegProxyModel>,
+    /// Fixed detector window sizes.
+    pub window_set: WindowSet,
+    /// Trained recurrent tracker.
+    pub tracker_model: TrackerModel,
+    /// Refinement clusters (fixed cameras), if built.
+    pub refine_clusters: Option<Vec<crate::refine::PathCluster>>,
+    /// Tuned speed-accuracy curve.
+    pub curve: Vec<CurvePoint>,
+    /// Native frame width.
+    pub frame_w: f32,
+    /// Native frame height.
+    pub frame_h: f32,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    fn count_metric(clips: &[Clip]) -> impl Fn(&[Vec<Track>]) -> f32 + Sync + '_ {
+        move |tracks: &[Vec<Track>]| {
+            let mut acc = 0.0;
+            for (i, ts) in tracks.iter().enumerate() {
+                let gt = clips[i].gt_tracks.len() as f32;
+                let got = ts.len() as f32;
+                if gt > 0.0 {
+                    acc += (1.0 - (got - gt).abs() / gt).max(0.0);
+                }
+            }
+            acc / tracks.len().max(1) as f32
+        }
+    }
+
+    #[test]
+    fn full_workflow_on_tiny_dataset() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 41).generate();
+        let metric = count_metric(&d.val);
+        let otif = Otif::prepare(&d, &metric, OtifOptions::fast_test());
+
+        // artifacts exist
+        assert_eq!(otif.proxies.len(), 1);
+        assert!(otif.window_set.sizes.len() >= 1);
+        assert!(otif.refine_index.is_some(), "caldot is a fixed camera");
+        assert!(otif.curve.len() >= 2, "curve: {} points", otif.curve.len());
+
+        // curve is monotone in speed
+        for w in otif.curve.windows(2) {
+            assert!(w[1].val_seconds < w[0].val_seconds);
+        }
+
+        // pre-processing ledger is populated with one-time costs only
+        assert!(otif.prep_ledger.preprocessing_total() > 0.0);
+        assert_eq!(otif.prep_ledger.execution_total(), 0.0);
+
+        // picking and executing a configuration works end to end
+        let point = otif.pick_config(0.05);
+        let (tracks, ledger) = otif.execute(&point.config, &d.test);
+        assert_eq!(tracks.len(), d.test.len());
+        assert!(ledger.execution_total() > 0.0);
+        let test_metric = count_metric(&d.test);
+        let acc = test_metric(&tracks);
+        assert!(acc > 0.4, "test accuracy {acc}");
+    }
+
+    #[test]
+    fn pick_config_prefers_fastest_within_band() {
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 43).generate();
+        let metric = count_metric(&d.val);
+        let otif = Otif::prepare(&d, &metric, OtifOptions::fast_test());
+        let strict = otif.pick_config(0.0);
+        let loose = otif.pick_config(1.0); // any accuracy allowed
+        assert!(loose.val_seconds <= strict.val_seconds);
+        // loose pick is the global fastest point
+        let fastest = otif
+            .curve
+            .iter()
+            .map(|p| p.val_seconds)
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(loose.val_seconds, fastest);
+    }
+}

@@ -1,0 +1,237 @@
+//! Simulated-time cost accounting.
+//!
+//! The paper reports runtimes on a V100 GPU + Xeon CPU. This reproduction
+//! replaces wall-clock with *simulated seconds* charged by each pipeline
+//! component against a shared ledger, using a cost model calibrated to the
+//! paper's published anchors:
+//!
+//! - YOLOv3 processes 960×540 frames at ~100 fps on a V100 (§1) →
+//!   ≈ `10 ms` per 518 k-pixel frame;
+//! - Mask R-CNN is ~3× slower than YOLOv3 at the same resolution;
+//! - video decoding occupies ≈⅓ of CPU time once inference is cheap
+//!   (§4.2);
+//! - Table 4's Detector-Only runtime on Caldot1 is 299 s/hour of video.
+//!
+//! Our native frames have ¼ the pixels of the paper's (linear ½ scale), so
+//! per-pixel constants are 4× the V100-derived values, keeping reported
+//! seconds directly comparable to the paper's tables.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Pipeline components, mirroring the cost breakdown in Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Component {
+    /// Video decoding (CPU).
+    Decode,
+    /// Segmentation proxy model inference (GPU).
+    Proxy,
+    /// Object detector inference (GPU).
+    Detector,
+    /// Tracker model inference + matching (CPU).
+    Tracker,
+    /// Track refinement lookups (CPU).
+    Refinement,
+    /// Query post-processing (CPU).
+    Query,
+    /// One-time: detector fine-tuning (pre-processing, Fig 6).
+    TrainDetector,
+    /// One-time: proxy model training.
+    TrainProxy,
+    /// One-time: recurrent tracker training.
+    TrainTracker,
+    /// One-time: window-size selection.
+    WindowSelect,
+    /// One-time: parameter tuning trials.
+    Tuner,
+}
+
+impl Component {
+    /// Whether this cost grows linearly with the dataset ("execution") or
+    /// is a one-time pre-processing cost — the split used in Figure 6.
+    pub fn is_execution(&self) -> bool {
+        matches!(
+            self,
+            Component::Decode
+                | Component::Proxy
+                | Component::Detector
+                | Component::Tracker
+                | Component::Refinement
+                | Component::Query
+        )
+    }
+
+    /// Short lowercase label used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Component::Decode => "decode",
+            Component::Proxy => "proxy",
+            Component::Detector => "detector",
+            Component::Tracker => "tracker",
+            Component::Refinement => "refinement",
+            Component::Query => "query",
+            Component::TrainDetector => "train-detector",
+            Component::TrainProxy => "train-proxy",
+            Component::TrainTracker => "train-tracker",
+            Component::WindowSelect => "window-select",
+            Component::Tuner => "tuner",
+        }
+    }
+}
+
+/// Global cost-model constants (simulated seconds).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// CPU decode seconds per decoded pixel (codec block accounting).
+    pub decode_per_px: f64,
+    /// Fixed CPU seconds per decoded frame (container/demux overhead).
+    pub decode_per_frame: f64,
+    /// GPU seconds per input pixel for the segmentation proxy model.
+    pub proxy_per_px: f64,
+    /// Fixed GPU seconds per proxy invocation.
+    pub proxy_per_call: f64,
+    /// CPU seconds per detection for tracker feature + matching work.
+    pub tracker_per_det: f64,
+    /// Fixed CPU seconds per processed frame for the tracker.
+    pub tracker_per_frame: f64,
+    /// CPU seconds per refinement lookup (cluster kNN + extension).
+    pub refine_per_track: f64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            decode_per_px: 1.6e-8,
+            decode_per_frame: 1.0e-4,
+            proxy_per_px: 1.0e-8,
+            proxy_per_call: 3.0e-4,
+            tracker_per_det: 4.0e-5,
+            tracker_per_frame: 1.0e-4,
+            refine_per_track: 2.0e-4,
+        }
+    }
+}
+
+/// Thread-safe accumulator of simulated seconds per component.
+///
+/// Cheap to clone (shared interior); the execution pipeline threads one
+/// ledger through every component, and experiment harnesses read the
+/// breakdown at the end.
+#[derive(Debug, Clone, Default)]
+pub struct CostLedger {
+    inner: Arc<Mutex<HashMap<Component, f64>>>,
+}
+
+impl CostLedger {
+    /// Empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Charge `seconds` of simulated time to `component`.
+    pub fn charge(&self, component: Component, seconds: f64) {
+        debug_assert!(seconds >= 0.0, "negative charge");
+        *self.inner.lock().entry(component).or_insert(0.0) += seconds;
+    }
+
+    /// Total simulated seconds across all components.
+    pub fn total(&self) -> f64 {
+        self.inner.lock().values().sum()
+    }
+
+    /// Total for costs that grow with dataset size.
+    pub fn execution_total(&self) -> f64 {
+        self.inner
+            .lock()
+            .iter()
+            .filter(|(c, _)| c.is_execution())
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Total one-time pre-processing cost.
+    pub fn preprocessing_total(&self) -> f64 {
+        self.total() - self.execution_total()
+    }
+
+    /// Accumulated seconds for one component.
+    pub fn get(&self, component: Component) -> f64 {
+        self.inner.lock().get(&component).copied().unwrap_or(0.0)
+    }
+
+    /// Snapshot of all non-zero entries, sorted by descending cost.
+    pub fn breakdown(&self) -> Vec<(Component, f64)> {
+        let mut v: Vec<(Component, f64)> =
+            self.inner.lock().iter().map(|(c, s)| (*c, *s)).collect();
+        v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        v
+    }
+
+    /// Reset all counters (e.g. between tuner trials).
+    pub fn reset(&self) {
+        self.inner.lock().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn charges_accumulate_per_component() {
+        let l = CostLedger::new();
+        l.charge(Component::Detector, 1.5);
+        l.charge(Component::Detector, 0.5);
+        l.charge(Component::Decode, 1.0);
+        assert!((l.get(Component::Detector) - 2.0).abs() < 1e-12);
+        assert!((l.total() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn execution_vs_preprocessing_split() {
+        let l = CostLedger::new();
+        l.charge(Component::Detector, 2.0);
+        l.charge(Component::TrainProxy, 5.0);
+        l.charge(Component::Tuner, 3.0);
+        assert!((l.execution_total() - 2.0).abs() < 1e-12);
+        assert!((l.preprocessing_total() - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = CostLedger::new();
+        let b = a.clone();
+        b.charge(Component::Proxy, 1.0);
+        assert!((a.get(Component::Proxy) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sorted_descending() {
+        let l = CostLedger::new();
+        l.charge(Component::Decode, 1.0);
+        l.charge(Component::Detector, 3.0);
+        l.charge(Component::Tracker, 2.0);
+        let b = l.breakdown();
+        assert_eq!(b[0].0, Component::Detector);
+        assert_eq!(b[2].0, Component::Decode);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let l = CostLedger::new();
+        l.charge(Component::Query, 1.0);
+        l.reset();
+        assert_eq!(l.total(), 0.0);
+    }
+
+    #[test]
+    fn every_component_classified() {
+        // pre-processing components must not count as execution
+        assert!(!Component::TrainDetector.is_execution());
+        assert!(!Component::WindowSelect.is_execution());
+        assert!(Component::Decode.is_execution());
+        assert!(Component::Query.is_execution());
+    }
+}

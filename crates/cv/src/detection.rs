@@ -1,0 +1,106 @@
+//! Detection types and non-maximum suppression.
+
+use otif_geom::Rect;
+use otif_sim::ObjectClass;
+use serde::{Deserialize, Serialize};
+
+/// One object detection in one frame.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Detection {
+    /// Bounding box in native frame coordinates.
+    pub rect: Rect,
+    /// Predicted object category.
+    pub class: ObjectClass,
+    /// Detector confidence in [0, 1].
+    pub confidence: f32,
+    /// Appearance embedding — stands in for the CNN crop features the
+    /// paper's recurrent tracker computes from frame pixels (§3.4). The
+    /// simulated detector derives it from the object's stable appearance
+    /// plus per-observation noise that grows at low resolution.
+    pub appearance: Vec<f32>,
+    /// Ground-truth object id, for evaluation and diagnostics only.
+    /// Trackers and queries must not read this (tests enforce that
+    /// accuracy is computed against ground truth separately).
+    #[doc(hidden)]
+    pub debug_gt: Option<u32>,
+}
+
+impl Detection {
+    /// Center of the bounding box.
+    pub fn center(&self) -> otif_geom::Point {
+        self.rect.center()
+    }
+}
+
+/// Greedy non-maximum suppression: keep highest-confidence detections,
+/// drop any remaining detection of the same class with IoU above
+/// `iou_threshold` against a kept one.
+///
+/// Used to merge duplicate detections when detector windows overlap.
+pub fn nms(mut dets: Vec<Detection>, iou_threshold: f32) -> Vec<Detection> {
+    dets.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut kept: Vec<Detection> = Vec::with_capacity(dets.len());
+    for d in dets {
+        let suppressed = kept
+            .iter()
+            .any(|k| k.class == d.class && k.rect.iou(&d.rect) > iou_threshold);
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn det(x: f32, conf: f32, class: ObjectClass) -> Detection {
+        Detection {
+            rect: Rect::new(x, 0.0, 10.0, 10.0),
+            class,
+            confidence: conf,
+            appearance: vec![],
+            debug_gt: None,
+        }
+    }
+
+    #[test]
+    fn duplicates_suppressed_keeping_highest_confidence() {
+        let dets = vec![
+            det(0.0, 0.6, ObjectClass::Car),
+            det(1.0, 0.9, ObjectClass::Car), // overlaps the first heavily
+            det(50.0, 0.5, ObjectClass::Car),
+        ];
+        let kept = nms(dets, 0.5);
+        assert_eq!(kept.len(), 2);
+        assert_eq!(kept[0].confidence, 0.9);
+        assert_eq!(kept[1].rect.x, 50.0);
+    }
+
+    #[test]
+    fn different_classes_not_suppressed() {
+        let dets = vec![
+            det(0.0, 0.9, ObjectClass::Car),
+            det(0.0, 0.8, ObjectClass::Bus),
+        ];
+        assert_eq!(nms(dets, 0.5).len(), 2);
+    }
+
+    #[test]
+    fn threshold_controls_suppression() {
+        // ~43 % IoU between boxes offset by 4 of width 10
+        let dets = vec![det(0.0, 0.9, ObjectClass::Car), det(4.0, 0.8, ObjectClass::Car)];
+        assert_eq!(nms(dets.clone(), 0.5).len(), 2);
+        assert_eq!(nms(dets, 0.3).len(), 1);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(nms(Vec::new(), 0.5).is_empty());
+    }
+}

@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! Computer-vision substrate: detections, simulated detectors, cost
+//! accounting and detection metrics.
+//!
+//! # The detector substitution
+//!
+//! The paper runs YOLOv3 and Mask R-CNN on an NVIDIA V100. Neither GPU
+//! inference nor pretrained CNN weights are available in this pure-Rust
+//! reproduction, so detectors are simulated with two coupled models:
+//!
+//! - a **fidelity model**: each ground-truth object is detected with a
+//!   probability that falls off as its apparent size (pixels at the
+//!   detector's input resolution) shrinks, with resolution-dependent
+//!   bounding-box jitter, classification confusion and false positives.
+//!   All draws are deterministic hashes of `(seed, clip, frame, object)`,
+//!   so repeated executions are reproducible and configuration comparisons
+//!   are paired;
+//! - a **cost model**: detector GPU time scales with input pixels plus a
+//!   per-invocation launch overhead amortized across batched equal-size
+//!   windows — the effect that motivates OTIF's fixed window sizes (§3.3).
+//!   Constants are calibrated to the paper's anchors (YOLOv3 ≈ 100 fps at
+//!   960×540 on a V100; Table 4's 299 s Detector-Only runtime on Caldot1).
+//!
+//! Every "runtime" reported by the experiment harnesses is accumulated in
+//! a [`CostLedger`], broken down by [`Component`] as in the paper's
+//! Figure 6.
+
+pub mod costs;
+pub mod detection;
+pub mod detector;
+pub mod map;
+
+pub use costs::{Component, CostLedger, CostModel};
+pub use detection::{nms, Detection};
+pub use detector::{DetectorArch, DetectorConfig, SimDetector, APPEARANCE_DIM};
+pub use map::average_precision;

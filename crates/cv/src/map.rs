@@ -1,0 +1,160 @@
+//! Mean average precision (mAP@IoU), the detection metric of Figure 7.
+
+use crate::detection::Detection;
+use otif_geom::Rect;
+
+/// Compute average precision at the given IoU threshold for one set of
+/// frames.
+///
+/// `per_frame` pairs each frame's detections with its ground-truth boxes.
+/// Uses the standard all-point interpolation (area under the
+/// precision–recall curve with precision made monotonically
+/// non-increasing), class-agnostic, as the paper's Figure 7 evaluates cars
+/// only.
+pub fn average_precision(per_frame: &[(Vec<Detection>, Vec<Rect>)], iou_threshold: f32) -> f32 {
+    // Flatten detections with frame indices, sort by confidence.
+    let mut dets: Vec<(usize, &Detection)> = Vec::new();
+    let mut total_gt = 0usize;
+    for (f, (ds, gts)) in per_frame.iter().enumerate() {
+        total_gt += gts.len();
+        for d in ds {
+            dets.push((f, d));
+        }
+    }
+    if total_gt == 0 {
+        return if dets.is_empty() { 1.0 } else { 0.0 };
+    }
+    dets.sort_by(|a, b| {
+        b.1.confidence
+            .partial_cmp(&a.1.confidence)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+
+    let mut matched: Vec<Vec<bool>> = per_frame.iter().map(|(_, g)| vec![false; g.len()]).collect();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut curve: Vec<(f32, f32)> = Vec::with_capacity(dets.len()); // (recall, precision)
+    for (f, d) in dets {
+        let gts = &per_frame[f].1;
+        let mut best = None;
+        let mut best_iou = iou_threshold;
+        for (gi, g) in gts.iter().enumerate() {
+            if matched[f][gi] {
+                continue;
+            }
+            let iou = d.rect.iou(g);
+            if iou >= best_iou {
+                best_iou = iou;
+                best = Some(gi);
+            }
+        }
+        match best {
+            Some(gi) => {
+                matched[f][gi] = true;
+                tp += 1;
+            }
+            None => fp += 1,
+        }
+        curve.push((tp as f32 / total_gt as f32, tp as f32 / (tp + fp) as f32));
+    }
+
+    // All-point interpolation.
+    let mut ap = 0.0;
+    let mut prev_recall = 0.0;
+    let mut i = 0;
+    while i < curve.len() {
+        let r = curve[i].0;
+        // max precision at recall >= r
+        let pmax = curve[i..]
+            .iter()
+            .map(|&(_, p)| p)
+            .fold(0.0_f32, f32::max);
+        ap += (r - prev_recall) * pmax;
+        prev_recall = r;
+        // skip to the next distinct recall level
+        while i < curve.len() && curve[i].0 <= r {
+            i += 1;
+        }
+    }
+    ap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_sim::ObjectClass;
+
+    fn d(x: f32, conf: f32) -> Detection {
+        Detection {
+            rect: Rect::new(x, 0.0, 10.0, 10.0),
+            class: ObjectClass::Car,
+            confidence: conf,
+            appearance: vec![],
+            debug_gt: None,
+        }
+    }
+
+    #[test]
+    fn perfect_detections_score_one() {
+        let frames = vec![(
+            vec![d(0.0, 0.9), d(50.0, 0.8)],
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0), Rect::new(50.0, 0.0, 10.0, 10.0)],
+        )];
+        assert!((average_precision(&frames, 0.5) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn all_misses_score_zero() {
+        let frames = vec![(
+            vec![d(200.0, 0.9)],
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
+        )];
+        assert_eq!(average_precision(&frames, 0.5), 0.0);
+    }
+
+    #[test]
+    fn false_positive_lowers_ap_below_missed_gt_case() {
+        // one TP, one FP with higher confidence → precision hit
+        let frames = vec![(
+            vec![d(200.0, 0.95), d(0.0, 0.9)],
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
+        )];
+        let ap = average_precision(&frames, 0.5);
+        assert!(ap > 0.4 && ap < 0.75, "ap = {ap}");
+    }
+
+    #[test]
+    fn duplicate_detection_counts_as_fp() {
+        let frames = vec![(
+            vec![d(0.0, 0.9), d(1.0, 0.8)],
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
+        )];
+        let ap = average_precision(&frames, 0.5);
+        // TP at rank 1 gives full recall with precision 1 → AP 1.0; the
+        // duplicate arrives later and cannot reduce the interpolated AP.
+        assert!((ap - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_everything_is_perfect() {
+        let frames: Vec<(Vec<Detection>, Vec<Rect>)> = vec![(vec![], vec![])];
+        assert_eq!(average_precision(&frames, 0.5), 1.0);
+    }
+
+    #[test]
+    fn detections_without_gt_score_zero() {
+        let frames = vec![(vec![d(0.0, 0.9)], vec![])];
+        assert_eq!(average_precision(&frames, 0.5), 0.0);
+    }
+
+    #[test]
+    fn higher_iou_threshold_is_stricter() {
+        // box offset by 3 px: IoU ≈ 0.52
+        let frames = vec![(
+            vec![d(3.0, 0.9)],
+            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
+        )];
+        assert!(average_precision(&frames, 0.5) > 0.9);
+        assert_eq!(average_precision(&frames, 0.75), 0.0);
+    }
+}

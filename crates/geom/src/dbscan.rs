@@ -1,0 +1,203 @@
+//! DBSCAN clustering over an arbitrary distance function.
+//!
+//! Used in §3.4 to cluster training-set tracks by their spatial paths so
+//! that track refinement can look up similar historical tracks quickly.
+
+/// DBSCAN parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DbscanParams {
+    /// Neighborhood radius.
+    pub eps: f32,
+    /// Minimum number of points (including the point itself) for a core
+    /// point.
+    pub min_pts: usize,
+}
+
+impl Default for DbscanParams {
+    fn default() -> Self {
+        DbscanParams {
+            eps: 50.0,
+            min_pts: 2,
+        }
+    }
+}
+
+/// Result of DBSCAN: `labels[i]` is `Some(cluster_id)` or `None` for noise.
+#[derive(Debug, Clone)]
+pub struct DbscanResult {
+    /// Cluster id per item, `None` for noise.
+    pub labels: Vec<Option<usize>>,
+    /// Number of clusters found.
+    pub num_clusters: usize,
+}
+
+impl DbscanResult {
+    /// Group item indices by cluster id.
+    pub fn clusters(&self) -> Vec<Vec<usize>> {
+        let mut out = vec![Vec::new(); self.num_clusters];
+        for (i, l) in self.labels.iter().enumerate() {
+            if let Some(c) = l {
+                out[*c].push(i);
+            }
+        }
+        out
+    }
+
+    /// Indices labelled as noise.
+    pub fn noise(&self) -> Vec<usize> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| l.is_none())
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+/// Run DBSCAN on `n` items with pairwise distance `dist(i, j)`.
+///
+/// O(n²) distance evaluations; the caller is expected to keep `n` modest
+/// (the paper clusters ~hundreds to thousands of training tracks once,
+/// ahead of execution).
+pub fn dbscan(n: usize, params: DbscanParams, mut dist: impl FnMut(usize, usize) -> f32) -> DbscanResult {
+    const UNVISITED: usize = usize::MAX;
+    const NOISE: usize = usize::MAX - 1;
+    let mut label = vec![UNVISITED; n];
+    let mut num_clusters = 0;
+
+    // Precompute neighborhoods. Symmetric, so evaluate each pair once.
+    let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        neighbors[i].push(i);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if dist(i, j) <= params.eps {
+                neighbors[i].push(j);
+                neighbors[j].push(i);
+            }
+        }
+    }
+
+    for i in 0..n {
+        if label[i] != UNVISITED {
+            continue;
+        }
+        if neighbors[i].len() < params.min_pts {
+            label[i] = NOISE;
+            continue;
+        }
+        let cluster = num_clusters;
+        num_clusters += 1;
+        label[i] = cluster;
+        // Expand cluster via BFS over density-reachable points.
+        let mut queue: Vec<usize> = neighbors[i].clone();
+        let mut qi = 0;
+        while qi < queue.len() {
+            let q = queue[qi];
+            qi += 1;
+            if label[q] == NOISE {
+                label[q] = cluster; // border point
+            }
+            if label[q] != UNVISITED {
+                continue;
+            }
+            label[q] = cluster;
+            if neighbors[q].len() >= params.min_pts {
+                queue.extend_from_slice(&neighbors[q]);
+            }
+        }
+    }
+
+    let labels = label
+        .into_iter()
+        .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+        .collect();
+    DbscanResult {
+        labels,
+        num_clusters,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Point;
+
+    fn run_points(pts: &[Point], eps: f32, min_pts: usize) -> DbscanResult {
+        dbscan(
+            pts.len(),
+            DbscanParams { eps, min_pts },
+            |i, j| pts[i].dist(&pts[j]),
+        )
+    }
+
+    #[test]
+    fn two_well_separated_blobs() {
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(Point::new(i as f32 * 0.1, 0.0));
+        }
+        for i in 0..5 {
+            pts.push(Point::new(100.0 + i as f32 * 0.1, 0.0));
+        }
+        let r = run_points(&pts, 1.0, 3);
+        assert_eq!(r.num_clusters, 2);
+        let clusters = r.clusters();
+        assert_eq!(clusters[0].len(), 5);
+        assert_eq!(clusters[1].len(), 5);
+        assert!(r.noise().is_empty());
+    }
+
+    #[test]
+    fn isolated_point_is_noise() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.1, 0.0),
+            Point::new(0.2, 0.0),
+            Point::new(500.0, 500.0),
+        ];
+        let r = run_points(&pts, 1.0, 2);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.noise(), vec![3]);
+    }
+
+    #[test]
+    fn chain_is_one_cluster() {
+        // Points spaced 1 apart with eps=1.5 chain into a single cluster.
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(i as f32, 0.0)).collect();
+        let r = run_points(&pts, 1.5, 2);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.clusters()[0].len(), 10);
+    }
+
+    #[test]
+    fn min_pts_too_high_marks_all_noise() {
+        let pts: Vec<Point> = (0..4).map(|i| Point::new(i as f32 * 100.0, 0.0)).collect();
+        let r = run_points(&pts, 1.0, 2);
+        assert_eq!(r.num_clusters, 0);
+        assert_eq!(r.noise().len(), 4);
+    }
+
+    #[test]
+    fn empty_input() {
+        let r = run_points(&[], 1.0, 2);
+        assert_eq!(r.num_clusters, 0);
+        assert!(r.labels.is_empty());
+    }
+
+    #[test]
+    fn border_point_joins_cluster() {
+        // Dense core of 3 points plus one border point within eps of the
+        // core but with too few neighbors to be core itself.
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(0.0, 0.5),
+            Point::new(1.3, 0.0), // neighbor only of index 1
+        ];
+        let r = run_points(&pts, 1.0, 3);
+        assert_eq!(r.num_clusters, 1);
+        assert_eq!(r.labels[3], Some(0));
+    }
+}

@@ -1,0 +1,185 @@
+//! A uniform-grid spatial index over 2D points with payloads.
+//!
+//! §3.4 builds "a spatial index over cluster centers" so refinement can
+//! find clusters whose paths pass near a track's first/last detection.
+//! A uniform grid is the right tool here: the key space is a fixed camera
+//! frame and queries are small-radius lookups.
+
+use crate::Point;
+
+/// A uniform grid over `[0, width) × [0, height)` storing items of type `T`
+/// at points. Points outside the bounds are clamped into the boundary
+/// cells, so inserts never fail.
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell_size: f32,
+    cols: usize,
+    rows: usize,
+    cells: Vec<Vec<(Point, T)>>,
+    len: usize,
+}
+
+impl<T: Clone> GridIndex<T> {
+    /// Create an index covering `width × height` with square cells of side
+    /// `cell_size`.
+    pub fn new(width: f32, height: f32, cell_size: f32) -> Self {
+        assert!(cell_size > 0.0 && width > 0.0 && height > 0.0);
+        let cols = (width / cell_size).ceil().max(1.0) as usize;
+        let rows = (height / cell_size).ceil().max(1.0) as usize;
+        GridIndex {
+            cell_size,
+            cols,
+            rows,
+            cells: vec![Vec::new(); cols * rows],
+            len: 0,
+        }
+    }
+
+    fn cell_of(&self, p: &Point) -> (usize, usize) {
+        let cx = ((p.x / self.cell_size).floor() as i64).clamp(0, self.cols as i64 - 1) as usize;
+        let cy = ((p.y / self.cell_size).floor() as i64).clamp(0, self.rows as i64 - 1) as usize;
+        (cx, cy)
+    }
+
+    /// Number of stored items.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index holds no items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert an item at a point (out-of-bounds points are clamped).
+    pub fn insert(&mut self, p: Point, item: T) {
+        let (cx, cy) = self.cell_of(&p);
+        self.cells[cy * self.cols + cx].push((p, item));
+        self.len += 1;
+    }
+
+    /// All items within Euclidean distance `radius` of `p`.
+    pub fn query_radius(&self, p: &Point, radius: f32) -> Vec<(Point, T)> {
+        let r2 = radius * radius;
+        let mut out = Vec::new();
+        let cx0 = (((p.x - radius) / self.cell_size).floor() as i64).clamp(0, self.cols as i64 - 1)
+            as usize;
+        let cx1 = (((p.x + radius) / self.cell_size).floor() as i64).clamp(0, self.cols as i64 - 1)
+            as usize;
+        let cy0 = (((p.y - radius) / self.cell_size).floor() as i64).clamp(0, self.rows as i64 - 1)
+            as usize;
+        let cy1 = (((p.y + radius) / self.cell_size).floor() as i64).clamp(0, self.rows as i64 - 1)
+            as usize;
+        for cy in cy0..=cy1 {
+            for cx in cx0..=cx1 {
+                for (q, item) in &self.cells[cy * self.cols + cx] {
+                    if q.dist_sq(p) <= r2 {
+                        out.push((*q, item.clone()));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The `k` nearest items to `p`, nearest first.
+    ///
+    /// Searches outward ring by ring; falls back to scanning everything if
+    /// the rings exhaust the grid (small indexes), so it always returns
+    /// `min(k, len)` items.
+    pub fn knn(&self, p: &Point, k: usize) -> Vec<(Point, T)> {
+        if k == 0 || self.len == 0 {
+            return Vec::new();
+        }
+        let mut radius = self.cell_size;
+        let max_dim = (self.cols.max(self.rows) as f32 + 1.0) * self.cell_size;
+        loop {
+            let mut found = self.query_radius(p, radius);
+            if found.len() >= k || radius >= max_dim * 2.0 {
+                found.sort_by(|a, b| {
+                    a.0.dist_sq(p)
+                        .partial_cmp(&b.0.dist_sq(p))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                });
+                found.truncate(k);
+                if found.len() >= k.min(self.len) {
+                    return found;
+                }
+            }
+            radius *= 2.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn build() -> GridIndex<usize> {
+        let mut g = GridIndex::new(100.0, 100.0, 10.0);
+        g.insert(Point::new(5.0, 5.0), 0);
+        g.insert(Point::new(6.0, 5.0), 1);
+        g.insert(Point::new(50.0, 50.0), 2);
+        g.insert(Point::new(95.0, 95.0), 3);
+        g
+    }
+
+    #[test]
+    fn radius_query_finds_near_items_only() {
+        let g = build();
+        let mut ids: Vec<usize> = g
+            .query_radius(&Point::new(5.0, 5.0), 2.0)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 1]);
+    }
+
+    #[test]
+    fn radius_query_spanning_cells() {
+        let g = build();
+        let ids: Vec<usize> = g
+            .query_radius(&Point::new(48.0, 48.0), 5.0)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        assert_eq!(ids, vec![2]);
+    }
+
+    #[test]
+    fn knn_returns_sorted_by_distance() {
+        let g = build();
+        let ids: Vec<usize> = g
+            .knn(&Point::new(0.0, 0.0), 3)
+            .into_iter()
+            .map(|(_, i)| i)
+            .collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn knn_with_k_larger_than_len() {
+        let g = build();
+        let all = g.knn(&Point::new(50.0, 50.0), 10);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[0].1, 2);
+    }
+
+    #[test]
+    fn out_of_bounds_points_are_clamped() {
+        let mut g = GridIndex::new(10.0, 10.0, 5.0);
+        g.insert(Point::new(-100.0, -100.0), 7);
+        let found = g.query_radius(&Point::new(-100.0, -100.0), 1.0);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].1, 7);
+    }
+
+    #[test]
+    fn empty_index_queries() {
+        let g: GridIndex<usize> = GridIndex::new(10.0, 10.0, 5.0);
+        assert!(g.is_empty());
+        assert!(g.query_radius(&Point::new(1.0, 1.0), 100.0).is_empty());
+        assert!(g.knn(&Point::new(1.0, 1.0), 3).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! 2D point type.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Div, Mul, Sub};
+
+/// A 2D point (or vector) in frame coordinates.
+///
+/// Coordinates are `f32` pixels; the origin is the top-left corner of the
+/// frame, with `x` increasing rightwards and `y` increasing downwards.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point {
+    /// Horizontal coordinate (px, rightwards).
+    pub x: f32,
+    /// Vertical coordinate (px, downwards).
+    pub y: f32,
+}
+
+impl Point {
+    /// Construct a point.
+    pub const fn new(x: f32, y: f32) -> Self {
+        Point { x, y }
+    }
+
+    /// Euclidean distance to another point.
+    pub fn dist(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared Euclidean distance (avoids the sqrt when only comparing).
+    pub fn dist_sq(&self, other: &Point) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean norm of the point interpreted as a vector.
+    pub fn norm(&self) -> f32 {
+        (self.x * self.x + self.y * self.y).sqrt()
+    }
+
+    /// Dot product with another vector.
+    pub fn dot(&self, other: &Point) -> f32 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// Linear interpolation: `self` at `t = 0`, `other` at `t = 1`.
+    pub fn lerp(&self, other: &Point, t: f32) -> Point {
+        Point::new(
+            self.x + (other.x - self.x) * t,
+            self.y + (other.y - self.y) * t,
+        )
+    }
+}
+
+impl Add for Point {
+    type Output = Point;
+    fn add(self, rhs: Point) -> Point {
+        Point::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Point {
+    type Output = Point;
+    fn sub(self, rhs: Point) -> Point {
+        Point::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f32> for Point {
+    type Output = Point;
+    fn mul(self, rhs: f32) -> Point {
+        Point::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Div<f32> for Point {
+    type Output = Point;
+    fn div(self, rhs: f32) -> Point {
+        Point::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dist_matches_pythagoras() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(3.0, 4.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn lerp_endpoints_and_midpoint() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(10.0, -2.0);
+        assert_eq!(a.lerp(&b, 0.0), a);
+        assert_eq!(a.lerp(&b, 1.0), b);
+        assert_eq!(a.lerp(&b, 0.5), Point::new(5.0, -1.0));
+    }
+
+    #[test]
+    fn vector_ops() {
+        let a = Point::new(1.0, 2.0);
+        let b = Point::new(3.0, -1.0);
+        assert_eq!(a + b, Point::new(4.0, 1.0));
+        assert_eq!(a - b, Point::new(-2.0, 3.0));
+        assert_eq!(a * 2.0, Point::new(2.0, 4.0));
+        assert_eq!(a / 2.0, Point::new(0.5, 1.0));
+        assert_eq!(a.dot(&b), 1.0);
+        assert!((Point::new(3.0, 4.0).norm() - 5.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,138 @@
+//! Simple polygons for region queries.
+
+use crate::{Point, Rect};
+use serde::{Deserialize, Serialize};
+
+/// A simple polygon given by its vertices in order (closed implicitly).
+///
+/// Used by frame-level *region queries* ("at least N objects inside this
+/// polygon", §4.2).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polygon {
+    /// Vertices in order; the polygon closes implicitly.
+    pub vertices: Vec<Point>,
+}
+
+impl Polygon {
+    /// Build a polygon; panics if fewer than three vertices are given.
+    pub fn new(vertices: Vec<Point>) -> Self {
+        assert!(vertices.len() >= 3, "polygon needs at least 3 vertices");
+        Polygon { vertices }
+    }
+
+    /// Axis-aligned rectangle as a polygon (counter-clockwise in screen
+    /// coordinates).
+    pub fn from_rect(r: &Rect) -> Self {
+        Polygon::new(vec![
+            Point::new(r.x, r.y),
+            Point::new(r.x1(), r.y),
+            Point::new(r.x1(), r.y1()),
+            Point::new(r.x, r.y1()),
+        ])
+    }
+
+    /// Even-odd (ray casting) point-in-polygon test.
+    pub fn contains(&self, p: &Point) -> bool {
+        let n = self.vertices.len();
+        let mut inside = false;
+        let mut j = n - 1;
+        for i in 0..n {
+            let vi = self.vertices[i];
+            let vj = self.vertices[j];
+            if ((vi.y > p.y) != (vj.y > p.y))
+                && (p.x < (vj.x - vi.x) * (p.y - vi.y) / (vj.y - vi.y) + vi.x)
+            {
+                inside = !inside;
+            }
+            j = i;
+        }
+        inside
+    }
+
+    /// Bounding rectangle of the polygon.
+    pub fn bounds(&self) -> Rect {
+        let mut x0 = f32::INFINITY;
+        let mut y0 = f32::INFINITY;
+        let mut x1 = f32::NEG_INFINITY;
+        let mut y1 = f32::NEG_INFINITY;
+        for v in &self.vertices {
+            x0 = x0.min(v.x);
+            y0 = y0.min(v.y);
+            x1 = x1.max(v.x);
+            y1 = y1.max(v.y);
+        }
+        Rect::from_corners(x0, y0, x1, y1)
+    }
+
+    /// Signed area via the shoelace formula (positive if counter-clockwise
+    /// in mathematical coordinates).
+    pub fn signed_area(&self) -> f32 {
+        let n = self.vertices.len();
+        let mut acc = 0.0;
+        for i in 0..n {
+            let a = self.vertices[i];
+            let b = self.vertices[(i + 1) % n];
+            acc += a.x * b.y - b.x * a.y;
+        }
+        acc / 2.0
+    }
+
+    /// Absolute enclosed area.
+    pub fn area(&self) -> f32 {
+        self.signed_area().abs()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_square() -> Polygon {
+        Polygon::from_rect(&Rect::new(0.0, 0.0, 1.0, 1.0))
+    }
+
+    #[test]
+    fn square_contains_center_not_outside() {
+        let p = unit_square();
+        assert!(p.contains(&Point::new(0.5, 0.5)));
+        assert!(!p.contains(&Point::new(1.5, 0.5)));
+        assert!(!p.contains(&Point::new(-0.1, 0.5)));
+    }
+
+    #[test]
+    fn concave_polygon_containment() {
+        // L-shape: notch at top-right.
+        let l = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(2.0, 1.0),
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(0.0, 2.0),
+        ]);
+        assert!(l.contains(&Point::new(0.5, 1.5)));
+        assert!(l.contains(&Point::new(1.5, 0.5)));
+        assert!(!l.contains(&Point::new(1.5, 1.5))); // inside notch
+    }
+
+    #[test]
+    fn area_of_square_and_triangle() {
+        assert!((unit_square().area() - 1.0).abs() < 1e-6);
+        let t = Polygon::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 3.0),
+        ]);
+        assert!((t.area() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_covers_vertices() {
+        let t = Polygon::new(vec![
+            Point::new(-1.0, 2.0),
+            Point::new(4.0, 0.0),
+            Point::new(0.0, 5.0),
+        ]);
+        assert_eq!(t.bounds(), Rect::from_corners(-1.0, 0.0, 4.0, 5.0));
+    }
+}

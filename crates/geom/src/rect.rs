@@ -1,0 +1,207 @@
+//! Axis-aligned rectangles (bounding boxes).
+
+use crate::Point;
+use serde::{Deserialize, Serialize};
+
+/// An axis-aligned rectangle `(x, y, w, h)` in frame coordinates.
+///
+/// `(x, y)` is the top-left corner. Rectangles with non-positive width or
+/// height are treated as empty (zero area, no intersection).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Rect {
+    /// Left edge.
+    pub x: f32,
+    /// Top edge.
+    pub y: f32,
+    /// Width.
+    pub w: f32,
+    /// Height.
+    pub h: f32,
+}
+
+impl Rect {
+    /// Construct a rectangle from its top-left corner and size.
+    pub const fn new(x: f32, y: f32, w: f32, h: f32) -> Self {
+        Rect { x, y, w, h }
+    }
+
+    /// Construct from corner points `(x0, y0)`–`(x1, y1)`.
+    pub fn from_corners(x0: f32, y0: f32, x1: f32, y1: f32) -> Self {
+        let (x0, x1) = if x0 <= x1 { (x0, x1) } else { (x1, x0) };
+        let (y0, y1) = if y0 <= y1 { (y0, y1) } else { (y1, y0) };
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Right edge (`x + w`).
+    pub fn x1(&self) -> f32 {
+        self.x + self.w
+    }
+
+    /// Bottom edge (`y + h`).
+    pub fn y1(&self) -> f32 {
+        self.y + self.h
+    }
+
+    /// Area; 0 for degenerate rectangles.
+    pub fn area(&self) -> f32 {
+        if self.w <= 0.0 || self.h <= 0.0 {
+            0.0
+        } else {
+            self.w * self.h
+        }
+    }
+
+    /// Center point.
+    pub fn center(&self) -> Point {
+        Point::new(self.x + self.w / 2.0, self.y + self.h / 2.0)
+    }
+
+    /// Whether width or height is non-positive.
+    pub fn is_empty(&self) -> bool {
+        self.w <= 0.0 || self.h <= 0.0
+    }
+
+    /// Intersection rectangle (empty if the rectangles do not overlap).
+    pub fn intersection(&self, other: &Rect) -> Rect {
+        let x0 = self.x.max(other.x);
+        let y0 = self.y.max(other.y);
+        let x1 = self.x1().min(other.x1());
+        let y1 = self.y1().min(other.y1());
+        Rect::new(x0, y0, x1 - x0, y1 - y0)
+    }
+
+    /// Smallest rectangle containing both.
+    pub fn union(&self, other: &Rect) -> Rect {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        let x0 = self.x.min(other.x);
+        let y0 = self.y.min(other.y);
+        let x1 = self.x1().max(other.x1());
+        let y1 = self.y1().max(other.y1());
+        Rect::from_corners(x0, y0, x1, y1)
+    }
+
+    /// Intersection-over-union; 0 for disjoint or empty rectangles.
+    ///
+    /// ```
+    /// use otif_geom::Rect;
+    /// let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+    /// assert_eq!(a.iou(&a), 1.0);
+    /// assert_eq!(a.iou(&Rect::new(20.0, 0.0, 10.0, 10.0)), 0.0);
+    /// ```
+    pub fn iou(&self, other: &Rect) -> f32 {
+        let inter = self.intersection(other).area();
+        if inter <= 0.0 {
+            return 0.0;
+        }
+        let union = self.area() + other.area() - inter;
+        if union <= 0.0 {
+            0.0
+        } else {
+            inter / union
+        }
+    }
+
+    /// Whether the rectangles overlap with positive area.
+    pub fn intersects(&self, other: &Rect) -> bool {
+        !self.intersection(other).is_empty()
+    }
+
+    /// Whether the point lies inside (half-open on the far edges).
+    pub fn contains_point(&self, p: &Point) -> bool {
+        p.x >= self.x && p.x < self.x1() && p.y >= self.y && p.y < self.y1()
+    }
+
+    /// Whether `other` lies entirely inside `self`.
+    pub fn contains_rect(&self, other: &Rect) -> bool {
+        other.x >= self.x && other.y >= self.y && other.x1() <= self.x1() && other.y1() <= self.y1()
+    }
+
+    /// Rectangle scaled around the origin by independent x/y factors; used
+    /// to map boxes between frame resolutions.
+    pub fn scale(&self, sx: f32, sy: f32) -> Rect {
+        Rect::new(self.x * sx, self.y * sy, self.w * sx, self.h * sy)
+    }
+
+    /// Clamp the rectangle to lie within `bounds`.
+    pub fn clamp_to(&self, bounds: &Rect) -> Rect {
+        self.intersection(bounds)
+    }
+
+    /// Translate by a vector.
+    pub fn translate(&self, d: Point) -> Rect {
+        Rect::new(self.x + d.x, self.y + d.y, self.w, self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iou_identical_is_one() {
+        let r = Rect::new(10.0, 10.0, 20.0, 30.0);
+        assert!((r.iou(&r) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn iou_disjoint_is_zero() {
+        let a = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let b = Rect::new(10.0, 10.0, 5.0, 5.0);
+        assert_eq!(a.iou(&b), 0.0);
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn iou_half_overlap() {
+        let a = Rect::new(0.0, 0.0, 10.0, 10.0);
+        let b = Rect::new(5.0, 0.0, 10.0, 10.0);
+        // intersection 50, union 150.
+        assert!((a.iou(&b) - 1.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let b = Rect::new(10.0, 2.0, 3.0, 9.0);
+        let u = a.union(&b);
+        assert!(u.contains_rect(&a));
+        assert!(u.contains_rect(&b));
+        assert_eq!(u, Rect::from_corners(0.0, 0.0, 13.0, 11.0));
+    }
+
+    #[test]
+    fn union_with_empty_is_identity() {
+        let a = Rect::new(1.0, 2.0, 3.0, 4.0);
+        let e = Rect::new(5.0, 5.0, 0.0, 0.0);
+        assert_eq!(a.union(&e), a);
+        assert_eq!(e.union(&a), a);
+    }
+
+    #[test]
+    fn contains_point_is_half_open() {
+        let r = Rect::new(0.0, 0.0, 10.0, 10.0);
+        assert!(r.contains_point(&Point::new(0.0, 0.0)));
+        assert!(!r.contains_point(&Point::new(10.0, 10.0)));
+        assert!(r.contains_point(&Point::new(9.9, 9.9)));
+    }
+
+    #[test]
+    fn scale_and_clamp() {
+        let r = Rect::new(2.0, 4.0, 6.0, 8.0);
+        assert_eq!(r.scale(0.5, 0.25), Rect::new(1.0, 1.0, 3.0, 2.0));
+        let bounds = Rect::new(0.0, 0.0, 5.0, 5.0);
+        let c = r.clamp_to(&bounds);
+        assert_eq!(c, Rect::new(2.0, 4.0, 3.0, 1.0));
+    }
+
+    #[test]
+    fn center_of_rect() {
+        let r = Rect::new(0.0, 0.0, 10.0, 20.0);
+        assert_eq!(r.center(), Point::new(5.0, 10.0));
+    }
+}

@@ -1,0 +1,325 @@
+//! Strided 2-D convolution with explicit backprop.
+//!
+//! The segmentation proxy model (§3.3) is "a five-layer encoder followed by
+//! a two-layer decoder" of strided convolutions producing one score per
+//! 32×32 input cell. This module provides the conv layer that network is
+//! assembled from. Plain nested loops are fast enough here because proxy
+//! inputs are small (≤ 416×256 with few channels).
+
+use crate::{Activation, OptimKind, Param, Tensor3, XavierInit};
+use serde::{Deserialize, Serialize};
+
+/// A 2-D convolution layer with square kernel, stride and zero padding,
+/// followed by an activation.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Conv2d {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub ksize: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+    /// Activation applied to the outputs.
+    pub act: Activation,
+    /// Kernel weights, laid out `[out_ch][in_ch][ky][kx]`.
+    pub weight: Param,
+    /// Per-output-channel biases.
+    pub bias: Param,
+    last_input: Option<Tensor3>,
+    last_output: Option<Tensor3>,
+}
+
+impl Conv2d {
+    /// Build a layer with Xavier-initialized kernels.
+    pub fn new(
+        in_ch: usize,
+        out_ch: usize,
+        ksize: usize,
+        stride: usize,
+        pad: usize,
+        act: Activation,
+        init: &mut XavierInit,
+    ) -> Self {
+        let fan_in = in_ch * ksize * ksize;
+        let fan_out = out_ch * ksize * ksize;
+        Conv2d {
+            in_ch,
+            out_ch,
+            ksize,
+            stride,
+            pad,
+            act,
+            weight: Param::new(init.sample(out_ch * in_ch * ksize * ksize, fan_in, fan_out)),
+            bias: Param::zeros(out_ch),
+            last_input: None,
+            last_output: None,
+        }
+    }
+
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        let ow = (w + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        (oh, ow)
+    }
+
+    #[inline]
+    fn widx(&self, oc: usize, ic: usize, ky: usize, kx: usize) -> usize {
+        ((oc * self.in_ch + ic) * self.ksize + ky) * self.ksize + kx
+    }
+
+    fn conv_forward(&self, x: &Tensor3) -> Tensor3 {
+        assert_eq!(x.c, self.in_ch);
+        let (oh, ow) = self.out_size(x.h, x.w);
+        let mut out = Tensor3::zeros(self.out_ch, oh, ow);
+        for oc in 0..self.out_ch {
+            let b = self.bias.w[oc];
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = b;
+                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
+                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
+                    for ic in 0..self.in_ch {
+                        for ky in 0..self.ksize {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= x.h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.ksize {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= x.w as isize {
+                                    continue;
+                                }
+                                acc += self.weight.w[self.widx(oc, ic, ky, kx)]
+                                    * x.get(ic, iy as usize, ix as usize);
+                            }
+                        }
+                    }
+                    out.set(oc, oy, ox, self.act.apply(acc));
+                }
+            }
+        }
+        out
+    }
+
+    /// Forward pass caching tensors for `backward`.
+    pub fn forward(&mut self, x: &Tensor3) -> Tensor3 {
+        let out = self.conv_forward(x);
+        self.last_input = Some(x.clone());
+        self.last_output = Some(out.clone());
+        out
+    }
+
+    /// Inference-only forward (no caches touched).
+    pub fn infer(&self, x: &Tensor3) -> Tensor3 {
+        self.conv_forward(x)
+    }
+
+    /// Backward pass: accumulate kernel/bias gradients, return dL/dx.
+    pub fn backward(&mut self, grad_out: &Tensor3) -> Tensor3 {
+        let x = self.last_input.as_ref().expect("forward before backward");
+        let y = self.last_output.as_ref().unwrap();
+        assert_eq!(grad_out.c, self.out_ch);
+        let mut grad_in = Tensor3::zeros(x.c, x.h, x.w);
+        for oc in 0..self.out_ch {
+            for oy in 0..grad_out.h {
+                for ox in 0..grad_out.w {
+                    let d = grad_out.get(oc, oy, ox)
+                        * self.act.grad_from_output(y.get(oc, oy, ox));
+                    if d == 0.0 {
+                        continue;
+                    }
+                    self.bias.g[oc] += d;
+                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
+                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
+                    for ic in 0..self.in_ch {
+                        for ky in 0..self.ksize {
+                            let iy = iy0 + ky as isize;
+                            if iy < 0 || iy >= x.h as isize {
+                                continue;
+                            }
+                            for kx in 0..self.ksize {
+                                let ix = ix0 + kx as isize;
+                                if ix < 0 || ix >= x.w as isize {
+                                    continue;
+                                }
+                                let wi = self.widx(oc, ic, ky, kx);
+                                self.weight.g[wi] += d * x.get(ic, iy as usize, ix as usize);
+                                grad_in.add_at(ic, iy as usize, ix as usize, d * self.weight.w[wi]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        grad_in
+    }
+
+    /// Apply one optimizer step to kernels and biases.
+    pub fn step(&mut self, lr: f32, kind: OptimKind) {
+        self.weight.step(lr, kind);
+        self.bias.step(lr, kind);
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_size_strided() {
+        let mut init = XavierInit::new(0);
+        let c = Conv2d::new(1, 1, 3, 2, 1, Activation::Linear, &mut init);
+        // (h + 2p - k)/s + 1 = (8 + 2 - 3)/2 + 1 = 4
+        assert_eq!(c.out_size(8, 8), (4, 4));
+        assert_eq!(c.out_size(16, 8), (8, 4));
+    }
+
+    #[test]
+    fn identity_kernel_passes_through() {
+        let mut init = XavierInit::new(0);
+        let mut c = Conv2d::new(1, 1, 1, 1, 0, Activation::Linear, &mut init);
+        c.weight.w = vec![1.0];
+        c.bias.w = vec![0.0];
+        let x = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let y = c.forward(&x);
+        assert_eq!(y.data, x.data);
+    }
+
+    #[test]
+    fn box_filter_sums_window() {
+        let mut init = XavierInit::new(0);
+        let mut c = Conv2d::new(1, 1, 2, 2, 0, Activation::Linear, &mut init);
+        c.weight.w = vec![1.0; 4];
+        c.bias.w = vec![0.0];
+        let x = Tensor3::from_vec(1, 2, 4, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let y = c.forward(&x);
+        assert_eq!(y.h, 1);
+        assert_eq!(y.w, 2);
+        assert_eq!(y.data, vec![14.0, 22.0]); // 1+2+5+6, 3+4+7+8
+    }
+
+    #[test]
+    fn gradient_check_small_conv() {
+        let mut init = XavierInit::new(3);
+        let mut c = Conv2d::new(2, 2, 3, 2, 1, Activation::Tanh, &mut init);
+        let x = Tensor3::from_vec(
+            2,
+            4,
+            4,
+            (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) / 10.0).collect(),
+        );
+        let y = c.forward(&x);
+        // loss = 0.5 * sum(y^2); dL/dy = y
+        let gy = Tensor3::from_vec(y.c, y.h, y.w, y.data.clone());
+        c.backward(&gy);
+        let analytic = c.weight.g.clone();
+        let loss = |c: &Conv2d, x: &Tensor3| -> f32 {
+            c.infer(x).data.iter().map(|v| 0.5 * v * v).sum()
+        };
+        let eps = 1e-3;
+        for i in (0..c.weight.w.len()).step_by(5) {
+            let orig = c.weight.w[i];
+            c.weight.w[i] = orig + eps;
+            let lp = loss(&c, &x);
+            c.weight.w[i] = orig - eps;
+            let lm = loss(&c, &x);
+            c.weight.w[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 2e-2,
+                "w[{i}]: analytic {} numeric {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn input_gradient_check() {
+        let mut init = XavierInit::new(4);
+        let mut c = Conv2d::new(1, 2, 3, 1, 1, Activation::Sigmoid, &mut init);
+        let x = Tensor3::from_vec(1, 3, 3, (0..9).map(|i| i as f32 / 10.0).collect());
+        let y = c.forward(&x);
+        let gy = Tensor3::from_vec(y.c, y.h, y.w, vec![1.0; y.len()]);
+        let gx = c.backward(&gy);
+        let loss = |c: &Conv2d, x: &Tensor3| -> f32 { c.infer(x).data.iter().sum() };
+        let eps = 1e-3;
+        for i in 0..x.len() {
+            let mut xp = x.clone();
+            xp.data[i] += eps;
+            let mut xm = x.clone();
+            xm.data[i] -= eps;
+            let numeric = (loss(&c, &xp) - loss(&c, &xm)) / (2.0 * eps);
+            assert!(
+                (gx.data[i] - numeric).abs() < 1e-2,
+                "x[{i}]: analytic {} numeric {}",
+                gx.data[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_on_segmentation_toy() {
+        // Teach a 2-layer conv net to mark bright cells: a miniature version
+        // of the segmentation proxy task.
+        let mut init = XavierInit::new(11);
+        let mut l1 = Conv2d::new(1, 4, 3, 2, 1, Activation::Relu, &mut init);
+        let mut l2 = Conv2d::new(4, 1, 3, 2, 1, Activation::Linear, &mut init);
+        // 8x8 input -> 4x4 -> 2x2 logits
+        let make_example = |on: [bool; 4]| -> (Tensor3, Vec<f32>) {
+            let mut x = Tensor3::zeros(1, 8, 8);
+            for (q, &o) in on.iter().enumerate() {
+                if o {
+                    let (qy, qx) = (q / 2 * 4, q % 2 * 4);
+                    for y in 0..4 {
+                        for x_ in 0..4 {
+                            x.set(0, qy + y, qx + x_, 1.0);
+                        }
+                    }
+                }
+            }
+            let t = on.iter().map(|&o| if o { 1.0 } else { 0.0 }).collect();
+            (x, t)
+        };
+        let examples: Vec<_> = (0..16u32)
+            .map(|m| make_example([m & 1 != 0, m & 2 != 0, m & 4 != 0, m & 8 != 0]))
+            .collect();
+        let loss_of = |l1: &Conv2d, l2: &Conv2d| -> f32 {
+            examples
+                .iter()
+                .map(|(x, t)| crate::bce_with_logits(&l2.infer(&l1.infer(x)).data, t))
+                .sum::<f32>()
+                / examples.len() as f32
+        };
+        let before = loss_of(&l1, &l2);
+        for _ in 0..60 {
+            for (x, t) in &examples {
+                let h = l1.forward(x);
+                let logits = l2.forward(&h);
+                let g = crate::bce_with_logits_grad(&logits.data, t);
+                let gt = Tensor3::from_vec(logits.c, logits.h, logits.w, g);
+                let gh = l2.backward(&gt);
+                l1.backward(&gh);
+            }
+            l1.step(0.05, OptimKind::Adam);
+            l2.step(0.05, OptimKind::Adam);
+        }
+        let after = loss_of(&l1, &l2);
+        assert!(
+            after < before * 0.3,
+            "loss did not drop: before {before}, after {after}"
+        );
+    }
+}

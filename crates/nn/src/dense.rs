@@ -1,0 +1,314 @@
+//! Fully-connected layers and a small MLP wrapper.
+
+use crate::{OptimKind, Param, XavierInit};
+use serde::{Deserialize, Serialize};
+
+/// Activation function applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Activation {
+    /// Identity.
+    Linear,
+    /// `max(x, 0)`.
+    Relu,
+    /// Leaky ReLU with slope 0.1 on the negative side — avoids dead
+    /// networks in small convolutional models.
+    LeakyRelu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    /// Apply the activation to a scalar.
+    pub fn apply(&self, x: f32) -> f32 {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => x.max(0.0),
+            Activation::LeakyRelu => {
+                if x > 0.0 {
+                    x
+                } else {
+                    0.1 * x
+                }
+            }
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Tanh => x.tanh(),
+        }
+    }
+
+    /// Derivative expressed in terms of the activation's *output* `y`.
+    pub fn grad_from_output(&self, y: f32) -> f32 {
+        match self {
+            Activation::Linear => 1.0,
+            Activation::Relu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::LeakyRelu => {
+                if y > 0.0 {
+                    1.0
+                } else {
+                    0.1
+                }
+            }
+            Activation::Sigmoid => y * (1.0 - y),
+            Activation::Tanh => 1.0 - y * y,
+        }
+    }
+}
+
+/// A dense layer `y = act(W x + b)` with explicit backprop.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    /// Input dimension.
+    pub in_dim: usize,
+    /// Output dimension.
+    pub out_dim: usize,
+    /// Activation applied to the outputs.
+    pub act: Activation,
+    /// Weights, `out_dim x in_dim` row-major.
+    pub weight: Param, // out_dim × in_dim, row-major
+    /// Per-output biases.
+    pub bias: Param,   // out_dim
+    // caches from the last forward pass
+    last_input: Vec<f32>,
+    last_output: Vec<f32>,
+}
+
+impl Dense {
+    /// Build a layer with Xavier-initialized weights.
+    pub fn new(in_dim: usize, out_dim: usize, act: Activation, init: &mut XavierInit) -> Self {
+        Dense {
+            in_dim,
+            out_dim,
+            act,
+            weight: Param::new(init.sample(in_dim * out_dim, in_dim, out_dim)),
+            bias: Param::zeros(out_dim),
+            last_input: Vec::new(),
+            last_output: Vec::new(),
+        }
+    }
+
+    /// Forward pass, caching input and output for `backward`.
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(x.len(), self.in_dim);
+        let mut y = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias.w[o];
+            for (wi, xi) in row.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            y[o] = self.act.apply(acc);
+        }
+        self.last_input = x.to_vec();
+        self.last_output = y.clone();
+        y
+    }
+
+    /// Inference-only forward that does not touch the caches.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut y = vec![0.0; self.out_dim];
+        for o in 0..self.out_dim {
+            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let mut acc = self.bias.w[o];
+            for (wi, xi) in row.iter().zip(x.iter()) {
+                acc += wi * xi;
+            }
+            y[o] = self.act.apply(acc);
+        }
+        y
+    }
+
+    /// Backward pass: accumulate parameter gradients, return dL/dx.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        debug_assert_eq!(grad_out.len(), self.out_dim);
+        let mut grad_in = vec![0.0; self.in_dim];
+        for o in 0..self.out_dim {
+            let d = grad_out[o] * self.act.grad_from_output(self.last_output[o]);
+            self.bias.g[o] += d;
+            let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
+            let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
+            for i in 0..self.in_dim {
+                row_g[i] += d * self.last_input[i];
+                grad_in[i] += d * row_w[i];
+            }
+        }
+        grad_in
+    }
+
+    /// Apply one optimizer step to weights and biases.
+    pub fn step(&mut self, lr: f32, kind: OptimKind) {
+        self.weight.step(lr, kind);
+        self.bias.step(lr, kind);
+    }
+
+    /// Clear accumulated gradients.
+    pub fn zero_grad(&mut self) {
+        self.weight.zero_grad();
+        self.bias.zero_grad();
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    /// Layers applied in order.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Build an MLP with the given layer sizes; hidden layers use `hidden`,
+    /// the output layer uses `out_act`.
+    pub fn new(sizes: &[usize], hidden: Activation, out_act: Activation, init: &mut XavierInit) -> Self {
+        assert!(sizes.len() >= 2);
+        let mut layers = Vec::new();
+        for i in 0..sizes.len() - 1 {
+            let act = if i == sizes.len() - 2 { out_act } else { hidden };
+            layers.push(Dense::new(sizes[i], sizes[i + 1], act, init));
+        }
+        Mlp { layers }
+    }
+
+    /// Forward pass through all layers (training: caches activations).
+    pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for l in &mut self.layers {
+            cur = l.forward(&cur);
+        }
+        cur
+    }
+
+    /// Inference-only forward pass.
+    pub fn infer(&self, x: &[f32]) -> Vec<f32> {
+        let mut cur = x.to_vec();
+        for l in &self.layers {
+            cur = l.infer(&cur);
+        }
+        cur
+    }
+
+    /// Backward pass through all layers; returns dL/dx.
+    pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
+        let mut g = grad_out.to_vec();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Apply one optimizer step to every layer.
+    pub fn step(&mut self, lr: f32, kind: OptimKind) {
+        for l in &mut self.layers {
+            l.step(lr, kind);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{mse, mse_grad};
+
+    #[test]
+    fn forward_matches_manual_computation() {
+        let mut init = XavierInit::new(0);
+        let mut d = Dense::new(2, 1, Activation::Linear, &mut init);
+        d.weight.w = vec![2.0, -1.0];
+        d.bias.w = vec![0.5];
+        let y = d.forward(&[3.0, 4.0]);
+        assert!((y[0] - (6.0 - 4.0 + 0.5)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn backward_gradient_check() {
+        // Numerical gradient check on a tiny dense layer.
+        let mut init = XavierInit::new(1);
+        let mut d = Dense::new(3, 2, Activation::Tanh, &mut init);
+        let x = [0.3, -0.7, 0.9];
+        let target = [0.2, -0.4];
+
+        let y = d.forward(&x);
+        let g = mse_grad(&y, &target);
+        d.backward(&g);
+        let analytic = d.weight.g.clone();
+
+        let eps = 1e-3;
+        for i in 0..d.weight.w.len() {
+            let orig = d.weight.w[i];
+            d.weight.w[i] = orig + eps;
+            let lp = mse(&d.infer(&x), &target);
+            d.weight.w[i] = orig - eps;
+            let lm = mse(&d.infer(&x), &target);
+            d.weight.w[i] = orig;
+            let numeric = (lp - lm) / (2.0 * eps);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-2,
+                "weight {i}: analytic {} vs numeric {}",
+                analytic[i],
+                numeric
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_learns_xor() {
+        let mut init = XavierInit::new(7);
+        let mut mlp = Mlp::new(&[2, 8, 1], Activation::Tanh, Activation::Sigmoid, &mut init);
+        let data: [([f32; 2], f32); 4] = [
+            ([0.0, 0.0], 0.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 0.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
+        for _ in 0..3000 {
+            for (x, t) in &data {
+                let y = mlp.forward(x);
+                let g = mse_grad(&y, &[*t]);
+                mlp.backward(&g);
+            }
+            mlp.step(0.05, OptimKind::Adam);
+        }
+        for (x, t) in &data {
+            let y = mlp.infer(x)[0];
+            assert!(
+                (y - t).abs() < 0.2,
+                "xor({x:?}) = {y}, expected {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn activation_grads_consistent() {
+        for act in [
+            Activation::Linear,
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            Activation::Tanh,
+        ] {
+            let x = 0.37;
+            let y = act.apply(x);
+            let eps = 1e-3;
+            let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+            assert!(
+                (act.grad_from_output(y) - numeric).abs() < 1e-2,
+                "{act:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn infer_equals_forward() {
+        let mut init = XavierInit::new(9);
+        let mut mlp = Mlp::new(&[4, 6, 2], Activation::Relu, Activation::Linear, &mut init);
+        let x = [0.1, 0.2, 0.3, 0.4];
+        let a = mlp.forward(&x);
+        let b = mlp.infer(&x);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,135 @@
+//! Loss functions.
+
+/// Numerically stable logistic sigmoid.
+pub fn sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Mean squared error over a prediction/target pair.
+pub fn mse(pred: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(pred.len(), target.len());
+    let n = pred.len().max(1) as f32;
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t) * (p - t))
+        .sum::<f32>()
+        / n
+}
+
+/// Gradient of [`mse`] w.r.t. the predictions.
+pub fn mse_grad(pred: &[f32], target: &[f32]) -> Vec<f32> {
+    assert_eq!(pred.len(), target.len());
+    let n = pred.len().max(1) as f32;
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| 2.0 * (p - t) / n)
+        .collect()
+}
+
+/// Binary cross-entropy on raw logits (numerically stable form), averaged
+/// over elements. `target` entries must be in `[0, 1]`.
+pub fn bce_with_logits(logits: &[f32], target: &[f32]) -> f32 {
+    assert_eq!(logits.len(), target.len());
+    let n = logits.len().max(1) as f32;
+    logits
+        .iter()
+        .zip(target)
+        .map(|(&z, &t)| {
+            // max(z,0) - z*t + ln(1 + e^{-|z|})
+            z.max(0.0) - z * t + (1.0 + (-z.abs()).exp()).ln()
+        })
+        .sum::<f32>()
+        / n
+}
+
+/// Gradient of [`bce_with_logits`] w.r.t. the logits: `(σ(z) − t) / n`.
+pub fn bce_with_logits_grad(logits: &[f32], target: &[f32]) -> Vec<f32> {
+    assert_eq!(logits.len(), target.len());
+    let n = logits.len().max(1) as f32;
+    logits
+        .iter()
+        .zip(target)
+        .map(|(&z, &t)| (sigmoid(z) - t) / n)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_symmetry_and_range() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-6);
+        assert!((sigmoid(5.0) + sigmoid(-5.0) - 1.0).abs() < 1e-6);
+        assert!(sigmoid(100.0) <= 1.0 && sigmoid(-100.0) >= 0.0);
+    }
+
+    #[test]
+    fn mse_zero_for_perfect_prediction() {
+        assert_eq!(mse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert!((mse(&[0.0, 0.0], &[1.0, 1.0]) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mse_grad_numeric_check() {
+        let pred = [0.3, -0.5, 0.7];
+        let target = [0.0, 0.0, 1.0];
+        let g = mse_grad(&pred, &target);
+        let eps = 1e-3;
+        for i in 0..pred.len() {
+            let mut pp = pred;
+            pp[i] += eps;
+            let mut pm = pred;
+            pm[i] -= eps;
+            let numeric = (mse(&pp, &target) - mse(&pm, &target)) / (2.0 * eps);
+            assert!((g[i] - numeric).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn bce_matches_naive_formula_for_moderate_logits() {
+        let z = [0.5, -1.2, 2.0];
+        let t = [1.0, 0.0, 1.0];
+        let naive: f32 = z
+            .iter()
+            .zip(&t)
+            .map(|(&z, &t)| {
+                let p = sigmoid(z);
+                -(t * p.ln() + (1.0 - t) * (1.0 - p).ln())
+            })
+            .sum::<f32>()
+            / 3.0;
+        assert!((bce_with_logits(&z, &t) - naive).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bce_stable_for_extreme_logits() {
+        let v = bce_with_logits(&[1000.0, -1000.0], &[1.0, 0.0]);
+        assert!(v.is_finite());
+        assert!(v < 1e-3);
+        let bad = bce_with_logits(&[1000.0, -1000.0], &[0.0, 1.0]);
+        assert!(bad.is_finite());
+        assert!(bad > 100.0);
+    }
+
+    #[test]
+    fn bce_grad_numeric_check() {
+        let z = [0.4, -0.9];
+        let t = [1.0, 0.3];
+        let g = bce_with_logits_grad(&z, &t);
+        let eps = 1e-3;
+        for i in 0..z.len() {
+            let mut zp = z;
+            zp[i] += eps;
+            let mut zm = z;
+            zm[i] -= eps;
+            let numeric = (bce_with_logits(&zp, &t) - bce_with_logits(&zm, &t)) / (2.0 * eps);
+            assert!((g[i] - numeric).abs() < 1e-3, "i={i}");
+        }
+    }
+}

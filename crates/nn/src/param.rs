@@ -1,0 +1,159 @@
+//! Trainable parameter buffers with built-in optimizer state.
+
+use serde::{Deserialize, Serialize};
+
+/// Which optimizer update [`Param::step`] applies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimKind {
+    /// Plain SGD with the given momentum coefficient.
+    Sgd {
+        /// Momentum coefficient (0 disables momentum).
+        momentum: f32,
+    },
+    /// Adam with standard (β1, β2, ε) = (0.9, 0.999, 1e-8).
+    Adam,
+}
+
+/// A flat trainable parameter buffer (weights + accumulated gradients +
+/// optimizer moments).
+///
+/// Layers expose their `Param`s so that a training loop can zero gradients
+/// and step them uniformly.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Weights.
+    pub w: Vec<f32>,
+    /// Accumulated gradients (same length as `w`).
+    pub g: Vec<f32>,
+    m: Vec<f32>,
+    v: Vec<f32>,
+    t: u64,
+}
+
+impl Param {
+    /// Wrap initial weights.
+    pub fn new(w: Vec<f32>) -> Self {
+        let n = w.len();
+        Param {
+            w,
+            g: vec![0.0; n],
+            m: vec![0.0; n],
+            v: vec![0.0; n],
+            t: 0,
+        }
+    }
+
+    /// All-zero parameters of length `n`.
+    pub fn zeros(n: usize) -> Self {
+        Param::new(vec![0.0; n])
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.w.len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.w.is_empty()
+    }
+
+    /// Reset accumulated gradients to zero.
+    pub fn zero_grad(&mut self) {
+        self.g.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Apply one optimizer update with learning rate `lr` and clear the
+    /// gradient buffer.
+    pub fn step(&mut self, lr: f32, kind: OptimKind) {
+        match kind {
+            OptimKind::Sgd { momentum } => {
+                for i in 0..self.w.len() {
+                    // m doubles as the velocity buffer for SGD.
+                    self.m[i] = momentum * self.m[i] + self.g[i];
+                    self.w[i] -= lr * self.m[i];
+                }
+            }
+            OptimKind::Adam => {
+                self.t += 1;
+                const B1: f32 = 0.9;
+                const B2: f32 = 0.999;
+                const EPS: f32 = 1e-8;
+                let bc1 = 1.0 - B1.powi(self.t as i32);
+                let bc2 = 1.0 - B2.powi(self.t as i32);
+                for i in 0..self.w.len() {
+                    let g = self.g[i];
+                    self.m[i] = B1 * self.m[i] + (1.0 - B1) * g;
+                    self.v[i] = B2 * self.v[i] + (1.0 - B2) * g * g;
+                    let mhat = self.m[i] / bc1;
+                    let vhat = self.v[i] / bc2;
+                    self.w[i] -= lr * mhat / (vhat.sqrt() + EPS);
+                }
+            }
+        }
+        self.zero_grad();
+    }
+
+    /// Global L2 norm of the gradient, for clipping diagnostics.
+    pub fn grad_norm(&self) -> f32 {
+        self.g.iter().map(|g| g * g).sum::<f32>().sqrt()
+    }
+
+    /// Scale gradients so their global norm is at most `max_norm`.
+    pub fn clip_grad(&mut self, max_norm: f32) {
+        let n = self.grad_norm();
+        if n > max_norm && n > 0.0 {
+            let s = max_norm / n;
+            self.g.iter_mut().for_each(|g| *g *= s);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_step_moves_against_gradient() {
+        let mut p = Param::new(vec![1.0, -1.0]);
+        p.g = vec![0.5, -0.5];
+        p.step(0.1, OptimKind::Sgd { momentum: 0.0 });
+        assert!((p.w[0] - 0.95).abs() < 1e-6);
+        assert!((p.w[1] + 0.95).abs() < 1e-6);
+        // gradient cleared after step
+        assert_eq!(p.g, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn sgd_momentum_accumulates() {
+        let mut p = Param::new(vec![0.0]);
+        p.g = vec![1.0];
+        p.step(1.0, OptimKind::Sgd { momentum: 0.9 });
+        let w1 = p.w[0]; // -1
+        p.g = vec![1.0];
+        p.step(1.0, OptimKind::Sgd { momentum: 0.9 });
+        // velocity = 0.9*1 + 1 = 1.9, so second step is larger
+        assert!((w1 - p.w[0]) > 1.0);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        // minimize f(w) = (w - 3)^2
+        let mut p = Param::new(vec![0.0]);
+        for _ in 0..2000 {
+            p.g = vec![2.0 * (p.w[0] - 3.0)];
+            p.step(0.05, OptimKind::Adam);
+        }
+        assert!((p.w[0] - 3.0).abs() < 1e-2, "w = {}", p.w[0]);
+    }
+
+    #[test]
+    fn clip_grad_caps_norm() {
+        let mut p = Param::zeros(2);
+        p.g = vec![3.0, 4.0]; // norm 5
+        p.clip_grad(1.0);
+        assert!((p.grad_norm() - 1.0).abs() < 1e-5);
+        // direction preserved
+        assert!((p.g[0] / p.g[1] - 0.75).abs() < 1e-5);
+    }
+}

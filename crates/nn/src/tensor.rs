@@ -1,0 +1,113 @@
+//! A minimal 3-D tensor (channels × height × width) for convolutional
+//! layers.
+
+use serde::{Deserialize, Serialize};
+
+/// A dense `C × H × W` tensor of `f32`, stored row-major per channel.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tensor3 {
+    /// Channels.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// Row-major per-channel data (length `c * h * w`).
+    pub data: Vec<f32>,
+}
+
+impl Tensor3 {
+    /// All-zero tensor.
+    pub fn zeros(c: usize, h: usize, w: usize) -> Self {
+        Tensor3 {
+            c,
+            h,
+            w,
+            data: vec![0.0; c * h * w],
+        }
+    }
+
+    /// Wrap existing data; panics on a length mismatch.
+    pub fn from_vec(c: usize, h: usize, w: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), c * h * w, "tensor data length mismatch");
+        Tensor3 { c, h, w, data }
+    }
+
+    #[inline]
+    /// Flat index of element (c, y, x).
+    pub fn idx(&self, c: usize, y: usize, x: usize) -> usize {
+        (c * self.h + y) * self.w + x
+    }
+
+    #[inline]
+    /// Read element (c, y, x).
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        self.data[(c * self.h + y) * self.w + x]
+    }
+
+    #[inline]
+    /// Write element (c, y, x).
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(c, y, x);
+        self.data[i] = v;
+    }
+
+    #[inline]
+    /// Add to element (c, y, x).
+    pub fn add_at(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        let i = self.idx(c, y, x);
+        self.data[i] += v;
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Elementwise map in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        self.data.iter_mut().for_each(|v| *v = f(*v));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_roundtrip() {
+        let mut t = Tensor3::zeros(2, 3, 4);
+        t.set(1, 2, 3, 7.5);
+        assert_eq!(t.get(1, 2, 3), 7.5);
+        assert_eq!(t.data[t.idx(1, 2, 3)], 7.5);
+        assert_eq!(t.len(), 24);
+    }
+
+    #[test]
+    fn channel_layout_is_contiguous() {
+        let mut t = Tensor3::zeros(2, 2, 2);
+        t.set(0, 0, 0, 1.0);
+        t.set(1, 0, 0, 2.0);
+        assert_eq!(t.idx(1, 0, 0), 4);
+        assert_eq!(t.data[0], 1.0);
+        assert_eq!(t.data[4], 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn from_vec_checks_len() {
+        Tensor3::from_vec(1, 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn map_inplace_applies() {
+        let mut t = Tensor3::from_vec(1, 1, 3, vec![1.0, -2.0, 3.0]);
+        t.map_inplace(|v| v.abs());
+        assert_eq!(t.data, vec![1.0, 2.0, 3.0]);
+    }
+}

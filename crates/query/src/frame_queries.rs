@@ -1,0 +1,313 @@
+//! Frame-level limit queries (§4.2).
+//!
+//! Count / region / hot-spot queries select video frames whose objects
+//! satisfy a predicate, returning up to `limit` frames at least 5 seconds
+//! apart. OTIF answers them by post-processing extracted tracks: object
+//! positions at arbitrary frames are interpolated from track detections
+//! (no decoding or inference), and candidate frames are ranked by the
+//! minimum duration of the visible tracks, as in §4.2's execution
+//! details.
+
+use otif_geom::{Point, Polygon};
+use otif_sim::{Clip, ObjectClass};
+use otif_track::Track;
+use serde::{Deserialize, Serialize};
+
+/// The predicate of a frame-level query.
+#[derive(Debug, Clone)]
+pub enum FrameQueryKind {
+    /// At least `n` objects anywhere in the frame (UAV, Tokyo).
+    Count,
+    /// At least `n` objects inside the polygon (Jackson, Caldot1).
+    Region(Polygon),
+    /// At least `n` objects within a circle of radius `radius` around
+    /// some object (Warsaw, Amsterdam).
+    HotSpot {
+        /// Cluster radius in native px.
+        radius: f32,
+    },
+}
+
+/// A frame-level limit query.
+#[derive(Debug, Clone)]
+pub struct FrameLimitQuery {
+    /// The predicate.
+    pub kind: FrameQueryKind,
+    /// Minimum number of objects satisfying the predicate.
+    pub n: usize,
+    /// Desired output cardinality (the paper uses 25 or 50).
+    pub limit: usize,
+    /// Minimum separation between output frames in seconds (paper: 5 s).
+    pub min_separation_s: f32,
+}
+
+/// A query output: a clip and frame index ("clip filename and
+/// timestamp").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FrameRef {
+    /// Clip index within the split.
+    pub clip: usize,
+    /// Frame index within the clip.
+    pub frame: usize,
+}
+
+fn is_car(class: ObjectClass) -> bool {
+    matches!(class, ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus)
+}
+
+impl FrameLimitQuery {
+    /// Does a set of object positions satisfy the predicate?
+    pub fn positions_match(&self, positions: &[Point]) -> bool {
+        match &self.kind {
+            FrameQueryKind::Count => positions.len() >= self.n,
+            FrameQueryKind::Region(poly) => {
+                positions.iter().filter(|p| poly.contains(p)).count() >= self.n
+            }
+            FrameQueryKind::HotSpot { radius } => positions.iter().any(|c| {
+                positions.iter().filter(|p| p.dist(c) <= *radius).count() >= self.n
+            }),
+        }
+    }
+
+    /// Car positions visible at `frame` according to extracted tracks
+    /// (interpolated between sampled detections), with the duration (in
+    /// frames) of each contributing track.
+    fn track_positions(tracks: &[Track], frame: usize) -> (Vec<Point>, usize) {
+        let mut pts = Vec::new();
+        let mut min_duration = usize::MAX;
+        for t in tracks.iter().filter(|t| is_car(t.class)) {
+            if let Some(p) = t.center_at(frame) {
+                pts.push(p);
+                min_duration = min_duration.min(t.last_frame() - t.first_frame());
+            }
+        }
+        if pts.is_empty() {
+            min_duration = 0;
+        }
+        (pts, min_duration)
+    }
+
+    /// Execute over extracted tracks: returns up to `limit` matching
+    /// frames, each at least `min_separation_s` apart within a clip,
+    /// ranked by the minimum visible-track duration (frames supported by
+    /// long tracks are least likely to be detector noise, §4.2).
+    pub fn execute_on_tracks(
+        &self,
+        tracks_per_clip: &[Vec<Track>],
+        clips: &[Clip],
+    ) -> Vec<FrameRef> {
+        // gather all matching frames with their rank key
+        let mut matches: Vec<(usize, FrameRef)> = Vec::new(); // (min_duration, ref)
+        for (ci, (tracks, clip)) in tracks_per_clip.iter().zip(clips).enumerate() {
+            for f in 0..clip.num_frames() {
+                let (pts, min_dur) = Self::track_positions(tracks, f);
+                if self.positions_match(&pts) {
+                    matches.push((min_dur, FrameRef { clip: ci, frame: f }));
+                }
+            }
+        }
+        // highest minimum duration first
+        matches.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.clip.cmp(&b.1.clip)));
+
+        let mut out: Vec<FrameRef> = Vec::new();
+        for (_, r) in matches {
+            if out.len() >= self.limit {
+                break;
+            }
+            let sep = (self.min_separation_s * clips[r.clip].scene.fps as f32) as usize;
+            let conflict = out
+                .iter()
+                .any(|o| o.clip == r.clip && o.frame.abs_diff(r.frame) < sep);
+            if !conflict {
+                out.push(r);
+            }
+        }
+        out
+    }
+
+    /// Ground-truth check: does the frame actually satisfy the predicate
+    /// (per the simulator's exact object positions)?
+    pub fn frame_matches_gt(&self, clip: &Clip, frame: usize) -> bool {
+        let pts: Vec<Point> = clip.frames[frame]
+            .objs
+            .iter()
+            .filter(|o| is_car(o.class))
+            .map(|o| o.rect.center())
+            .collect();
+        self.positions_match(&pts)
+    }
+
+    /// All ground-truth matching frames in a split (for sizing query
+    /// parameters).
+    pub fn gt_matching_frames(&self, clips: &[Clip]) -> Vec<FrameRef> {
+        let mut out = Vec::new();
+        for (ci, clip) in clips.iter().enumerate() {
+            for f in 0..clip.num_frames() {
+                if self.frame_matches_gt(clip, f) {
+                    out.push(FrameRef { clip: ci, frame: f });
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's limit-query accuracy: fraction of output frames that
+    /// satisfy the query under ground truth. Empty output scores 0
+    /// when matches exist.
+    pub fn accuracy(&self, outputs: &[FrameRef], clips: &[Clip]) -> f32 {
+        if outputs.is_empty() {
+            return if self.gt_matching_frames(clips).is_empty() {
+                1.0
+            } else {
+                0.0
+            };
+        }
+        let good = outputs
+            .iter()
+            .filter(|r| self.frame_matches_gt(&clips[r.clip], r.frame))
+            .count();
+        good as f32 / outputs.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_cv::Detection;
+    use otif_geom::Rect;
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    fn det(x: f32, y: f32) -> Detection {
+        Detection {
+            rect: Rect::new(x - 10.0, y - 6.0, 20.0, 12.0),
+            class: ObjectClass::Car,
+            confidence: 0.9,
+            appearance: vec![],
+            debug_gt: None,
+        }
+    }
+
+    fn gt_as_tracks(clips: &[Clip]) -> Vec<Vec<Track>> {
+        clips
+            .iter()
+            .map(|c| {
+                c.gt_tracks
+                    .iter()
+                    .map(|g| {
+                        let mut t = Track::new(g.id, g.class);
+                        for (f, r) in &g.states {
+                            t.push(*f, det(r.center().x, r.center().y));
+                        }
+                        t
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn count_query(n: usize, limit: usize) -> FrameLimitQuery {
+        FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n,
+            limit,
+            min_separation_s: 5.0,
+        }
+    }
+
+    #[test]
+    fn count_predicate() {
+        let q = count_query(2, 10);
+        assert!(!q.positions_match(&[Point::new(0.0, 0.0)]));
+        assert!(q.positions_match(&[Point::new(0.0, 0.0), Point::new(5.0, 5.0)]));
+    }
+
+    #[test]
+    fn region_predicate() {
+        let q = FrameLimitQuery {
+            kind: FrameQueryKind::Region(Polygon::from_rect(&Rect::new(0.0, 0.0, 50.0, 50.0))),
+            n: 1,
+            limit: 10,
+            min_separation_s: 5.0,
+        };
+        assert!(q.positions_match(&[Point::new(25.0, 25.0)]));
+        assert!(!q.positions_match(&[Point::new(100.0, 100.0)]));
+    }
+
+    #[test]
+    fn hotspot_predicate_requires_clustered_objects() {
+        let q = FrameLimitQuery {
+            kind: FrameQueryKind::HotSpot { radius: 20.0 },
+            n: 3,
+            limit: 10,
+            min_separation_s: 5.0,
+        };
+        // 3 clustered
+        assert!(q.positions_match(&[
+            Point::new(0.0, 0.0),
+            Point::new(10.0, 0.0),
+            Point::new(0.0, 10.0),
+        ]));
+        // 3 spread out
+        assert!(!q.positions_match(&[
+            Point::new(0.0, 0.0),
+            Point::new(100.0, 0.0),
+            Point::new(0.0, 100.0),
+        ]));
+    }
+
+    #[test]
+    fn execute_respects_limit_and_separation() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 61).generate();
+        let tracks = gt_as_tracks(&d.test);
+        let q = count_query(1, 3);
+        let out = q.execute_on_tracks(&tracks, &d.test);
+        assert!(out.len() <= 3);
+        // separation within each clip
+        for a in &out {
+            for b in &out {
+                if a != b && a.clip == b.clip {
+                    let sep = (5.0 * d.test[a.clip].scene.fps as f32) as usize;
+                    assert!(a.frame.abs_diff(b.frame) >= sep);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_tracks_give_high_accuracy() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 62).generate();
+        let tracks = gt_as_tracks(&d.test);
+        let q = count_query(2, 10);
+        let out = q.execute_on_tracks(&tracks, &d.test);
+        assert!(!out.is_empty(), "busy highway should have ≥2-car frames");
+        let acc = q.accuracy(&out, &d.test);
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn accuracy_zero_when_results_missing_but_matches_exist() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 63).generate();
+        let q = count_query(1, 10);
+        assert!(!q.gt_matching_frames(&d.test).is_empty());
+        assert_eq!(q.accuracy(&[], &d.test), 0.0);
+    }
+
+    #[test]
+    fn impossible_query_with_empty_output_is_perfect() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 64).generate();
+        let q = count_query(1000, 10);
+        assert!(q.gt_matching_frames(&d.test).is_empty());
+        assert_eq!(q.accuracy(&[], &d.test), 1.0);
+    }
+
+    #[test]
+    fn interpolated_positions_used_between_samples() {
+        // a track sampled at frames 0 and 10 must still support frame 5
+        let mut t = Track::new(0, ObjectClass::Car);
+        t.push(0, det(0.0, 0.0));
+        t.push(10, det(100.0, 0.0));
+        let (pts, _) = FrameLimitQuery::track_positions(&[t], 5);
+        assert_eq!(pts.len(), 1);
+        assert!((pts[0].x - 50.0).abs() < 1e-4);
+    }
+}

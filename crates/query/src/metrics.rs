@@ -1,0 +1,55 @@
+//! The paper's accuracy metrics (§4.1, "Metrics").
+
+/// Count accuracy: `1 − |x̂ − x*| / x*`, clamped to `[0, 1]`.
+///
+/// When the ground truth is zero, a zero estimate scores 1 and any
+/// non-zero estimate scores 0 (the paper averages over 60 clips so the
+/// degenerate case needs a convention).
+pub fn count_accuracy(estimate: f32, ground_truth: f32) -> f32 {
+    if ground_truth <= 0.0 {
+        return if estimate <= 0.0 { 1.0 } else { 0.0 };
+    }
+    (1.0 - (estimate - ground_truth).abs() / ground_truth).clamp(0.0, 1.0)
+}
+
+/// Arithmetic mean; 0 for an empty slice.
+pub fn mean(values: &[f32]) -> f32 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f32>() / values.len() as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_count_scores_one() {
+        assert_eq!(count_accuracy(10.0, 10.0), 1.0);
+    }
+
+    #[test]
+    fn relative_error_reduces_score() {
+        assert!((count_accuracy(8.0, 10.0) - 0.8).abs() < 1e-6);
+        assert!((count_accuracy(12.0, 10.0) - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn large_errors_clamp_at_zero() {
+        assert_eq!(count_accuracy(30.0, 10.0), 0.0);
+    }
+
+    #[test]
+    fn zero_ground_truth_convention() {
+        assert_eq!(count_accuracy(0.0, 0.0), 1.0);
+        assert_eq!(count_accuracy(3.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+}

@@ -1,0 +1,488 @@
+//! Clip simulation: spawning, kinematics and ground-truth track recording.
+
+use crate::path::PathSpec;
+use crate::scene::{ObjectClass, SceneSpec};
+use otif_geom::{Point, Rect};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// One object's state in one frame (frame coordinates, i.e. after camera
+/// motion is applied).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ObjState {
+    /// Ground-truth object id.
+    pub track_id: u32,
+    /// Object category.
+    pub class: ObjectClass,
+    /// Bounding box in frame coordinates.
+    pub rect: Rect,
+    /// Index of the path the object travels (into `SceneSpec::paths`).
+    pub path_idx: usize,
+    /// Instantaneous speed in native px/s (used to derive deceleration for
+    /// the hard-braking query's ground truth).
+    pub speed: f32,
+}
+
+/// All object states visible in one frame.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct FrameState {
+    /// Time of this frame in seconds.
+    pub time_s: f32,
+    /// Camera offset applied this frame.
+    pub cam_offset: (f32, f32),
+    /// Visible objects.
+    pub objs: Vec<ObjState>,
+}
+
+/// Ground-truth track: the exact trajectory of one simulated object, in
+/// frame coordinates, restricted to frames where it is visible.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GtTrack {
+    /// Ground-truth object id.
+    pub id: u32,
+    /// Object category.
+    pub class: ObjectClass,
+    /// Path id (e.g. `"north->south"`) for path-breakdown ground truth.
+    pub path_id: String,
+    /// Index of the path into `SceneSpec::paths`.
+    pub path_idx: usize,
+    /// `(frame index, bounding box)` for each visible frame, ordered.
+    pub states: Vec<(usize, Rect)>,
+    /// Whether this object performed a hard-braking maneuver while visible.
+    pub braked_hard: bool,
+}
+
+impl GtTrack {
+    /// First frame where the object is visible.
+    pub fn first_frame(&self) -> usize {
+        self.states.first().map(|(f, _)| *f).unwrap_or(0)
+    }
+
+    /// Last frame where the object is visible.
+    pub fn last_frame(&self) -> usize {
+        self.states.last().map(|(f, _)| *f).unwrap_or(0)
+    }
+
+    /// Centers of the track as a polyline (for path classification).
+    pub fn center_polyline(&self) -> otif_geom::Polyline {
+        otif_geom::Polyline::new(self.states.iter().map(|(_, r)| r.center()).collect())
+    }
+}
+
+/// A simulated video clip: per-frame object states (for rendering and
+/// detector simulation) plus ground-truth tracks (for evaluation).
+#[derive(Debug, Clone)]
+pub struct Clip {
+    /// Index of the clip within its dataset split.
+    pub id: usize,
+    /// The scene this clip was simulated from.
+    pub scene: Arc<SceneSpec>,
+    /// Per-frame object states.
+    pub frames: Vec<FrameState>,
+    /// Exact ground-truth tracks.
+    pub gt_tracks: Vec<GtTrack>,
+    /// Seed the clip was simulated with.
+    pub seed: u64,
+}
+
+impl Clip {
+    /// Number of frames.
+    pub fn num_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Duration in seconds.
+    pub fn duration_s(&self) -> f32 {
+        self.frames.len() as f32 / self.scene.fps as f32
+    }
+
+    /// Ground-truth boxes visible in one frame.
+    pub fn gt_boxes(&self, frame: usize) -> Vec<(u32, ObjectClass, Rect)> {
+        self.frames[frame]
+            .objs
+            .iter()
+            .map(|o| (o.track_id, o.class, o.rect))
+            .collect()
+    }
+
+    /// Simulate a clip of `duration_s` seconds.
+    ///
+    /// The simulation warms up before frame zero so the scene is already
+    /// populated at clip start (real clips are sampled from continuous
+    /// footage).
+    pub fn simulate(scene: Arc<SceneSpec>, id: usize, duration_s: f32, seed: u64) -> Clip {
+        let fps = scene.fps as f32;
+        let n_frames = (duration_s * fps).round() as usize;
+        let dt = 1.0 / fps;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+
+        // Warm-up long enough for the slowest object to cross the scene.
+        let warmup_s = scene
+            .paths
+            .iter()
+            .map(|p| p.length() / (p.speed_px_s * 0.5))
+            .fold(10.0_f32, f32::max)
+            .min(120.0);
+
+        let mut next_id: u32 = 0;
+        let mut spawned: Vec<SimObject> = Vec::new();
+        for (path_idx, path) in scene.paths.iter().enumerate() {
+            let rate_per_s = path.arrivals_per_min / 60.0;
+            if rate_per_s <= 0.0 {
+                continue;
+            }
+            let mut t = -warmup_s;
+            loop {
+                // Exponential inter-arrival times.
+                let u: f32 = rng.gen_range(1e-6..1.0);
+                t += -u.ln() / rate_per_s;
+                if t >= duration_s {
+                    break;
+                }
+                let class = path.sample_class(rng.gen_range(0.0..1.0));
+                let speed_factor = 1.0
+                    + path.speed_jitter * rng.gen_range(-1.0_f32..1.0);
+                let lat = rng.gen_range(-4.0_f32..4.0);
+                let brake_at = if rng.gen_range(0.0..1.0_f32) < scene.hard_brake_prob {
+                    Some(rng.gen_range(0.25_f32..0.75))
+                } else {
+                    None
+                };
+                spawned.push(SimObject {
+                    id: {
+                        let i = next_id;
+                        next_id += 1;
+                        i
+                    },
+                    path_idx,
+                    class,
+                    spawn_t: t,
+                    cruise: path.speed_px_s * speed_factor.max(0.2),
+                    lateral: lat,
+                    brake_at_frac: brake_at,
+                });
+            }
+        }
+
+        let mut frames = vec![FrameState::default(); n_frames];
+        for (f, fr) in frames.iter_mut().enumerate() {
+            let t = f as f32 * dt;
+            fr.time_s = t;
+            fr.cam_offset = scene.camera.offset(t);
+        }
+
+        let frame_rect = scene.frame_rect();
+        let mut gt_tracks = Vec::new();
+        for obj in &spawned {
+            let path = &scene.paths[obj.path_idx];
+            let track = obj.roll_forward(path, &scene, n_frames, dt, frame_rect);
+            if let Some((track, states_per_frame)) = track {
+                for (f, st) in states_per_frame {
+                    frames[f].objs.push(st);
+                }
+                gt_tracks.push(track);
+            }
+        }
+        gt_tracks.sort_by_key(|t| t.id);
+
+        Clip {
+            id,
+            scene,
+            frames,
+            gt_tracks,
+            seed,
+        }
+    }
+}
+
+/// Internal: a spawned object before kinematic roll-out.
+struct SimObject {
+    id: u32,
+    path_idx: usize,
+    class: ObjectClass,
+    /// Spawn time in seconds relative to clip start (may be negative).
+    spawn_t: f32,
+    /// Cruise speed in px/s.
+    cruise: f32,
+    /// Lateral offset from the path centerline, in native px at scale 1.
+    lateral: f32,
+    /// If set, the arc-length fraction at which a hard-brake event starts.
+    brake_at_frac: Option<f32>,
+}
+
+impl SimObject {
+    /// Integrate the object's motion and emit its per-frame states and
+    /// ground-truth track. Returns `None` if it is never visible in-clip.
+    fn roll_forward(
+        &self,
+        path: &PathSpec,
+        scene: &SceneSpec,
+        n_frames: usize,
+        dt: f32,
+        frame_rect: Rect,
+    ) -> Option<(GtTrack, Vec<(usize, ObjState)>)> {
+        let len = path.length();
+        let accel = self.cruise * 0.8; // px/s² gentle acceleration
+        let decel = self.cruise * 1.5;
+        let hard_decel = self.cruise * 4.0;
+
+        let mut u = 0.0_f32; // arc length traveled
+        let mut v = self.cruise;
+        let mut t = self.spawn_t;
+        let mut braked = false;
+
+        let mut states = Vec::new();
+        let mut gt_states = Vec::new();
+
+        // step until the object exits the path or the clip ends
+        let max_t = n_frames as f32 * dt + dt;
+        while u <= len && t < max_t {
+            // choose target speed for this step
+            let frac = u / len;
+            let mut target = self.cruise;
+            let mut max_decel = decel;
+            if let Some(bf) = self.brake_at_frac {
+                // hard-brake window covers ~8 % of the path
+                if frac >= bf && frac < bf + 0.08 {
+                    target = self.cruise * 0.15;
+                    max_decel = hard_decel;
+                    braked = true;
+                }
+            }
+            if let Some(sz) = path.stop_zone {
+                if scene.signal_cycle_s > 0.0 {
+                    let phase = (t / scene.signal_cycle_s + sz.phase).rem_euclid(1.0);
+                    let red = phase < 0.45;
+                    let stop_u = sz.at_frac * len;
+                    if red && u < stop_u && stop_u - u < v.max(20.0) * 2.0 {
+                        target = 0.0;
+                        max_decel = decel;
+                    }
+                }
+            }
+            // integrate speed with accel/decel limits
+            let dv = (target - v).clamp(-max_decel * dt, accel * dt);
+            v = (v + dv).max(0.0);
+            u += v * dt;
+            t += dt;
+
+            // emit a state if this instant lands on a clip frame
+            let fidx = (t / dt).round() as i64;
+            if fidx >= 0 && (fidx as usize) < n_frames && (t - fidx as f32 * dt).abs() < dt * 0.5 {
+                let f = fidx as usize;
+                let frac = (u / len).clamp(0.0, 1.0);
+                let center = self.position(path, frac);
+                let scale = path.scale.at(frac);
+                let (bw, bh) = self.class.base_size();
+                let (w, h) = (bw * scale, bh * scale);
+                let cam = scene.camera.offset(f as f32 * dt);
+                let rect = Rect::new(
+                    center.x - w / 2.0 - cam.0,
+                    center.y - h / 2.0 - cam.1,
+                    w,
+                    h,
+                );
+                if u <= len && rect.intersects(&frame_rect) {
+                    states.push((
+                        f,
+                        ObjState {
+                            track_id: self.id,
+                            class: self.class,
+                            rect,
+                            path_idx: self.path_idx,
+                            speed: v,
+                        },
+                    ));
+                    gt_states.push((f, rect));
+                }
+            }
+        }
+
+        if gt_states.is_empty() {
+            return None;
+        }
+        let visible_braked = braked;
+        Some((
+            GtTrack {
+                id: self.id,
+                class: self.class,
+                path_id: path.id.clone(),
+                path_idx: self.path_idx,
+                states: gt_states,
+                braked_hard: visible_braked,
+            },
+            states,
+        ))
+    }
+
+    /// World-space center position at arc-length fraction `frac`,
+    /// including the lateral lane offset.
+    fn position(&self, path: &PathSpec, frac: f32) -> Point {
+        let p = path.route.point_at(frac);
+        // approximate tangent by finite difference
+        let q = path.route.point_at((frac + 0.01).min(1.0));
+        let r = path.route.point_at((frac - 0.01).max(0.0));
+        let d = q - r;
+        let n = d.norm();
+        if n < 1e-6 {
+            return p;
+        }
+        let normal = Point::new(-d.y / n, d.x / n);
+        let scale = path.scale.at(frac);
+        p + normal * (self.lateral * scale)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::ScaleProfile;
+    use crate::scene::CameraMotion;
+
+    fn test_scene() -> Arc<SceneSpec> {
+        Arc::new(SceneSpec {
+            name: "test".into(),
+            width: 320,
+            height: 192,
+            fps: 10,
+            camera: CameraMotion::Fixed,
+            paths: vec![PathSpec::straight(
+                "west->east",
+                (-40.0, 96.0),
+                (360.0, 96.0),
+                ScaleProfile::uniform(1.0),
+                30.0,
+                80.0,
+            )],
+            background_level: 0.3,
+            noise_sigma: 0.02,
+            hard_brake_prob: 0.0,
+            signal_cycle_s: 0.0,
+        })
+    }
+
+    #[test]
+    fn simulation_is_deterministic() {
+        let scene = test_scene();
+        let a = Clip::simulate(scene.clone(), 0, 10.0, 42);
+        let b = Clip::simulate(scene, 0, 10.0, 42);
+        assert_eq!(a.gt_tracks.len(), b.gt_tracks.len());
+        for (x, y) in a.gt_tracks.iter().zip(&b.gt_tracks) {
+            assert_eq!(x.states.len(), y.states.len());
+            assert_eq!(x.states.first(), y.states.first());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let scene = test_scene();
+        let a = Clip::simulate(scene.clone(), 0, 10.0, 1);
+        let b = Clip::simulate(scene, 0, 10.0, 2);
+        // With 30 arrivals/min over 10 s the traffic pattern will differ.
+        let sig_a: Vec<usize> = a.gt_tracks.iter().map(|t| t.states.len()).collect();
+        let sig_b: Vec<usize> = b.gt_tracks.iter().map(|t| t.states.len()).collect();
+        assert_ne!(sig_a, sig_b);
+    }
+
+    #[test]
+    fn warmup_populates_first_frame() {
+        let scene = test_scene();
+        let c = Clip::simulate(scene, 0, 10.0, 7);
+        // At 30 arrivals/min and a 5 s crossing time, frame 0 should
+        // usually contain at least one object thanks to warm-up.
+        assert!(
+            !c.frames[0].objs.is_empty(),
+            "expected warm-up traffic in frame 0"
+        );
+    }
+
+    #[test]
+    fn objects_move_left_to_right() {
+        let scene = test_scene();
+        let c = Clip::simulate(scene, 0, 20.0, 3);
+        let t = c
+            .gt_tracks
+            .iter()
+            .find(|t| t.states.len() > 10)
+            .expect("some long track");
+        let first = t.states.first().unwrap().1.center();
+        let last = t.states.last().unwrap().1.center();
+        assert!(last.x > first.x, "track should move east");
+        // speed ≈ 80 px/s ± jitter: displacement per frame ~8 px
+        let frames = (t.last_frame() - t.first_frame()) as f32;
+        let px_per_frame = (last.x - first.x) / frames;
+        assert!(
+            (4.0..16.0).contains(&px_per_frame),
+            "px/frame = {px_per_frame}"
+        );
+    }
+
+    #[test]
+    fn boxes_always_intersect_frame() {
+        let scene = test_scene();
+        let c = Clip::simulate(scene.clone(), 0, 10.0, 9);
+        let fr = scene.frame_rect();
+        for f in &c.frames {
+            for o in &f.objs {
+                assert!(o.rect.intersects(&fr));
+            }
+        }
+    }
+
+    #[test]
+    fn gt_tracks_match_frame_states() {
+        let scene = test_scene();
+        let c = Clip::simulate(scene, 0, 10.0, 11);
+        // Every ground-truth state appears in the corresponding frame.
+        for t in &c.gt_tracks {
+            for (f, r) in &t.states {
+                let found = c.frames[*f]
+                    .objs
+                    .iter()
+                    .any(|o| o.track_id == t.id && o.rect == *r);
+                assert!(found, "missing state for track {} frame {f}", t.id);
+            }
+        }
+        // Frame counts agree in total.
+        let total_frame_objs: usize = c.frames.iter().map(|f| f.objs.len()).sum();
+        let total_gt_states: usize = c.gt_tracks.iter().map(|t| t.states.len()).sum();
+        assert_eq!(total_frame_objs, total_gt_states);
+    }
+
+    #[test]
+    fn stop_zone_halts_traffic_during_red() {
+        let mut scene = (*test_scene()).clone();
+        scene.signal_cycle_s = 20.0;
+        scene.paths[0] = scene.paths[0].clone().with_stop_zone(0.5, 0.0);
+        let c = Clip::simulate(Arc::new(scene), 0, 20.0, 5);
+        // Some object should come to (near) rest at some point.
+        let any_stopped = c
+            .frames
+            .iter()
+            .any(|f| f.objs.iter().any(|o| o.speed < 1.0));
+        assert!(any_stopped, "no object ever stopped at the signal");
+    }
+
+    #[test]
+    fn hard_brake_flag_set_when_enabled() {
+        let mut scene = (*test_scene()).clone();
+        scene.hard_brake_prob = 1.0;
+        let c = Clip::simulate(Arc::new(scene), 0, 20.0, 5);
+        assert!(c.gt_tracks.iter().any(|t| t.braked_hard));
+    }
+
+    #[test]
+    fn moving_camera_shifts_boxes() {
+        let mut scene = (*test_scene()).clone();
+        scene.camera = CameraMotion::Drift {
+            amp_x: 15.0,
+            amp_y: 8.0,
+            period_s: 10.0,
+        };
+        let c = Clip::simulate(Arc::new(scene), 0, 10.0, 13);
+        assert!(c.frames.iter().any(|f| f.cam_offset.0.abs() > 1.0));
+    }
+}

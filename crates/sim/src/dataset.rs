@@ -1,0 +1,521 @@
+//! The seven benchmark datasets and train/validation/test splits.
+
+use crate::clip::Clip;
+use crate::path::{PathSpec, ScaleProfile};
+use crate::scene::{CameraMotion, ObjectClass, SceneSpec};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// The seven datasets in the paper's evaluation (§4).
+///
+/// Each maps to a synthetic scene configured to reproduce the properties
+/// the paper's results hinge on:
+///
+/// - **Caldot1/Caldot2** — small-resolution highway cameras; traffic
+///   spread across the frame (little headroom for the proxy model on
+///   Caldot1, per Table 4).
+/// - **Tokyo** — a city junction with 10 distinct turning paths (the
+///   paper's path-breakdown query counts all 10).
+/// - **Warsaw** — a busy junction concentrated in the frame center with
+///   large empty margins (the proxy model gives ~1.5× there, per Table 4).
+/// - **UAV** — aerial drone with camera drift (no refinement, §3.4).
+/// - **Amsterdam** — sparse riverside plaza with idle periods (NoScope's
+///   frame skipping is competitive there, §4.1).
+/// - **Jackson** — light night-time junction traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// California DOT highway camera 1 (busy).
+    Caldot1,
+    /// California DOT highway camera 2 (lighter traffic).
+    Caldot2,
+    /// City junction with 10 turning movements.
+    Tokyo,
+    /// Aerial drone with camera drift.
+    Uav,
+    /// Busy compact junction with empty margins.
+    Warsaw,
+    /// Sparse riverside plaza.
+    Amsterdam,
+    /// Light night-time junction traffic.
+    Jackson,
+}
+
+impl DatasetKind {
+    /// All seven datasets, in the paper's order.
+    pub const ALL: [DatasetKind; 7] = [
+        DatasetKind::Caldot1,
+        DatasetKind::Caldot2,
+        DatasetKind::Tokyo,
+        DatasetKind::Uav,
+        DatasetKind::Warsaw,
+        DatasetKind::Amsterdam,
+        DatasetKind::Jackson,
+    ];
+
+    /// Lowercase dataset name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Caldot1 => "caldot1",
+            DatasetKind::Caldot2 => "caldot2",
+            DatasetKind::Tokyo => "tokyo",
+            DatasetKind::Uav => "uav",
+            DatasetKind::Warsaw => "warsaw",
+            DatasetKind::Amsterdam => "amsterdam",
+            DatasetKind::Jackson => "jackson",
+        }
+    }
+
+    /// Whether the camera is fixed (refinement applies) or moving.
+    pub fn fixed_camera(&self) -> bool {
+        !matches!(self, DatasetKind::Uav)
+    }
+
+    /// Build the scene specification for this dataset.
+    pub fn scene(&self) -> SceneSpec {
+        match self {
+            DatasetKind::Caldot1 => highway_scene("caldot1", 20.0, 110.0, 0.06),
+            DatasetKind::Caldot2 => highway_scene("caldot2", 9.0, 140.0, 0.04),
+            DatasetKind::Tokyo => junction_scene("tokyo", 640, 384, 3.5, 0.30, false),
+            DatasetKind::Uav => uav_scene(),
+            DatasetKind::Warsaw => junction_scene("warsaw", 640, 384, 7.0, 0.30, true),
+            DatasetKind::Amsterdam => plaza_scene(),
+            DatasetKind::Jackson => junction_scene("jackson", 640, 384, 1.2, 0.15, false),
+        }
+    }
+}
+
+fn highway_scene(name: &str, per_lane_per_min: f32, speed: f32, brake: f32) -> SceneSpec {
+    // 384×224 ≈ the paper's 720×480 Caldot feeds at half scale.
+    let paths = vec![
+        PathSpec::straight(
+            "west->east-l1",
+            (-60.0, 118.0),
+            (440.0, 128.0),
+            ScaleProfile { start: 0.8, end: 1.0 },
+            per_lane_per_min,
+            speed,
+        ),
+        PathSpec::straight(
+            "west->east-l2",
+            (-60.0, 146.0),
+            (440.0, 158.0),
+            ScaleProfile { start: 0.9, end: 1.1 },
+            per_lane_per_min * 0.9,
+            speed * 0.92,
+        ),
+        PathSpec::straight(
+            "east->west-l1",
+            (440.0, 84.0),
+            (-60.0, 76.0),
+            ScaleProfile { start: 0.8, end: 0.6 },
+            per_lane_per_min * 0.9,
+            speed * 1.05,
+        ),
+        PathSpec::straight(
+            "east->west-l2",
+            (440.0, 104.0),
+            (-60.0, 96.0),
+            ScaleProfile { start: 0.9, end: 0.7 },
+            per_lane_per_min * 0.8,
+            speed,
+        ),
+    ];
+    SceneSpec {
+        name: name.to_string(),
+        width: 384,
+        height: 224,
+        fps: 10,
+        camera: CameraMotion::Fixed,
+        paths,
+        background_level: 0.30,
+        noise_sigma: 0.03,
+        hard_brake_prob: brake,
+        signal_cycle_s: 0.0,
+    }
+}
+
+/// Build a four-road junction with 10 turning paths (N/S/E/W through and
+/// turn movements), as in the paper's Tokyo query. If `compact`, roads are
+/// squeezed into the frame center leaving large empty margins (Warsaw).
+fn junction_scene(
+    name: &str,
+    width: u32,
+    height: u32,
+    per_path_per_min: f32,
+    bg: f32,
+    compact: bool,
+) -> SceneSpec {
+    let w = width as f32;
+    let h = height as f32;
+    let (cx, cy) = (w / 2.0, h / 2.0);
+    // entry/exit points per road; compact scenes pull them toward center
+    let m = if compact { 0.62 } else { 1.0 };
+    let n_in = (cx - 24.0, -20.0 * m + cy * (1.0 - m));
+    let n_out = (cx + 24.0, -20.0 * m + cy * (1.0 - m));
+    let s_in = (cx + 24.0, h + 20.0 * m - (h - cy) * (1.0 - m) * 0.0);
+    let s_out = (cx - 24.0, h + 20.0 * m);
+    let e_in = (w + 20.0 * m - (w - cx) * (1.0 - m), cy - 20.0);
+    let e_out = (w + 20.0 * m - (w - cx) * (1.0 - m), cy + 20.0);
+    let w_in = (cx * (1.0 - m) - 20.0 * m, cy + 20.0);
+    let w_out = (cx * (1.0 - m) - 20.0 * m, cy - 20.0);
+    let s_in = if compact {
+        (cx + 24.0, cy + (h - cy) * m + 10.0)
+    } else {
+        s_in
+    };
+    let s_out2 = if compact {
+        (cx - 24.0, cy + (h - cy) * m + 10.0)
+    } else {
+        s_out
+    };
+
+    // perspective: roads from the top are farther away
+    let far = ScaleProfile { start: 0.55, end: 1.0 };
+    let near = ScaleProfile { start: 1.0, end: 0.55 };
+    let level = ScaleProfile::uniform(0.8);
+    let c = (cx, cy);
+    let r = per_path_per_min;
+    let mk = |id: &str, pts: &[(f32, f32)], sc: ScaleProfile, phase: f32| {
+        PathSpec::through(id, pts, sc, r, 85.0).with_stop_zone(0.35, phase)
+    };
+    let paths = vec![
+        mk("n->s", &[n_in, c, s_out2], far, 0.0),
+        mk("s->n", &[s_in, c, n_out], near, 0.0),
+        mk("e->w", &[e_in, c, w_out], level, 0.5),
+        mk("w->e", &[w_in, c, e_out], level, 0.5),
+        mk("n->e", &[n_in, (cx - 10.0, cy - 10.0), e_out], far, 0.0),
+        mk("n->w", &[n_in, (cx - 20.0, cy), w_out], far, 0.0),
+        mk("s->e", &[s_in, (cx + 20.0, cy), e_out], near, 0.0),
+        mk("e->s", &[e_in, (cx + 10.0, cy + 10.0), s_out2], level, 0.5),
+        mk("w->n", &[w_in, (cx - 10.0, cy + 10.0), n_out], level, 0.5),
+        mk("w->s", &[w_in, (cx, cy + 15.0), s_out2], level, 0.5),
+    ];
+    SceneSpec {
+        name: name.to_string(),
+        width,
+        height,
+        fps: 10,
+        camera: CameraMotion::Fixed,
+        paths,
+        background_level: bg,
+        noise_sigma: if name == "jackson" { 0.05 } else { 0.03 },
+        hard_brake_prob: 0.06,
+        signal_cycle_s: 24.0,
+    }
+}
+
+fn uav_scene() -> SceneSpec {
+    // Aerial view: small objects, two crossing roads, drifting camera.
+    let paths = vec![
+        PathSpec::straight(
+            "sw->ne",
+            (-40.0, 320.0),
+            (560.0, -30.0),
+            ScaleProfile::uniform(0.5),
+            7.0,
+            90.0,
+        ),
+        PathSpec::straight(
+            "ne->sw",
+            (560.0, 20.0),
+            (-40.0, 300.0),
+            ScaleProfile::uniform(0.5),
+            6.0,
+            95.0,
+        ),
+        PathSpec::straight(
+            "w->e",
+            (-40.0, 200.0),
+            (560.0, 210.0),
+            ScaleProfile::uniform(0.55),
+            5.0,
+            80.0,
+        )
+        .with_class_mix(vec![
+            (ObjectClass::Car, 0.7),
+            (ObjectClass::Truck, 0.2),
+            (ObjectClass::Pedestrian, 0.1),
+        ]),
+        PathSpec::straight(
+            "footpath",
+            (100.0, -20.0),
+            (140.0, 320.0),
+            ScaleProfile::uniform(0.6),
+            3.0,
+            16.0,
+        )
+        .with_class_mix(vec![(ObjectClass::Pedestrian, 1.0)]),
+    ];
+    SceneSpec {
+        name: "uav".to_string(),
+        width: 512,
+        height: 288,
+        fps: 5,
+        camera: CameraMotion::Drift {
+            amp_x: 18.0,
+            amp_y: 10.0,
+            period_s: 45.0,
+        },
+        paths,
+        background_level: 0.35,
+        noise_sigma: 0.03,
+        hard_brake_prob: 0.05,
+        signal_cycle_s: 0.0,
+    }
+}
+
+fn plaza_scene() -> SceneSpec {
+    // Sparse riverside plaza: occasional cars on a road, slow pedestrians;
+    // long idle periods so classification proxies can skip frames.
+    let paths = vec![
+        PathSpec::straight(
+            "road-w->e",
+            (-60.0, 300.0),
+            (700.0, 310.0),
+            ScaleProfile::uniform(1.0),
+            2.2,
+            70.0,
+        ),
+        PathSpec::straight(
+            "road-e->w",
+            (700.0, 330.0),
+            (-60.0, 340.0),
+            ScaleProfile::uniform(1.0),
+            1.8,
+            75.0,
+        ),
+        PathSpec::straight(
+            "promenade",
+            (-20.0, 180.0),
+            (660.0, 170.0),
+            ScaleProfile::uniform(0.9),
+            2.0,
+            14.0,
+        )
+        .with_class_mix(vec![(ObjectClass::Pedestrian, 1.0)]),
+        PathSpec::straight(
+            "crossing",
+            (320.0, 120.0),
+            (340.0, 400.0),
+            ScaleProfile::uniform(0.9),
+            1.0,
+            13.0,
+        )
+        .with_class_mix(vec![(ObjectClass::Pedestrian, 1.0)]),
+    ];
+    SceneSpec {
+        name: "amsterdam".to_string(),
+        width: 640,
+        height: 384,
+        fps: 15,
+        camera: CameraMotion::Fixed,
+        paths,
+        background_level: 0.45,
+        noise_sigma: 0.025,
+        hard_brake_prob: 0.04,
+        signal_cycle_s: 0.0,
+    }
+}
+
+/// How much video a dataset contains. The paper samples one hour (60
+/// one-minute clips) per split; scaled profiles keep unit tests fast while
+/// experiment harnesses report costs scaled to the one-hour equivalent.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetScale {
+    /// Clips per train/val/test split.
+    pub clips_per_split: usize,
+    /// Seconds per clip.
+    pub clip_seconds: f32,
+}
+
+impl DatasetScale {
+    /// The paper's full scale: 60 one-minute clips per split.
+    pub const PAPER: DatasetScale = DatasetScale {
+        clips_per_split: 60,
+        clip_seconds: 60.0,
+    };
+
+    /// Experiment-harness scale: enough video for stable statistics while
+    /// keeping harness runtime reasonable.
+    pub const EXPERIMENT: DatasetScale = DatasetScale {
+        clips_per_split: 10,
+        clip_seconds: 20.0,
+    };
+
+    /// Unit-test scale.
+    pub const TINY: DatasetScale = DatasetScale {
+        clips_per_split: 2,
+        clip_seconds: 6.0,
+    };
+
+    /// Total seconds of video per split.
+    pub fn split_seconds(&self) -> f32 {
+        self.clips_per_split as f32 * self.clip_seconds
+    }
+
+    /// Multiplier converting measured simulated cost on one split to the
+    /// one-hour-dataset equivalent the paper reports.
+    pub fn hour_scale(&self) -> f64 {
+        3600.0 / self.split_seconds() as f64
+    }
+}
+
+/// Configuration for generating a dataset.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetConfig {
+    /// Which dataset to generate.
+    pub kind: DatasetKind,
+    /// How much video per split.
+    pub scale: DatasetScale,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl DatasetConfig {
+    /// Bundle a dataset configuration.
+    pub fn new(kind: DatasetKind, scale: DatasetScale, seed: u64) -> Self {
+        DatasetConfig { kind, scale, seed }
+    }
+
+    /// Small configuration for tests and examples.
+    pub fn small(kind: DatasetKind, seed: u64) -> Self {
+        DatasetConfig::new(kind, DatasetScale::TINY, seed)
+    }
+
+    /// Generate the train/validation/test splits.
+    pub fn generate(&self) -> Dataset {
+        let scene = Arc::new(self.kind.scene());
+        let gen_split = |split: u64| -> Vec<Clip> {
+            (0..self.scale.clips_per_split)
+                .map(|i| {
+                    Clip::simulate(
+                        scene.clone(),
+                        i,
+                        self.scale.clip_seconds,
+                        self.seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(split * 1_000_003 + i as u64),
+                    )
+                })
+                .collect()
+        };
+        let (train, val, test) = (gen_split(1), gen_split(2), gen_split(3));
+        Dataset {
+            kind: self.kind,
+            scale: self.scale,
+            scene,
+            train,
+            val,
+            test,
+        }
+    }
+}
+
+/// A generated dataset: shared scene plus three clip splits, mirroring the
+/// paper's training / validation / hidden-test protocol (§4).
+pub struct Dataset {
+    /// Which dataset this is.
+    pub kind: DatasetKind,
+    /// The scale it was generated at.
+    pub scale: DatasetScale,
+    /// The shared scene specification.
+    pub scene: Arc<SceneSpec>,
+    /// Training split (model training).
+    pub train: Vec<Clip>,
+    /// Validation split (parameter tuning).
+    pub val: Vec<Clip>,
+    /// Hidden test split (reporting).
+    pub test: Vec<Clip>,
+}
+
+impl Dataset {
+    /// Total frames in one split.
+    pub fn split_frames(&self) -> usize {
+        self.test.iter().map(|c| c.num_frames()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_scenes_build_with_cell_aligned_dims() {
+        for kind in DatasetKind::ALL {
+            let s = kind.scene();
+            assert_eq!(s.width % 32, 0, "{kind:?}");
+            assert_eq!(s.height % 32, 0, "{kind:?}");
+            assert!(!s.paths.is_empty());
+        }
+    }
+
+    #[test]
+    fn tokyo_has_ten_turning_paths() {
+        let s = DatasetKind::Tokyo.scene();
+        assert_eq!(s.paths.len(), 10);
+        let mut ids: Vec<&str> = s.paths.iter().map(|p| p.id.as_str()).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 10, "path ids must be distinct");
+    }
+
+    #[test]
+    fn uav_is_the_only_moving_camera() {
+        for kind in DatasetKind::ALL {
+            let moving = matches!(kind.scene().camera, CameraMotion::Drift { .. });
+            assert_eq!(moving, !kind.fixed_camera(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn dataset_generation_produces_three_splits() {
+        let d = DatasetConfig::small(DatasetKind::Caldot1, 5).generate();
+        assert_eq!(d.train.len(), 2);
+        assert_eq!(d.val.len(), 2);
+        assert_eq!(d.test.len(), 2);
+        // splits differ (different seeds)
+        let count = |clips: &[Clip]| -> usize { clips.iter().map(|c| c.gt_tracks.len()).sum() };
+        assert!(count(&d.train) > 0);
+        let sig_train: Vec<usize> = d.train.iter().map(|c| c.gt_tracks.len()).collect();
+        let sig_val: Vec<usize> = d.val.iter().map(|c| c.gt_tracks.len()).collect();
+        assert_ne!(sig_train, sig_val);
+    }
+
+    #[test]
+    fn amsterdam_has_idle_frames() {
+        let d = DatasetConfig::new(DatasetKind::Amsterdam, DatasetScale::TINY, 3).generate();
+        let empty: usize = d
+            .test
+            .iter()
+            .flat_map(|c| c.frames.iter())
+            .filter(|f| f.objs.is_empty())
+            .count();
+        let total: usize = d.test.iter().map(|c| c.num_frames()).sum();
+        assert!(
+            empty * 10 > total,
+            "expected ≥10 % empty frames in amsterdam, got {empty}/{total}"
+        );
+    }
+
+    #[test]
+    fn warsaw_busier_than_jackson() {
+        let w = DatasetConfig::small(DatasetKind::Warsaw, 9).generate();
+        let j = DatasetConfig::small(DatasetKind::Jackson, 9).generate();
+        let density = |d: &Dataset| -> f32 {
+            let objs: usize = d.test.iter().flat_map(|c| c.frames.iter()).map(|f| f.objs.len()).sum();
+            let frames: usize = d.test.iter().map(|c| c.num_frames()).sum();
+            objs as f32 / frames as f32
+        };
+        assert!(density(&w) > density(&j) * 2.0);
+    }
+
+    #[test]
+    fn hour_scale_math() {
+        assert!((DatasetScale::PAPER.hour_scale() - 1.0).abs() < 1e-9);
+        let s = DatasetScale {
+            clips_per_split: 10,
+            clip_seconds: 36.0,
+        };
+        assert!((s.hour_scale() - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,221 @@
+//! Traffic paths: where objects travel and how they appear along the way.
+
+use crate::scene::ObjectClass;
+use otif_geom::{Point, Polyline};
+use serde::{Deserialize, Serialize};
+
+/// Perspective scale along a path: objects are drawn at
+/// `lerp(start, end, u / length)` times their base size, so paths leading
+/// away from the camera shrink objects toward the horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScaleProfile {
+    /// Scale at the path start.
+    pub start: f32,
+    /// Scale at the path end.
+    pub end: f32,
+}
+
+impl ScaleProfile {
+    /// Constant scale along the whole path.
+    pub const fn uniform(s: f32) -> Self {
+        ScaleProfile { start: s, end: s }
+    }
+
+    /// Scale at arc-length fraction `frac` (clamped to [0, 1]).
+    pub fn at(&self, frac: f32) -> f32 {
+        self.start + (self.end - self.start) * frac.clamp(0.0, 1.0)
+    }
+}
+
+/// A region along the path (by arc-length fraction) where objects must stop
+/// during the red phase of the scene's signal cycle — models junction
+/// queues and the stop-and-go motion real trackers must survive.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StopZone {
+    /// Arc-length fraction where the stop line sits.
+    pub at_frac: f32,
+    /// Phase offset into the signal cycle, in `[0, 1)`; paths from
+    /// different roads get different phases.
+    pub phase: f32,
+}
+
+/// One traffic path through the scene.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PathSpec {
+    /// Stable identifier used by path-breakdown queries (e.g.
+    /// `"north->south"`). Paths with distinct ids are distinct "turning
+    /// directions" in the paper's Tokyo query.
+    pub id: String,
+    /// The route in native frame coordinates. Endpoints may lie outside the
+    /// frame (objects enter/leave the frame boundary) or inside it
+    /// (objects appear/disappear at an occlusion or the horizon).
+    pub route: Polyline,
+    /// Perspective scale profile.
+    pub scale: ScaleProfile,
+    /// Mean arrivals per minute (Poisson).
+    pub arrivals_per_min: f32,
+    /// Base speed in native pixels per second.
+    pub speed_px_s: f32,
+    /// Relative speed jitter (e.g. 0.2 = ±20 % per object).
+    pub speed_jitter: f32,
+    /// Class mix as (class, weight) pairs; weights need not sum to 1.
+    pub class_mix: Vec<(ObjectClass, f32)>,
+    /// Optional stop zone for signal-controlled junctions.
+    pub stop_zone: Option<StopZone>,
+}
+
+impl PathSpec {
+    /// Convenience constructor for a straight path between two points with
+    /// a car-dominated class mix.
+    pub fn straight(
+        id: &str,
+        from: (f32, f32),
+        to: (f32, f32),
+        scale: ScaleProfile,
+        arrivals_per_min: f32,
+        speed_px_s: f32,
+    ) -> Self {
+        PathSpec {
+            id: id.to_string(),
+            route: Polyline::new(vec![
+                Point::new(from.0, from.1),
+                Point::new(to.0, to.1),
+            ]),
+            scale,
+            arrivals_per_min,
+            speed_px_s,
+            speed_jitter: 0.2,
+            class_mix: vec![
+                (ObjectClass::Car, 0.85),
+                (ObjectClass::Truck, 0.10),
+                (ObjectClass::Bus, 0.05),
+            ],
+            stop_zone: None,
+        }
+    }
+
+    /// A turning path through a set of waypoints.
+    pub fn through(
+        id: &str,
+        waypoints: &[(f32, f32)],
+        scale: ScaleProfile,
+        arrivals_per_min: f32,
+        speed_px_s: f32,
+    ) -> Self {
+        PathSpec {
+            id: id.to_string(),
+            route: Polyline::new(waypoints.iter().map(|&(x, y)| Point::new(x, y)).collect()),
+            scale,
+            arrivals_per_min,
+            speed_px_s,
+            speed_jitter: 0.2,
+            class_mix: vec![
+                (ObjectClass::Car, 0.85),
+                (ObjectClass::Truck, 0.10),
+                (ObjectClass::Bus, 0.05),
+            ],
+            stop_zone: None,
+        }
+    }
+
+    /// Add a signal-controlled stop zone.
+    pub fn with_stop_zone(mut self, at_frac: f32, phase: f32) -> Self {
+        self.stop_zone = Some(StopZone { at_frac, phase });
+        self
+    }
+
+    /// Replace the class mix.
+    pub fn with_class_mix(mut self, mix: Vec<(ObjectClass, f32)>) -> Self {
+        self.class_mix = mix;
+        self
+    }
+
+    /// Replace the per-object speed jitter.
+    pub fn with_speed_jitter(mut self, jitter: f32) -> Self {
+        self.speed_jitter = jitter;
+        self
+    }
+
+    /// Arc length of the route in native pixels.
+    pub fn length(&self) -> f32 {
+        self.route.length()
+    }
+
+    /// Sample a class from the mix given a uniform random draw in `[0, 1)`.
+    pub fn sample_class(&self, u: f32) -> ObjectClass {
+        let total: f32 = self.class_mix.iter().map(|(_, w)| w).sum();
+        let mut target = u * total;
+        for (c, w) in &self.class_mix {
+            if target < *w {
+                return *c;
+            }
+            target -= w;
+        }
+        self.class_mix.last().map(|(c, _)| *c).unwrap_or(ObjectClass::Car)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_profile_interpolates() {
+        let p = ScaleProfile {
+            start: 1.0,
+            end: 0.5,
+        };
+        assert_eq!(p.at(0.0), 1.0);
+        assert_eq!(p.at(1.0), 0.5);
+        assert_eq!(p.at(0.5), 0.75);
+        // clamped outside [0,1]
+        assert_eq!(p.at(2.0), 0.5);
+        assert_eq!(p.at(-1.0), 1.0);
+    }
+
+    #[test]
+    fn straight_path_length() {
+        let p = PathSpec::straight(
+            "a",
+            (0.0, 0.0),
+            (30.0, 40.0),
+            ScaleProfile::uniform(1.0),
+            10.0,
+            50.0,
+        );
+        assert!((p.length() - 50.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn sample_class_respects_weights() {
+        let p = PathSpec::straight(
+            "a",
+            (0.0, 0.0),
+            (1.0, 0.0),
+            ScaleProfile::uniform(1.0),
+            1.0,
+            1.0,
+        )
+        .with_class_mix(vec![(ObjectClass::Car, 1.0), (ObjectClass::Bus, 1.0)]);
+        assert_eq!(p.sample_class(0.0), ObjectClass::Car);
+        assert_eq!(p.sample_class(0.49), ObjectClass::Car);
+        assert_eq!(p.sample_class(0.51), ObjectClass::Bus);
+        assert_eq!(p.sample_class(0.99), ObjectClass::Bus);
+    }
+
+    #[test]
+    fn sample_class_single_entry() {
+        let p = PathSpec::straight(
+            "a",
+            (0.0, 0.0),
+            (1.0, 0.0),
+            ScaleProfile::uniform(1.0),
+            1.0,
+            1.0,
+        )
+        .with_class_mix(vec![(ObjectClass::Pedestrian, 0.3)]);
+        for u in [0.0, 0.5, 0.999] {
+            assert_eq!(p.sample_class(u), ObjectClass::Pedestrian);
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! Frame rendering: turn simulated object states into grayscale pixels.
+//!
+//! The renderer produces frames at any requested resolution directly (the
+//! scene is vector data), so the proxy model can be trained and run on
+//! real pixels without paying for full-resolution rendering. Backgrounds
+//! use stable block noise anchored in native coordinates so the same scene
+//! content appears at every resolution, as a camera would see it.
+
+use crate::clip::Clip;
+use serde::{Deserialize, Serialize};
+
+/// A grayscale image with `f32` intensities in `[0, 1]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GrayImage {
+    /// Width in pixels.
+    pub w: usize,
+    /// Height in pixels.
+    pub h: usize,
+    /// Row-major intensities in [0, 1].
+    pub data: Vec<f32>,
+}
+
+impl GrayImage {
+    /// All-black image.
+    pub fn new(w: usize, h: usize) -> Self {
+        GrayImage {
+            w,
+            h,
+            data: vec![0.0; w * h],
+        }
+    }
+
+    #[inline]
+    /// Read pixel (x, y).
+    pub fn get(&self, x: usize, y: usize) -> f32 {
+        self.data[y * self.w + x]
+    }
+
+    #[inline]
+    /// Write pixel (x, y).
+    pub fn set(&mut self, x: usize, y: usize, v: f32) {
+        self.data[y * self.w + x] = v;
+    }
+
+    /// Mean intensity over a pixel rectangle (clamped to bounds).
+    pub fn mean_in(&self, x0: usize, y0: usize, x1: usize, y1: usize) -> f32 {
+        let x1 = x1.min(self.w);
+        let y1 = y1.min(self.h);
+        if x0 >= x1 || y0 >= y1 {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for y in y0..y1 {
+            for x in x0..x1 {
+                acc += self.get(x, y);
+            }
+        }
+        acc / ((x1 - x0) * (y1 - y0)) as f32
+    }
+
+    /// Quantize to `u8` (for the codec).
+    pub fn to_u8(&self) -> Vec<u8> {
+        self.data
+            .iter()
+            .map(|v| (v.clamp(0.0, 1.0) * 255.0).round() as u8)
+            .collect()
+    }
+
+    /// Build from quantized bytes.
+    pub fn from_u8(w: usize, h: usize, data: &[u8]) -> Self {
+        assert_eq!(data.len(), w * h);
+        GrayImage {
+            w,
+            h,
+            data: data.iter().map(|&b| b as f32 / 255.0).collect(),
+        }
+    }
+}
+
+/// Deterministic integer hash → `[0, 1)` (SplitMix64 finalizer).
+#[inline]
+pub fn hash01(a: u64, b: u64, c: u64) -> f32 {
+    let mut z = a
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(b.wrapping_mul(0xBF58476D1CE4E5B9))
+        .wrapping_add(c.wrapping_mul(0x94D049BB133111EB));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^= z >> 31;
+    (z >> 40) as f32 / (1u64 << 24) as f32
+}
+
+/// Renders frames of a [`Clip`].
+pub struct Renderer<'a> {
+    clip: &'a Clip,
+}
+
+impl<'a> Renderer<'a> {
+    /// Create a renderer for a clip.
+    pub fn new(clip: &'a Clip) -> Self {
+        Renderer { clip }
+    }
+
+    /// Render frame `frame` at `w × h` pixels.
+    pub fn render(&self, frame: usize, w: usize, h: usize) -> GrayImage {
+        let scene = &self.clip.scene;
+        let sx = scene.width as f32 / w as f32; // native px per target px
+        let sy = scene.height as f32 / h as f32;
+        let bg_seed = scene
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        let fs = &self.clip.frames[frame];
+        let cam = fs.cam_offset;
+
+        let mut img = GrayImage::new(w, h);
+        // Background: level + vertical gradient + 8×8 native-block static
+        // noise (shifted by camera motion so drone footage "moves").
+        for y in 0..h {
+            let ny = y as f32 * sy + cam.1;
+            for x in 0..w {
+                let nx = x as f32 * sx + cam.0;
+                let block = hash01(
+                    (nx / 8.0).floor() as i64 as u64,
+                    (ny / 8.0).floor() as i64 as u64,
+                    bg_seed,
+                );
+                let v = scene.background_level + 0.10 * (ny / scene.height as f32) + 0.08 * block;
+                img.set(x, y, v);
+            }
+        }
+
+        // Objects: filled boxes with per-object tone and a simple two-band
+        // texture (roof vs body) so appearance features carry signal.
+        for o in &fs.objs {
+            let tone = o.class.intensity() * (0.85 + 0.3 * hash01(o.track_id as u64, 17, bg_seed));
+            let x0 = ((o.rect.x / sx).floor().max(0.0)) as usize;
+            let y0 = ((o.rect.y / sy).floor().max(0.0)) as usize;
+            let x1 = ((o.rect.x1() / sx).ceil().min(w as f32)) as usize;
+            let y1 = ((o.rect.y1() / sy).ceil().min(h as f32)) as usize;
+            for y in y0..y1 {
+                let band = if (y as f32 - o.rect.y / sy) < (o.rect.h / sy) * 0.4 {
+                    0.85
+                } else {
+                    1.0
+                };
+                for x in x0..x1 {
+                    img.set(x, y, (tone * band).clamp(0.0, 1.0));
+                }
+            }
+        }
+
+        // Sensor noise, varying per frame.
+        if scene.noise_sigma > 0.0 {
+            let amp = scene.noise_sigma;
+            for y in 0..h {
+                for x in 0..w {
+                    let n = hash01(x as u64, y as u64, frame as u64 ^ (bg_seed << 1)) - 0.5;
+                    let i = y * w + x;
+                    img.data[i] = (img.data[i] + 2.0 * amp * n).clamp(0.0, 1.0);
+                }
+            }
+        }
+        img
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{PathSpec, ScaleProfile};
+    use crate::scene::{CameraMotion, SceneSpec};
+    use std::sync::Arc;
+
+    fn clip() -> Clip {
+        let scene = Arc::new(SceneSpec {
+            name: "render-test".into(),
+            width: 320,
+            height: 192,
+            fps: 10,
+            camera: CameraMotion::Fixed,
+            paths: vec![PathSpec::straight(
+                "w->e",
+                (-40.0, 96.0),
+                (360.0, 96.0),
+                ScaleProfile::uniform(1.0),
+                40.0,
+                80.0,
+            )],
+            background_level: 0.3,
+            noise_sigma: 0.0,
+            hard_brake_prob: 0.0,
+            signal_cycle_s: 0.0,
+        });
+        Clip::simulate(scene, 0, 6.0, 21)
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let c = clip();
+        let r = Renderer::new(&c);
+        let a = r.render(3, 160, 96);
+        let b = r.render(3, 160, 96);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn objects_are_brighter_than_background() {
+        let c = clip();
+        let r = Renderer::new(&c);
+        // find a frame with an object well inside the frame
+        let (f, rect) = c
+            .frames
+            .iter()
+            .enumerate()
+            .find_map(|(f, fs)| {
+                fs.objs
+                    .iter()
+                    .find(|o| o.rect.x > 40.0 && o.rect.x1() < 280.0)
+                    .map(|o| (f, o.rect))
+            })
+            .expect("an interior object");
+        let img = r.render(f, 320, 192);
+        let obj_mean = img.mean_in(
+            rect.x as usize + 1,
+            rect.y as usize + 1,
+            rect.x1() as usize - 1,
+            rect.y1() as usize - 1,
+        );
+        // background patch far from the road
+        let bg_mean = img.mean_in(10, 10, 40, 30);
+        assert!(
+            obj_mean > bg_mean + 0.2,
+            "object {obj_mean} vs background {bg_mean}"
+        );
+    }
+
+    #[test]
+    fn low_resolution_preserves_scene_content() {
+        let c = clip();
+        let r = Renderer::new(&c);
+        let hi = r.render(2, 320, 192);
+        let lo = r.render(2, 80, 48);
+        // Same scene: overall brightness should be close.
+        let mean = |img: &GrayImage| img.data.iter().sum::<f32>() / img.data.len() as f32;
+        assert!((mean(&hi) - mean(&lo)).abs() < 0.05);
+    }
+
+    #[test]
+    fn u8_roundtrip_is_close() {
+        let c = clip();
+        let img = Renderer::new(&c).render(0, 64, 48);
+        let bytes = img.to_u8();
+        let back = GrayImage::from_u8(64, 48, &bytes);
+        for (a, b) in img.data.iter().zip(&back.data) {
+            assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn hash01_in_range_and_deterministic() {
+        for i in 0..1000u64 {
+            let v = hash01(i, i * 3, 7);
+            assert!((0.0..1.0).contains(&v));
+        }
+        assert_eq!(hash01(1, 2, 3), hash01(1, 2, 3));
+        assert_ne!(hash01(1, 2, 3), hash01(1, 2, 4));
+    }
+}

@@ -1,0 +1,179 @@
+//! A constant-velocity Kalman filter over bounding boxes, as used by SORT.
+//!
+//! State is `[cx, cy, s, r, vcx, vcy, vs]` where `s` is box area and `r`
+//! the (assumed constant) aspect ratio, following Bewley et al. 2016. A
+//! full 7×7 covariance implementation is overkill for the simulator's
+//! measurement model, so this uses the standard decoupled per-component
+//! scalar Kalman form (each of `cx, cy, s` is an independent
+//! position+velocity filter; `r` is position-only), which preserves the
+//! predict/update behaviour SORT depends on.
+
+use otif_geom::Rect;
+
+/// One independent position+velocity scalar filter.
+#[derive(Debug, Clone, Copy)]
+struct Pv {
+    x: f32,
+    v: f32,
+    // covariance entries [p_xx, p_xv, p_vv]
+    pxx: f32,
+    pxv: f32,
+    pvv: f32,
+}
+
+impl Pv {
+    fn new(x: f32, pos_var: f32, vel_var: f32) -> Self {
+        Pv {
+            x,
+            v: 0.0,
+            pxx: pos_var,
+            pxv: 0.0,
+            pvv: vel_var,
+        }
+    }
+
+    fn predict(&mut self, dt: f32, q_pos: f32, q_vel: f32) {
+        self.x += self.v * dt;
+        // P = F P Fᵀ + Q with F = [[1, dt], [0, 1]]
+        let pxx = self.pxx + dt * (2.0 * self.pxv + dt * self.pvv) + q_pos;
+        let pxv = self.pxv + dt * self.pvv;
+        let pvv = self.pvv + q_vel;
+        self.pxx = pxx;
+        self.pxv = pxv;
+        self.pvv = pvv;
+    }
+
+    fn update(&mut self, z: f32, r: f32) {
+        let s = self.pxx + r;
+        let kx = self.pxx / s;
+        let kv = self.pxv / s;
+        let innov = z - self.x;
+        self.x += kx * innov;
+        self.v += kv * innov;
+        let pxx = (1.0 - kx) * self.pxx;
+        let pxv = (1.0 - kx) * self.pxv;
+        let pvv = self.pvv - kv * self.pxv;
+        self.pxx = pxx;
+        self.pxv = pxv;
+        self.pvv = pvv.max(1e-6);
+    }
+}
+
+/// Kalman-filtered bounding-box state.
+#[derive(Debug, Clone)]
+pub struct KalmanBox {
+    cx: Pv,
+    cy: Pv,
+    s: Pv,
+    r: f32,
+}
+
+impl KalmanBox {
+    /// Initialize from a first observation.
+    pub fn new(rect: &Rect) -> Self {
+        let s = rect.area().max(1.0);
+        KalmanBox {
+            cx: Pv::new(rect.center().x, 10.0, 100.0),
+            cy: Pv::new(rect.center().y, 10.0, 100.0),
+            s: Pv::new(s, 50.0, 400.0),
+            r: (rect.w / rect.h.max(1e-3)).max(1e-3),
+        }
+    }
+
+    /// Advance the state `dt` frames and return the predicted box.
+    pub fn predict(&mut self, dt: f32) -> Rect {
+        self.cx.predict(dt, 1.0 * dt, 0.5 * dt);
+        self.cy.predict(dt, 1.0 * dt, 0.5 * dt);
+        self.s.predict(dt, 10.0 * dt, 5.0 * dt);
+        self.rect()
+    }
+
+    /// Incorporate an observation.
+    pub fn update(&mut self, rect: &Rect) {
+        self.cx.update(rect.center().x, 4.0);
+        self.cy.update(rect.center().y, 4.0);
+        self.s.update(rect.area().max(1.0), 40.0);
+        // aspect ratio tracked with simple exponential smoothing
+        let obs_r = (rect.w / rect.h.max(1e-3)).max(1e-3);
+        self.r = 0.7 * self.r + 0.3 * obs_r;
+    }
+
+    /// Current state as a rectangle.
+    pub fn rect(&self) -> Rect {
+        let s = self.s.x.max(1.0);
+        let w = (s * self.r).sqrt();
+        let h = (s / self.r).sqrt();
+        Rect::new(self.cx.x - w / 2.0, self.cy.x - h / 2.0, w, h)
+    }
+
+    /// Estimated velocity of the box center (px/frame).
+    pub fn velocity(&self) -> (f32, f32) {
+        (self.cx.v, self.cy.v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn initial_rect_matches_observation() {
+        let r = Rect::new(10.0, 20.0, 30.0, 15.0);
+        let k = KalmanBox::new(&r);
+        let got = k.rect();
+        assert!(got.center().dist(&r.center()) < 1e-3);
+        assert!((got.area() - r.area()).abs() < 1.0);
+    }
+
+    #[test]
+    fn learns_constant_velocity() {
+        // Object moving +5 px/frame in x.
+        let mut k = KalmanBox::new(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        for i in 1..=20 {
+            k.predict(1.0);
+            k.update(&Rect::new(5.0 * i as f32, 0.0, 10.0, 10.0));
+        }
+        let (vx, vy) = k.velocity();
+        assert!((vx - 5.0).abs() < 1.0, "vx = {vx}");
+        assert!(vy.abs() < 0.5, "vy = {vy}");
+        // prediction extrapolates
+        let p = k.predict(4.0);
+        let expected_x = 5.0 * 24.0 + 5.0; // center
+        assert!(
+            (p.center().x - expected_x).abs() < 6.0,
+            "predicted {} expected {expected_x}",
+            p.center().x
+        );
+    }
+
+    #[test]
+    fn update_pulls_toward_observation() {
+        let mut k = KalmanBox::new(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        k.predict(1.0);
+        k.update(&Rect::new(8.0, 0.0, 10.0, 10.0));
+        let c = k.rect().center();
+        assert!(c.x > 5.0 && c.x < 13.0, "cx = {}", c.x);
+    }
+
+    #[test]
+    fn aspect_ratio_adapts() {
+        let mut k = KalmanBox::new(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        for _ in 0..20 {
+            k.predict(1.0);
+            k.update(&Rect::new(0.0, 0.0, 20.0, 10.0));
+        }
+        let r = k.rect();
+        let ratio = r.w / r.h;
+        assert!((ratio - 2.0).abs() < 0.3, "ratio {ratio}");
+    }
+
+    #[test]
+    fn uncertainty_grows_without_updates() {
+        let mut k = KalmanBox::new(&Rect::new(0.0, 0.0, 10.0, 10.0));
+        let p0 = k.cx.pxx;
+        for _ in 0..10 {
+            k.predict(1.0);
+        }
+        assert!(k.cx.pxx > p0);
+    }
+}

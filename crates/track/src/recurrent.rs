@@ -1,0 +1,468 @@
+//! The recurrent reduced-rate tracking model (§3.4).
+//!
+//! Per-detection features (normalized box geometry, elapsed frames since
+//! the previous detection, appearance embedding) are fed through a GRU to
+//! produce track-level features; an MLP matching head scores how likely a
+//! new detection continues a given track prefix. Matching is solved with
+//! the Hungarian algorithm over the score matrix.
+//!
+//! The `t_elapsed` input is what makes the model *reduced-rate aware*: the
+//! head can scale the track's learned velocity by the actual frame gap, so
+//! one model serves every sampling gap the tuner may choose.
+
+use crate::types::{Track, TrackId};
+use otif_cv::Detection;
+use otif_geom::hungarian;
+use otif_nn::{Activation, GruCell, Mlp, OptimKind, XavierInit};
+use serde::{Deserialize, Serialize};
+
+/// Per-detection feature dimension: 4 box + 1 elapsed + 8 appearance.
+pub const DET_FEAT_DIM: usize = 5 + otif_cv::APPEARANCE_DIM;
+
+/// GRU hidden width (track-level feature dimension).
+pub const HIDDEN: usize = 24;
+
+/// Pairwise features fed to the matching head alongside the track state
+/// and candidate features: Δx, Δy, Δlog w, Δlog h, appearance cosine.
+pub const PAIR_FEAT_DIM: usize = 5;
+
+/// Build the per-detection feature vector.
+///
+/// `t_elapsed` is the number of frames since the previous detection of the
+/// track (or 0 for a track's first detection), normalized by 16 frames.
+pub fn det_features(det: &Detection, t_elapsed: usize, frame_w: f32, frame_h: f32) -> Vec<f32> {
+    let c = det.rect.center();
+    let mut f = Vec::with_capacity(DET_FEAT_DIM);
+    f.push(c.x / frame_w);
+    f.push(c.y / frame_h);
+    f.push(det.rect.w / frame_w);
+    f.push(det.rect.h / frame_h);
+    f.push(t_elapsed as f32 / 16.0);
+    for i in 0..otif_cv::APPEARANCE_DIM {
+        f.push(det.appearance.get(i).copied().unwrap_or(0.0));
+    }
+    f
+}
+
+fn pair_features(
+    last: &Detection,
+    cand: &Detection,
+    frame_w: f32,
+    frame_h: f32,
+) -> [f32; PAIR_FEAT_DIM] {
+    let lc = last.rect.center();
+    let cc = cand.rect.center();
+    let dx = (cc.x - lc.x) / frame_w * 8.0;
+    let dy = (cc.y - lc.y) / frame_h * 8.0;
+    let dlw = (cand.rect.w.max(1.0) / last.rect.w.max(1.0)).ln();
+    let dlh = (cand.rect.h.max(1.0) / last.rect.h.max(1.0)).ln();
+    let cos = {
+        let a = &last.appearance;
+        let b = &cand.appearance;
+        let n = a.len().min(b.len());
+        if n == 0 {
+            0.0
+        } else {
+            let dot: f32 = (0..n).map(|i| a[i] * b[i]).sum();
+            let na: f32 = a.iter().map(|x| x * x).sum::<f32>().sqrt();
+            let nb: f32 = b.iter().map(|x| x * x).sum::<f32>().sqrt();
+            if na * nb > 1e-6 {
+                dot / (na * nb)
+            } else {
+                0.0
+            }
+        }
+    };
+    [dx, dy, dlw, dlh, cos]
+}
+
+/// The trainable tracker model: GRU over detection features + matching
+/// head over (track state, candidate, pairwise) features.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrackerModel {
+    /// Track-prefix summarizer.
+    pub gru: GruCell,
+    /// Matching head producing logits.
+    pub head: Mlp,
+    /// Frame width used for feature normalization.
+    pub frame_w: f32,
+    /// Frame height used for feature normalization.
+    pub frame_h: f32,
+}
+
+impl TrackerModel {
+    /// Initialize an untrained model.
+    pub fn new(frame_w: f32, frame_h: f32, seed: u64) -> Self {
+        let mut init = XavierInit::new(seed);
+        let gru = GruCell::new(DET_FEAT_DIM, HIDDEN, &mut init);
+        let head = Mlp::new(
+            &[HIDDEN + DET_FEAT_DIM + PAIR_FEAT_DIM, 32, 1],
+            Activation::Relu,
+            Activation::Linear,
+            &mut init,
+        );
+        TrackerModel {
+            gru,
+            head,
+            frame_w,
+            frame_h,
+        }
+    }
+
+    fn head_input(
+        &self,
+        h: &[f32],
+        cand_feat: &[f32],
+        pair: &[f32; PAIR_FEAT_DIM],
+    ) -> Vec<f32> {
+        let mut x = Vec::with_capacity(HIDDEN + DET_FEAT_DIM + PAIR_FEAT_DIM);
+        x.extend_from_slice(h);
+        x.extend_from_slice(cand_feat);
+        x.extend_from_slice(pair);
+        x
+    }
+
+    /// Inference: matching logit for (track state, candidate detection).
+    pub fn score(
+        &self,
+        h: &[f32],
+        last_det: &Detection,
+        cand: &Detection,
+        t_elapsed: usize,
+    ) -> f32 {
+        let cf = det_features(cand, t_elapsed, self.frame_w, self.frame_h);
+        let pf = pair_features(last_det, cand, self.frame_w, self.frame_h);
+        self.head.infer(&self.head_input(h, &cf, &pf))[0]
+    }
+
+    /// Matching probability: sigmoid of the learned logit, gated by
+    /// spatial plausibility.
+    ///
+    /// The gate zeroes candidates farther from the track's last position
+    /// than an object could plausibly travel in `t_elapsed` frames
+    /// (relative to its box size). This is a standard assignment-pruning
+    /// step; it keeps the matcher robust where the learned score is
+    /// uncertain without constraining legitimate reduced-rate motion.
+    pub fn match_prob(
+        &self,
+        h: &[f32],
+        last_det: &Detection,
+        cand: &Detection,
+        t_elapsed: usize,
+    ) -> f32 {
+        let diag = (last_det.rect.w * last_det.rect.w + last_det.rect.h * last_det.rect.h)
+            .sqrt()
+            .max(8.0);
+        let max_dist = diag * (1.5 + 0.6 * t_elapsed as f32);
+        let dist = last_det.rect.center().dist(&cand.rect.center());
+        if dist > max_dist {
+            return 0.0;
+        }
+        otif_nn::sigmoid(self.score(h, last_det, cand, t_elapsed))
+    }
+
+    /// Advance a track's hidden state with a newly appended detection.
+    pub fn advance(&self, h: &[f32], det: &Detection, t_elapsed: usize) -> Vec<f32> {
+        let f = det_features(det, t_elapsed, self.frame_w, self.frame_h);
+        self.gru.infer(&f, h)
+    }
+
+    /// Training: run the GRU over a prefix (caching), then score each
+    /// candidate against the final state with BCE targets, backprop, and
+    /// return the mean loss. One optimizer step per call when `step`.
+    #[allow(clippy::too_many_arguments)]
+    pub fn train_example(
+        &mut self,
+        prefix: &[(usize, Detection)],
+        candidates: &[(&Detection, usize, bool)], // (det, t_elapsed, is_match)
+        lr: f32,
+        step: bool,
+    ) -> f32 {
+        // GRU forward over the prefix.
+        let mut feats = Vec::with_capacity(prefix.len());
+        let mut prev_frame: Option<usize> = None;
+        for (f, d) in prefix {
+            let te = prev_frame.map(|p| f - p).unwrap_or(0);
+            feats.push(det_features(d, te, self.frame_w, self.frame_h));
+            prev_frame = Some(*f);
+        }
+        let h = self.gru.forward_sequence(&feats);
+        let last_det = &prefix.last().unwrap().1;
+
+        let mut grad_h = vec![0.0; HIDDEN];
+        let mut total_loss = 0.0;
+        for (cand, te, is_match) in candidates {
+            let cf = det_features(cand, *te, self.frame_w, self.frame_h);
+            let pf = pair_features(last_det, cand, self.frame_w, self.frame_h);
+            let x = self.head_input(&h, &cf, &pf);
+            let logit = self.head.forward(&x)[0];
+            let target = if *is_match { 1.0 } else { 0.0 };
+            total_loss += otif_nn::bce_with_logits(&[logit], &[target]);
+            let g = otif_nn::bce_with_logits_grad(&[logit], &[target]);
+            let gx = self.head.backward(&g);
+            for i in 0..HIDDEN {
+                grad_h[i] += gx[i];
+            }
+        }
+        self.gru.backward_sequence(&grad_h);
+        if step {
+            self.gru.step(lr, OptimKind::Adam);
+            self.head.step(lr, OptimKind::Adam);
+        }
+        total_loss / candidates.len().max(1) as f32
+    }
+}
+
+struct ActiveRt {
+    track: Track,
+    h: Vec<f32>,
+    last_frame: usize,
+    misses: u32,
+}
+
+/// Online tracker driving [`TrackerModel`] over a frame stream.
+pub struct RecurrentTracker {
+    model: TrackerModel,
+    /// Minimum matching probability to accept an assignment.
+    pub match_threshold: f32,
+    /// Processed frames a track survives unmatched.
+    pub max_misses: u32,
+    active: Vec<ActiveRt>,
+    done: Vec<Track>,
+    next_id: TrackId,
+}
+
+impl RecurrentTracker {
+    /// Build a tracker around a (trained) model.
+    pub fn new(model: TrackerModel) -> Self {
+        RecurrentTracker {
+            model,
+            match_threshold: 0.5,
+            max_misses: 4,
+            active: Vec::new(),
+            done: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// Number of active track prefixes.
+    pub fn num_active(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The best matching probability of a detection against any active
+    /// track, without mutating tracker state. Used by variable-rate
+    /// controllers to gauge matching confidence.
+    pub fn best_match_prob(&self, frame: usize, det: &Detection) -> f32 {
+        self.active
+            .iter()
+            .map(|t| {
+                let te = frame.saturating_sub(t.last_frame);
+                let last = &t.track.dets.last().unwrap().1;
+                self.model.match_prob(&t.h, last, det, te)
+            })
+            .fold(0.0f32, f32::max)
+    }
+
+    /// Process the detections of `frame` (frames fed in increasing order,
+    /// any gaps allowed).
+    pub fn step(&mut self, frame: usize, dets: Vec<Detection>) {
+        let assignment = if !dets.is_empty() && !self.active.is_empty() {
+            let probs: Vec<Vec<f32>> = dets
+                .iter()
+                .map(|d| {
+                    self.active
+                        .iter()
+                        .map(|t| {
+                            let te = frame - t.last_frame;
+                            let last = &t.track.dets.last().unwrap().1;
+                            self.model.match_prob(&t.h, last, d, te)
+                        })
+                        .collect()
+                })
+                .collect();
+            let cost: Vec<Vec<f32>> = probs
+                .iter()
+                .map(|row| row.iter().map(|p| 1.0 - p).collect())
+                .collect();
+            let assign = hungarian(&cost);
+            assign
+                .into_iter()
+                .enumerate()
+                .map(|(di, a)| a.filter(|&ti| probs[di][ti] >= self.match_threshold))
+                .collect()
+        } else {
+            vec![None; dets.len()]
+        };
+
+        let mut matched = vec![false; self.active.len()];
+        let mut unmatched = Vec::new();
+        for (di, det) in dets.into_iter().enumerate() {
+            match assignment[di] {
+                Some(ti) => {
+                    let t = &mut self.active[ti];
+                    let te = frame - t.last_frame;
+                    t.h = self.model.advance(&t.h, &det, te);
+                    t.track.push(frame, det);
+                    t.last_frame = frame;
+                    t.misses = 0;
+                    matched[ti] = true;
+                }
+                None => unmatched.push(det),
+            }
+        }
+
+        let max_misses = self.max_misses;
+        let mut idx = 0;
+        self.active.retain_mut(|t| {
+            let was = matched[idx];
+            idx += 1;
+            if was {
+                return true;
+            }
+            t.misses += 1;
+            if t.misses > max_misses {
+                self.done.push(std::mem::replace(
+                    &mut t.track,
+                    Track::new(0, otif_sim::ObjectClass::Car),
+                ));
+                false
+            } else {
+                true
+            }
+        });
+
+        for det in unmatched {
+            let id = self.next_id;
+            self.next_id += 1;
+            let h = self
+                .model
+                .advance(&self.model.gru.zero_state(), &det, 0);
+            let mut track = Track::new(id, det.class);
+            track.push(frame, det);
+            self.active.push(ActiveRt {
+                track,
+                h,
+                last_frame: frame,
+                misses: 0,
+            });
+        }
+    }
+
+    /// Flush remaining tracks; prune single-detection tracks (§3.4).
+    pub fn finish(mut self) -> Vec<Track> {
+        for t in self.active {
+            self.done.push(t.track);
+        }
+        self.done.retain(|t| t.len() >= 2);
+        self.done.sort_by_key(|t| t.id);
+        self.done
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_geom::Rect;
+    use otif_sim::ObjectClass;
+
+    fn det(x: f32, y: f32, app: f32) -> Detection {
+        Detection {
+            rect: Rect::new(x, y, 20.0, 12.0),
+            class: ObjectClass::Car,
+            confidence: 0.9,
+            appearance: vec![app; otif_cv::APPEARANCE_DIM],
+            debug_gt: None,
+        }
+    }
+
+    #[test]
+    fn det_features_dimension_and_normalization() {
+        let d = det(100.0, 50.0, 0.5);
+        let f = det_features(&d, 8, 200.0, 100.0);
+        assert_eq!(f.len(), DET_FEAT_DIM);
+        assert!((f[0] - 0.55).abs() < 1e-5); // (100+10)/200
+        assert!((f[4] - 0.5).abs() < 1e-5); // 8/16
+    }
+
+    #[test]
+    fn untrained_model_runs_end_to_end() {
+        let model = TrackerModel::new(320.0, 192.0, 3);
+        let mut t = RecurrentTracker::new(model);
+        t.match_threshold = 0.0; // untrained: accept best assignment
+        for f in 0..8 {
+            t.step(f, vec![det(f as f32 * 5.0, 50.0, 0.2)]);
+        }
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 1);
+        assert_eq!(tracks[0].len(), 8);
+    }
+
+    #[test]
+    fn train_example_reduces_loss() {
+        let mut model = TrackerModel::new(320.0, 192.0, 7);
+        // A track moving right; positive = continuation, negative = a
+        // detection far away with different appearance.
+        let prefix: Vec<(usize, Detection)> = (0..4)
+            .map(|i| (i * 4, det(10.0 + i as f32 * 20.0, 50.0, 0.8)))
+            .collect();
+        let pos = det(10.0 + 4.0 * 20.0, 50.0, 0.8);
+        let neg = det(250.0, 150.0, -0.7);
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let loss = model.train_example(
+                &prefix,
+                &[(&pos, 4, true), (&neg, 4, false)],
+                0.01,
+                true,
+            );
+            if first.is_none() {
+                first = Some(loss);
+            }
+            last = loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "loss {} -> {last}",
+            first.unwrap()
+        );
+        // after training, the positive should outscore the negative
+        let mut h = model.gru.zero_state();
+        let mut prev = None;
+        for (f, d) in &prefix {
+            let te = prev.map(|p: usize| f - p).unwrap_or(0);
+            h = model.advance(&h, d, te);
+            prev = Some(*f);
+        }
+        let last_det = &prefix.last().unwrap().1;
+        let p_pos = model.match_prob(&h, last_det, &pos, 4);
+        let p_neg = model.match_prob(&h, last_det, &neg, 4);
+        assert!(p_pos > p_neg, "pos {p_pos} vs neg {p_neg}");
+    }
+
+    #[test]
+    fn unmatched_detections_start_new_tracks() {
+        let model = TrackerModel::new(320.0, 192.0, 3);
+        let mut t = RecurrentTracker::new(model);
+        t.match_threshold = 1.1; // nothing ever matches
+        t.step(0, vec![det(0.0, 0.0, 0.0)]);
+        t.step(1, vec![det(5.0, 0.0, 0.0)]);
+        assert_eq!(t.num_active(), 2, "each detection starts a track");
+    }
+
+    #[test]
+    fn stale_tracks_terminate() {
+        let model = TrackerModel::new(320.0, 192.0, 3);
+        let mut t = RecurrentTracker::new(model);
+        t.match_threshold = 0.0;
+        t.step(0, vec![det(0.0, 0.0, 0.0)]);
+        t.step(1, vec![det(5.0, 0.0, 0.0)]);
+        for f in 2..8 {
+            t.step(f, vec![]);
+        }
+        assert_eq!(t.num_active(), 0);
+        let tracks = t.finish();
+        assert_eq!(tracks.len(), 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! Track stitching: merge fragments of the same object.
+//!
+//! Occlusions (queued vehicles suppressing each other under NMS) and
+//! detector miss-streaks fragment tracks faster than a tracker's miss
+//! tolerance can bridge. Stitching is the standard post-processing
+//! remedy: a track that *ends* shortly before another *starts*, at a
+//! position consistent with the first track's velocity and with similar
+//! appearance, is the same object.
+//!
+//! The paper's tracker (a full CNN appearance model) fragments less; this
+//! pass compensates for our compact appearance embeddings and keeps the
+//! extracted track counts faithful (see DESIGN.md §2).
+
+use crate::types::Track;
+use otif_cv::Detection;
+
+/// Stitching thresholds.
+#[derive(Debug, Clone, Copy)]
+pub struct StitchConfig {
+    /// Maximum frames between one track's end and another's start.
+    pub max_frame_gap: usize,
+    /// Position tolerance in units of the endpoint box diagonal, plus a
+    /// per-elapsed-frame allowance.
+    pub base_dist_diag: f32,
+    /// Additional tolerance per elapsed frame, in diagonals.
+    pub per_frame_dist_diag: f32,
+    /// Minimum appearance cosine similarity between the endpoint
+    /// detections.
+    pub min_app_cos: f32,
+    /// Frame bounds: endpoints within `boundary_margin` of the frame edge
+    /// are genuine entries/exits, not fragments, and never stitch. `None`
+    /// disables the check.
+    pub frame: Option<otif_geom::Rect>,
+    /// Margin (px) within which an endpoint counts as at the boundary.
+    pub boundary_margin: f32,
+}
+
+impl Default for StitchConfig {
+    fn default() -> Self {
+        StitchConfig {
+            max_frame_gap: 14,
+            base_dist_diag: 1.2,
+            per_frame_dist_diag: 0.35,
+            min_app_cos: 0.45,
+            frame: None,
+            boundary_margin: 28.0,
+        }
+    }
+}
+
+fn appearance_cos(a: &Detection, b: &Detection) -> f32 {
+    let n = a.appearance.len().min(b.appearance.len());
+    if n == 0 {
+        return 1.0; // no appearance signal — don't veto
+    }
+    let dot: f32 = (0..n).map(|i| a.appearance[i] * b.appearance[i]).sum();
+    let na: f32 = a.appearance.iter().map(|x| x * x).sum::<f32>().sqrt();
+    let nb: f32 = b.appearance.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if na * nb < 1e-6 {
+        1.0
+    } else {
+        dot / (na * nb)
+    }
+}
+
+/// Ending velocity of a track in px/frame (last two detections).
+fn end_velocity(t: &Track) -> (f32, f32) {
+    if t.len() < 2 {
+        return (0.0, 0.0);
+    }
+    let (f0, d0) = &t.dets[t.len() - 2];
+    let (f1, d1) = &t.dets[t.len() - 1];
+    let df = (f1 - f0).max(1) as f32;
+    let c0 = d0.rect.center();
+    let c1 = d1.rect.center();
+    ((c1.x - c0.x) / df, (c1.y - c0.y) / df)
+}
+
+/// Score a potential stitch of `b` onto the end of `a`; `None` if the
+/// pair is implausible, else the prediction error in diagonals (lower is
+/// better).
+fn stitch_score(a: &Track, b: &Track, cfg: &StitchConfig) -> Option<f32> {
+    if a.class != b.class {
+        return None;
+    }
+    let (end_f, end_d) = a.dets.last()?;
+    let (start_f, start_d) = b.dets.first()?;
+    if *start_f <= *end_f || start_f - end_f > cfg.max_frame_gap {
+        return None;
+    }
+    // endpoints at the frame boundary are real exits/entries
+    if let Some(frame) = &cfg.frame {
+        let m = cfg.boundary_margin;
+        let interior = otif_geom::Rect::new(
+            frame.x + m,
+            frame.y + m,
+            (frame.w - 2.0 * m).max(0.0),
+            (frame.h - 2.0 * m).max(0.0),
+        );
+        if !interior.contains_point(&end_d.rect.center())
+            || !interior.contains_point(&start_d.rect.center())
+        {
+            return None;
+        }
+    }
+    let gap = (start_f - end_f) as f32;
+    let (vx, vy) = end_velocity(a);
+    let ec = end_d.rect.center();
+    let predicted = otif_geom::Point::new(ec.x + vx * gap, ec.y + vy * gap);
+    let diag = (end_d.rect.w * end_d.rect.w + end_d.rect.h * end_d.rect.h)
+        .sqrt()
+        .max(8.0);
+    let dist = predicted.dist(&start_d.rect.center());
+    let max_dist = diag * (cfg.base_dist_diag + cfg.per_frame_dist_diag * gap);
+    if dist > max_dist {
+        return None;
+    }
+    if appearance_cos(end_d, start_d) < cfg.min_app_cos {
+        return None;
+    }
+    Some(dist / diag)
+}
+
+/// Merge track fragments. Greedy: repeatedly join the best-scoring
+/// (end, start) pair until none qualifies. Track ids of merged results
+/// keep the earlier fragment's id; output is sorted by id.
+pub fn stitch_tracks(tracks: Vec<Track>, cfg: StitchConfig) -> Vec<Track> {
+    let mut pool: Vec<Option<Track>> = tracks.into_iter().map(Some).collect();
+    loop {
+        // find the best stitch across all live pairs
+        let mut best: Option<(usize, usize, f32)> = None;
+        for i in 0..pool.len() {
+            let Some(a) = &pool[i] else { continue };
+            for j in 0..pool.len() {
+                if i == j {
+                    continue;
+                }
+                let Some(b) = &pool[j] else { continue };
+                if let Some(s) = stitch_score(a, b, &cfg) {
+                    if best.map(|(_, _, bs)| s < bs).unwrap_or(true) {
+                        best = Some((i, j, s));
+                    }
+                }
+            }
+        }
+        match best {
+            Some((i, j, _)) => {
+                let b = pool[j].take().unwrap();
+                let a = pool[i].as_mut().unwrap();
+                a.dets.extend(b.dets);
+            }
+            None => break,
+        }
+    }
+    let mut out: Vec<Track> = pool.into_iter().flatten().collect();
+    out.sort_by_key(|t| t.id);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_geom::Rect;
+    use otif_sim::ObjectClass;
+
+    fn det(x: f32, y: f32, app: f32) -> Detection {
+        Detection {
+            rect: Rect::new(x, y, 24.0, 14.0),
+            class: ObjectClass::Car,
+            confidence: 0.9,
+            appearance: vec![app; otif_cv::APPEARANCE_DIM],
+            debug_gt: None,
+        }
+    }
+
+    fn track(id: u32, frames: &[usize], x0: f32, v: f32, y: f32, app: f32) -> Track {
+        let mut t = Track::new(id, ObjectClass::Car);
+        for &f in frames {
+            t.push(f, det(x0 + v * f as f32, y, app));
+        }
+        t
+    }
+
+    #[test]
+    fn fragments_of_one_object_merge() {
+        // object at 5 px/frame, occluded frames 10-15
+        let a = track(0, &[0, 2, 4, 6, 8, 10], 0.0, 5.0, 50.0, 0.6);
+        let b = track(1, &[16, 18, 20, 22], 0.0, 5.0, 50.0, 0.6);
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 10);
+        assert_eq!(out[0].first_frame(), 0);
+        assert_eq!(out[0].last_frame(), 22);
+        // frames strictly increasing after merge
+        assert!(out[0].dets.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn distinct_objects_stay_separate() {
+        // same timing but spatially incompatible
+        let a = track(0, &[0, 2, 4, 6, 8, 10], 0.0, 5.0, 50.0, 0.6);
+        let b = track(1, &[16, 18, 20], 300.0, 5.0, 180.0, 0.6);
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn appearance_mismatch_blocks_stitch() {
+        let a = track(0, &[0, 2, 4, 6, 8, 10], 0.0, 5.0, 50.0, 0.9);
+        let b = track(1, &[14, 16, 18], 70.0, 5.0, 50.0, -0.9);
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 2, "opposite appearance must not merge");
+    }
+
+    #[test]
+    fn long_temporal_gap_blocks_stitch() {
+        let a = track(0, &[0, 2, 4], 0.0, 5.0, 50.0, 0.6);
+        let b = track(1, &[40, 42, 44], 200.0, 5.0, 50.0, 0.6);
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+
+    #[test]
+    fn chain_of_three_fragments_merges_fully() {
+        let a = track(0, &[0, 2, 4], 0.0, 5.0, 50.0, 0.6);
+        let b = track(1, &[10, 12, 14], 0.0, 5.0, 50.0, 0.6);
+        let c = track(2, &[20, 22, 24], 0.0, 5.0, 50.0, 0.6);
+        let out = stitch_tracks(vec![a, b, c], StitchConfig::default());
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].len(), 9);
+    }
+
+    #[test]
+    fn overlapping_time_ranges_never_merge() {
+        let a = track(0, &[0, 2, 4, 6], 0.0, 5.0, 50.0, 0.6);
+        let b = track(1, &[4, 6, 8], 22.0, 5.0, 50.0, 0.6);
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 2, "temporal overlap means distinct objects");
+    }
+
+    #[test]
+    fn different_classes_never_merge() {
+        let a = track(0, &[0, 2, 4], 0.0, 5.0, 50.0, 0.6);
+        let mut b = track(1, &[10, 12], 0.0, 5.0, 50.0, 0.6);
+        b.class = ObjectClass::Pedestrian;
+        let out = stitch_tracks(vec![a, b], StitchConfig::default());
+        assert_eq!(out.len(), 2);
+    }
+}

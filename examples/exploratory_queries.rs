@@ -1,0 +1,95 @@
+//! Exploratory analytics: pre-process once, then answer many frame-level
+//! queries with sub-second latency.
+//!
+//! This is the paper's central workflow argument (§1): video query
+//! optimizers pay a per-query execution phase (minutes of detector
+//! inference); OTIF pays pre-processing once and answers every subsequent
+//! query by post-processing tracks, in milliseconds.
+//!
+//! Run with: `cargo run --release --example exploratory_queries`
+
+use otif::core::{Otif, OtifOptions};
+use otif::geom::{Point, Polygon};
+use otif::query::{FrameLimitQuery, FrameQueryKind, TrackQuery};
+use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+use std::time::Instant;
+
+fn main() {
+    let scale = DatasetScale {
+        clips_per_split: 3,
+        clip_seconds: 10.0,
+    };
+    println!("Simulating a Warsaw-style junction...");
+    let dataset = DatasetConfig::new(DatasetKind::Warsaw, scale, 23).generate();
+
+    let query = TrackQuery::path_breakdown(&dataset.scene);
+    let val = &dataset.val;
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, val);
+    println!("Pre-processing with OTIF (once)...");
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    let point = otif.pick_config(0.05);
+    let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    println!(
+        "  tracks extracted in {:.2} simulated seconds using {}\n",
+        ledger.execution_total(),
+        point.config.describe()
+    );
+
+    let (w, h) = (dataset.scene.width as f32, dataset.scene.height as f32);
+    let queries: Vec<(&str, FrameLimitQuery)> = vec![
+        (
+            "frames with >= 4 cars",
+            FrameLimitQuery {
+                kind: FrameQueryKind::Count,
+                n: 4,
+                limit: 10,
+                min_separation_s: 5.0,
+            },
+        ),
+        (
+            "frames with >= 2 cars in the junction box",
+            FrameLimitQuery {
+                kind: FrameQueryKind::Region(Polygon::new(vec![
+                    Point::new(w * 0.35, h * 0.35),
+                    Point::new(w * 0.65, h * 0.35),
+                    Point::new(w * 0.65, h * 0.65),
+                    Point::new(w * 0.35, h * 0.65),
+                ])),
+                n: 2,
+                limit: 10,
+                min_separation_s: 5.0,
+            },
+        ),
+        (
+            "frames with a hot spot of >= 3 cars within 80 px",
+            FrameLimitQuery {
+                kind: FrameQueryKind::HotSpot { radius: 80.0 },
+                n: 3,
+                limit: 10,
+                min_separation_s: 5.0,
+            },
+        ),
+    ];
+
+    println!("Exploratory frame-level queries over the extracted tracks:");
+    for (name, q) in &queries {
+        let t0 = Instant::now();
+        let outputs = q.execute_on_tracks(&tracks, &dataset.test);
+        let elapsed = t0.elapsed();
+        let acc = q.accuracy(&outputs, &dataset.test);
+        println!(
+            "  {:<48} {:>3} frames  acc {:>5.1}%  latency {:?}",
+            name,
+            outputs.len(),
+            acc * 100.0,
+            elapsed
+        );
+        assert!(
+            elapsed.as_millis() < 1000,
+            "query latency must stay sub-second"
+        );
+    }
+    println!("\nEvery query ran in milliseconds — the video was never touched again.");
+}

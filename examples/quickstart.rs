@@ -1,0 +1,101 @@
+//! Quickstart: the full OTIF workflow on a small synthetic highway
+//! dataset.
+//!
+//! 1. generate a dataset (train / validation / test splits);
+//! 2. prepare OTIF — train proxy + tracker models, select window sizes,
+//!    tune the speed–accuracy curve;
+//! 3. pick a configuration and extract all tracks from the test split;
+//! 4. answer queries by post-processing tracks — no further decoding or
+//!    inference.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use otif::core::{Otif, OtifOptions};
+use otif::query::TrackQuery;
+use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+use std::time::Instant;
+
+fn main() {
+    // -- 1. dataset -------------------------------------------------------
+    let scale = DatasetScale {
+        clips_per_split: 3,
+        clip_seconds: 8.0,
+    };
+    println!(
+        "Generating synthetic {} dataset ({} clips x {}s per split)...",
+        DatasetKind::Caldot1.name(),
+        scale.clips_per_split,
+        scale.clip_seconds
+    );
+    let dataset = DatasetConfig::new(DatasetKind::Caldot1, scale, 7).generate();
+    let gt_tracks: usize = dataset.test.iter().map(|c| c.gt_tracks.len()).sum();
+    println!(
+        "  test split: {} clips, {} frames, {} ground-truth tracks",
+        dataset.test.len(),
+        dataset.split_frames(),
+        gt_tracks
+    );
+
+    // -- 2. prepare OTIF --------------------------------------------------
+    // The user-provided metric (§3.1): here, the path-breakdown query's
+    // count accuracy against validation ground truth.
+    let query = TrackQuery::path_breakdown(&dataset.scene);
+    let val = &dataset.val;
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, val);
+
+    println!("\nPreparing OTIF (training proxies + tracker, tuning)...");
+    let t0 = Instant::now();
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    println!("  prepared in {:.1}s wall-clock", t0.elapsed().as_secs_f32());
+    println!(
+        "  theta_best = {} (val accuracy {:.1}%)",
+        otif.theta_best.describe(),
+        otif.theta_best_accuracy * 100.0
+    );
+    println!("  tuned speed-accuracy curve:");
+    for p in &otif.curve {
+        println!(
+            "    {:>8.2} sim-s/val-split  acc {:>5.1}%   {}",
+            p.val_seconds,
+            p.accuracy * 100.0,
+            p.config.describe()
+        );
+    }
+
+    // -- 3. extract all tracks from the test split ------------------------
+    let point = otif.pick_config(0.05);
+    println!("\nExecuting {} over the test split...", point.config.describe());
+    let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    let extracted: usize = tracks.iter().map(|t| t.len()).sum();
+    println!(
+        "  extracted {extracted} tracks in {:.2} simulated seconds",
+        ledger.execution_total()
+    );
+    for (component, secs) in ledger.breakdown() {
+        println!("    {:<10} {:.3}s", component.name(), secs);
+    }
+
+    // -- 4. query the tracks ----------------------------------------------
+    println!("\nAnswering queries from extracted tracks (no decode, no ML):");
+    let t0 = Instant::now();
+    let acc = query.accuracy(&tracks, &dataset.test);
+    println!(
+        "  path-breakdown accuracy vs ground truth: {:.1}%  ({} us)",
+        acc * 100.0,
+        t0.elapsed().as_micros()
+    );
+
+    let braking = TrackQuery::HardBraking { decel: 60.0 };
+    let t0 = Instant::now();
+    let hits: f32 = tracks
+        .iter()
+        .zip(&dataset.test)
+        .map(|(ts, clip)| braking.run(ts, clip.scene.fps as f32)[0])
+        .sum();
+    println!(
+        "  hard-braking cars found: {hits}  ({} us)",
+        t0.elapsed().as_micros()
+    );
+}

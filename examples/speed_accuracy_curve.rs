@@ -1,0 +1,46 @@
+//! Export OTIF's tuned speed–accuracy curve as CSV — the data behind the
+//! workflow's "user selects a point along the curve" step (Figure 1).
+//!
+//! Run with: `cargo run --release --example speed_accuracy_curve`
+//! Pipe the output to a file and plot with your tool of choice.
+
+use otif::core::{Otif, OtifOptions};
+use otif::query::TrackQuery;
+use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+
+fn main() {
+    let dataset = DatasetConfig::new(
+        DatasetKind::Caldot1,
+        DatasetScale {
+            clips_per_split: 3,
+            clip_seconds: 8.0,
+        },
+        17,
+    )
+    .generate();
+    let query = TrackQuery::path_breakdown(&dataset.scene);
+    let val = dataset.val.clone();
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+
+    eprintln!("preparing OTIF on caldot1 (stderr; CSV goes to stdout)...");
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+
+    // CSV header + one row per curve point, evaluated on both splits.
+    println!("config,val_seconds,val_accuracy,test_seconds,test_accuracy");
+    let hour = dataset.scale.hour_scale();
+    for p in &otif.curve {
+        let (tracks, ledger) = otif.execute(&p.config, &dataset.test);
+        let test_acc = query.accuracy(&tracks, &dataset.test);
+        println!(
+            "\"{}\",{:.2},{:.4},{:.2},{:.4}",
+            p.config.describe(),
+            p.val_seconds * hour,
+            p.accuracy,
+            ledger.execution_total() * hour,
+            test_acc
+        );
+    }
+    eprintln!("{} curve points written", otif.curve.len());
+}

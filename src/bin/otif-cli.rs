@@ -1,0 +1,287 @@
+//! `otif-cli` — a small command-line front end for the OTIF workflow.
+//!
+//! ```text
+//! otif-cli generate --dataset warsaw --clips 4 --seconds 10 --seed 7
+//! otif-cli prepare  --dataset warsaw --clips 4 --seconds 10 --seed 7 --out model.json
+//! otif-cli curve    --model model.json
+//! otif-cli execute  --model model.json --dataset warsaw --clips 4 --seconds 10 \
+//!                   --seed 7 --pick 0.05 --out tracks.json
+//! otif-cli query    --tracks tracks.json --dataset warsaw --clips 4 --seconds 10 \
+//!                   --seed 7 --query breakdown|count|braking|volume
+//! ```
+//!
+//! Datasets are synthetic and regenerated deterministically from
+//! `(dataset, clips, seconds, seed)`, so artifacts stay small: the model
+//! file carries only trained weights, window sizes, the refinement
+//! clusters and the tuned curve.
+
+use otif::core::workflow::OtifArtifacts;
+use otif::core::{Otif, OtifOptions};
+use otif::query::{AggregateQuery, TrackQuery};
+use otif::sim::{Dataset, DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut out = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(key) = args[i].strip_prefix("--") {
+            if i + 1 < args.len() {
+                out.insert(key.to_string(), args[i + 1].clone());
+                i += 2;
+                continue;
+            }
+        }
+        eprintln!("warning: ignoring argument {:?}", args[i]);
+        i += 1;
+    }
+    out
+}
+
+fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
+    DatasetKind::ALL
+        .into_iter()
+        .find(|k| k.name() == name)
+        .ok_or_else(|| {
+            format!(
+                "unknown dataset {name:?}; expected one of {}",
+                DatasetKind::ALL
+                    .iter()
+                    .map(|k| k.name())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        })
+}
+
+fn dataset_from_flags(flags: &HashMap<String, String>) -> Result<Dataset, String> {
+    let kind = dataset_kind(flags.get("dataset").map(String::as_str).unwrap_or("caldot1"))?;
+    let clips: usize = flags
+        .get("clips")
+        .map(|s| s.parse().map_err(|e| format!("bad --clips: {e}")))
+        .transpose()?
+        .unwrap_or(3);
+    let seconds: f32 = flags
+        .get("seconds")
+        .map(|s| s.parse().map_err(|e| format!("bad --seconds: {e}")))
+        .transpose()?
+        .unwrap_or(8.0);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(7);
+    Ok(DatasetConfig::new(
+        kind,
+        DatasetScale {
+            clips_per_split: clips,
+            clip_seconds: seconds,
+        },
+        seed,
+    )
+    .generate())
+}
+
+fn track_query(dataset: &Dataset) -> TrackQuery {
+    match dataset.kind {
+        DatasetKind::Amsterdam | DatasetKind::Jackson => TrackQuery::Count,
+        _ => TrackQuery::path_breakdown(&dataset.scene),
+    }
+}
+
+fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
+    let dataset = dataset_from_flags(&flags)?;
+    println!("dataset: {}", dataset.kind.name());
+    println!(
+        "scene: {}x{} @ {} fps, {} paths, camera {}",
+        dataset.scene.width,
+        dataset.scene.height,
+        dataset.scene.fps,
+        dataset.scene.paths.len(),
+        if dataset.kind.fixed_camera() { "fixed" } else { "moving" }
+    );
+    for (name, split) in [
+        ("train", &dataset.train),
+        ("val", &dataset.val),
+        ("test", &dataset.test),
+    ] {
+        let frames: usize = split.iter().map(|c| c.num_frames()).sum();
+        let tracks: usize = split.iter().map(|c| c.gt_tracks.len()).sum();
+        println!("{name}: {} clips, {frames} frames, {tracks} ground-truth tracks", split.len());
+    }
+    Ok(())
+}
+
+fn cmd_prepare(flags: HashMap<String, String>) -> Result<(), String> {
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "otif-model.json".to_string());
+    let dataset = dataset_from_flags(&flags)?;
+    let query = track_query(&dataset);
+    let val = dataset.val.clone();
+    let metric = move |tracks: &[Vec<Track>]| query.accuracy(tracks, &val);
+    eprintln!("preparing OTIF on {} (this trains models)...", dataset.kind.name());
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    let artifacts = otif.to_artifacts();
+    let json = serde_json::to_string(&artifacts).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    println!("wrote {out}");
+    println!("curve ({} points):", otif.curve.len());
+    for p in &otif.curve {
+        println!(
+            "  {:>9.3} s/val-split  acc {:>5.1}%  {}",
+            p.val_seconds,
+            p.accuracy * 100.0,
+            p.config.describe()
+        );
+    }
+    Ok(())
+}
+
+fn load_model(flags: &HashMap<String, String>) -> Result<Otif, String> {
+    let path = flags
+        .get("model")
+        .cloned()
+        .unwrap_or_else(|| "otif-model.json".to_string());
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let artifacts: OtifArtifacts = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    Ok(Otif::from_artifacts(artifacts, OtifOptions::fast_test()))
+}
+
+fn cmd_curve(flags: HashMap<String, String>) -> Result<(), String> {
+    let otif = load_model(&flags)?;
+    println!("theta_best: {}", otif.theta_best.describe());
+    for (i, p) in otif.curve.iter().enumerate() {
+        println!(
+            "[{i}] {:>9.3} s/val-split  acc {:>5.1}%  {}",
+            p.val_seconds,
+            p.accuracy * 100.0,
+            p.config.describe()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
+    let otif = load_model(&flags)?;
+    let dataset = dataset_from_flags(&flags)?;
+    let pick: f32 = flags
+        .get("pick")
+        .map(|s| s.parse().map_err(|e| format!("bad --pick: {e}")))
+        .transpose()?
+        .unwrap_or(0.05);
+    let point = otif.pick_config(pick);
+    eprintln!("executing {}", point.config.describe());
+    let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    let out = flags
+        .get("out")
+        .cloned()
+        .unwrap_or_else(|| "tracks.json".to_string());
+    let json = serde_json::to_string(&tracks).map_err(|e| e.to_string())?;
+    std::fs::write(&out, json).map_err(|e| e.to_string())?;
+    let n: usize = tracks.iter().map(|t| t.len()).sum();
+    println!(
+        "extracted {n} tracks in {:.3} simulated seconds -> {out}",
+        ledger.execution_total()
+    );
+    Ok(())
+}
+
+fn cmd_query(flags: HashMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("tracks")
+        .cloned()
+        .unwrap_or_else(|| "tracks.json".to_string());
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let tracks: Vec<Vec<Track>> = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let dataset = dataset_from_flags(&flags)?;
+    if tracks.len() != dataset.test.len() {
+        return Err(format!(
+            "tracks file has {} clips but the dataset's test split has {} — \
+             regenerate with matching --dataset/--clips/--seconds/--seed",
+            tracks.len(),
+            dataset.test.len()
+        ));
+    }
+    let which = flags
+        .get("query")
+        .cloned()
+        .unwrap_or_else(|| "breakdown".to_string());
+    let fps = dataset.scene.fps as f32;
+    match which.as_str() {
+        "count" => {
+            let q = TrackQuery::Count;
+            for (i, ts) in tracks.iter().enumerate() {
+                println!("clip {i}: {} unique cars", q.run(ts, fps)[0]);
+            }
+            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+        }
+        "breakdown" => {
+            let q = TrackQuery::path_breakdown(&dataset.scene);
+            if let TrackQuery::PathBreakdown { patterns, .. } = &q {
+                let mut totals = vec![0.0; patterns.len()];
+                for ts in &tracks {
+                    for (i, v) in q.run(ts, fps).iter().enumerate() {
+                        totals[i] += v;
+                    }
+                }
+                for (p, t) in patterns.iter().zip(&totals) {
+                    println!("{:<10} {t}", p.id);
+                }
+            }
+            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+        }
+        "braking" => {
+            let q = TrackQuery::HardBraking { decel: 60.0 };
+            let total: f32 = tracks.iter().map(|ts| q.run(ts, fps)[0]).sum();
+            println!("hard-braking cars: {total}");
+            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+        }
+        "volume" => {
+            let q = AggregateQuery::TrafficVolume;
+            for (i, (ts, clip)) in tracks.iter().zip(&dataset.test).enumerate() {
+                println!(
+                    "clip {i}: {:.1} cars/minute",
+                    q.run(ts, clip.num_frames(), fps)
+                );
+            }
+            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+        }
+        other => return Err(format!("unknown --query {other:?} (count|breakdown|braking|volume)")),
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query> [--flag value ...]
+  generate --dataset <name> [--clips N --seconds S --seed N]
+  prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
+  curve    --model model.json
+  execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--out tracks.json]
+  query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let flags = parse_flags(rest);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(flags),
+        "prepare" => cmd_prepare(flags),
+        "curve" => cmd_curve(flags),
+        "execute" => cmd_execute(flags),
+        "query" => cmd_query(flags),
+        _ => Err(format!("unknown command {cmd:?}\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

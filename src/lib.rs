@@ -1,0 +1,49 @@
+#![warn(missing_docs)]
+
+//! OTIF — a Rust reproduction of *OTIF: Efficient Tracker Pre-processing
+//! over Large Video Datasets* (Bastani & Madden, SIGMOD 2022).
+//!
+//! This facade crate re-exports the workspace crates under stable module
+//! names so that downstream users (and the runnable examples in
+//! `examples/`) can depend on a single crate:
+//!
+//! - [`geom`] — geometric primitives, DBSCAN, spatial index, Hungarian.
+//! - [`nn`] — the pure-Rust neural-network library used by the
+//!   segmentation proxy model and the recurrent tracker.
+//! - [`sim`] — the synthetic scene simulator standing in for the paper's
+//!   seven video datasets.
+//! - [`codec`] — the block-based video store (encode / reduced-rate,
+//!   reduced-resolution decode with cost accounting).
+//! - [`cv`] — detection types, simulated detectors and the simulated-GPU
+//!   cost ledger.
+//! - [`track`] — SORT, Kalman filtering and the recurrent reduced-rate
+//!   tracker.
+//! - [`core`] — OTIF proper: segmentation proxy model, detection and
+//!   tracking modules, track refinement and the joint parameter tuner.
+//! - [`query`] — the post-processing query engine over extracted tracks.
+//! - [`baselines`] — Miris, BlazeIt, TASTI, NoScope, Chameleon, CaTDet and
+//!   CenterTrack re-implementations.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use otif::sim::{DatasetKind, DatasetConfig};
+//!
+//! // Generate a tiny synthetic highway dataset and inspect ground truth.
+//! let config = DatasetConfig::small(DatasetKind::Caldot1, 7);
+//! let dataset = config.generate();
+//! assert!(!dataset.test.is_empty());
+//! assert!(dataset.test.iter().any(|clip| !clip.gt_tracks.is_empty()));
+//! ```
+//!
+//! See `examples/quickstart.rs` for the full pre-process-then-query flow.
+
+pub use otif_baselines as baselines;
+pub use otif_codec as codec;
+pub use otif_core as core;
+pub use otif_cv as cv;
+pub use otif_geom as geom;
+pub use otif_nn as nn;
+pub use otif_query as query;
+pub use otif_sim as sim;
+pub use otif_track as track;

@@ -1,0 +1,105 @@
+//! End-to-end tests of the `otif-cli` binary: prepare → persist → execute
+//! → query, all through the public command-line surface.
+
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_otif-cli"))
+}
+
+const DS: [&str; 8] = [
+    "--dataset", "caldot2", "--clips", "2", "--seconds", "6", "--seed", "3",
+];
+
+#[test]
+fn generate_reports_dataset_stats() {
+    let out = cli().arg("generate").args(DS).output().expect("run cli");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("caldot2"));
+    assert!(stdout.contains("ground-truth tracks"));
+    assert!(stdout.contains("test:"));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().arg("frobnicate").output().expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn unknown_dataset_is_a_clean_error() {
+    let out = cli()
+        .args(["generate", "--dataset", "nowhere"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown dataset"));
+}
+
+#[test]
+fn prepare_execute_query_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("otif-cli-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let model = dir.join("model.json");
+    let tracks = dir.join("tracks.json");
+
+    let out = cli()
+        .arg("prepare")
+        .args(DS)
+        .args(["--out", model.to_str().unwrap()])
+        .output()
+        .expect("prepare");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(model.exists());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("curve"));
+
+    let out = cli()
+        .arg("curve")
+        .args(["--model", model.to_str().unwrap()])
+        .output()
+        .expect("curve");
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("theta_best"));
+
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--out", tracks.to_str().unwrap()])
+        .output()
+        .expect("execute");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(tracks.exists());
+
+    for query in ["breakdown", "count", "braking", "volume"] {
+        let out = cli()
+            .arg("query")
+            .args(["--tracks", tracks.to_str().unwrap()])
+            .args(DS)
+            .args(["--query", query])
+            .output()
+            .expect("query");
+        assert!(
+            out.status.success(),
+            "query {query}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        assert!(String::from_utf8_lossy(&out.stdout).contains("accuracy"));
+    }
+
+    // mismatched dataset flags are rejected
+    let out = cli()
+        .arg("query")
+        .args(["--tracks", tracks.to_str().unwrap()])
+        .args(["--dataset", "caldot2", "--clips", "3", "--seconds", "6", "--seed", "3"])
+        .args(["--query", "count"])
+        .output()
+        .expect("query mismatch");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("regenerate"));
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,169 @@
+//! Cross-crate integration tests: the full OTIF workflow against ground
+//! truth, compared with baselines, on small synthetic datasets.
+
+use otif::baselines::common::{pareto, sweep_configs, Baseline};
+use otif::baselines::{ChameleonBaseline, MirisBaseline};
+use otif::core::{Otif, OtifOptions};
+use otif::cv::{CostLedger, CostModel};
+use otif::query::{FrameLimitQuery, FrameQueryKind, TrackQuery};
+use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+
+fn small_scale() -> DatasetScale {
+    DatasetScale {
+        clips_per_split: 3,
+        clip_seconds: 8.0,
+    }
+}
+
+fn prepare(kind: DatasetKind, seed: u64) -> (otif::sim::Dataset, Otif, TrackQuery) {
+    let dataset = DatasetConfig::new(kind, small_scale(), seed).generate();
+    let query = match kind {
+        DatasetKind::Amsterdam | DatasetKind::Jackson => TrackQuery::Count,
+        _ => TrackQuery::path_breakdown(&dataset.scene),
+    };
+    let q = query.clone();
+    let val_ptr: *const _ = &dataset.val;
+    // SAFETY-free alternative: clone the validation clips for the metric.
+    let val: Vec<otif::sim::Clip> = dataset.val.clone();
+    let _ = val_ptr;
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    (dataset, otif, query)
+}
+
+#[test]
+fn otif_extracts_accurate_tracks_end_to_end() {
+    let (dataset, otif, query) = prepare(DatasetKind::Caldot1, 301);
+    let point = otif.pick_config(0.05);
+    let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    let acc = query.accuracy(&tracks, &dataset.test);
+    assert!(acc > 0.6, "test accuracy {acc}");
+    assert!(ledger.execution_total() > 0.0);
+
+    // the tuned curve trades speed for accuracy: fastest point is much
+    // faster than the slowest
+    let slow = otif.curve.first().unwrap();
+    let fast = otif.curve.last().unwrap();
+    assert!(
+        fast.val_seconds < slow.val_seconds * 0.5,
+        "curve should span a wide speed range: {} .. {}",
+        slow.val_seconds,
+        fast.val_seconds
+    );
+}
+
+#[test]
+fn otif_beats_miris_on_multi_query_cost() {
+    // The paper's core claim: OTIF extracts all tracks in time comparable
+    // to one Miris query; over 5 queries OTIF wins decisively.
+    let (dataset, otif, query) = prepare(DatasetKind::Warsaw, 302);
+    let point = otif.pick_config(0.10);
+    let (_tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    let otif_total = ledger.execution_total();
+
+    let miris = MirisBaseline::new(otif.theta_best.detector, 302, CostModel::default());
+    let val = dataset.val.clone();
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+    let sweep = sweep_configs(&miris, &dataset.val, &metric);
+    let selected = pareto(&sweep);
+    // Miris config with accuracy within 10 % of its own best
+    let best_acc = selected.iter().map(|(_, a, _)| *a).fold(f32::MIN, f32::max);
+    let (i, _, _) = selected
+        .iter()
+        .filter(|(_, a, _)| *a >= best_acc - 0.10)
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .copied()
+        .unwrap();
+    let ledger = CostLedger::new();
+    miris.run(i, &dataset.test, &ledger);
+    let miris_total = ledger.execution_total();
+
+    assert!(
+        otif_total < miris_total * 5.0,
+        "5-query OTIF {otif_total:.1}s should beat 5x Miris {:.1}s",
+        miris_total * 5.0
+    );
+}
+
+#[test]
+fn frame_queries_answered_from_tracks_with_high_precision() {
+    let (dataset, otif, _) = prepare(DatasetKind::Caldot1, 303);
+    let point = otif.pick_config(0.05);
+    let (tracks, _) = otif.execute(&point.config, &dataset.test);
+    let q = FrameLimitQuery {
+        kind: FrameQueryKind::Count,
+        n: 2,
+        limit: 10,
+        min_separation_s: 3.0,
+    };
+    let outputs = q.execute_on_tracks(&tracks, &dataset.test);
+    assert!(!outputs.is_empty(), "busy highway must yield matches");
+    let acc = q.accuracy(&outputs, &dataset.test);
+    assert!(acc > 0.6, "frame query accuracy {acc}");
+}
+
+#[test]
+fn refinement_improves_path_breakdown_at_high_gap() {
+    // Refinement's purpose (§3.4): recover track start/end so spatial
+    // predicates classify tracks correctly at large sampling gaps.
+    let (dataset, otif, query) = prepare(DatasetKind::Caldot2, 304);
+    // pick the largest-gap configuration on the curve
+    let point = otif
+        .curve
+        .iter()
+        .max_by_key(|p| p.config.gap)
+        .unwrap()
+        .clone();
+    if point.config.gap < 4 {
+        return; // tuner stopped early; nothing to compare
+    }
+    let mut with = point.config;
+    with.refine = true;
+    let mut without = point.config;
+    without.refine = false;
+    let (t_with, _) = otif.execute(&with, &dataset.test);
+    let (t_without, _) = otif.execute(&without, &dataset.test);
+    let a_with = query.accuracy(&t_with, &dataset.test);
+    let a_without = query.accuracy(&t_without, &dataset.test);
+    assert!(
+        a_with >= a_without - 0.02,
+        "refinement must not hurt: with {a_with} vs without {a_without}"
+    );
+}
+
+#[test]
+fn chameleon_pareto_selection_transfers_to_test() {
+    let dataset = DatasetConfig::new(DatasetKind::Jackson, small_scale(), 305).generate();
+    let query = TrackQuery::Count;
+    let chameleon = ChameleonBaseline::new(305, CostModel::default());
+    let val = dataset.val.clone();
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+    let sweep = sweep_configs(&chameleon, &dataset.val, &metric);
+    let selected = pareto(&sweep);
+    assert!(selected.len() >= 2, "expect a multi-point Pareto set");
+    // the slowest Pareto configuration should be reasonably accurate on
+    // the held-out test split too
+    let (i, val_acc, _) = selected[0];
+    let ledger = CostLedger::new();
+    let tracks = chameleon.run(i, &dataset.test, &ledger);
+    let test_acc = query.accuracy(&tracks, &dataset.test);
+    assert!(
+        test_acc > val_acc - 0.35,
+        "validation {val_acc} vs test {test_acc}: selection should transfer"
+    );
+}
+
+#[test]
+fn moving_camera_dataset_skips_refinement() {
+    let dataset = DatasetConfig::new(DatasetKind::Uav, small_scale(), 306).generate();
+    let query = TrackQuery::path_breakdown(&dataset.scene);
+    let val = dataset.val.clone();
+    let q = query.clone();
+    let metric = move |tracks: &[Vec<Track>]| q.accuracy(tracks, &val);
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    assert!(otif.refine_index.is_none(), "UAV is a moving camera (§3.4)");
+    assert!(otif.curve.iter().all(|p| !p.config.refine));
+}

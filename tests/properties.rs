@@ -1,0 +1,261 @@
+//! Property-based tests (proptest) over core data structures and
+//! invariants that span crates.
+
+use otif::codec::{Decoder, EncodedClip, EncoderConfig};
+use otif::track::{stitch_tracks, StitchConfig, Track};
+use otif::core::grouping::group_cells;
+use otif::core::windows::WindowSet;
+use otif::cv::{nms, Detection};
+use otif::geom::{hungarian, GridIndex, Point, Polygon, Polyline, Rect};
+use otif::sim::GrayImage;
+use otif::sim::ObjectClass;
+use proptest::prelude::*;
+
+fn rect_strategy() -> impl Strategy<Value = Rect> {
+    (
+        -50.0f32..400.0,
+        -50.0f32..300.0,
+        0.1f32..150.0,
+        0.1f32..150.0,
+    )
+        .prop_map(|(x, y, w, h)| Rect::new(x, y, w, h))
+}
+
+proptest! {
+    #[test]
+    fn iou_is_symmetric_and_bounded(a in rect_strategy(), b in rect_strategy()) {
+        let ab = a.iou(&b);
+        let ba = b.iou(&a);
+        prop_assert!((ab - ba).abs() < 1e-5);
+        prop_assert!((0.0..=1.0 + 1e-6).contains(&ab));
+    }
+
+    #[test]
+    fn intersection_is_contained_in_both(a in rect_strategy(), b in rect_strategy()) {
+        let i = a.intersection(&b);
+        if !i.is_empty() {
+            prop_assert!(a.contains_rect(&i));
+            prop_assert!(b.contains_rect(&i));
+        }
+    }
+
+    #[test]
+    fn union_contains_both(a in rect_strategy(), b in rect_strategy()) {
+        let u = a.union(&b);
+        // f32 rounding in x + w can shave a ULP off the union's edges, so
+        // test containment of a slightly shrunken copy
+        let eps = 1e-3;
+        let shrink = |r: &Rect| Rect::new(r.x + eps, r.y + eps, (r.w - 2.0 * eps).max(0.0), (r.h - 2.0 * eps).max(0.0));
+        prop_assert!(u.contains_rect(&shrink(&a)));
+        prop_assert!(u.contains_rect(&shrink(&b)));
+        // relative tolerance: the union's edges are recomputed sums, so
+        // its area can round a few ULP below the larger input's
+        let biggest = a.area().max(b.area());
+        prop_assert!(u.area() >= biggest * (1.0 - 1e-5) - 1e-3);
+    }
+
+    #[test]
+    fn polygon_contains_matches_rect_contains(
+        r in rect_strategy(),
+        px in -100.0f32..500.0,
+        py in -100.0f32..400.0,
+    ) {
+        let poly = Polygon::from_rect(&r);
+        let p = Point::new(px, py);
+        // boundary points may disagree; skip points near the border
+        let margin = 1e-3;
+        let strictly_in = px > r.x + margin && px < r.x1() - margin
+            && py > r.y + margin && py < r.y1() - margin;
+        let strictly_out = px < r.x - margin || px > r.x1() + margin
+            || py < r.y - margin || py > r.y1() + margin;
+        if strictly_in {
+            prop_assert!(poly.contains(&p));
+        } else if strictly_out {
+            prop_assert!(!poly.contains(&p));
+        }
+    }
+
+    #[test]
+    fn resample_preserves_endpoints(
+        pts in proptest::collection::vec((0.0f32..500.0, 0.0f32..300.0), 2..12),
+        n in 2usize..40,
+    ) {
+        let line = Polyline::new(pts.iter().map(|&(x, y)| Point::new(x, y)).collect());
+        let r = line.resample(n);
+        prop_assert_eq!(r.points.len(), n);
+        prop_assert!(r.first().dist(&line.first()) < 1e-3);
+        prop_assert!(r.last().dist(&line.last()) < 0.5);
+        // resampled length never exceeds the original (it's a chord chain)
+        prop_assert!(r.length() <= line.length() + 1e-2);
+    }
+
+    #[test]
+    fn hungarian_matches_are_a_partial_injection(
+        costs in proptest::collection::vec(
+            proptest::collection::vec(0.0f32..10.0, 4),
+            1..6,
+        ),
+    ) {
+        let assign = hungarian(&costs);
+        let mut used = std::collections::HashSet::new();
+        for a in assign.iter().flatten() {
+            prop_assert!(*a < 4);
+            prop_assert!(used.insert(*a), "column assigned twice");
+        }
+        // with cols >= rows, every row is assigned
+        if costs.len() <= 4 {
+            prop_assert!(assign.iter().all(|a| a.is_some()));
+        }
+    }
+
+    #[test]
+    fn grid_index_radius_query_matches_linear_scan(
+        pts in proptest::collection::vec((0.0f32..200.0, 0.0f32..200.0), 0..40),
+        qx in 0.0f32..200.0,
+        qy in 0.0f32..200.0,
+        radius in 1.0f32..80.0,
+    ) {
+        let mut idx = GridIndex::new(200.0, 200.0, 16.0);
+        for (i, &(x, y)) in pts.iter().enumerate() {
+            idx.insert(Point::new(x, y), i);
+        }
+        let q = Point::new(qx, qy);
+        let mut got: Vec<usize> = idx.query_radius(&q, radius).into_iter().map(|(_, i)| i).collect();
+        got.sort_unstable();
+        let mut expect: Vec<usize> = pts
+            .iter()
+            .enumerate()
+            .filter(|(_, &(x, y))| Point::new(x, y).dist(&q) <= radius)
+            .map(|(i, _)| i)
+            .collect();
+        expect.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn nms_output_is_conflict_free_and_subset(
+        boxes in proptest::collection::vec((0.0f32..300.0, 0.0f32..200.0, 0.5f32..1.0), 0..20),
+    ) {
+        let dets: Vec<Detection> = boxes
+            .iter()
+            .map(|&(x, y, c)| Detection {
+                rect: Rect::new(x, y, 30.0, 20.0),
+                class: ObjectClass::Car,
+                confidence: c,
+                appearance: vec![],
+                debug_gt: None,
+            })
+            .collect();
+        let kept = nms(dets.clone(), 0.5);
+        prop_assert!(kept.len() <= dets.len());
+        // no two kept detections of the same class overlap above threshold
+        for i in 0..kept.len() {
+            for j in (i + 1)..kept.len() {
+                prop_assert!(kept[i].rect.iou(&kept[j].rect) <= 0.5 + 1e-5);
+            }
+        }
+        // idempotence
+        let twice = nms(kept.clone(), 0.5);
+        prop_assert_eq!(twice.len(), kept.len());
+    }
+
+    #[test]
+    fn grouping_always_covers_positive_cells(
+        cells in proptest::collection::vec((0usize..12, 0usize..7), 0..30),
+    ) {
+        let ws = WindowSet::new(
+            384.0,
+            224.0,
+            vec![(384.0, 224.0), (128.0, 96.0), (64.0, 64.0)],
+            6.2e-8,
+            8.0e-4,
+        );
+        let mut unique = cells.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        let windows = group_cells(&unique, &ws);
+        for (cx, cy) in &unique {
+            let center = Point::new(*cx as f32 * 32.0 + 16.0, *cy as f32 * 32.0 + 16.0);
+            prop_assert!(
+                windows.iter().any(|w| w.contains_point(&center)),
+                "cell ({},{}) uncovered", cx, cy
+            );
+        }
+        // all windows use sizes from W
+        for w in &windows {
+            prop_assert!(ws.sizes.contains(&(w.w, w.h)));
+        }
+    }
+
+    #[test]
+    fn stitching_preserves_detections_and_frame_order(
+        specs in proptest::collection::vec(
+            // (start frame, length, x0, velocity, y row)
+            (0usize..60, 2usize..8, 0.0f32..300.0, -6.0f32..6.0, 0.0f32..180.0),
+            0..10,
+        ),
+    ) {
+        let tracks: Vec<Track> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(f0, len, x0, v, y))| {
+                let mut t = Track::new(i as u32, ObjectClass::Car);
+                for k in 0..len {
+                    t.push(f0 + k * 2, Detection {
+                        rect: Rect::new(x0 + v * (k * 2) as f32, y, 24.0, 14.0),
+                        class: ObjectClass::Car,
+                        confidence: 0.9,
+                        appearance: vec![0.5; otif::cv::APPEARANCE_DIM],
+                        debug_gt: None,
+                    });
+                }
+                t
+            })
+            .collect();
+        let total_dets: usize = tracks.iter().map(|t| t.len()).sum();
+        let out = stitch_tracks(tracks, StitchConfig::default());
+        // stitching never loses or duplicates detections
+        let out_dets: usize = out.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(out_dets, total_dets);
+        // and every output track has strictly increasing frames
+        for t in &out {
+            prop_assert!(t.dets.windows(2).all(|w| w[0].0 < w[1].0));
+        }
+    }
+
+    #[test]
+    fn codec_roundtrip_error_bounded_by_threshold(
+        seed in 0u64..1000,
+        gop in 1usize..12,
+        threshold in 0u8..20,
+    ) {
+        // pseudo-random frames with temporal coherence
+        let (w, h) = (32usize, 16usize);
+        let frames: Vec<GrayImage> = (0..10)
+            .map(|t| {
+                let mut img = GrayImage::new(w, h);
+                for y in 0..h {
+                    for x in 0..w {
+                        let v = otif::sim::render::hash01(
+                            (x / 4) as u64,
+                            (y / 4) as u64,
+                            seed,
+                        ) * 0.5
+                            + otif::sim::render::hash01(x as u64, t as u64, seed) * 0.2;
+                        img.set(x, y, v);
+                    }
+                }
+                img
+            })
+            .collect();
+        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop, skip_threshold: threshold });
+        let mut dec = Decoder::new(&enc);
+        let tol = threshold as f32 / 255.0 + 1.0 / 255.0 + 1e-5;
+        for (t, f) in frames.iter().enumerate() {
+            let got = dec.decode(t);
+            for (a, b) in got.data.iter().zip(&f.data) {
+                prop_assert!((a - b).abs() <= tol, "frame {} error {}", t, (a - b).abs());
+            }
+        }
+    }
+}
