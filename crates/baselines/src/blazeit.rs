@@ -78,13 +78,10 @@ impl<'a> BlazeItBaseline<'a> {
                 (0..clip.num_frames())
                     .map(|f| {
                         // decode at the proxy's (low) resolution
-                        let proxy_scale =
-                            self.proxy.in_w as f32 / clip.scene.width as f32;
+                        let proxy_scale = self.proxy.in_w as f32 / clip.scene.width as f32;
                         ledger.charge(
                             Component::Decode,
-                            otif_core::pipeline::decode_cost(
-                                &self.cost, native_px, proxy_scale, 1,
-                            ),
+                            otif_core::pipeline::decode_cost(&self.cost, native_px, proxy_scale, 1),
                         );
                         let img = renderer.render(f, self.proxy.in_w, self.proxy.in_h);
                         let grid = self.proxy.score_cells(&img, &self.cost, &ledger);
@@ -109,10 +106,8 @@ impl<'a> BlazeItBaseline<'a> {
                 let mut acc = 0.0;
                 for cy in 0..grid.rows {
                     for cx in 0..grid.cols {
-                        let center = otif_geom::Point::new(
-                            cx as f32 * 32.0 + 16.0,
-                            cy as f32 * 32.0 + 16.0,
-                        );
+                        let center =
+                            otif_geom::Point::new(cx as f32 * 32.0 + 16.0, cy as f32 * 32.0 + 16.0);
                         if poly.contains(&center) {
                             acc += grid.get(cx, cy);
                         }
@@ -175,8 +170,7 @@ impl<'a> BlazeItBaseline<'a> {
             }
             let dets = detector.detect_frame(clip, r.frame, &ledger);
             invocations += 1;
-            let positions: Vec<otif_geom::Point> =
-                dets.iter().map(|d| d.rect.center()).collect();
+            let positions: Vec<otif_geom::Point> = dets.iter().map(|d| d.rect.center()).collect();
             if query.positions_match(&positions) {
                 outputs.push(r);
             }
@@ -218,12 +212,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let mut m = SegProxyModel::new(
-            d.scene.width as usize,
-            d.scene.height as usize,
-            scale,
-            5,
-        );
+        let mut m = SegProxyModel::new(d.scene.width as usize, d.scene.height as usize, scale, 5);
         m.train(&clips, &labels, 800, 0.01, 5);
         m
     }
@@ -283,7 +272,12 @@ mod tests {
         }
         if !busy.is_empty() && !sparse.is_empty() {
             let m = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
-            assert!(m(&busy) > m(&sparse), "busy {} sparse {}", m(&busy), m(&sparse));
+            assert!(
+                m(&busy) > m(&sparse),
+                "busy {} sparse {}",
+                m(&busy),
+                m(&sparse)
+            );
         }
     }
 }

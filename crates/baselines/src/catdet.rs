@@ -34,7 +34,13 @@ impl CaTDetBaseline {
         CaTDetBaseline {
             detector_seed,
             cost,
-            configs: vec![(1.0, 0.0), (0.5, 0.2), (0.375, 0.25), (0.25, 0.3), (0.25, 0.5)],
+            configs: vec![
+                (1.0, 0.0),
+                (0.5, 0.2),
+                (0.375, 0.25),
+                (0.25, 0.3),
+                (0.25, 0.5),
+            ],
             window: 96.0,
             refine_arch: DetectorArch::YoloV3,
         }

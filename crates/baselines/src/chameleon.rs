@@ -83,10 +83,7 @@ impl Baseline for ChameleonBaseline {
         // Periodic re-profiling: proportional share of full-cost detector
         // time over profiling segments.
         if let Some(clip) = clips.first() {
-            let total_s: f64 = clips
-                .iter()
-                .map(|c| c.duration_s() as f64)
-                .sum();
+            let total_s: f64 = clips.iter().map(|c| c.duration_s() as f64).sum();
             let rounds = (total_s / self.profile_interval_s).ceil();
             let det = SimDetector::new(DetectorConfig::new(arch, 1.0), self.detector_seed);
             let profile_frames =

@@ -57,12 +57,30 @@ impl MirisBaseline {
             detector_seed,
             cost,
             configs: vec![
-                MirisConfig { max_gap: 1, uncertainty: 0.0 },
-                MirisConfig { max_gap: 2, uncertainty: 0.4 },
-                MirisConfig { max_gap: 4, uncertainty: 0.4 },
-                MirisConfig { max_gap: 8, uncertainty: 0.35 },
-                MirisConfig { max_gap: 16, uncertainty: 0.3 },
-                MirisConfig { max_gap: 32, uncertainty: 0.25 },
+                MirisConfig {
+                    max_gap: 1,
+                    uncertainty: 0.0,
+                },
+                MirisConfig {
+                    max_gap: 2,
+                    uncertainty: 0.4,
+                },
+                MirisConfig {
+                    max_gap: 4,
+                    uncertainty: 0.4,
+                },
+                MirisConfig {
+                    max_gap: 8,
+                    uncertainty: 0.35,
+                },
+                MirisConfig {
+                    max_gap: 16,
+                    uncertainty: 0.3,
+                },
+                MirisConfig {
+                    max_gap: 32,
+                    uncertainty: 0.25,
+                },
             ],
             refine_frames: 6,
         }
@@ -174,7 +192,10 @@ impl MirisBaseline {
                 }
                 t.misses += 1;
                 if t.misses > 2 {
-                    done.push(std::mem::replace(&mut t.track, Track::new(0, otif_sim::ObjectClass::Car)));
+                    done.push(std::mem::replace(
+                        &mut t.track,
+                        Track::new(0, otif_sim::ObjectClass::Car),
+                    ));
                     false
                 } else {
                     true
@@ -231,7 +252,12 @@ impl MirisBaseline {
                     }
                     ledger.charge(
                         Component::Decode,
-                        otif_core::pipeline::decode_cost(&self.cost, native_px, self.detector.scale, 1),
+                        otif_core::pipeline::decode_cost(
+                            &self.cost,
+                            native_px,
+                            self.detector.scale,
+                            1,
+                        ),
                     );
                     let win = Rect::new(
                         anchor.center().x - refine_window / 2.0,
@@ -246,7 +272,10 @@ impl MirisBaseline {
                     let dets = detector.detect_windows(clip, f, &[win], ledger);
                     let best = dets
                         .into_iter()
-                        .filter(|d| d.rect.iou(&anchor) > 0.1 || d.rect.center().dist(&anchor.center()) < 24.0)
+                        .filter(|d| {
+                            d.rect.iou(&anchor) > 0.1
+                                || d.rect.center().dist(&anchor.center()) < 24.0
+                        })
                         .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).unwrap());
                     match best {
                         Some(d) => {
@@ -341,18 +370,19 @@ mod tests {
     fn refinement_extends_track_endpoints() {
         let d = DatasetConfig::small(DatasetKind::Caldot1, 73).generate();
         let mut with = baseline();
-        with.configs = vec![MirisConfig { max_gap: 8, uncertainty: 0.0 }];
+        with.configs = vec![MirisConfig {
+            max_gap: 8,
+            uncertainty: 0.0,
+        }];
         let mut without = baseline();
-        without.configs = vec![MirisConfig { max_gap: 8, uncertainty: 0.0 }];
+        without.configs = vec![MirisConfig {
+            max_gap: 8,
+            uncertainty: 0.0,
+        }];
         without.refine_frames = 0;
         let t_with = with.run(0, &d.test[..1], &CostLedger::new());
         let t_without = without.run(0, &d.test[..1], &CostLedger::new());
-        let span = |ts: &Vec<Vec<Track>>| -> usize {
-            ts[0]
-                .iter()
-                .map(|t| t.dets.len())
-                .sum()
-        };
+        let span = |ts: &Vec<Vec<Track>>| -> usize { ts[0].iter().map(|t| t.dets.len()).sum() };
         assert!(
             span(&t_with) > span(&t_without),
             "refinement should add detections: {} vs {}",

@@ -92,10 +92,8 @@ impl<'a> TastiBaseline<'a> {
                 let mut acc = 0.0;
                 for cy in 0..grid.rows {
                     for cx in 0..grid.cols {
-                        let c = otif_geom::Point::new(
-                            cx as f32 * 32.0 + 16.0,
-                            cy as f32 * 32.0 + 16.0,
-                        );
+                        let c =
+                            otif_geom::Point::new(cx as f32 * 32.0 + 16.0, cy as f32 * 32.0 + 16.0);
                         if poly.contains(&c) {
                             acc += grid.get(cx, cy);
                         }
@@ -158,8 +156,7 @@ impl<'a> TastiBaseline<'a> {
             }
             let dets = detector.detect_frame(clip, r.frame, &ledger);
             invocations += 1;
-            let positions: Vec<otif_geom::Point> =
-                dets.iter().map(|d| d.rect.center()).collect();
+            let positions: Vec<otif_geom::Point> = dets.iter().map(|d| d.rect.center()).collect();
             if query.positions_match(&positions) {
                 outputs.push(r);
             }
@@ -196,12 +193,7 @@ mod tests {
                     .collect()
             })
             .collect();
-        let mut m = SegProxyModel::new(
-            d.scene.width as usize,
-            d.scene.height as usize,
-            scale,
-            5,
-        );
+        let mut m = SegProxyModel::new(d.scene.width as usize, d.scene.height as usize, scale, 5);
         m.train(&clips, &labels, 800, 0.01, 5);
         m
     }

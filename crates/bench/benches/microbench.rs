@@ -38,9 +38,7 @@ fn window_set() -> WindowSet {
 fn bench_grouping(c: &mut Criterion) {
     let ws = window_set();
     let sparse: Vec<(usize, usize)> = vec![(1, 1), (2, 1), (8, 5), (11, 2)];
-    let dense: Vec<(usize, usize)> = (0..12)
-        .flat_map(|x| (0..7).map(move |y| (x, y)))
-        .collect();
+    let dense: Vec<(usize, usize)> = (0..12).flat_map(|x| (0..7).map(move |y| (x, y))).collect();
     c.bench_function("group_cells/sparse_4_cells", |b| {
         b.iter(|| group_cells(std::hint::black_box(&sparse), &ws))
     });
@@ -51,7 +49,12 @@ fn bench_grouping(c: &mut Criterion) {
 
 fn bench_window_selection(c: &mut Criterion) {
     let frames: Vec<Vec<(usize, usize)>> = (0..30)
-        .map(|i| vec![((i * 3) % 12, (i * 2) % 7), ((i * 5 + 3) % 12, (i * 3 + 1) % 7)])
+        .map(|i| {
+            vec![
+                ((i * 3) % 12, (i * 2) % 7),
+                ((i * 5 + 3) % 12, (i * 3 + 1) % 7),
+            ]
+        })
         .collect();
     c.bench_function("select_window_sizes/k3_30_frames", |b| {
         b.iter(|| {

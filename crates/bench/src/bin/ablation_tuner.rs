@@ -50,9 +50,7 @@ fn main() {
         rows.push(TunerRow {
             c,
             curve_points: otif.curve.len(),
-            tuning_seconds: otif
-                .prep_ledger
-                .get(otif_cv::Component::Tuner),
+            tuning_seconds: otif.prep_ledger.get(otif_cv::Component::Tuner),
             picked_seconds_hour: ledger.execution_total() * hour,
             picked_accuracy: query.accuracy(&tracks, &dataset.test),
         });
@@ -72,7 +70,13 @@ fn main() {
         .collect();
     print_table(
         "Ablation — tuning coarseness C (caldot1)",
-        &["C", "curve points", "tuning cost (s)", "picked config s/hr", "test acc"],
+        &[
+            "C",
+            "curve points",
+            "tuning cost (s)",
+            "picked config s/hr",
+            "test acc",
+        ],
         &table,
     );
 

@@ -8,7 +8,9 @@
 //!
 //! Usage: `cargo run --release -p otif-bench --bin ablation_varrate [tiny|small|experiment]`
 
-use otif_bench::harness::{make_dataset, otif_options, prepare_otif, scale_from_args, track_query_for};
+use otif_bench::harness::{
+    make_dataset, otif_options, prepare_otif, scale_from_args, track_query_for,
+};
 use otif_bench::report::{pct, print_table, secs, write_json};
 use otif_core::pipeline::Pipeline;
 use otif_cv::CostLedger;
@@ -82,7 +84,14 @@ fn main() {
         .collect();
     print_table(
         "Ablation — fixed vs variable sampling gap (recurrent tracker)",
-        &["dataset", "max gap", "fixed s/hr", "fixed acc", "variable s/hr", "variable acc"],
+        &[
+            "dataset",
+            "max gap",
+            "fixed s/hr",
+            "fixed acc",
+            "variable s/hr",
+            "variable acc",
+        ],
         &table,
     );
 

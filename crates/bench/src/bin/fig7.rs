@@ -16,7 +16,9 @@ use otif_bench::report::{print_table, write_json};
 use otif_core::grouping::group_cells;
 use otif_core::proxy::CellGrid;
 use otif_core::windows::{cells_of_rects, select_window_sizes};
-use otif_cv::{average_precision, CostLedger, CostModel, DetectorArch, DetectorConfig, SimDetector};
+use otif_cv::{
+    average_precision, CostLedger, CostModel, DetectorArch, DetectorConfig, SimDetector,
+};
 use otif_sim::{DatasetKind, Renderer};
 use serde::Serialize;
 

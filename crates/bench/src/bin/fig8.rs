@@ -59,10 +59,7 @@ fn main() {
                 ..DetectorConfig::new(DetectorArch::YoloV3, 0.25)
             },
         ),
-        (
-            "our-impl",
-            DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
-        ),
+        ("our-impl", DetectorConfig::new(DetectorArch::MaskRcnn, 1.0)),
     ] {
         let det = SimDetector::new(cfg, SEED);
         let dets = det.detect_frame(clip, f, &ledger);
@@ -137,7 +134,12 @@ fn main() {
         .collect();
     print_table(
         "Figure 8 / §4.6 — implementation validation (busy Warsaw frame)",
-        &["implementation", "cars detected", "false positives", "proxy s/hr"],
+        &[
+            "implementation",
+            "cars detected",
+            "false positives",
+            "proxy s/hr",
+        ],
         &rows,
     );
 

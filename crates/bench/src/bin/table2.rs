@@ -66,7 +66,10 @@ fn main() {
 
     // print both table halves
     let method_names: Vec<String> = rows[0].methods.iter().map(|m| m.method.clone()).collect();
-    for (title, five) in [("Table 2 — 1 query", false), ("Table 2 — 5 queries (estimated)", true)] {
+    for (title, five) in [
+        ("Table 2 — 1 query", false),
+        ("Table 2 — 5 queries (estimated)", true),
+    ] {
         let mut headers: Vec<&str> = vec!["Dataset"];
         headers.extend(method_names.iter().map(|s| s.as_str()));
         let table_rows: Vec<Vec<String>> = rows

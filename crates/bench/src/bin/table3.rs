@@ -175,7 +175,14 @@ fn main() {
     }
     print_table(
         "Table 3 — frame-level limit queries (averages over 6 queries)",
-        &["queries", "method", "pre-processing (s)", "query (s)", "total (s)", "accuracy"],
+        &[
+            "queries",
+            "method",
+            "pre-processing (s)",
+            "query (s)",
+            "total (s)",
+            "accuracy",
+        ],
         &rows,
     );
     println!(

@@ -113,11 +113,7 @@ fn main() {
                     .iter()
                     .find(|r| r.level == *level && r.dataset == ds)
                     .unwrap();
-                row.push(
-                    r.seconds_hour
-                        .map(secs)
-                        .unwrap_or_else(|| "-".to_string()),
-                );
+                row.push(r.seconds_hour.map(secs).unwrap_or_else(|| "-".to_string()));
                 row.push(r.accuracy.map(pct).unwrap_or_else(|| "-".to_string()));
             }
             row

@@ -1,0 +1,131 @@
+//! Streams-vs-throughput scaling of the multi-stream engine (§3.2's
+//! cross-stream detector batching, the mechanism behind the paper's
+//! "process many streams per GPU" deployment numbers).
+//!
+//! Runs the same clip pool through `otif_engine::Engine` at 1, 2, 4, 8
+//! and 16 streams and reports simulated throughput, per-frame detector
+//! cost and mean batch occupancy. Per-clip outputs are identical at
+//! every stream count (the engine's determinism guarantee), so the
+//! curve isolates pure scheduling/batching effects: as streams grow,
+//! same-size windows from different streams share detector launches and
+//! the per-frame launch overhead amortizes away.
+//!
+//! All seconds are simulated V100 seconds from the cost model, not wall
+//! clock.
+//!
+//! Usage: `cargo run --release -p otif-bench --bin throughput [tiny|small|experiment]`
+
+use otif_bench::harness::{make_dataset, scale_from_args, SEED};
+use otif_bench::report::{print_table, write_json};
+use otif_core::config::{OtifConfig, TrackerKind};
+use otif_core::pipeline::ExecutionContext;
+use otif_cv::{CostLedger, CostModel, DetectorArch, DetectorConfig};
+use otif_engine::{Engine, EngineOptions};
+use otif_sim::{DatasetKind, DatasetScale};
+use serde::Serialize;
+
+const STREAM_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
+
+#[derive(Serialize)]
+struct ThroughputPoint {
+    streams: usize,
+    frames: u64,
+    /// Total simulated seconds for the whole run.
+    execution_seconds: f64,
+    /// Simulated frames per simulated second.
+    throughput_fps: f64,
+    /// Detector seconds per processed frame (launch overhead + pixels).
+    per_frame_detector_seconds: f64,
+    detector_batches: u64,
+    mean_batch_occupancy: f64,
+    max_frames_in_flight: u64,
+}
+
+fn main() {
+    // Fixed 16-clip pool so the largest stream count is fully occupied;
+    // the scale argument only controls clip length.
+    let scale = DatasetScale {
+        clips_per_split: 16,
+        clip_seconds: scale_from_args().clip_seconds,
+    };
+    let dataset = make_dataset(DatasetKind::Caldot1, scale);
+
+    // A lean operating point (low detector resolution, moderate gap) so
+    // the per-invocation launch overhead is a visible share of detector
+    // cost — the share batching can actually remove.
+    let config = OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 0.25),
+        proxy: None,
+        gap: 2,
+        tracker: TrackerKind::Sort,
+        refine: false,
+    };
+    let ctx = ExecutionContext::bare(CostModel::default(), SEED);
+
+    let mut points = Vec::new();
+    for streams in STREAM_COUNTS {
+        let ledger = CostLedger::new();
+        let opts = EngineOptions {
+            streams,
+            ..EngineOptions::default()
+        };
+        let run = Engine::run(&config, &ctx, &dataset.test, &opts, &ledger);
+        let frames = run.stats.frames;
+        points.push(ThroughputPoint {
+            streams: run.stats.streams,
+            frames,
+            execution_seconds: run.stats.execution_seconds,
+            throughput_fps: frames as f64 / run.stats.execution_seconds,
+            per_frame_detector_seconds: run.stats.stage_seconds.detector / frames as f64,
+            detector_batches: run.stats.batches,
+            mean_batch_occupancy: run.stats.mean_batch_occupancy,
+            max_frames_in_flight: run.stats.max_frames_in_flight,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.streams.to_string(),
+                p.frames.to_string(),
+                format!("{:.2}", p.execution_seconds),
+                format!("{:.1}", p.throughput_fps),
+                format!("{:.6}", p.per_frame_detector_seconds),
+                format!("{:.2}", p.mean_batch_occupancy),
+                p.max_frames_in_flight.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Engine scaling — streams vs simulated throughput (Caldot1, 16 clips)",
+        &[
+            "streams",
+            "frames",
+            "sim seconds",
+            "frames/sim-s",
+            "detector s/frame",
+            "batch occupancy",
+            "peak in-flight",
+        ],
+        &rows,
+    );
+
+    // The whole point of cross-stream batching: per-frame detector cost
+    // must fall monotonically as streams share launches.
+    for w in points.windows(2) {
+        if w[1].streams <= 8 {
+            assert!(
+                w[1].per_frame_detector_seconds < w[0].per_frame_detector_seconds,
+                "per-frame detector cost must strictly decrease from {} to {} streams \
+                 ({} vs {})",
+                w[0].streams,
+                w[1].streams,
+                w[0].per_frame_detector_seconds,
+                w[1].per_frame_detector_seconds
+            );
+        }
+    }
+
+    write_json("BENCH_throughput", &points);
+}

@@ -224,8 +224,7 @@ mod tests {
             let d = DatasetConfig::small(kind, 1).generate();
             let q = track_query_for(&d);
             let is_count = matches!(q, TrackQuery::Count);
-            let expect_count =
-                matches!(kind, DatasetKind::Amsterdam | DatasetKind::Jackson);
+            let expect_count = matches!(kind, DatasetKind::Amsterdam | DatasetKind::Jackson);
             assert_eq!(is_count, expect_count, "{kind:?}");
         }
     }

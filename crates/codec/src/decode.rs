@@ -71,8 +71,7 @@ impl<'a> Decoder<'a> {
                         let (bx, by) = (bi % bw, bi / bw);
                         for y in 0..BLOCK {
                             let row = (by * BLOCK + y) * w + bx * BLOCK;
-                            buf[row..row + BLOCK]
-                                .copy_from_slice(&raw[y * BLOCK..(y + 1) * BLOCK]);
+                            buf[row..row + BLOCK].copy_from_slice(&raw[y * BLOCK..(y + 1) * BLOCK]);
                         }
                         self.stats.blocks_processed += 1;
                     }
@@ -168,13 +167,23 @@ mod tests {
     fn close(a: &GrayImage, b: &GrayImage, tol: f32) -> bool {
         a.w == b.w
             && a.h == b.h
-            && a.data.iter().zip(&b.data).all(|(x, y)| (x - y).abs() <= tol)
+            && a.data
+                .iter()
+                .zip(&b.data)
+                .all(|(x, y)| (x - y).abs() <= tol)
     }
 
     #[test]
     fn lossless_roundtrip_with_zero_threshold() {
         let fs = frames(20);
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 5,
+                skip_threshold: 0,
+            },
+        );
         let mut dec = Decoder::new(&enc);
         for (t, f) in fs.iter().enumerate() {
             let got = dec.decode(t);
@@ -186,7 +195,14 @@ mod tests {
     fn lossy_roundtrip_within_threshold() {
         let fs = frames(20);
         let th = 10u8;
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 10, skip_threshold: th });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 10,
+                skip_threshold: th,
+            },
+        );
         let mut dec = Decoder::new(&enc);
         for (t, f) in fs.iter().enumerate() {
             let got = dec.decode(t);
@@ -200,7 +216,14 @@ mod tests {
     #[test]
     fn random_seek_matches_sequential() {
         let fs = frames(30);
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 7, skip_threshold: 0 });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 7,
+                skip_threshold: 0,
+            },
+        );
         let mut seq = Decoder::new(&enc);
         let sequential: Vec<GrayImage> = (0..30).map(|t| seq.decode(t)).collect();
         let mut rnd = Decoder::new(&enc);
@@ -213,7 +236,14 @@ mod tests {
     #[test]
     fn sampling_gap_decodes_fewer_blocks_sublinearly() {
         let fs = frames(60);
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 15, skip_threshold: 0 });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 15,
+                skip_threshold: 0,
+            },
+        );
 
         let cost_at_gap = |g: usize| -> u64 {
             let mut d = Decoder::new(&enc);
@@ -239,7 +269,14 @@ mod tests {
     #[test]
     fn decode_scaled_halves_dimensions() {
         let fs = frames(5);
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 5,
+                skip_threshold: 0,
+            },
+        );
         let mut dec = Decoder::new(&enc);
         let img = dec.decode_scaled(2, 16, 8);
         assert_eq!((img.w, img.h), (16, 8));
@@ -252,7 +289,14 @@ mod tests {
     #[test]
     fn stats_count_requests() {
         let fs = frames(10);
-        let enc = EncodedClip::encode(&fs, 10, EncoderConfig { gop: 5, skip_threshold: 0 });
+        let enc = EncodedClip::encode(
+            &fs,
+            10,
+            EncoderConfig {
+                gop: 5,
+                skip_threshold: 0,
+            },
+        );
         let mut dec = Decoder::new(&enc);
         dec.decode(0);
         dec.decode(1);
@@ -261,6 +305,9 @@ mod tests {
         // 0, 1, then keyframe 5 + chain 6..=9 → 2 + 5 = 7 decoded
         assert_eq!(dec.stats.frames_decoded, 7);
         assert!(dec.stats.blocks_processed > 0);
-        assert_eq!(dec.stats.pixels_processed(), dec.stats.blocks_processed * 64);
+        assert_eq!(
+            dec.stats.pixels_processed(),
+            dec.stats.blocks_processed * 64
+        );
     }
 }

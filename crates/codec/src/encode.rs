@@ -64,7 +64,10 @@ impl EncodedClip {
     pub fn encode(frames: &[GrayImage], fps: u32, config: EncoderConfig) -> EncodedClip {
         assert!(!frames.is_empty());
         let (w, h) = (frames[0].w, frames[0].h);
-        assert!(w % BLOCK == 0 && h % BLOCK == 0, "dims must be block-aligned");
+        assert!(
+            w % BLOCK == 0 && h % BLOCK == 0,
+            "dims must be block-aligned"
+        );
         assert!(config.gop >= 1);
         let bw = w / BLOCK;
         let bh = h / BLOCK;
@@ -191,7 +194,14 @@ mod tests {
     #[test]
     fn static_scene_compresses_well() {
         let frames = synthetic_frames(30, 64, 32, false);
-        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 30, skip_threshold: 4 });
+        let enc = EncodedClip::encode(
+            &frames,
+            10,
+            EncoderConfig {
+                gop: 30,
+                skip_threshold: 4,
+            },
+        );
         // 1 I-frame + 29 all-skip P-frames.
         let ratio = enc.size_bytes() as f32 / enc.raw_bytes() as f32;
         assert!(ratio < 0.1, "ratio {ratio}");
@@ -200,11 +210,18 @@ mod tests {
     #[test]
     fn moving_object_produces_raw_blocks() {
         let frames = synthetic_frames(10, 64, 32, true);
-        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 10, skip_threshold: 4 });
+        let enc = EncodedClip::encode(
+            &frames,
+            10,
+            EncoderConfig {
+                gop: 10,
+                skip_threshold: 4,
+            },
+        );
         match &enc.frames[1] {
             EncFrame::P(ops) => {
                 let raw = ops.iter().filter(|o| matches!(o, BlockOp::Raw(_))).count();
-                assert!(raw >= 1 && raw <= 8, "raw blocks = {raw}");
+                assert!((1..=8).contains(&raw), "raw blocks = {raw}");
             }
             _ => panic!("frame 1 should be a P-frame"),
         }
@@ -213,7 +230,14 @@ mod tests {
     #[test]
     fn gop_boundaries_are_i_frames() {
         let frames = synthetic_frames(25, 64, 32, true);
-        let enc = EncodedClip::encode(&frames, 10, EncoderConfig { gop: 10, skip_threshold: 4 });
+        let enc = EncodedClip::encode(
+            &frames,
+            10,
+            EncoderConfig {
+                gop: 10,
+                skip_threshold: 4,
+            },
+        );
         for (i, f) in enc.frames.iter().enumerate() {
             let is_i = matches!(f, EncFrame::I(_));
             assert_eq!(is_i, i % 10 == 0, "frame {i}");

@@ -269,7 +269,9 @@ mod tests {
         for pattern in [
             vec![(0usize, 0usize)],
             vec![(0, 0), (11, 6), (5, 3)],
-            (0..12).flat_map(|x| (0..7).map(move |y| (x, y))).collect::<Vec<_>>(),
+            (0..12)
+                .flat_map(|x| (0..7).map(move |y| (x, y)))
+                .collect::<Vec<_>>(),
         ] {
             let r = group_cells(&pattern, &ws);
             let cost: f64 = r.iter().map(|w| ws.window_time(w.w, w.h)).sum();

@@ -32,6 +32,7 @@ pub mod grouping;
 pub mod pipeline;
 pub mod proxy;
 pub mod refine;
+pub mod stages;
 pub mod theta;
 pub mod tuner;
 pub mod windows;
@@ -42,6 +43,7 @@ pub use grouping::group_cells;
 pub use pipeline::{ExecutionContext, Pipeline};
 pub use proxy::{CellGrid, SegProxyModel, PROXY_SCALES};
 pub use refine::RefineIndex;
+pub use stages::FrameTracker;
 pub use theta::select_theta_best;
 pub use tuner::{CurvePoint, Tuner, TunerOptions};
 pub use windows::{select_window_sizes, WindowSet};

@@ -6,13 +6,16 @@
 //! frame, single-detection tracks are pruned and (for fixed cameras)
 //! track endpoints are refined.
 
-use crate::config::{OtifConfig, TrackerKind};
+use crate::config::OtifConfig;
 use crate::proxy::SegProxyModel;
 use crate::refine::RefineIndex;
+use crate::stages::{
+    charge_decode, charge_tracker_step, finalize_tracks, select_windows, FrameTracker,
+};
 use crate::windows::WindowSet;
 use otif_cv::{Component, CostLedger, CostModel, Detection, SimDetector};
 use otif_sim::{Clip, Renderer};
-use otif_track::{RecurrentTracker, SortTracker, Track, TrackerModel};
+use otif_track::{RecurrentTracker, Track, TrackerModel};
 use rayon::prelude::*;
 
 /// Everything a pipeline execution needs besides the configuration:
@@ -49,27 +52,6 @@ impl<'a> ExecutionContext<'a> {
     }
 }
 
-enum AnyTracker {
-    Sort(SortTracker),
-    Recurrent(Box<RecurrentTracker>),
-}
-
-impl AnyTracker {
-    fn step(&mut self, frame: usize, dets: Vec<Detection>) {
-        match self {
-            AnyTracker::Sort(t) => t.step(frame, dets),
-            AnyTracker::Recurrent(t) => t.step(frame, dets),
-        }
-    }
-
-    fn finish(self) -> Vec<Track> {
-        match self {
-            AnyTracker::Sort(t) => t.finish(),
-            AnyTracker::Recurrent(t) => t.finish(),
-        }
-    }
-}
-
 /// Simulated decode cost of one sampled frame.
 ///
 /// Decoding at the detector's input scale is cheaper (ffmpeg-style scaled
@@ -94,80 +76,28 @@ impl Pipeline {
         ledger: &CostLedger,
     ) -> (Vec<Track>, Vec<(usize, Vec<Detection>)>) {
         let detector = SimDetector::new(config.detector, ctx.detector_seed);
-        let mut tracker = match config.tracker {
-            TrackerKind::Sort => AnyTracker::Sort(SortTracker::default()),
-            TrackerKind::Recurrent => {
-                let model = ctx
-                    .tracker_model
-                    .expect("recurrent tracker requires a trained model")
-                    .clone();
-                AnyTracker::Recurrent(Box::new(RecurrentTracker::new(model)))
-            }
-        };
+        let mut tracker = FrameTracker::new(config, ctx);
         let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
         let renderer = Renderer::new(clip);
         let mut per_frame = Vec::new();
 
         let mut f = 0usize;
         while f < clip.num_frames() {
-            ledger.charge(
-                Component::Decode,
-                decode_cost(&ctx.cost, native_px, config.detector.scale, config.gap),
-            );
-
-            // Select detector windows.
-            let windows = match (&config.proxy, ctx.proxies, ctx.window_set) {
-                (Some(p), Some(proxies), Some(ws)) => {
-                    let proxy = &proxies[p.resolution_idx];
-                    let img = renderer.render(f, proxy.in_w, proxy.in_h);
-                    let grid = proxy.score_cells(&img, &ctx.cost, ledger);
-                    crate::grouping::group_cells(&grid.positive_cells(p.threshold), ws)
-                }
-                (Some(_), _, _) => {
-                    panic!("config has a proxy but context lacks proxies/window set")
-                }
-                (None, _, _) => vec![clip.scene.frame_rect()],
-            };
-
+            charge_decode(config, ctx, native_px, ledger);
+            let windows =
+                select_windows(config, ctx, &renderer, clip.scene.frame_rect(), f, ledger);
             let dets = if windows.is_empty() {
                 Vec::new()
             } else {
                 detector.detect_windows(clip, f, &windows, ledger)
             };
-            ledger.charge(
-                Component::Tracker,
-                ctx.cost.tracker_per_frame + dets.len() as f64 * ctx.cost.tracker_per_det,
-            );
+            charge_tracker_step(ctx, dets.len(), ledger);
             per_frame.push((f, dets.clone()));
             tracker.step(f, dets);
             f += config.gap;
         }
 
-        let mut tracks = tracker.finish();
-        // Stitch fragments split by occlusion/miss streaks. The stitch
-        // window is in *frames*, so scale it with the sampling gap.
-        let stitch_cfg = otif_track::StitchConfig {
-            max_frame_gap: 14 * config.gap.max(1),
-            per_frame_dist_diag: 0.35 / config.gap.max(1) as f32,
-            frame: Some(clip.scene.frame_rect()),
-            ..otif_track::StitchConfig::default()
-        };
-        tracks = otif_track::stitch_tracks(tracks, stitch_cfg);
-        ledger.charge(
-            Component::Tracker,
-            tracks.len() as f64 * ctx.cost.tracker_per_det,
-        );
-        if config.refine {
-            if let Some(idx) = ctx.refine_index {
-                for t in tracks.iter_mut() {
-                    idx.refine(t);
-                }
-                ledger.charge(
-                    Component::Refinement,
-                    tracks.len() as f64 * ctx.cost.refine_per_track,
-                );
-            }
-        }
+        let tracks = finalize_tracks(config, ctx, clip, tracker.finish(), ledger);
         (tracks, per_frame)
     }
 
@@ -281,6 +211,7 @@ impl Pipeline {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::TrackerKind;
     use otif_cv::{DetectorArch, DetectorConfig};
     use otif_sim::{DatasetConfig, DatasetKind};
 

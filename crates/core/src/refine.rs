@@ -50,12 +50,7 @@ impl RefineIndex {
     /// enough that the distinct turning movements of a compact junction
     /// stay in separate clusters (merging them blends unrelated paths and
     /// refinement then actively misleads path classification).
-    pub fn build(
-        tracks: &[Track],
-        frame_w: f32,
-        frame_h: f32,
-        eps: Option<f32>,
-    ) -> RefineIndex {
+    pub fn build(tracks: &[Track], frame_w: f32, frame_h: f32, eps: Option<f32>) -> RefineIndex {
         let eps = eps.unwrap_or_else(|| (frame_w * frame_w + frame_h * frame_h).sqrt() * 0.035);
         let paths: Vec<Polyline> = tracks
             .iter()
@@ -63,11 +58,9 @@ impl RefineIndex {
             .map(|t| t.center_polyline().resample(RESAMPLE_N))
             .collect();
 
-        let result = dbscan(
-            paths.len(),
-            DbscanParams { eps, min_pts: 2 },
-            |i, j| paths[i].avg_point_distance(&paths[j]),
-        );
+        let result = dbscan(paths.len(), DbscanParams { eps, min_pts: 2 }, |i, j| {
+            paths[i].avg_point_distance(&paths[j])
+        });
 
         let mut clusters = Vec::new();
         for member_ids in result.clusters() {
@@ -139,7 +132,12 @@ impl RefineIndex {
         cand.dedup();
         let mut scored: Vec<(usize, f32)> = cand
             .into_iter()
-            .map(|ci| (ci, Self::track_to_center_dist(&path, &self.clusters[ci].center)))
+            .map(|ci| {
+                (
+                    ci,
+                    Self::track_to_center_dist(&path, &self.clusters[ci].center),
+                )
+            })
             .collect();
         scored.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
         scored.truncate(k);
@@ -240,7 +238,9 @@ impl RefineIndex {
             .unwrap_or(true);
         if ahead && end.dist(&lc) > speed {
             let gap_frames = (end.dist(&lc) / speed).ceil() as usize;
-            track.dets.push((last.0 + gap_frames.max(1), mk(&last.1, end)));
+            track
+                .dets
+                .push((last.0 + gap_frames.max(1), mk(&last.1, end)));
         }
     }
 }
@@ -309,7 +309,12 @@ mod tests {
         let idx = RefineIndex::build(&training_tracks(5), 384.0, 224.0, None);
         // two dominant clusters (horizontal + vertical paths)
         let big = idx.clusters.iter().filter(|c| c.size >= 4).count();
-        assert_eq!(big, 2, "clusters: {:?}", idx.clusters.iter().map(|c| c.size).collect::<Vec<_>>());
+        assert_eq!(
+            big,
+            2,
+            "clusters: {:?}",
+            idx.clusters.iter().map(|c| c.size).collect::<Vec<_>>()
+        );
     }
 
     #[test]
@@ -345,7 +350,10 @@ mod tests {
             after_start < before_start - 50.0,
             "start {before_start} -> {after_start}"
         );
-        assert!(after_end > before_end + 50.0, "end {before_end} -> {after_end}");
+        assert!(
+            after_end > before_end + 50.0,
+            "end {before_end} -> {after_end}"
+        );
         // frames remain strictly increasing
         assert!(t.dets.windows(2).all(|w| w[0].0 < w[1].0));
     }

@@ -334,9 +334,7 @@ impl<'a> Tuner<'a> {
                 };
                 let better = match &best {
                     None => true,
-                    Some(b) => {
-                        acc > b.accuracy || (acc == b.accuracy && secs < b.val_seconds)
-                    }
+                    Some(b) => acc > b.accuracy || (acc == b.accuracy && secs < b.val_seconds),
                 };
                 if better {
                     best = Some(point);

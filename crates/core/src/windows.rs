@@ -178,9 +178,8 @@ mod tests {
     #[test]
     fn sparse_scenes_get_small_windows() {
         // objects always in a single cell at varying positions
-        let frames: Vec<Vec<(usize, usize)>> = (0..20)
-            .map(|i| vec![((i * 3) % 12, (i * 2) % 7)])
-            .collect();
+        let frames: Vec<Vec<(usize, usize)>> =
+            (0..20).map(|i| vec![((i * 3) % 12, (i * 2) % 7)]).collect();
         let ws = select_window_sizes(384.0, 224.0, &frames, 3, PPX, PC);
         // greedy stops early if no further size helps; at least one small
         // size must have been added for single-cell objects
@@ -197,7 +196,12 @@ mod tests {
     #[test]
     fn selection_reduces_estimated_cost() {
         let frames: Vec<Vec<(usize, usize)>> = (0..20)
-            .map(|i| vec![((i * 3) % 12, (i * 2) % 7), (((i * 5) + 3) % 12, ((i * 3) + 1) % 7)])
+            .map(|i| {
+                vec![
+                    ((i * 3) % 12, (i * 2) % 7),
+                    (((i * 5) + 3) % 12, ((i * 3) + 1) % 7),
+                ]
+            })
             .collect();
         let est = |ws: &WindowSet| -> f64 {
             frames

@@ -194,16 +194,9 @@ impl Otif {
         let frames_cells: Vec<Vec<(usize, usize)>> = train_dets
             .iter()
             .flat_map(|per_frame| {
-                per_frame
-                    .iter()
-                    .filter(|d| !d.is_empty())
-                    .map(|dets| {
-                        cells_of_rects(
-                            &dets.iter().map(|d| d.rect).collect::<Vec<_>>(),
-                            fw,
-                            fh,
-                        )
-                    })
+                per_frame.iter().filter(|d| !d.is_empty()).map(|dets| {
+                    cells_of_rects(&dets.iter().map(|d| d.rect).collect::<Vec<_>>(), fw, fh)
+                })
             })
             .take(120)
             .collect();
@@ -348,10 +341,7 @@ impl Otif {
             proxies: self.proxies.clone(),
             window_set: self.window_set.clone(),
             tracker_model: self.tracker_model.clone(),
-            refine_clusters: self
-                .refine_index
-                .as_ref()
-                .map(|idx| idx.clusters.clone()),
+            refine_clusters: self.refine_index.as_ref().map(|idx| idx.clusters.clone()),
             curve: self.curve.clone(),
             frame_w: self.frame_w,
             frame_h: self.frame_h,
@@ -431,7 +421,7 @@ mod tests {
 
         // artifacts exist
         assert_eq!(otif.proxies.len(), 1);
-        assert!(otif.window_set.sizes.len() >= 1);
+        assert!(!otif.window_set.sizes.is_empty());
         assert!(otif.refine_index.is_some(), "caldot is a fixed camera");
         assert!(otif.curve.len() >= 2, "curve: {} points", otif.curve.len());
 

@@ -114,6 +114,36 @@ impl Default for CostModel {
     }
 }
 
+/// Occupancy statistics for batched invocations charged through
+/// [`CostLedger::charge_batch`] — how many batches ran and how many
+/// items they carried in total. Mean occupancy is the headline metric
+/// for cross-stream detector batching (§3.2): higher means the fixed
+/// per-call launch overhead is amortized over more windows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Number of batched invocations.
+    pub batches: u64,
+    /// Total items (windows) across all batches.
+    pub items: u64,
+}
+
+impl BatchStats {
+    /// Mean items per batch (0 if no batches ran).
+    pub fn mean_occupancy(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.items as f64 / self.batches as f64
+        }
+    }
+
+    /// Fold another set of counters into this one.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.batches += other.batches;
+        self.items += other.items;
+    }
+}
+
 /// Thread-safe accumulator of simulated seconds per component.
 ///
 /// Cheap to clone (shared interior); the execution pipeline threads one
@@ -122,6 +152,7 @@ impl Default for CostModel {
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
     inner: Arc<Mutex<HashMap<Component, f64>>>,
+    batches: Arc<Mutex<BatchStats>>,
 }
 
 impl CostLedger {
@@ -169,9 +200,35 @@ impl CostLedger {
         v
     }
 
+    /// Charge one batched invocation carrying `occupancy` items:
+    /// `seconds` accrue to `component` like [`Self::charge`], and the
+    /// batch occupancy counters are updated.
+    pub fn charge_batch(&self, component: Component, seconds: f64, occupancy: usize) {
+        self.charge(component, seconds);
+        let mut b = self.batches.lock();
+        b.batches += 1;
+        b.items += occupancy as u64;
+    }
+
+    /// Snapshot of the batched-invocation counters.
+    pub fn batch_stats(&self) -> BatchStats {
+        *self.batches.lock()
+    }
+
+    /// Fold every charge and batch counter from `other` into this
+    /// ledger. The streaming engine accounts into a private ledger and
+    /// absorbs it into the caller's at the end of a run.
+    pub fn absorb(&self, other: &CostLedger) {
+        for (c, s) in other.inner.lock().iter() {
+            self.charge(*c, *s);
+        }
+        self.batches.lock().merge(&other.batch_stats());
+    }
+
     /// Reset all counters (e.g. between tuner trials).
     pub fn reset(&self) {
         self.inner.lock().clear();
+        *self.batches.lock() = BatchStats::default();
     }
 }
 
@@ -224,6 +281,33 @@ mod tests {
         l.charge(Component::Query, 1.0);
         l.reset();
         assert_eq!(l.total(), 0.0);
+    }
+
+    #[test]
+    fn charge_batch_tracks_occupancy() {
+        let l = CostLedger::new();
+        l.charge_batch(Component::Detector, 1.0, 3);
+        l.charge_batch(Component::Detector, 1.0, 5);
+        let b = l.batch_stats();
+        assert_eq!(b.batches, 2);
+        assert_eq!(b.items, 8);
+        assert!((b.mean_occupancy() - 4.0).abs() < 1e-12);
+        assert!((l.get(Component::Detector) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn absorb_merges_charges_and_batches() {
+        let outer = CostLedger::new();
+        outer.charge(Component::Decode, 1.0);
+        let inner = CostLedger::new();
+        inner.charge(Component::Decode, 2.0);
+        inner.charge_batch(Component::Detector, 0.5, 4);
+        outer.absorb(&inner);
+        assert!((outer.get(Component::Decode) - 3.0).abs() < 1e-12);
+        assert!((outer.get(Component::Detector) - 0.5).abs() < 1e-12);
+        assert_eq!(outer.batch_stats().items, 4);
+        // absorbing leaves the source untouched
+        assert!((inner.total() - 2.5).abs() < 1e-12);
     }
 
     #[test]

@@ -94,7 +94,10 @@ mod tests {
     #[test]
     fn threshold_controls_suppression() {
         // ~43 % IoU between boxes offset by 4 of width 10
-        let dets = vec![det(0.0, 0.9, ObjectClass::Car), det(4.0, 0.8, ObjectClass::Car)];
+        let dets = vec![
+            det(0.0, 0.9, ObjectClass::Car),
+            det(4.0, 0.8, ObjectClass::Car),
+        ];
         assert_eq!(nms(dets.clone(), 0.5).len(), 2);
         assert_eq!(nms(dets, 0.3).len(), 1);
     }

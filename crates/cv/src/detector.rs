@@ -181,9 +181,22 @@ impl SimDetector {
         ledger: &CostLedger,
     ) -> Vec<Detection> {
         ledger.charge(Component::Detector, self.windows_cost(windows));
+        self.detect_windows_pure(clip, frame, windows)
+    }
+
+    /// Detection fidelity only, with no cost accounting. The streaming
+    /// engine uses this under its cross-stream batcher, which charges
+    /// pixel cost per window and launch overhead per *batch* instead of
+    /// per frame; results are identical to [`Self::detect_windows`].
+    pub fn detect_windows_pure(
+        &self,
+        clip: &Clip,
+        frame: usize,
+        windows: &[Rect],
+    ) -> Vec<Detection> {
         let mut dets = Vec::new();
         let fs = &clip.frames[frame];
-        let fkey = clip.seed ^ (frame as u64).wrapping_mul(0x51_7C_C1B7_2722_0A95);
+        let fkey = clip.seed ^ (frame as u64).wrapping_mul(0x517C_C1B7_2722_0A95);
 
         for o in &fs.objs {
             let c = o.rect.center();
@@ -204,14 +217,11 @@ impl SimDetector {
                 .sum();
             (win_area / frame_area).min(1.0)
         };
-        let fp_lambda = self.config.arch.fp_per_frame()
-            * cover
-            * (1.0 / self.config.scale).sqrt();
+        let fp_lambda = self.config.arch.fp_per_frame() * cover * (1.0 / self.config.scale).sqrt();
         let n_fp = {
             let base = fp_lambda.floor();
             let frac = fp_lambda - base;
-            base as usize
-                + usize::from(hash01(fkey, self.seed ^ 0xFA15E, 1) < frac)
+            base as usize + usize::from(hash01(fkey, self.seed ^ 0xFA15E, 1) < frac)
         };
         for k in 0..n_fp {
             let kk = k as u64 + 2;
@@ -263,8 +273,7 @@ impl SimDetector {
             return None;
         }
         // Confidence correlated with apparent size, plus noise.
-        let conf = (q * (0.78 + 0.4 * (hash01(fkey, tid, self.seed ^ 1) - 0.5)))
-            .clamp(0.05, 0.99);
+        let conf = (q * (0.78 + 0.4 * (hash01(fkey, tid, self.seed ^ 1) - 0.5))).clamp(0.05, 0.99);
         if conf < self.config.conf_threshold {
             return None;
         }
@@ -383,8 +392,14 @@ mod tests {
         let d2 = det(0.5);
         assert!(d2.frame_cost(&c) < d1.frame_cost(&c) * 0.35);
         // two distinct window sizes pay two launch overheads
-        let w_same = vec![Rect::new(0.0, 0.0, 64.0, 64.0), Rect::new(100.0, 0.0, 64.0, 64.0)];
-        let w_diff = vec![Rect::new(0.0, 0.0, 64.0, 64.0), Rect::new(100.0, 0.0, 96.0, 64.0)];
+        let w_same = vec![
+            Rect::new(0.0, 0.0, 64.0, 64.0),
+            Rect::new(100.0, 0.0, 64.0, 64.0),
+        ];
+        let w_diff = vec![
+            Rect::new(0.0, 0.0, 64.0, 64.0),
+            Rect::new(100.0, 0.0, 96.0, 64.0),
+        ];
         let same = d1.windows_cost(&w_same);
         let diff = d1.windows_cost(&w_diff);
         assert!(diff > same, "distinct sizes must cost extra overhead");
@@ -408,7 +423,12 @@ mod tests {
             .find(|&f| c.frames[f].objs.len() >= 2)
             .expect("busy frame");
         let target = c.frames[f].objs[0].rect;
-        let win = Rect::new(target.x - 10.0, target.y - 10.0, target.w + 20.0, target.h + 20.0);
+        let win = Rect::new(
+            target.x - 10.0,
+            target.y - 10.0,
+            target.w + 20.0,
+            target.h + 20.0,
+        );
         let dets = d.detect_windows(&c, f, &[win], &l);
         for det in &dets {
             assert!(win.contains_point(&det.rect.center()) || det.debug_gt.is_none());

@@ -31,7 +31,7 @@ pub mod detection;
 pub mod detector;
 pub mod map;
 
-pub use costs::{Component, CostLedger, CostModel};
+pub use costs::{BatchStats, Component, CostLedger, CostModel};
 pub use detection::{nms, Detection};
 pub use detector::{DetectorArch, DetectorConfig, SimDetector, APPEARANCE_DIM};
 pub use map::average_precision;

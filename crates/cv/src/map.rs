@@ -30,7 +30,10 @@ pub fn average_precision(per_frame: &[(Vec<Detection>, Vec<Rect>)], iou_threshol
             .unwrap_or(std::cmp::Ordering::Equal)
     });
 
-    let mut matched: Vec<Vec<bool>> = per_frame.iter().map(|(_, g)| vec![false; g.len()]).collect();
+    let mut matched: Vec<Vec<bool>> = per_frame
+        .iter()
+        .map(|(_, g)| vec![false; g.len()])
+        .collect();
     let mut tp = 0usize;
     let mut fp = 0usize;
     let mut curve: Vec<(f32, f32)> = Vec::with_capacity(dets.len()); // (recall, precision)
@@ -65,10 +68,7 @@ pub fn average_precision(per_frame: &[(Vec<Detection>, Vec<Rect>)], iou_threshol
     while i < curve.len() {
         let r = curve[i].0;
         // max precision at recall >= r
-        let pmax = curve[i..]
-            .iter()
-            .map(|&(_, p)| p)
-            .fold(0.0_f32, f32::max);
+        let pmax = curve[i..].iter().map(|&(_, p)| p).fold(0.0_f32, f32::max);
         ap += (r - prev_recall) * pmax;
         prev_recall = r;
         // skip to the next distinct recall level
@@ -98,17 +98,17 @@ mod tests {
     fn perfect_detections_score_one() {
         let frames = vec![(
             vec![d(0.0, 0.9), d(50.0, 0.8)],
-            vec![Rect::new(0.0, 0.0, 10.0, 10.0), Rect::new(50.0, 0.0, 10.0, 10.0)],
+            vec![
+                Rect::new(0.0, 0.0, 10.0, 10.0),
+                Rect::new(50.0, 0.0, 10.0, 10.0),
+            ],
         )];
         assert!((average_precision(&frames, 0.5) - 1.0).abs() < 1e-6);
     }
 
     #[test]
     fn all_misses_score_zero() {
-        let frames = vec![(
-            vec![d(200.0, 0.9)],
-            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
-        )];
+        let frames = vec![(vec![d(200.0, 0.9)], vec![Rect::new(0.0, 0.0, 10.0, 10.0)])];
         assert_eq!(average_precision(&frames, 0.5), 0.0);
     }
 
@@ -150,10 +150,7 @@ mod tests {
     #[test]
     fn higher_iou_threshold_is_stricter() {
         // box offset by 3 px: IoU ≈ 0.52
-        let frames = vec![(
-            vec![d(3.0, 0.9)],
-            vec![Rect::new(0.0, 0.0, 10.0, 10.0)],
-        )];
+        let frames = vec![(vec![d(3.0, 0.9)], vec![Rect::new(0.0, 0.0, 10.0, 10.0)])];
         assert!(average_precision(&frames, 0.5) > 0.9);
         assert_eq!(average_precision(&frames, 0.75), 0.0);
     }

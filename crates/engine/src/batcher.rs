@@ -1,0 +1,288 @@
+//! Cross-stream detector batching (§3.2's "batched inference across
+//! streams" scaled out to the multi-stream engine).
+//!
+//! Every stream's detect stage submits one *ticket* per processed frame
+//! — the rounded sizes of that frame's detector windows — and blocks
+//! until the ticket is part of a flushed batch round. A round flushes
+//! at the ticket-deadline watermark: the moment every live stream has a
+//! ticket pending (in virtual time, no stream's detector is allowed to
+//! run ahead of the others, which is what makes the accounting
+//! deterministic). Within a round, windows are grouped by size — the
+//! fixed window-size set W is what makes same-size groups common — and
+//! each group is split into chunks of at most `max_batch` windows; one
+//! launch overhead (`per_call`) is charged per chunk through
+//! [`CostLedger::charge_batch`], which also records batch occupancy.
+//!
+//! Determinism: a stream's j-th ticket is always flushed in the j-th
+//! round it participates in, and round contents are a pure function of
+//! the per-stream ticket sequences (which are themselves deterministic).
+//! Thread interleaving can change *when* a round flushes, never what it
+//! contains, so charges and occupancy stats are reproducible — and with
+//! one stream they equal the sequential pipeline's per-frame
+//! `windows_cost` accounting exactly (one `per_call` per distinct
+//! window size per frame, as long as `max_batch` exceeds the per-frame
+//! same-size window count).
+
+use otif_cv::{Component, CostLedger};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+
+struct BatchState {
+    /// One pending ticket per stream: the rounded window sizes of the
+    /// frame the stream's detect stage is blocked on.
+    tickets: Vec<Option<Vec<(u32, u32)>>>,
+    /// Which streams still have frames to submit. A finished stream no
+    /// longer gates the flush watermark.
+    live: Vec<bool>,
+    /// Completed flush rounds.
+    rounds: u64,
+}
+
+/// Coalesces same-size detector windows from all streams into batched
+/// invocations, charging launch overhead per batch instead of per
+/// frame.
+pub struct DetectorBatcher {
+    state: Mutex<BatchState>,
+    flushed: Condvar,
+    per_call: f64,
+    max_batch: usize,
+    ledger: CostLedger,
+}
+
+impl DetectorBatcher {
+    /// A batcher for `streams` streams charging `per_call` simulated
+    /// seconds per batched invocation of at most `max_batch` windows.
+    pub fn new(streams: usize, per_call: f64, max_batch: usize, ledger: CostLedger) -> Self {
+        DetectorBatcher {
+            state: Mutex::new(BatchState {
+                tickets: (0..streams).map(|_| None).collect(),
+                live: vec![true; streams],
+                rounds: 0,
+            }),
+            flushed: Condvar::new(),
+            per_call,
+            max_batch: max_batch.max(1),
+            ledger,
+        }
+    }
+
+    /// Submit one frame's window sizes for `stream` and block until the
+    /// ticket has been flushed in a batch round. Each stream may have at
+    /// most one ticket outstanding; submissions from one stream are
+    /// processed strictly in call order.
+    pub fn submit(&self, stream: usize, sizes: Vec<(u32, u32)>) {
+        let mut st = self.state.lock();
+        debug_assert!(st.tickets[stream].is_none(), "one ticket per stream");
+        debug_assert!(st.live[stream], "submit after finish");
+        st.tickets[stream] = Some(sizes);
+        self.flush_if_ready(&mut st);
+        while st.tickets[stream].is_some() {
+            self.flushed.wait(&mut st);
+        }
+    }
+
+    /// Mark `stream` as done (idempotent). Finished streams stop gating
+    /// the flush watermark, so remaining streams keep batching among
+    /// themselves.
+    pub fn finish(&self, stream: usize) {
+        let mut st = self.state.lock();
+        if st.live[stream] {
+            st.live[stream] = false;
+            self.flush_if_ready(&mut st);
+        }
+    }
+
+    /// Number of flush rounds completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.state.lock().rounds
+    }
+
+    /// Flush one round if every live stream has a pending ticket (and
+    /// at least one ticket exists). Must be called with the state lock
+    /// held; wakes all blocked submitters.
+    fn flush_if_ready(&self, st: &mut BatchState) {
+        let ready = st
+            .tickets
+            .iter()
+            .zip(&st.live)
+            .all(|(t, live)| !*live || t.is_some());
+        let any = st.tickets.iter().any(Option::is_some);
+        if !ready || !any {
+            return;
+        }
+        // Group windows by size across all streams (stream order is
+        // irrelevant: only per-size counts matter).
+        let mut by_size: BTreeMap<(u32, u32), usize> = BTreeMap::new();
+        for ticket in st.tickets.iter_mut() {
+            if let Some(sizes) = ticket.take() {
+                for s in sizes {
+                    *by_size.entry(s).or_insert(0) += 1;
+                }
+            }
+        }
+        for (_, count) in by_size {
+            let mut remaining = count;
+            while remaining > 0 {
+                let occupancy = remaining.min(self.max_batch);
+                self.ledger
+                    .charge_batch(Component::Detector, self.per_call, occupancy);
+                remaining -= occupancy;
+            }
+        }
+        st.rounds += 1;
+        self.flushed.notify_all();
+    }
+}
+
+/// RAII handle calling [`DetectorBatcher::finish`] on drop, so a
+/// panicking detect stage never deadlocks the other streams.
+pub struct StreamGuard<'a> {
+    batcher: &'a DetectorBatcher,
+    stream: usize,
+}
+
+impl<'a> StreamGuard<'a> {
+    /// Guard `stream` on `batcher`.
+    pub fn new(batcher: &'a DetectorBatcher, stream: usize) -> Self {
+        StreamGuard { batcher, stream }
+    }
+
+    /// Submit through the guard (same as the batcher's `submit`).
+    pub fn submit(&self, sizes: Vec<(u32, u32)>) {
+        self.batcher.submit(self.stream, sizes);
+    }
+}
+
+impl Drop for StreamGuard<'_> {
+    fn drop(&mut self) {
+        self.batcher.finish(self.stream);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    const CALL: f64 = 1.0;
+
+    #[test]
+    fn single_stream_charges_per_distinct_size_per_round() {
+        let ledger = CostLedger::new();
+        let b = DetectorBatcher::new(1, CALL, 16, ledger.clone());
+        b.submit(0, vec![(64, 64), (64, 64), (128, 96)]);
+        b.finish(0);
+        // one round: two distinct sizes → two batch charges
+        assert_eq!(b.rounds(), 1);
+        let stats = ledger.batch_stats();
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.items, 3);
+        assert!((ledger.get(Component::Detector) - 2.0 * CALL).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_streams_share_launch_overhead() {
+        let ledger = CostLedger::new();
+        let b = Arc::new(DetectorBatcher::new(2, CALL, 16, ledger.clone()));
+        let frames = 5usize;
+        let mut handles = Vec::new();
+        for stream in 0..2 {
+            let b = Arc::clone(&b);
+            handles.push(thread::spawn(move || {
+                for _ in 0..frames {
+                    b.submit(stream, vec![(64, 64)]);
+                }
+                b.finish(stream);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // 5 rounds × 1 size group of 2 windows → 5 charges, occupancy 2
+        assert_eq!(b.rounds(), frames as u64);
+        let stats = ledger.batch_stats();
+        assert_eq!(stats.batches, frames as u64);
+        assert!((stats.mean_occupancy() - 2.0).abs() < 1e-12);
+        assert!((ledger.get(Component::Detector) - frames as f64 * CALL).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uneven_stream_lengths_drain_without_deadlock() {
+        let ledger = CostLedger::new();
+        let b = Arc::new(DetectorBatcher::new(3, CALL, 16, ledger.clone()));
+        let mut handles = Vec::new();
+        for (stream, frames) in [(0usize, 8usize), (1, 3), (2, 5)] {
+            let b = Arc::clone(&b);
+            handles.push(thread::spawn(move || {
+                for _ in 0..frames {
+                    b.submit(stream, vec![(32, 32)]);
+                }
+                b.finish(stream);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        // the longest stream dictates the number of rounds
+        assert_eq!(b.rounds(), 8);
+        assert_eq!(ledger.batch_stats().items, 8 + 3 + 5);
+    }
+
+    #[test]
+    fn max_batch_splits_oversized_groups() {
+        let ledger = CostLedger::new();
+        let b = DetectorBatcher::new(1, CALL, 4, ledger.clone());
+        b.submit(0, vec![(64, 64); 10]);
+        b.finish(0);
+        // 10 windows in chunks of ≤4 → 3 batches (4+4+2)
+        let stats = ledger.batch_stats();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.items, 10);
+    }
+
+    #[test]
+    fn guard_finishes_on_drop() {
+        let ledger = CostLedger::new();
+        let b = Arc::new(DetectorBatcher::new(2, CALL, 16, ledger.clone()));
+        let b2 = Arc::clone(&b);
+        let h = thread::spawn(move || {
+            let _guard = StreamGuard::new(&b2, 1);
+            // stream 1 never submits; the guard's drop must unblock
+            // stream 0
+        });
+        h.join().unwrap();
+        b.submit(0, vec![(64, 64)]);
+        b.finish(0);
+        assert_eq!(b.rounds(), 1);
+        assert_eq!(ledger.batch_stats().batches, 1);
+    }
+
+    #[test]
+    fn charges_are_interleaving_independent() {
+        let run = || {
+            let ledger = CostLedger::new();
+            let b = Arc::new(DetectorBatcher::new(3, CALL, 4, ledger.clone()));
+            let mut handles = Vec::new();
+            for stream in 0..3usize {
+                let b = Arc::clone(&b);
+                handles.push(thread::spawn(move || {
+                    for f in 0..6usize {
+                        // deterministic per-stream size sequence
+                        let size = (32 * (1 + ((f + stream) % 2) as u32), 32);
+                        b.submit(stream, vec![size; 1 + (f % 3)]);
+                    }
+                    b.finish(stream);
+                }));
+            }
+            for h in handles {
+                h.join().unwrap();
+            }
+            (ledger.get(Component::Detector), ledger.batch_stats())
+        };
+        let (cost_a, stats_a) = run();
+        let (cost_b, stats_b) = run();
+        assert_eq!(stats_a, stats_b);
+        assert!((cost_a - cost_b).abs() < 1e-12);
+    }
+}

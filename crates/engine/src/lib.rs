@@ -1,0 +1,30 @@
+//! # otif-engine — multi-stream streaming execution engine
+//!
+//! OTIF's deployment setting (§3.2) processes *many* video streams at
+//! once on shared GPUs, and gets its throughput from batching detector
+//! invocations across streams. This crate is that executor for the
+//! simulated pipeline: per stream, decode → window selection →
+//! detection → tracking run as four threads connected by bounded
+//! channels (backpressure, bounded frames in flight), and all streams'
+//! detect stages share a [`DetectorBatcher`] that coalesces same-size
+//! windows into batched invocations — charging one launch overhead per
+//! batch instead of per frame through the
+//! [`CostLedger`](otif_cv::CostLedger) batched path.
+//!
+//! Determinism is the design constraint: every per-clip result is
+//! byte-identical to the sequential [`Pipeline`](otif_core::Pipeline),
+//! and all cost accounting is independent of thread interleaving (the
+//! batcher flushes on a virtual-time watermark — a round completes when
+//! every live stream has submitted — so round contents are a pure
+//! function of the per-stream submission sequences).
+//!
+//! Entry point: [`Engine::run`]. Observability: [`EngineStats`].
+
+pub mod batcher;
+pub mod scheduler;
+pub(crate) mod stage;
+pub mod stats;
+
+pub use batcher::{DetectorBatcher, StreamGuard};
+pub use scheduler::{Engine, EngineOptions, EngineRun};
+pub use stats::{EngineCounters, EngineStats, StageSeconds};

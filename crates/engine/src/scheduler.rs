@@ -1,0 +1,258 @@
+//! Engine orchestration: clip assignment, stage threads, channels,
+//! shutdown and stats collection.
+//!
+//! [`Engine::run`] assigns clips round-robin to `streams` streams and
+//! gives each stream four threads (decode, window, detect, track)
+//! connected by bounded channels, so a slow stage exerts backpressure
+//! on everything upstream instead of buffering unboundedly. The detect
+//! stages of all streams share one [`DetectorBatcher`], which is the
+//! only cross-stream coupling; everything else is per-stream and
+//! therefore produces the exact per-clip output of the sequential
+//! [`Pipeline`](otif_core::Pipeline).
+
+use crate::batcher::{DetectorBatcher, StreamGuard};
+use crate::stage::{decode_stage, detect_stage, track_stage, window_stage};
+use crate::stats::{EngineCounters, EngineStats};
+use crossbeam::channel::bounded;
+use otif_core::config::OtifConfig;
+use otif_core::pipeline::ExecutionContext;
+use otif_cv::CostLedger;
+use otif_sim::Clip;
+use otif_track::Track;
+use parking_lot::Mutex;
+
+/// Tunables for an engine run.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Number of concurrent streams (clamped to the clip count, min 1).
+    pub streams: usize,
+    /// Capacity of each inter-stage channel; bounds frames in flight
+    /// per stream and provides backpressure.
+    pub channel_capacity: usize,
+    /// Maximum windows per batched detector invocation.
+    pub max_batch: usize,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            streams: 2,
+            channel_capacity: 4,
+            max_batch: 16,
+        }
+    }
+}
+
+/// The result of an engine run: per-clip tracks (in input clip order)
+/// plus run statistics.
+pub struct EngineRun {
+    /// Extracted tracks, indexed like the input clip slice.
+    pub tracks: Vec<Vec<Track>>,
+    /// Counters, queue depths, batch occupancy and simulated seconds.
+    pub stats: EngineStats,
+}
+
+/// The multi-stream streaming executor.
+pub struct Engine;
+
+impl Engine {
+    /// Process `clips` with `opts.streams` concurrent streams, charging
+    /// all simulated cost into `ledger`.
+    ///
+    /// Per-clip output is identical to
+    /// `Pipeline::run_clip(config, ctx, clip, …)`; with one stream the
+    /// charged cost is identical too, and with more streams only the
+    /// detector launch overhead shrinks (shared batches).
+    pub fn run(
+        config: &OtifConfig,
+        ctx: &ExecutionContext,
+        clips: &[Clip],
+        opts: &EngineOptions,
+        ledger: &CostLedger,
+    ) -> EngineRun {
+        let streams = opts.streams.min(clips.len()).max(1);
+        let capacity = opts.channel_capacity.max(1);
+
+        // Round-robin assignment keeps stream loads balanced without
+        // knowing clip lengths: stream i gets clips i, i+streams, ….
+        let assignments: Vec<Vec<(usize, &Clip)>> = (0..streams)
+            .map(|s| clips.iter().enumerate().skip(s).step_by(streams).collect())
+            .collect();
+
+        // All stage threads charge into a private ledger so the run's
+        // stats can be snapshotted before folding into the caller's.
+        let inner = CostLedger::new();
+        let batcher = DetectorBatcher::new(
+            streams,
+            config.detector.arch.per_call(),
+            opts.max_batch,
+            inner.clone(),
+        );
+        let counters = EngineCounters::default();
+        let results: Mutex<Vec<Option<Vec<Track>>>> =
+            Mutex::new((0..clips.len()).map(|_| None).collect());
+
+        std::thread::scope(|scope| {
+            for (s, assigned) in assignments.iter().enumerate() {
+                let (dec_tx, dec_rx) = bounded(capacity);
+                let (win_tx, win_rx) = bounded(capacity);
+                let (det_tx, det_rx) = bounded(capacity);
+                let guard = StreamGuard::new(&batcher, s);
+                let (counters, inner, results) = (&counters, &inner, &results);
+                scope.spawn(move || decode_stage(config, ctx, assigned, dec_tx, counters, inner));
+                scope.spawn(move || {
+                    window_stage(config, ctx, assigned, dec_rx, win_tx, counters, inner)
+                });
+                scope.spawn(move || {
+                    detect_stage(
+                        config, ctx, assigned, win_rx, det_tx, guard, counters, inner,
+                    )
+                });
+                scope.spawn(move || {
+                    track_stage(config, ctx, assigned, det_rx, results, counters, inner)
+                });
+            }
+        });
+
+        let stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
+        ledger.absorb(&inner);
+        let tracks = results
+            .into_inner()
+            .into_iter()
+            .map(|t| t.expect("every clip was finalized by its track stage"))
+            .collect();
+        EngineRun { tracks, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_core::config::TrackerKind;
+    use otif_core::Pipeline;
+    use otif_cv::{Component, CostModel, DetectorArch, DetectorConfig};
+    use otif_sim::{DatasetConfig, DatasetKind};
+
+    fn config() -> OtifConfig {
+        OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::YoloV3, 0.5),
+            proxy: None,
+            gap: 4,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        }
+    }
+
+    fn clips() -> Vec<otif_sim::Clip> {
+        DatasetConfig::small(DatasetKind::Caldot1, 71)
+            .generate()
+            .test
+    }
+
+    #[test]
+    fn one_stream_matches_sequential_cost_exactly() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+
+        let seq = CostLedger::new();
+        let mut expected = Vec::new();
+        for clip in &clips {
+            expected.push(Pipeline::run_clip(&cfg, &ctx, clip, &seq));
+        }
+
+        let eng = CostLedger::new();
+        let opts = EngineOptions {
+            streams: 1,
+            ..EngineOptions::default()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &eng);
+
+        let a = serde_json::to_string(&expected).unwrap();
+        let b = serde_json::to_string(&run.tracks).unwrap();
+        assert_eq!(a, b, "1-stream engine output must equal sequential");
+        for c in [
+            Component::Decode,
+            Component::Proxy,
+            Component::Detector,
+            Component::Tracker,
+            Component::Refinement,
+        ] {
+            assert!(
+                (seq.get(c) - eng.get(c)).abs() < 1e-9,
+                "{c:?}: sequential {} vs engine {}",
+                seq.get(c),
+                eng.get(c)
+            );
+        }
+    }
+
+    #[test]
+    fn multi_stream_output_matches_and_detector_cost_drops() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        assert!(clips.len() >= 2, "need multiple clips for multi-stream");
+
+        let seq = CostLedger::new();
+        let mut expected = Vec::new();
+        for clip in &clips {
+            expected.push(Pipeline::run_clip(&cfg, &ctx, clip, &seq));
+        }
+
+        for streams in [2usize, 4] {
+            let eng = CostLedger::new();
+            let opts = EngineOptions {
+                streams,
+                ..EngineOptions::default()
+            };
+            let run = Engine::run(&cfg, &ctx, &clips, &opts, &eng);
+            let a = serde_json::to_string(&expected).unwrap();
+            let b = serde_json::to_string(&run.tracks).unwrap();
+            assert_eq!(a, b, "{streams}-stream output must equal sequential");
+            assert!(
+                eng.get(Component::Detector) < seq.get(Component::Detector),
+                "{streams} streams must shrink detector cost via batching"
+            );
+            assert!(run.stats.mean_batch_occupancy > 1.0);
+            assert_eq!(run.stats.streams, streams.min(clips.len()));
+        }
+    }
+
+    #[test]
+    fn stats_count_every_frame_and_drain_in_flight() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let expected_frames: u64 = clips
+            .iter()
+            .map(|c| c.num_frames().div_ceil(cfg.gap) as u64)
+            .sum();
+        let run = Engine::run(
+            &cfg,
+            &ctx,
+            &clips,
+            &EngineOptions::default(),
+            &CostLedger::new(),
+        );
+        assert_eq!(run.stats.frames, expected_frames);
+        assert!(run.stats.max_frames_in_flight >= 1);
+        // bounded channels cap the in-flight frames per stream
+        let per_stream_cap = 3 * (EngineOptions::default().channel_capacity as u64 + 1) + 1;
+        assert!(run.stats.max_frames_in_flight <= run.stats.streams as u64 * per_stream_cap);
+    }
+
+    #[test]
+    fn more_streams_than_clips_is_clamped() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions {
+            streams: clips.len() + 50,
+            ..EngineOptions::default()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &CostLedger::new());
+        assert_eq!(run.stats.streams, clips.len());
+        assert_eq!(run.tracks.len(), clips.len());
+    }
+}

@@ -1,0 +1,233 @@
+//! The four per-stream stage loops: decode → window → detect → track,
+//! connected by bounded channels. Each loop consumes its input channel
+//! until disconnect, so dropping the upstream sender drains and shuts
+//! the stream down gracefully.
+//!
+//! All cost charging goes through the same `otif_core::stages`
+//! functions the sequential pipeline uses; the only difference is the
+//! detector launch overhead, which is charged by the shared
+//! [`DetectorBatcher`](crate::batcher::DetectorBatcher) per cross-stream
+//! batch instead of per frame.
+
+use crate::batcher::StreamGuard;
+use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
+use crossbeam::channel::{Receiver, Sender};
+use otif_core::config::OtifConfig;
+use otif_core::pipeline::ExecutionContext;
+use otif_core::stages::{
+    charge_decode, charge_tracker_step, finalize_tracks, select_windows, FrameTracker,
+};
+use otif_cv::{Component, CostLedger, Detection, SimDetector};
+use otif_geom::Rect;
+use otif_sim::{Clip, Renderer};
+use otif_track::Track;
+use parking_lot::Mutex;
+
+/// A sampled frame leaving the decode stage.
+pub(crate) struct DecodedFrame {
+    /// Index of the clip in the engine's global clip list.
+    pub clip: usize,
+    /// Frame number within the clip.
+    pub frame: usize,
+    /// Whether this is the clip's last sampled frame.
+    pub last: bool,
+}
+
+/// A frame with detector windows selected.
+pub(crate) struct WindowedFrame {
+    pub clip: usize,
+    pub frame: usize,
+    pub windows: Vec<Rect>,
+    pub last: bool,
+}
+
+/// A frame with detections computed.
+pub(crate) struct DetectedFrame {
+    pub clip: usize,
+    pub frame: usize,
+    pub dets: Vec<Detection>,
+    pub last: bool,
+}
+
+/// Decode stage: walks each assigned clip's sampled frames in order,
+/// charges decode cost and feeds the window stage.
+pub(crate) fn decode_stage(
+    config: &OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[(usize, &Clip)],
+    tx: Sender<DecodedFrame>,
+    counters: &EngineCounters,
+    ledger: &CostLedger,
+) {
+    for &(clip_idx, clip) in clips {
+        let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
+        let mut f = 0usize;
+        while f < clip.num_frames() {
+            charge_decode(config, ctx, native_px, ledger);
+            counters
+                .frames_decoded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            counters.frame_entered();
+            let last = f + config.gap.max(1) >= clip.num_frames();
+            if tx
+                .send(DecodedFrame {
+                    clip: clip_idx,
+                    frame: f,
+                    last,
+                })
+                .is_err()
+            {
+                return; // downstream gone (shutdown)
+            }
+            counters.observe_queue_depth(QUEUE_DECODE, tx.len());
+            f += config.gap.max(1);
+        }
+    }
+}
+
+/// Window stage: runs the segmentation proxy (when configured) to pick
+/// detector windows for each frame.
+pub(crate) fn window_stage(
+    config: &OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[(usize, &Clip)],
+    rx: Receiver<DecodedFrame>,
+    tx: Sender<WindowedFrame>,
+    counters: &EngineCounters,
+    ledger: &CostLedger,
+) {
+    let lookup = ClipLookup::new(clips);
+    for msg in &rx {
+        let clip = lookup.get(msg.clip);
+        let renderer = Renderer::new(clip);
+        let windows = select_windows(
+            config,
+            ctx,
+            &renderer,
+            clip.scene.frame_rect(),
+            msg.frame,
+            ledger,
+        );
+        counters
+            .frames_windowed
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if tx
+            .send(WindowedFrame {
+                clip: msg.clip,
+                frame: msg.frame,
+                windows,
+                last: msg.last,
+            })
+            .is_err()
+        {
+            return;
+        }
+        counters.observe_queue_depth(QUEUE_WINDOW, tx.len());
+    }
+}
+
+/// Detect stage: charges per-window pixel cost locally, rendezvouses
+/// with the other streams through the batcher for the launch overhead,
+/// then computes detections with the pure (uncharged) detector path.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn detect_stage(
+    config: &OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[(usize, &Clip)],
+    rx: Receiver<WindowedFrame>,
+    tx: Sender<DetectedFrame>,
+    batcher_guard: StreamGuard<'_>,
+    counters: &EngineCounters,
+    ledger: &CostLedger,
+) {
+    let lookup = ClipLookup::new(clips);
+    let detector = SimDetector::new(config.detector, ctx.detector_seed);
+    for msg in &rx {
+        let dets = if msg.windows.is_empty() {
+            Vec::new()
+        } else {
+            let px: f64 = msg
+                .windows
+                .iter()
+                .map(|r| detector.window_px_cost(r.w, r.h))
+                .sum();
+            ledger.charge(Component::Detector, px);
+            let sizes: Vec<(u32, u32)> = msg
+                .windows
+                .iter()
+                .map(|r| (r.w.round() as u32, r.h.round() as u32))
+                .collect();
+            batcher_guard.submit(sizes);
+            detector.detect_windows_pure(lookup.get(msg.clip), msg.frame, &msg.windows)
+        };
+        counters
+            .frames_detected
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        if tx
+            .send(DetectedFrame {
+                clip: msg.clip,
+                frame: msg.frame,
+                dets,
+                last: msg.last,
+            })
+            .is_err()
+        {
+            return;
+        }
+        counters.observe_queue_depth(QUEUE_DETECT, tx.len());
+    }
+    // batcher_guard drops here → finish(stream): remaining streams keep
+    // batching among themselves
+}
+
+/// Track stage: steps the per-clip tracker, finalizes (stitch + refine)
+/// at each clip boundary and deposits results by clip index.
+pub(crate) fn track_stage(
+    config: &OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[(usize, &Clip)],
+    rx: Receiver<DetectedFrame>,
+    results: &Mutex<Vec<Option<Vec<Track>>>>,
+    counters: &EngineCounters,
+    ledger: &CostLedger,
+) {
+    let lookup = ClipLookup::new(clips);
+    let mut tracker: Option<FrameTracker> = None;
+    for msg in &rx {
+        charge_tracker_step(ctx, msg.dets.len(), ledger);
+        tracker
+            .get_or_insert_with(|| FrameTracker::new(config, ctx))
+            .step(msg.frame, msg.dets);
+        counters
+            .frames_tracked
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        counters.frame_exited();
+        if msg.last {
+            let finished = tracker
+                .take()
+                .expect("tracker exists for the clip being finalized")
+                .finish();
+            let tracks = finalize_tracks(config, ctx, lookup.get(msg.clip), finished, ledger);
+            results.lock()[msg.clip] = Some(tracks);
+        }
+    }
+}
+
+/// Clip-index → clip resolution for a stream's assigned clips.
+struct ClipLookup<'a> {
+    clips: &'a [(usize, &'a Clip)],
+}
+
+impl<'a> ClipLookup<'a> {
+    fn new(clips: &'a [(usize, &'a Clip)]) -> Self {
+        ClipLookup { clips }
+    }
+
+    fn get(&self, clip_idx: usize) -> &'a Clip {
+        self.clips
+            .iter()
+            .find(|(i, _)| *i == clip_idx)
+            .map(|(_, c)| *c)
+            .expect("clip index belongs to this stream")
+    }
+}

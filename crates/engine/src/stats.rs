@@ -1,0 +1,179 @@
+//! Engine observability: lock-free per-stage counters updated by the
+//! stage threads, snapshotted into a serializable [`EngineStats`] at
+//! the end of a run.
+
+use otif_cv::{Component, CostLedger};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Index of the decode→window queue in queue-depth arrays.
+pub const QUEUE_DECODE: usize = 0;
+/// Index of the window→detect queue.
+pub const QUEUE_WINDOW: usize = 1;
+/// Index of the detect→track queue.
+pub const QUEUE_DETECT: usize = 2;
+
+/// Live atomic counters shared by all stage threads of a run.
+#[derive(Debug, Default)]
+pub struct EngineCounters {
+    /// Frames that entered the pipeline (decode stage).
+    pub frames_decoded: AtomicU64,
+    /// Frames whose windows were selected.
+    pub frames_windowed: AtomicU64,
+    /// Frames whose detections were produced.
+    pub frames_detected: AtomicU64,
+    /// Frames consumed by the tracker (pipeline exit).
+    pub frames_tracked: AtomicU64,
+    in_flight: AtomicU64,
+    max_in_flight: AtomicU64,
+    max_queue_depth: [AtomicU64; 3],
+}
+
+impl EngineCounters {
+    /// Record a frame entering the pipeline (decode stage send).
+    pub fn frame_entered(&self) {
+        let now = self.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        self.max_in_flight.fetch_max(now, Ordering::Relaxed);
+    }
+
+    /// Record a frame leaving the pipeline (track stage consume).
+    pub fn frame_exited(&self) {
+        self.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Frames currently somewhere between decode and track.
+    pub fn frames_in_flight(&self) -> u64 {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Sample a queue's depth after a send (`queue` is one of the
+    /// `QUEUE_*` indices).
+    pub fn observe_queue_depth(&self, queue: usize, depth: usize) {
+        self.max_queue_depth[queue].fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+/// Simulated seconds spent per execution stage.
+#[derive(Debug, Clone, Copy, Default, Serialize, Deserialize)]
+pub struct StageSeconds {
+    /// Video decode (CPU).
+    pub decode: f64,
+    /// Segmentation proxy inference (GPU).
+    pub proxy: f64,
+    /// Detector inference (GPU) — pixel cost plus batched launches.
+    pub detector: f64,
+    /// Tracker matching + stitch (CPU).
+    pub tracker: f64,
+    /// Track refinement (CPU).
+    pub refinement: f64,
+}
+
+impl StageSeconds {
+    /// Sum over all stages.
+    pub fn total(&self) -> f64 {
+        self.decode + self.proxy + self.detector + self.tracker + self.refinement
+    }
+}
+
+/// Snapshot of one engine run, serializable into bench artifacts.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EngineStats {
+    /// Number of streams the run used.
+    pub streams: usize,
+    /// Number of clips processed.
+    pub clips: usize,
+    /// Frames that completed the whole pipeline.
+    pub frames: u64,
+    /// Peak number of frames in flight across all streams.
+    pub max_frames_in_flight: u64,
+    /// Peak depth of the decode→window, window→detect and detect→track
+    /// queues (indexed by the `QUEUE_*` constants).
+    pub max_queue_depth: [u64; 3],
+    /// Batched detector invocations.
+    pub batches: u64,
+    /// Windows carried by those invocations.
+    pub batch_items: u64,
+    /// Mean windows per batched invocation.
+    pub mean_batch_occupancy: f64,
+    /// Simulated seconds per stage.
+    pub stage_seconds: StageSeconds,
+    /// Total simulated execution seconds.
+    pub execution_seconds: f64,
+}
+
+impl EngineStats {
+    /// Build a snapshot from a run's counters and its private ledger.
+    pub fn snapshot(
+        streams: usize,
+        clips: usize,
+        counters: &EngineCounters,
+        ledger: &CostLedger,
+    ) -> Self {
+        let batch = ledger.batch_stats();
+        EngineStats {
+            streams,
+            clips,
+            frames: counters.frames_tracked.load(Ordering::Relaxed),
+            max_frames_in_flight: counters.max_in_flight.load(Ordering::Relaxed),
+            max_queue_depth: [
+                counters.max_queue_depth[0].load(Ordering::Relaxed),
+                counters.max_queue_depth[1].load(Ordering::Relaxed),
+                counters.max_queue_depth[2].load(Ordering::Relaxed),
+            ],
+            batches: batch.batches,
+            batch_items: batch.items,
+            mean_batch_occupancy: batch.mean_occupancy(),
+            stage_seconds: StageSeconds {
+                decode: ledger.get(Component::Decode),
+                proxy: ledger.get(Component::Proxy),
+                detector: ledger.get(Component::Detector),
+                tracker: ledger.get(Component::Tracker),
+                refinement: ledger.get(Component::Refinement),
+            },
+            execution_seconds: ledger.execution_total(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_flight_gauge_tracks_peak() {
+        let c = EngineCounters::default();
+        c.frame_entered();
+        c.frame_entered();
+        c.frame_entered();
+        c.frame_exited();
+        assert_eq!(c.frames_in_flight(), 2);
+        c.frame_entered();
+        let s = EngineStats::snapshot(1, 1, &c, &CostLedger::new());
+        assert_eq!(s.max_frames_in_flight, 3);
+    }
+
+    #[test]
+    fn snapshot_reads_ledger_components() {
+        let c = EngineCounters::default();
+        let l = CostLedger::new();
+        l.charge(Component::Decode, 1.0);
+        l.charge_batch(Component::Detector, 0.5, 4);
+        l.charge_batch(Component::Detector, 0.5, 2);
+        let s = EngineStats::snapshot(2, 3, &c, &l);
+        assert_eq!(s.streams, 2);
+        assert_eq!(s.batches, 2);
+        assert!((s.mean_batch_occupancy - 3.0).abs() < 1e-12);
+        assert!((s.stage_seconds.decode - 1.0).abs() < 1e-12);
+        assert!((s.execution_seconds - 2.0).abs() < 1e-12);
+        assert!((s.stage_seconds.total() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_serialize_round_trip() {
+        let s = EngineStats::snapshot(4, 8, &EngineCounters::default(), &CostLedger::new());
+        let json = serde_json::to_string(&s).unwrap();
+        let back: EngineStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.streams, 4);
+        assert_eq!(back.clips, 8);
+    }
+}

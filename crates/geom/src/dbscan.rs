@@ -59,7 +59,11 @@ impl DbscanResult {
 /// O(n²) distance evaluations; the caller is expected to keep `n` modest
 /// (the paper clusters ~hundreds to thousands of training tracks once,
 /// ahead of execution).
-pub fn dbscan(n: usize, params: DbscanParams, mut dist: impl FnMut(usize, usize) -> f32) -> DbscanResult {
+pub fn dbscan(
+    n: usize,
+    params: DbscanParams,
+    mut dist: impl FnMut(usize, usize) -> f32,
+) -> DbscanResult {
     const UNVISITED: usize = usize::MAX;
     const NOISE: usize = usize::MAX - 1;
     let mut label = vec![UNVISITED; n];
@@ -67,8 +71,8 @@ pub fn dbscan(n: usize, params: DbscanParams, mut dist: impl FnMut(usize, usize)
 
     // Precompute neighborhoods. Symmetric, so evaluate each pair once.
     let mut neighbors: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
-        neighbors[i].push(i);
+    for (i, nb) in neighbors.iter_mut().enumerate() {
+        nb.push(i);
     }
     for i in 0..n {
         for j in (i + 1)..n {
@@ -111,7 +115,13 @@ pub fn dbscan(n: usize, params: DbscanParams, mut dist: impl FnMut(usize, usize)
 
     let labels = label
         .into_iter()
-        .map(|l| if l == NOISE || l == UNVISITED { None } else { Some(l) })
+        .map(|l| {
+            if l == NOISE || l == UNVISITED {
+                None
+            } else {
+                Some(l)
+            }
+        })
         .collect();
     DbscanResult {
         labels,
@@ -125,11 +135,9 @@ mod tests {
     use crate::Point;
 
     fn run_points(pts: &[Point], eps: f32, min_pts: usize) -> DbscanResult {
-        dbscan(
-            pts.len(),
-            DbscanParams { eps, min_pts },
-            |i, j| pts[i].dist(&pts[j]),
-        )
+        dbscan(pts.len(), DbscanParams { eps, min_pts }, |i, j| {
+            pts[i].dist(&pts[j])
+        })
     }
 
     #[test]

@@ -97,8 +97,7 @@ pub fn hungarian(cost: &[Vec<f32>]) -> Vec<Option<usize>> {
     }
 
     let mut assign = vec![None; rows];
-    for j in 1..=n {
-        let i = p[j];
+    for (j, &i) in p.iter().enumerate().take(n + 1).skip(1) {
         if i >= 1 && i <= rows && j <= cols {
             assign[i - 1] = Some(j - 1);
         }

@@ -128,8 +128,7 @@ impl Conv2d {
         for oc in 0..self.out_ch {
             for oy in 0..grad_out.h {
                 for ox in 0..grad_out.w {
-                    let d = grad_out.get(oc, oy, ox)
-                        * self.act.grad_from_output(y.get(oc, oy, ox));
+                    let d = grad_out.get(oc, oy, ox) * self.act.grad_from_output(y.get(oc, oy, ox));
                     if d == 0.0 {
                         continue;
                     }
@@ -217,16 +216,17 @@ mod tests {
             2,
             4,
             4,
-            (0..32).map(|i| ((i * 7 % 13) as f32 - 6.0) / 10.0).collect(),
+            (0..32)
+                .map(|i| ((i * 7 % 13) as f32 - 6.0) / 10.0)
+                .collect(),
         );
         let y = c.forward(&x);
         // loss = 0.5 * sum(y^2); dL/dy = y
         let gy = Tensor3::from_vec(y.c, y.h, y.w, y.data.clone());
         c.backward(&gy);
         let analytic = c.weight.g.clone();
-        let loss = |c: &Conv2d, x: &Tensor3| -> f32 {
-            c.infer(x).data.iter().map(|v| 0.5 * v * v).sum()
-        };
+        let loss =
+            |c: &Conv2d, x: &Tensor3| -> f32 { c.infer(x).data.iter().map(|v| 0.5 * v * v).sum() };
         let eps = 1e-3;
         for i in (0..c.weight.w.len()).step_by(5) {
             let orig = c.weight.w[i];

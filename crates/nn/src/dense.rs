@@ -73,7 +73,7 @@ pub struct Dense {
     /// Weights, `out_dim x in_dim` row-major.
     pub weight: Param, // out_dim × in_dim, row-major
     /// Per-output biases.
-    pub bias: Param,   // out_dim
+    pub bias: Param, // out_dim
     // caches from the last forward pass
     last_input: Vec<f32>,
     last_output: Vec<f32>,
@@ -97,13 +97,13 @@ impl Dense {
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.in_dim);
         let mut y = vec![0.0; self.out_dim];
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = self.bias.w[o];
             for (wi, xi) in row.iter().zip(x.iter()) {
                 acc += wi * xi;
             }
-            y[o] = self.act.apply(acc);
+            *yo = self.act.apply(acc);
         }
         self.last_input = x.to_vec();
         self.last_output = y.clone();
@@ -113,13 +113,13 @@ impl Dense {
     /// Inference-only forward that does not touch the caches.
     pub fn infer(&self, x: &[f32]) -> Vec<f32> {
         let mut y = vec![0.0; self.out_dim];
-        for o in 0..self.out_dim {
+        for (o, yo) in y.iter_mut().enumerate() {
             let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
             let mut acc = self.bias.w[o];
             for (wi, xi) in row.iter().zip(x.iter()) {
                 acc += wi * xi;
             }
-            y[o] = self.act.apply(acc);
+            *yo = self.act.apply(acc);
         }
         y
     }
@@ -128,8 +128,8 @@ impl Dense {
     pub fn backward(&mut self, grad_out: &[f32]) -> Vec<f32> {
         debug_assert_eq!(grad_out.len(), self.out_dim);
         let mut grad_in = vec![0.0; self.in_dim];
-        for o in 0..self.out_dim {
-            let d = grad_out[o] * self.act.grad_from_output(self.last_output[o]);
+        for (o, &go) in grad_out.iter().enumerate() {
+            let d = go * self.act.grad_from_output(self.last_output[o]);
             self.bias.g[o] += d;
             let row_w = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
             let row_g = &mut self.weight.g[o * self.in_dim..(o + 1) * self.in_dim];
@@ -164,11 +164,20 @@ pub struct Mlp {
 impl Mlp {
     /// Build an MLP with the given layer sizes; hidden layers use `hidden`,
     /// the output layer uses `out_act`.
-    pub fn new(sizes: &[usize], hidden: Activation, out_act: Activation, init: &mut XavierInit) -> Self {
+    pub fn new(
+        sizes: &[usize],
+        hidden: Activation,
+        out_act: Activation,
+        init: &mut XavierInit,
+    ) -> Self {
         assert!(sizes.len() >= 2);
         let mut layers = Vec::new();
         for i in 0..sizes.len() - 1 {
-            let act = if i == sizes.len() - 2 { out_act } else { hidden };
+            let act = if i == sizes.len() - 2 {
+                out_act
+            } else {
+                hidden
+            };
             layers.push(Dense::new(sizes[i], sizes[i + 1], act, init));
         }
         Mlp { layers }
@@ -238,6 +247,7 @@ mod tests {
         let analytic = d.weight.g.clone();
 
         let eps = 1e-3;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..d.weight.w.len() {
             let orig = d.weight.w[i];
             d.weight.w[i] = orig + eps;
@@ -275,10 +285,7 @@ mod tests {
         }
         for (x, t) in &data {
             let y = mlp.infer(x)[0];
-            assert!(
-                (y - t).abs() < 0.2,
-                "xor({x:?}) = {y}, expected {t}"
-            );
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, expected {t}");
         }
     }
 
@@ -295,10 +302,7 @@ mod tests {
             let y = act.apply(x);
             let eps = 1e-3;
             let numeric = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
-            assert!(
-                (act.grad_from_output(y) - numeric).abs() < 1e-2,
-                "{act:?}"
-            );
+            assert!((act.grad_from_output(y) - numeric).abs() < 1e-2, "{act:?}");
         }
     }
 

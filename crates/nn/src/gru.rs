@@ -85,8 +85,7 @@ impl GruCell {
 
     /// One recurrent step during training (caches for BPTT).
     pub fn forward(&mut self, x: &[f32], h_prev: &[f32]) -> Vec<f32> {
-        let h = self.step_impl(x, h_prev, true);
-        h
+        self.step_impl(x, h_prev, true)
     }
 
     /// One recurrent step during inference (no cache).
@@ -229,8 +228,7 @@ impl GruCell {
         let woff = gate * hd * self.in_dim;
         let uoff = gate * hd * hd;
         let boff = gate * hd;
-        for o in 0..hd {
-            let d = d_pre[o];
+        for (o, &d) in d_pre.iter().enumerate().take(hd) {
             if d == 0.0 {
                 continue;
             }
@@ -302,6 +300,7 @@ mod tests {
         let analytic = g.w.g.clone();
 
         let eps = 1e-3;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..g.w.w.len() {
             let orig = g.w.w[i];
             g.w.w[i] = orig + eps;
@@ -330,6 +329,7 @@ mod tests {
         g.backward_sequence(&gh);
         let analytic = g.u.g.clone();
         let eps = 1e-3;
+        #[allow(clippy::needless_range_loop)]
         for i in 0..g.u.w.len() {
             let orig = g.u.w[i];
             g.u.w[i] = orig + eps;

@@ -11,7 +11,10 @@ use otif_sim::{Clip, ObjectClass};
 use otif_track::Track;
 
 fn is_car(class: ObjectClass) -> bool {
-    matches!(class, ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus)
+    matches!(
+        class,
+        ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus
+    )
 }
 
 /// Aggregate queries over a clip's tracks.

@@ -52,7 +52,10 @@ pub struct FrameRef {
 }
 
 fn is_car(class: ObjectClass) -> bool {
-    matches!(class, ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus)
+    matches!(
+        class,
+        ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus
+    )
 }
 
 impl FrameLimitQuery {
@@ -63,9 +66,9 @@ impl FrameLimitQuery {
             FrameQueryKind::Region(poly) => {
                 positions.iter().filter(|p| poly.contains(p)).count() >= self.n
             }
-            FrameQueryKind::HotSpot { radius } => positions.iter().any(|c| {
-                positions.iter().filter(|p| p.dist(c) <= *radius).count() >= self.n
-            }),
+            FrameQueryKind::HotSpot { radius } => positions
+                .iter()
+                .any(|c| positions.iter().filter(|p| p.dist(c) <= *radius).count() >= self.n),
         }
     }
 

@@ -25,11 +25,10 @@ impl PathPattern {
     pub fn from_scene(scene: &SceneSpec) -> Vec<PathPattern> {
         let mut groups: HashMap<String, Vec<Polyline>> = HashMap::new();
         for p in &scene.paths {
-            let base = p
-                .id
-                .split_once("-l")
-                .map(|(b, _)| b.to_string())
-                .unwrap_or_else(|| p.id.clone());
+            let base =
+                p.id.split_once("-l")
+                    .map(|(b, _)| b.to_string())
+                    .unwrap_or_else(|| p.id.clone());
             groups
                 .entry(base)
                 .or_default()
@@ -136,7 +135,10 @@ pub enum TrackQuery {
 /// cannot reliably separate cars from small trucks, and the paper's
 /// hand-counts face the same ambiguity.
 fn is_car(class: ObjectClass) -> bool {
-    matches!(class, ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus)
+    matches!(
+        class,
+        ObjectClass::Car | ObjectClass::Truck | ObjectClass::Bus
+    )
 }
 
 impl TrackQuery {
@@ -187,11 +189,9 @@ impl TrackQuery {
     pub fn ground_truth(&self, clip: &Clip) -> Vec<f32> {
         let fps = clip.scene.fps as f32;
         match self {
-            TrackQuery::Count => vec![clip
-                .gt_tracks
-                .iter()
-                .filter(|t| is_car(t.class))
-                .count() as f32],
+            TrackQuery::Count => {
+                vec![clip.gt_tracks.iter().filter(|t| is_car(t.class)).count() as f32]
+            }
             TrackQuery::PathBreakdown { patterns, .. } => {
                 // ground truth classifies by the *actual* path id
                 let mut counts = vec![0.0; patterns.len()];
@@ -303,10 +303,7 @@ mod tests {
         let i = classify_track(&t, &pats, 100.0).expect("classified");
         assert_eq!(pats[i].id, "west->east");
         // reversed direction
-        let t = track(
-            2,
-            &[(0, 300.0, 92.0), (10, 150.0, 88.0), (20, 10.0, 84.0)],
-        );
+        let t = track(2, &[(0, 300.0, 92.0), (10, 150.0, 88.0), (20, 10.0, 84.0)]);
         let i = classify_track(&t, &pats, 100.0).expect("classified");
         assert_eq!(pats[i].id, "east->west");
     }
@@ -348,10 +345,7 @@ mod tests {
     #[test]
     fn hard_braking_detects_sharp_deceleration() {
         // 100 px/s for 1 s, then crawling: decel ≈ 90 px/s over 1 s
-        let braking = track(
-            1,
-            &[(0, 0.0, 0.0), (10, 100.0, 0.0), (20, 110.0, 0.0)],
-        );
+        let braking = track(1, &[(0, 0.0, 0.0), (10, 100.0, 0.0), (20, 110.0, 0.0)]);
         let steady = track(2, &[(0, 0.0, 50.0), (10, 100.0, 50.0), (20, 200.0, 50.0)]);
         let q = TrackQuery::HardBraking { decel: 50.0 };
         assert_eq!(q.run(&[braking, steady], 10.0), vec![1.0]);

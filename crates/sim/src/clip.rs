@@ -143,8 +143,7 @@ impl Clip {
                     break;
                 }
                 let class = path.sample_class(rng.gen_range(0.0..1.0));
-                let speed_factor = 1.0
-                    + path.speed_jitter * rng.gen_range(-1.0_f32..1.0);
+                let speed_factor = 1.0 + path.speed_jitter * rng.gen_range(-1.0_f32..1.0);
                 let lat = rng.gen_range(-4.0_f32..4.0);
                 let brake_at = if rng.gen_range(0.0..1.0_f32) < scene.hard_brake_prob {
                     Some(rng.gen_range(0.25_f32..0.75))
@@ -279,12 +278,7 @@ impl SimObject {
                 let (bw, bh) = self.class.base_size();
                 let (w, h) = (bw * scale, bh * scale);
                 let cam = scene.camera.offset(f as f32 * dt);
-                let rect = Rect::new(
-                    center.x - w / 2.0 - cam.0,
-                    center.y - h / 2.0 - cam.1,
-                    w,
-                    h,
-                );
+                let rect = Rect::new(center.x - w / 2.0 - cam.0, center.y - h / 2.0 - cam.1, w, h);
                 if u <= len && rect.intersects(&frame_rect) {
                     states.push((
                         f,

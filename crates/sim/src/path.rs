@@ -77,10 +77,7 @@ impl PathSpec {
     ) -> Self {
         PathSpec {
             id: id.to_string(),
-            route: Polyline::new(vec![
-                Point::new(from.0, from.1),
-                Point::new(to.0, to.1),
-            ]),
+            route: Polyline::new(vec![Point::new(from.0, from.1), Point::new(to.0, to.1)]),
             scale,
             arrivals_per_min,
             speed_px_s,
@@ -151,7 +148,10 @@ impl PathSpec {
             }
             target -= w;
         }
-        self.class_mix.last().map(|(c, _)| *c).unwrap_or(ObjectClass::Car)
+        self.class_mix
+            .last()
+            .map(|(c, _)| *c)
+            .unwrap_or(ObjectClass::Car)
     }
 }
 

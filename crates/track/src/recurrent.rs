@@ -109,12 +109,7 @@ impl TrackerModel {
         }
     }
 
-    fn head_input(
-        &self,
-        h: &[f32],
-        cand_feat: &[f32],
-        pair: &[f32; PAIR_FEAT_DIM],
-    ) -> Vec<f32> {
+    fn head_input(&self, h: &[f32], cand_feat: &[f32], pair: &[f32; PAIR_FEAT_DIM]) -> Vec<f32> {
         let mut x = Vec::with_capacity(HIDDEN + DET_FEAT_DIM + PAIR_FEAT_DIM);
         x.extend_from_slice(h);
         x.extend_from_slice(cand_feat);
@@ -335,9 +330,7 @@ impl RecurrentTracker {
         for det in unmatched {
             let id = self.next_id;
             self.next_id += 1;
-            let h = self
-                .model
-                .advance(&self.model.gru.zero_state(), &det, 0);
+            let h = self.model.advance(&self.model.gru.zero_state(), &det, 0);
             let mut track = Track::new(id, det.class);
             track.push(frame, det);
             self.active.push(ActiveRt {
@@ -411,12 +404,8 @@ mod tests {
         let mut first = None;
         let mut last = 0.0;
         for _ in 0..200 {
-            let loss = model.train_example(
-                &prefix,
-                &[(&pos, 4, true), (&neg, 4, false)],
-                0.01,
-                true,
-            );
+            let loss =
+                model.train_example(&prefix, &[(&pos, 4, true), (&neg, 4, false)], 0.01, true);
             if first.is_none() {
                 first = Some(loss);
             }

@@ -96,9 +96,8 @@ impl SortTracker {
         let mut matched_tracks = vec![false; self.active.len()];
         let mut unmatched_dets = Vec::new();
         for (di, det) in dets.into_iter().enumerate() {
-            let ti = assignment[di].filter(|&ti| {
-                det.rect.iou(&predicted[ti]) >= self.config.iou_threshold
-            });
+            let ti = assignment[di]
+                .filter(|&ti| det.rect.iou(&predicted[ti]) >= self.config.iou_threshold);
             match ti {
                 Some(ti) => {
                     let t = &mut self.active[ti];

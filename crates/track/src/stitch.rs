@@ -131,11 +131,11 @@ pub fn stitch_tracks(tracks: Vec<Track>, cfg: StitchConfig) -> Vec<Track> {
         let mut best: Option<(usize, usize, f32)> = None;
         for i in 0..pool.len() {
             let Some(a) = &pool[i] else { continue };
-            for j in 0..pool.len() {
+            for (j, slot) in pool.iter().enumerate() {
                 if i == j {
                     continue;
                 }
-                let Some(b) = &pool[j] else { continue };
+                let Some(b) = slot else { continue };
                 if let Some(s) = stitch_score(a, b, &cfg) {
                     if best.map(|(_, _, bs)| s < bs).unwrap_or(true) {
                         best = Some((i, j, s));

@@ -162,7 +162,7 @@ mod tests {
         // frame 12 is halfway between 10 and 14
         let c = t.center_at(12).unwrap();
         assert!((c.x - 25.0).abs() < 1e-4); // centers at 5 and 45
-        // exactly at a detection
+                                            // exactly at a detection
         let c = t.center_at(14).unwrap();
         assert!((c.x - 45.0).abs() < 1e-4);
         assert!(t.center_at(5).is_none());

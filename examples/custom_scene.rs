@@ -9,9 +9,7 @@
 
 use otif::core::{Otif, OtifOptions};
 use otif::query::TrackQuery;
-use otif::sim::{
-    CameraMotion, Clip, DatasetScale, ObjectClass, PathSpec, ScaleProfile, SceneSpec,
-};
+use otif::sim::{CameraMotion, Clip, DatasetScale, ObjectClass, PathSpec, ScaleProfile, SceneSpec};
 use otif::track::Track;
 use std::sync::Arc;
 
@@ -30,15 +28,26 @@ fn my_scene() -> SceneSpec {
             // three roads looping through the center
             PathSpec::through(
                 "north->east",
-                &[(center.0 - 30.0, -20.0), (center.0 - 40.0, center.1), (w + 20.0, center.1 + 40.0)],
-                ScaleProfile { start: 0.6, end: 1.0 },
+                &[
+                    (center.0 - 30.0, -20.0),
+                    (center.0 - 40.0, center.1),
+                    (w + 20.0, center.1 + 40.0),
+                ],
+                ScaleProfile {
+                    start: 0.6,
+                    end: 1.0,
+                },
                 6.0,
                 70.0,
             )
             .with_stop_zone(0.3, 0.0),
             PathSpec::through(
                 "east->west",
-                &[(w + 20.0, center.1 - 20.0), (center.0, center.1 - 40.0), (-20.0, center.1 - 30.0)],
+                &[
+                    (w + 20.0, center.1 - 20.0),
+                    (center.0, center.1 - 40.0),
+                    (-20.0, center.1 - 30.0),
+                ],
                 ScaleProfile::uniform(0.85),
                 5.0,
                 75.0,
@@ -46,8 +55,15 @@ fn my_scene() -> SceneSpec {
             .with_stop_zone(0.3, 0.5),
             PathSpec::through(
                 "west->north",
-                &[(-20.0, center.1 + 20.0), (center.0 + 30.0, center.1 + 30.0), (center.0 + 40.0, -20.0)],
-                ScaleProfile { start: 1.0, end: 0.6 },
+                &[
+                    (-20.0, center.1 + 20.0),
+                    (center.0 + 30.0, center.1 + 30.0),
+                    (center.0 + 40.0, -20.0),
+                ],
+                ScaleProfile {
+                    start: 1.0,
+                    end: 0.6,
+                },
                 4.0,
                 65.0,
             ),
@@ -81,7 +97,14 @@ fn main() {
     // kinds; custom scenes assemble a Dataset directly)
     let gen = |split: u64| -> Vec<Clip> {
         (0..scale.clips_per_split)
-            .map(|i| Clip::simulate(scene.clone(), i, scale.clip_seconds, split * 1000 + i as u64))
+            .map(|i| {
+                Clip::simulate(
+                    scene.clone(),
+                    i,
+                    scale.clip_seconds,
+                    split * 1000 + i as u64,
+                )
+            })
             .collect()
     };
     let dataset = otif::sim::Dataset {

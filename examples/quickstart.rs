@@ -48,7 +48,10 @@ fn main() {
     println!("\nPreparing OTIF (training proxies + tracker, tuning)...");
     let t0 = Instant::now();
     let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
-    println!("  prepared in {:.1}s wall-clock", t0.elapsed().as_secs_f32());
+    println!(
+        "  prepared in {:.1}s wall-clock",
+        t0.elapsed().as_secs_f32()
+    );
     println!(
         "  theta_best = {} (val accuracy {:.1}%)",
         otif.theta_best.describe(),
@@ -66,7 +69,10 @@ fn main() {
 
     // -- 3. extract all tracks from the test split ------------------------
     let point = otif.pick_config(0.05);
-    println!("\nExecuting {} over the test split...", point.config.describe());
+    println!(
+        "\nExecuting {} over the test split...",
+        point.config.describe()
+    );
     let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
     let extracted: usize = tracks.iter().map(|t| t.len()).sum();
     println!(

@@ -55,7 +55,10 @@ fn main() {
         }
     }
     for (i, p) in patterns.iter().enumerate() {
-        println!("  {:<8} estimated {:>4}   ground truth {:>4}", p.id, est_total[i], gt_total[i]);
+        println!(
+            "  {:<8} estimated {:>4}   ground truth {:>4}",
+            p.id, est_total[i], gt_total[i]
+        );
     }
     println!(
         "  overall accuracy: {:.1}%",
@@ -69,7 +72,11 @@ fn main() {
         .zip(&dataset.test)
         .map(|(ts, c)| braking.run(ts, c.scene.fps as f32)[0])
         .sum();
-    let gt: f32 = dataset.test.iter().map(|c| braking.ground_truth(c)[0]).sum();
+    let gt: f32 = dataset
+        .test
+        .iter()
+        .map(|c| braking.ground_truth(c)[0])
+        .sum();
     println!("\nHard-braking cars (>=60 px/s^2): estimated {est}, ground truth {gt}");
     println!("\nBoth analyses ran purely on extracted tracks — no video was re-decoded.");
 }

@@ -32,7 +32,10 @@ fn main() {
     );
 
     println!("\nDecode cost at different sampling gaps (blocks processed):");
-    println!("  {:<6} {:>16} {:>22}", "gap", "frames sampled", "blocks per sampled frame");
+    println!(
+        "  {:<6} {:>16} {:>22}",
+        "gap", "frames sampled", "blocks per sampled frame"
+    );
     for gap in [1usize, 2, 4, 8, 16, 32] {
         let mut dec = Decoder::new(&enc);
         let mut f = 0;
@@ -57,7 +60,11 @@ fn main() {
 
     // decode-at-detector-resolution check
     let mut dec = Decoder::new(&enc);
-    let img = dec.decode_scaled(3, (clip.scene.width / 2) as usize, (clip.scene.height / 2) as usize);
+    let img = dec.decode_scaled(
+        3,
+        (clip.scene.width / 2) as usize,
+        (clip.scene.height / 2) as usize,
+    );
     println!(
         "\nScaled decode of frame 3 -> {}x{} pixels, mean intensity {:.3}",
         img.w,

@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Pre-merge checks: formatting, lints (warnings are errors), full test
+# suite. Run from anywhere inside the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --all --check
+
+echo "== cargo clippy --workspace (deny warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo test"
+cargo test --workspace -q
+
+echo "All checks passed."

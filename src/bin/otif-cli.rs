@@ -17,27 +17,51 @@
 
 use otif::core::workflow::OtifArtifacts;
 use otif::core::{Otif, OtifOptions};
+use otif::engine::{Engine, EngineOptions};
 use otif::query::{AggregateQuery, TrackQuery};
 use otif::sim::{Dataset, DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
-fn parse_flags(args: &[String]) -> HashMap<String, String> {
+const DATASET_FLAGS: [&str; 4] = ["dataset", "clips", "seconds", "seed"];
+
+/// Parse `--key value` pairs, rejecting anything else: positional
+/// arguments, flags outside `allowed`, and flags with a missing value
+/// (trailing, or directly followed by another flag) are all hard errors
+/// naming the offending argument.
+fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
-        if let Some(key) = args[i].strip_prefix("--") {
-            if i + 1 < args.len() {
-                out.insert(key.to_string(), args[i + 1].clone());
-                i += 2;
-                continue;
-            }
+        let Some(key) = args[i].strip_prefix("--") else {
+            return Err(format!(
+                "unexpected positional argument {:?} (flags are --key value pairs)",
+                args[i]
+            ));
+        };
+        if !allowed.contains(&key) {
+            return Err(format!(
+                "unknown flag --{key}; expected one of {}",
+                allowed
+                    .iter()
+                    .map(|a| format!("--{a}"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
         }
-        eprintln!("warning: ignoring argument {:?}", args[i]);
-        i += 1;
+        let Some(value) = args.get(i + 1) else {
+            return Err(format!("flag --{key} is missing a value"));
+        };
+        if value.starts_with("--") {
+            return Err(format!(
+                "flag --{key} is missing a value (found {value:?} instead)"
+            ));
+        }
+        out.insert(key.to_string(), value.clone());
+        i += 2;
     }
-    out
+    Ok(out)
 }
 
 fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
@@ -57,7 +81,12 @@ fn dataset_kind(name: &str) -> Result<DatasetKind, String> {
 }
 
 fn dataset_from_flags(flags: &HashMap<String, String>) -> Result<Dataset, String> {
-    let kind = dataset_kind(flags.get("dataset").map(String::as_str).unwrap_or("caldot1"))?;
+    let kind = dataset_kind(
+        flags
+            .get("dataset")
+            .map(String::as_str)
+            .unwrap_or("caldot1"),
+    )?;
     let clips: usize = flags
         .get("clips")
         .map(|s| s.parse().map_err(|e| format!("bad --clips: {e}")))
@@ -100,7 +129,11 @@ fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
         dataset.scene.height,
         dataset.scene.fps,
         dataset.scene.paths.len(),
-        if dataset.kind.fixed_camera() { "fixed" } else { "moving" }
+        if dataset.kind.fixed_camera() {
+            "fixed"
+        } else {
+            "moving"
+        }
     );
     for (name, split) in [
         ("train", &dataset.train),
@@ -109,7 +142,10 @@ fn cmd_generate(flags: HashMap<String, String>) -> Result<(), String> {
     ] {
         let frames: usize = split.iter().map(|c| c.num_frames()).sum();
         let tracks: usize = split.iter().map(|c| c.gt_tracks.len()).sum();
-        println!("{name}: {} clips, {frames} frames, {tracks} ground-truth tracks", split.len());
+        println!(
+            "{name}: {} clips, {frames} frames, {tracks} ground-truth tracks",
+            split.len()
+        );
     }
     Ok(())
 }
@@ -123,7 +159,10 @@ fn cmd_prepare(flags: HashMap<String, String>) -> Result<(), String> {
     let query = track_query(&dataset);
     let val = dataset.val.clone();
     let metric = move |tracks: &[Vec<Track>]| query.accuracy(tracks, &val);
-    eprintln!("preparing OTIF on {} (this trains models)...", dataset.kind.name());
+    eprintln!(
+        "preparing OTIF on {} (this trains models)...",
+        dataset.kind.name()
+    );
     let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
     let artifacts = otif.to_artifacts();
     let json = serde_json::to_string(&artifacts).map_err(|e| e.to_string())?;
@@ -173,9 +212,41 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --pick: {e}")))
         .transpose()?
         .unwrap_or(0.05);
+    let streams: usize = flags
+        .get("streams")
+        .map(|s| s.parse().map_err(|e| format!("bad --streams: {e}")))
+        .transpose()?
+        .unwrap_or(1);
     let point = otif.pick_config(pick);
     eprintln!("executing {}", point.config.describe());
-    let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+    let (tracks, ledger) = if streams > 1 {
+        // Streaming engine: same per-clip output as the sequential
+        // path, but detector launches are batched across streams.
+        let ledger = otif::cv::CostLedger::new();
+        let opts = EngineOptions {
+            streams,
+            ..EngineOptions::default()
+        };
+        let run = Engine::run(
+            &point.config,
+            &otif.context(),
+            &dataset.test,
+            &opts,
+            &ledger,
+        );
+        eprintln!(
+            "engine: {} streams, {} frames, {} detector batches \
+             (mean occupancy {:.2}), peak {} frames in flight",
+            run.stats.streams,
+            run.stats.frames,
+            run.stats.batches,
+            run.stats.mean_batch_occupancy,
+            run.stats.max_frames_in_flight
+        );
+        (run.tracks, ledger)
+    } else {
+        otif.execute(&point.config, &dataset.test)
+    };
     let out = flags
         .get("out")
         .cloned()
@@ -217,7 +288,10 @@ fn cmd_query(flags: HashMap<String, String>) -> Result<(), String> {
             for (i, ts) in tracks.iter().enumerate() {
                 println!("clip {i}: {} unique cars", q.run(ts, fps)[0]);
             }
-            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+            println!(
+                "accuracy vs ground truth: {:.1}%",
+                q.accuracy(&tracks, &dataset.test) * 100.0
+            );
         }
         "breakdown" => {
             let q = TrackQuery::path_breakdown(&dataset.scene);
@@ -232,13 +306,19 @@ fn cmd_query(flags: HashMap<String, String>) -> Result<(), String> {
                     println!("{:<10} {t}", p.id);
                 }
             }
-            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+            println!(
+                "accuracy vs ground truth: {:.1}%",
+                q.accuracy(&tracks, &dataset.test) * 100.0
+            );
         }
         "braking" => {
             let q = TrackQuery::HardBraking { decel: 60.0 };
             let total: f32 = tracks.iter().map(|ts| q.run(ts, fps)[0]).sum();
             println!("hard-braking cars: {total}");
-            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+            println!(
+                "accuracy vs ground truth: {:.1}%",
+                q.accuracy(&tracks, &dataset.test) * 100.0
+            );
         }
         "volume" => {
             let q = AggregateQuery::TrafficVolume;
@@ -248,9 +328,16 @@ fn cmd_query(flags: HashMap<String, String>) -> Result<(), String> {
                     q.run(ts, clip.num_frames(), fps)
                 );
             }
-            println!("accuracy vs ground truth: {:.1}%", q.accuracy(&tracks, &dataset.test) * 100.0);
+            println!(
+                "accuracy vs ground truth: {:.1}%",
+                q.accuracy(&tracks, &dataset.test) * 100.0
+            );
         }
-        other => return Err(format!("unknown --query {other:?} (count|breakdown|braking|volume)")),
+        other => {
+            return Err(format!(
+                "unknown --query {other:?} (count|breakdown|braking|volume)"
+            ))
+        }
     }
     Ok(())
 }
@@ -259,8 +346,22 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query> [--f
   generate --dataset <name> [--clips N --seconds S --seed N]
   prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
   curve    --model model.json
-  execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--out tracks.json]
+  execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N] [--out tracks.json]
   query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>";
+
+/// Flags each command accepts (beyond the shared dataset flags).
+fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
+    let mut allowed: Vec<&'static str> = DATASET_FLAGS.to_vec();
+    match cmd {
+        "generate" => {}
+        "prepare" => allowed.push("out"),
+        "curve" => allowed = vec!["model"],
+        "execute" => allowed.extend(["model", "pick", "streams", "out"]),
+        "query" => allowed.extend(["tracks", "query"]),
+        _ => return None,
+    }
+    Some(allowed)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -268,14 +369,16 @@ fn main() -> ExitCode {
         eprintln!("{USAGE}");
         return ExitCode::FAILURE;
     };
-    let flags = parse_flags(rest);
-    let result = match cmd.as_str() {
-        "generate" => cmd_generate(flags),
-        "prepare" => cmd_prepare(flags),
-        "curve" => cmd_curve(flags),
-        "execute" => cmd_execute(flags),
-        "query" => cmd_query(flags),
-        _ => Err(format!("unknown command {cmd:?}\n{USAGE}")),
+    let result = match allowed_flags(cmd) {
+        None => Err(format!("unknown command {cmd:?}\n{USAGE}")),
+        Some(allowed) => parse_flags(rest, &allowed).and_then(|flags| match cmd.as_str() {
+            "generate" => cmd_generate(flags),
+            "prepare" => cmd_prepare(flags),
+            "curve" => cmd_curve(flags),
+            "execute" => cmd_execute(flags),
+            "query" => cmd_query(flags),
+            _ => unreachable!("allowed_flags gates the command set"),
+        }),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -20,6 +20,8 @@
 //!   tracker.
 //! - [`core`] — OTIF proper: segmentation proxy model, detection and
 //!   tracking modules, track refinement and the joint parameter tuner.
+//! - [`engine`] — the multi-stream streaming executor with cross-stream
+//!   detector batching.
 //! - [`query`] — the post-processing query engine over extracted tracks.
 //! - [`baselines`] — Miris, BlazeIt, TASTI, NoScope, Chameleon, CaTDet and
 //!   CenterTrack re-implementations.
@@ -42,6 +44,7 @@ pub use otif_baselines as baselines;
 pub use otif_codec as codec;
 pub use otif_core as core;
 pub use otif_cv as cv;
+pub use otif_engine as engine;
 pub use otif_geom as geom;
 pub use otif_nn as nn;
 pub use otif_query as query;

@@ -8,13 +8,24 @@ fn cli() -> Command {
 }
 
 const DS: [&str; 8] = [
-    "--dataset", "caldot2", "--clips", "2", "--seconds", "6", "--seed", "3",
+    "--dataset",
+    "caldot2",
+    "--clips",
+    "2",
+    "--seconds",
+    "6",
+    "--seed",
+    "3",
 ];
 
 #[test]
 fn generate_reports_dataset_stats() {
     let out = cli().arg("generate").args(DS).output().expect("run cli");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("caldot2"));
     assert!(stdout.contains("ground-truth tracks"));
@@ -40,6 +51,71 @@ fn unknown_dataset_is_a_clean_error() {
 }
 
 #[test]
+fn trailing_flag_without_value_is_an_error() {
+    let out = cli()
+        .args(["generate", "--dataset", "caldot2", "--clips"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--clips is missing a value"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn flag_directly_followed_by_flag_is_an_error() {
+    let out = cli()
+        .args(["generate", "--dataset", "--clips", "2"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--dataset is missing a value"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
+fn unknown_flag_is_an_error_naming_it() {
+    let out = cli()
+        .args(["generate", "--bogus", "3"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown flag --bogus"), "stderr: {stderr}");
+    assert!(
+        stderr.contains("--dataset"),
+        "should list accepted flags: {stderr}"
+    );
+
+    // flags accepted by one command are still rejected by another
+    let out = cli()
+        .args(["generate", "--streams", "2"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --streams"));
+}
+
+#[test]
+fn positional_argument_is_an_error() {
+    let out = cli()
+        .args(["generate", "caldot2"])
+        .output()
+        .expect("run cli");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("unexpected positional argument \"caldot2\""),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn prepare_execute_query_roundtrip() {
     let dir = std::env::temp_dir().join(format!("otif-cli-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -52,7 +128,11 @@ fn prepare_execute_query_roundtrip() {
         .args(["--out", model.to_str().unwrap()])
         .output()
         .expect("prepare");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(model.exists());
     assert!(String::from_utf8_lossy(&out.stdout).contains("curve"));
 
@@ -71,8 +151,36 @@ fn prepare_execute_query_roundtrip() {
         .args(["--out", tracks.to_str().unwrap()])
         .output()
         .expect("execute");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     assert!(tracks.exists());
+
+    // multi-stream execution must produce byte-identical tracks
+    let tracks2 = dir.join("tracks2.json");
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--streams", "2", "--out", tracks2.to_str().unwrap()])
+        .output()
+        .expect("execute --streams 2");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("engine: 2 streams"),
+        "engine stats line expected"
+    );
+    assert_eq!(
+        std::fs::read(&tracks).unwrap(),
+        std::fs::read(&tracks2).unwrap(),
+        "--streams 2 must write byte-identical tracks"
+    );
 
     for query in ["breakdown", "count", "braking", "volume"] {
         let out = cli()
@@ -94,7 +202,16 @@ fn prepare_execute_query_roundtrip() {
     let out = cli()
         .arg("query")
         .args(["--tracks", tracks.to_str().unwrap()])
-        .args(["--dataset", "caldot2", "--clips", "3", "--seconds", "6", "--seed", "3"])
+        .args([
+            "--dataset",
+            "caldot2",
+            "--clips",
+            "3",
+            "--seconds",
+            "6",
+            "--seed",
+            "3",
+        ])
         .args(["--query", "count"])
         .output()
         .expect("query mismatch");

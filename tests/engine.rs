@@ -1,0 +1,162 @@
+//! Determinism guarantees of the multi-stream engine: N-stream output
+//! equals the sequential `Pipeline` per clip for the same
+//! `(config, seed)`, including with fully trained artifacts (proxy
+//! windows, recurrent tracker, refinement), and the shared
+//! `DetectorBatcher` never reorders a stream's submissions.
+
+use otif::core::pipeline::ExecutionContext;
+use otif::core::{Otif, OtifOptions, Pipeline};
+use otif::cv::{Component, CostLedger, CostModel, DetectorArch, DetectorConfig};
+use otif::engine::{DetectorBatcher, Engine, EngineOptions};
+use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
+use otif::track::Track;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn sequential(
+    config: &otif::core::config::OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[otif::sim::Clip],
+) -> (Vec<Vec<Track>>, CostLedger) {
+    let ledger = CostLedger::new();
+    let tracks = clips
+        .iter()
+        .map(|c| Pipeline::run_clip(config, ctx, c, &ledger))
+        .collect();
+    (tracks, ledger)
+}
+
+/// Engine output must be byte-identical (via canonical JSON) to the
+/// sequential pipeline with trained proxies, the recurrent tracker and
+/// refinement in play — for every curve configuration and several
+/// stream counts.
+#[test]
+fn engine_equals_sequential_with_trained_artifacts() {
+    let dataset = DatasetConfig::new(
+        DatasetKind::Caldot1,
+        DatasetScale {
+            clips_per_split: 3,
+            clip_seconds: 5.0,
+        },
+        41,
+    )
+    .generate();
+    let query = otif::query::TrackQuery::path_breakdown(&dataset.scene);
+    let val = dataset.val.clone();
+    let metric = move |tracks: &[Vec<Track>]| query.accuracy(tracks, &val);
+    let otif = Otif::prepare(&dataset, &metric, OtifOptions::fast_test());
+    let ctx = otif.context();
+
+    // theta_best plus the extremes of the tuned curve exercise the
+    // proxy/recurrent/refine combinations the tuner produced
+    let mut configs = vec![otif.theta_best];
+    if let (Some(first), Some(last)) = (otif.curve.first(), otif.curve.last()) {
+        configs.push(first.config);
+        configs.push(last.config);
+    }
+
+    for config in configs {
+        let (expected, _) = sequential(&config, &ctx, &dataset.test);
+        let expected_json = serde_json::to_string(&expected).unwrap();
+        for streams in [2usize, 3] {
+            let opts = EngineOptions {
+                streams,
+                ..EngineOptions::default()
+            };
+            let run = Engine::run(&config, &ctx, &dataset.test, &opts, &CostLedger::new());
+            let got = serde_json::to_string(&run.tracks).unwrap();
+            assert_eq!(
+                got,
+                expected_json,
+                "streams={streams} config={}",
+                config.describe()
+            );
+        }
+    }
+}
+
+/// With a single stream the engine's ledger must match the sequential
+/// pipeline's exactly, component by component (same charges, only
+/// routed through the batcher).
+#[test]
+fn single_stream_engine_cost_is_sequential_cost() {
+    let dataset = DatasetConfig::small(DatasetKind::Tokyo, 17).generate();
+    let config = otif::core::config::OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 0.5),
+        proxy: None,
+        gap: 3,
+        tracker: otif::core::config::TrackerKind::Sort,
+        refine: false,
+    };
+    let ctx = ExecutionContext::bare(CostModel::default(), 17);
+    let (_, seq) = sequential(&config, &ctx, &dataset.test);
+    let eng = CostLedger::new();
+    let opts = EngineOptions {
+        streams: 1,
+        ..EngineOptions::default()
+    };
+    Engine::run(&config, &ctx, &dataset.test, &opts, &eng);
+    for c in [
+        Component::Decode,
+        Component::Proxy,
+        Component::Detector,
+        Component::Tracker,
+        Component::Refinement,
+    ] {
+        assert!(
+            (seq.get(c) - eng.get(c)).abs() < 1e-9,
+            "{c:?}: sequential {} vs engine {}",
+            seq.get(c),
+            eng.get(c)
+        );
+    }
+}
+
+// The batcher never reorders a stream's submissions: the j-th
+// submission of a stream completes in the j-th round that stream
+// participates in, so the round number observed after each submit is
+// strictly increasing per stream.
+proptest! {
+    #[test]
+    fn batcher_preserves_per_stream_submission_order(
+        streams in 1u64..=4,
+        frames in 1u64..=12,
+        size_salt in 0u64..=999,
+    ) {
+        let (streams, frames) = (streams as usize, frames as usize);
+        let ledger = CostLedger::new();
+        let batcher = Arc::new(DetectorBatcher::new(streams, 1.0, 4, ledger.clone()));
+        let mut handles = Vec::new();
+        for s in 0..streams {
+            let batcher = Arc::clone(&batcher);
+            handles.push(std::thread::spawn(move || {
+                // uneven lengths and varying window mixes per stream
+                let my_frames = frames + s;
+                let mut rounds_seen = Vec::with_capacity(my_frames);
+                for f in 0..my_frames {
+                    let n = 1 + (f + s + size_salt as usize) % 3;
+                    let side = 32 * (1 + ((f + size_salt as usize) % 2) as u32);
+                    batcher.submit(s, vec![(side, side); n]);
+                    rounds_seen.push(batcher.rounds());
+                }
+                batcher.finish(s);
+                rounds_seen
+            }));
+        }
+        let mut total_items = 0u64;
+        for (s, h) in handles.into_iter().enumerate() {
+            let rounds_seen = h.join().unwrap();
+            for w in rounds_seen.windows(2) {
+                prop_assert!(
+                    w[0] < w[1],
+                    "stream {s}: submissions completed out of round order ({w:?})"
+                );
+            }
+            for f in 0..frames + s {
+                total_items += (1 + (f + s + size_salt as usize) % 3) as u64;
+            }
+        }
+        // every submitted window was flushed exactly once
+        prop_assert_eq!(ledger.batch_stats().items, total_items);
+    }
+}

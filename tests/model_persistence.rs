@@ -55,8 +55,9 @@ fn proxy_model_roundtrips_through_json() {
 fn tracker_model_roundtrips_through_json() {
     let mut model = TrackerModel::new(384.0, 224.0, 12);
     // give it a few gradient steps so weights are non-trivial
-    let prefix: Vec<(usize, Detection)> =
-        (0..4).map(|i| (i * 2, det(10.0 + i as f32 * 20.0, 60.0))).collect();
+    let prefix: Vec<(usize, Detection)> = (0..4)
+        .map(|i| (i * 2, det(10.0 + i as f32 * 20.0, 60.0)))
+        .collect();
     let pos = det(90.0, 60.0);
     let neg = det(300.0, 180.0);
     for _ in 0..20 {
@@ -73,7 +74,10 @@ fn tracker_model_roundtrips_through_json() {
         for f in 0..6usize {
             t.step(
                 f * 2,
-                vec![det(10.0 + f as f32 * 20.0, 60.0), det(350.0 - f as f32 * 15.0, 150.0)],
+                vec![
+                    det(10.0 + f as f32 * 20.0, 60.0),
+                    det(350.0 - f as f32 * 15.0, 150.0),
+                ],
             );
         }
         t.finish()

@@ -2,13 +2,13 @@
 //! invariants that span crates.
 
 use otif::codec::{Decoder, EncodedClip, EncoderConfig};
-use otif::track::{stitch_tracks, StitchConfig, Track};
 use otif::core::grouping::group_cells;
 use otif::core::windows::WindowSet;
 use otif::cv::{nms, Detection};
 use otif::geom::{hungarian, GridIndex, Point, Polygon, Polyline, Rect};
 use otif::sim::GrayImage;
 use otif::sim::ObjectClass;
+use otif::track::{stitch_tracks, StitchConfig, Track};
 use proptest::prelude::*;
 
 fn rect_strategy() -> impl Strategy<Value = Rect> {

@@ -1,0 +1,196 @@
+//! Minimal `rand` substitute: the `RngCore`/`SeedableRng`/`Rng` trait
+//! stack and a seedable default generator, with the rand 0.8 call-site
+//! API (`gen_range`, `gen_bool`, `rngs::StdRng::seed_from_u64`).
+//!
+//! The generator behind [`rngs::StdRng`] is SplitMix64 feeding
+//! xoshiro256++ — deterministic and statistically solid for simulation
+//! workloads, though not a bit-for-bit reproduction of upstream rand.
+
+/// Low-level uniform bit source.
+pub trait RngCore {
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Build the generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// A range that [`Rng::gen_range`] can sample from, producing `T`.
+pub trait SampleRange<T> {
+    /// Draw one uniformly distributed value.
+    fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide);
+                let v = rng.next_u64() as $wide % span;
+                self.start.wrapping_add(v as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range range");
+                let span = (hi as $wide).wrapping_sub(lo as $wide).wrapping_add(1);
+                if span == 0 {
+                    // full-domain range: every bit pattern is valid
+                    return rng.next_u64() as $t;
+                }
+                let v = rng.next_u64() as $wide % span;
+                lo.wrapping_add(v as $t)
+            }
+        }
+    )*};
+}
+
+int_sample_range!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => u64, i16 => u64, i32 => u64, i64 => u64, isize => u64,
+);
+
+macro_rules! float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty gen_range range");
+                let unit = (rng.next_u64() >> 11) as $t / (1u64 << 53) as $t;
+                self.start + (self.end - self.start) * unit
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_in<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range range");
+                let unit = (rng.next_u64() >> 11) as $t / ((1u64 << 53) - 1) as $t;
+                lo + (hi - lo) * unit
+            }
+        }
+    )*};
+}
+
+float_sample_range!(f32, f64);
+
+/// High-level sampling helpers, blanket-implemented for every bit source.
+pub trait Rng: RngCore {
+    /// Uniform value in `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_in(self)
+    }
+
+    /// Bernoulli draw with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Built-in generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's default seedable generator: xoshiro256++ seeded
+    /// through SplitMix64 (the construction recommended by its authors).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng {
+                s: [next(), next(), next(), next()],
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        let mut c = StdRng::seed_from_u64(8);
+        let va: Vec<u32> = (0..8).map(|_| a.gen_range(0u32..1000)).collect();
+        let vb: Vec<u32> = (0..8).map(|_| b.gen_range(0u32..1000)).collect();
+        let vc: Vec<u32> = (0..8).map(|_| c.gen_range(0u32..1000)).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let v = r.gen_range(5usize..9);
+            assert!((5..9).contains(&v));
+            let f = r.gen_range(-1.5f32..2.5);
+            assert!((-1.5..2.5).contains(&f));
+            let i = r.gen_range(-3i32..=3);
+            assert!((-3..=3).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = StdRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn floats_cover_the_range() {
+        let mut r = StdRng::seed_from_u64(5);
+        let vs: Vec<f64> = (0..1000).map(|_| r.gen_range(0.0f64..1.0)).collect();
+        assert!(vs.iter().any(|&v| v < 0.1));
+        assert!(vs.iter().any(|&v| v > 0.9));
+    }
+}

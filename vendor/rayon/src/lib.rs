@@ -1,0 +1,122 @@
+//! Vendored `rayon` substitute: `par_iter()` et al. return *sequential*
+//! std iterators. Call sites compile unchanged; execution order becomes
+//! deterministic left-to-right, which only affects wall-clock time (the
+//! workspace measures cost through a simulated-seconds ledger, never
+//! through wall-clock parallel speedup).
+
+pub mod prelude {
+    /// `&collection → par_iter()` — sequential stand-in.
+    pub trait IntoParallelRefIterator<'data> {
+        /// Element type yielded by the iterator.
+        type Item: 'data;
+        /// Iterator type (a plain std iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate sequentially (parallel upstream).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = &'data T;
+        type Iter = std::slice::Iter<'data, T>;
+
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    /// `&mut collection → par_iter_mut()` — sequential stand-in.
+    pub trait IntoParallelRefMutIterator<'data> {
+        /// Element type yielded by the iterator.
+        type Item: 'data;
+        /// Iterator type (a plain std iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Iterate sequentially with mutable access.
+        fn par_iter_mut(&'data mut self) -> Self::Iter;
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+        type Item = &'data mut T;
+        type Iter = std::slice::IterMut<'data, T>;
+
+        fn par_iter_mut(&'data mut self) -> Self::Iter {
+            self.iter_mut()
+        }
+    }
+
+    /// `collection → into_par_iter()` — sequential stand-in.
+    pub trait IntoParallelIterator {
+        /// Element type yielded by the iterator.
+        type Item;
+        /// Iterator type (a plain std iterator here).
+        type Iter: Iterator<Item = Self::Item>;
+
+        /// Consume into a sequential iterator.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<T> IntoParallelIterator for Vec<T> {
+        type Item = T;
+        type Iter = std::vec::IntoIter<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    impl<T> IntoParallelIterator for std::ops::Range<T>
+    where
+        std::ops::Range<T>: Iterator<Item = T>,
+    {
+        type Item = T;
+        type Iter = std::ops::Range<T>;
+
+        fn into_par_iter(self) -> Self::Iter {
+            self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = vec![1, 2, 3, 4];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_iter_mut_mutates() {
+        let mut v = vec![1, 2, 3];
+        v.par_iter_mut().for_each(|x| *x += 10);
+        assert_eq!(v, vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn into_par_iter_consumes() {
+        let total: i32 = (0..5).into_par_iter().sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,514 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` for the simplified
+//! serde substitute in `vendor/serde`.
+//!
+//! Implemented directly on `proc_macro::TokenStream` (no syn/quote,
+//! which are unavailable offline): the input item is scanned for field
+//! and variant *names* only — types never need to be parsed because
+//! the generated code calls trait methods whose impls are resolved by
+//! inference. Generated impls target `::serde::{Serialize,
+//! Deserialize, Value, Error}` with serde_json-compatible shapes:
+//! named struct → object, newtype struct → inner value, tuple struct →
+//! array, unit variant → `"Name"`, data variant → `{"Name": ...}`.
+//! `#[serde(skip)]` omits a field on serialize and fills it with
+//! `Default::default()` on deserialize. Generics are not supported
+//! (the workspace derives only concrete types).
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+enum Fields {
+    Unit,
+    /// Per-element skip flags, in declaration order.
+    Tuple(Vec<bool>),
+    /// `(name, skip)` per field, in declaration order.
+    Named(Vec<(String, bool)>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct {
+        name: String,
+        fields: Fields,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+/// Derive `::serde::Serialize` (conversion into `::serde::Value`).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_ser(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_ser(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+/// Derive `::serde::Deserialize` (reconstruction from `::serde::Value`).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let code = match parse_item(input) {
+        Item::Struct { name, fields } => gen_struct_de(&name, &fields),
+        Item::Enum { name, variants } => gen_enum_de(&name, &variants),
+    };
+    code.parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// ---------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Scan past outer attributes / doc comments / visibility to the
+    // `struct` or `enum` keyword.
+    let kind = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // '#'
+                if matches!(tokens.get(i), Some(TokenTree::Punct(p2)) if p2.as_char() == '!') {
+                    i += 1;
+                }
+                i += 1; // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if id.to_string() == "struct" || id.to_string() == "enum" =>
+            {
+                break id.to_string();
+            }
+            Some(_) => i += 1,
+            None => panic!("serde_derive: no struct/enum keyword found"),
+        }
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (vendored): generic type `{name}` is not supported");
+    }
+    if kind == "struct" {
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            other => panic!("serde_derive: unexpected token after struct name: {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let variants = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => parse_variants(g),
+            other => panic!("serde_derive: expected enum body, found {other:?}"),
+        };
+        Item::Enum { name, variants }
+    }
+}
+
+/// Does this `[...]` attribute group spell `serde(skip)`? Panics on
+/// serde attributes this substitute does not implement; non-serde
+/// attributes (doc comments, cfg, ...) return false.
+fn attr_is_serde_skip(group: &Group) -> bool {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    let mut skip = false;
+    if let Some(TokenTree::Group(args)) = tokens.get(1) {
+        for tok in args.stream() {
+            if let TokenTree::Ident(id) = tok {
+                match id.to_string().as_str() {
+                    "skip" => skip = true,
+                    other => panic!(
+                        "serde_derive (vendored): unsupported serde attribute `{other}` \
+                         (only `skip` is implemented)"
+                    ),
+                }
+            }
+        }
+    }
+    skip
+}
+
+/// Advance past a run of `#[...]` attributes, returning whether any
+/// was `#[serde(skip)]`.
+fn consume_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    let mut skip = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if attr_is_serde_skip(g) {
+                skip = true;
+            }
+        }
+        *i += 2;
+    }
+    skip
+}
+
+/// Advance past optional `pub` / `pub(...)` visibility.
+fn consume_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(
+            tokens.get(*i),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+        ) {
+            *i += 1;
+        }
+    }
+}
+
+/// Advance to just past the next top-level `,`. Tracks `<`/`>` depth so
+/// commas inside generic arguments (e.g. `HashMap<String, u32>`) are
+/// not treated as separators; bracketed groups are atomic tokens.
+fn consume_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth = 0i32;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' && depth > 0 => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                *i += 1;
+                return;
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(group: &Group) -> Vec<(String, bool)> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < tokens.len() {
+        let skip = consume_attrs(&tokens, &mut i);
+        consume_visibility(&tokens, &mut i);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => panic!("serde_derive: expected field name, found {other:?}"),
+        };
+        i += 1; // name
+        i += 1; // ':'
+        consume_until_comma(&tokens, &mut i);
+        out.push((name, skip));
+    }
+    out
+}
+
+fn parse_tuple_fields(group: &Group) -> Vec<bool> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < tokens.len() {
+        let skip = consume_attrs(&tokens, &mut i);
+        consume_visibility(&tokens, &mut i);
+        consume_until_comma(&tokens, &mut i);
+        out.push(skip);
+    }
+    out
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    let mut i = 0;
+    let mut out = Vec::new();
+    while i < tokens.len() {
+        consume_attrs(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde_derive: expected variant name, found {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(parse_tuple_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(g))
+            }
+            _ => Fields::Unit,
+        };
+        // past any `= discriminant` to the separating comma
+        consume_until_comma(&tokens, &mut i);
+        out.push(Variant { name, fields });
+    }
+    out
+}
+
+// ---------------------------------------------------------------------
+// Codegen (strings parsed back into TokenStream)
+// ---------------------------------------------------------------------
+
+/// Expression serializing the fields as a `Value`, given per-field
+/// accessor expressions (`&self.x` for structs, `x0` for match arms).
+fn ser_named_body(fields: &[(String, bool)], accessor: &dyn Fn(&str) -> String) -> String {
+    let entries: String = fields
+        .iter()
+        .filter(|(_, skip)| !skip)
+        .map(|(n, _)| {
+            format!(
+                "(\"{n}\".to_string(), ::serde::Serialize::to_value({})),",
+                accessor(n)
+            )
+        })
+        .collect();
+    format!("::serde::Value::Obj(vec![{entries}])")
+}
+
+fn gen_struct_ser(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => "::serde::Value::Null".to_string(),
+        Fields::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+            // newtype struct: serialize transparently as the inner value
+            "::serde::Serialize::to_value(&self.0)".to_string()
+        }
+        Fields::Tuple(skips) => {
+            let items: String = skips
+                .iter()
+                .enumerate()
+                .filter(|(_, skip)| !**skip)
+                .map(|(idx, _)| format!("::serde::Serialize::to_value(&self.{idx}),"))
+                .collect();
+            format!("::serde::Value::Arr(vec![{items}])")
+        }
+        Fields::Named(fs) => ser_named_body(fs, &|n| format!("&self.{n}")),
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("::core::result::Result::Ok({name})"),
+        Fields::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+            format!("::core::result::Result::Ok({name}(::serde::Deserialize::from_value(value)?))")
+        }
+        Fields::Tuple(skips) => {
+            let mut ser_idx = 0usize;
+            let items: String = skips
+                .iter()
+                .map(|skip| {
+                    if *skip {
+                        "::core::default::Default::default(),".to_string()
+                    } else {
+                        let e = format!("::serde::de_index(value, {ser_idx})?,");
+                        ser_idx += 1;
+                        e
+                    }
+                })
+                .collect();
+            format!("::core::result::Result::Ok({name}({items}))")
+        }
+        Fields::Named(fs) => {
+            let items: String = fs
+                .iter()
+                .map(|(n, skip)| {
+                    if *skip {
+                        format!("{n}: ::core::default::Default::default(),")
+                    } else {
+                        format!("{n}: ::serde::de_field(value, \"{n}\")?,")
+                    }
+                })
+                .collect();
+            format!("::core::result::Result::Ok({name} {{ {items} }})")
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 let _ = value;\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[Variant]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| {
+            let vn = &v.name;
+            match &v.fields {
+                Fields::Unit => {
+                    format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")
+                }
+                Fields::Tuple(skips) => {
+                    let binders: Vec<String> = skips
+                        .iter()
+                        .enumerate()
+                        .map(|(idx, skip)| {
+                            if *skip {
+                                "_".to_string()
+                            } else {
+                                format!("x{idx}")
+                            }
+                        })
+                        .collect();
+                    let live: Vec<String> = skips
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, skip)| !**skip)
+                        .map(|(idx, _)| format!("::serde::Serialize::to_value(x{idx})"))
+                        .collect();
+                    let inner = if live.len() == 1 && skips.len() == 1 {
+                        // newtype variant: inner value unwrapped
+                        live[0].clone()
+                    } else {
+                        format!("::serde::Value::Arr(vec![{}])", live.join(", "))
+                    };
+                    format!(
+                        "{name}::{vn}({binders}) => ::serde::Value::Obj(vec![\
+                             (\"{vn}\".to_string(), {inner})]),\n",
+                        binders = binders.join(", ")
+                    )
+                }
+                Fields::Named(fs) => {
+                    let mut binders: Vec<String> = fs
+                        .iter()
+                        .filter(|(_, skip)| !skip)
+                        .map(|(n, _)| n.clone())
+                        .collect();
+                    let inner = ser_named_body(fs, &|n| n.to_string());
+                    if binders.len() < fs.len() {
+                        binders.push("..".to_string());
+                    }
+                    format!(
+                        "{name}::{vn} {{ {binders} }} => ::serde::Value::Obj(vec![\
+                             (\"{vn}\".to_string(), {inner})]),\n",
+                        binders = binders.join(", ")
+                    )
+                }
+            }
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 match self {{ {arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[Variant]) -> String {
+    let unit_arms: String = variants
+        .iter()
+        .filter(|v| matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            format!(
+                "\"{vn}\" => ::core::result::Result::Ok({name}::{vn}),\n",
+                vn = v.name
+            )
+        })
+        .collect();
+    let data_arms: String = variants
+        .iter()
+        .filter(|v| !matches!(v.fields, Fields::Unit))
+        .map(|v| {
+            let vn = &v.name;
+            let ctor = match &v.fields {
+                Fields::Unit => unreachable!(),
+                Fields::Tuple(skips) if skips.len() == 1 && !skips[0] => {
+                    format!("{name}::{vn}(::serde::Deserialize::from_value(inner)?)")
+                }
+                Fields::Tuple(skips) => {
+                    let mut ser_idx = 0usize;
+                    let items: String = skips
+                        .iter()
+                        .map(|skip| {
+                            if *skip {
+                                "::core::default::Default::default(),".to_string()
+                            } else {
+                                let e = format!("::serde::de_index(inner, {ser_idx})?,");
+                                ser_idx += 1;
+                                e
+                            }
+                        })
+                        .collect();
+                    format!("{name}::{vn}({items})")
+                }
+                Fields::Named(fs) => {
+                    let items: String = fs
+                        .iter()
+                        .map(|(n, skip)| {
+                            if *skip {
+                                format!("{n}: ::core::default::Default::default(),")
+                            } else {
+                                format!("{n}: ::serde::de_field(inner, \"{n}\")?,")
+                            }
+                        })
+                        .collect();
+                    format!("{name}::{vn} {{ {items} }}")
+                }
+            };
+            format!("\"{vn}\" => ::core::result::Result::Ok({ctor}),\n")
+        })
+        .collect();
+
+    let mut match_arms = String::new();
+    if !unit_arms.is_empty() {
+        match_arms.push_str(&format!(
+            "::serde::Value::Str(s) => match s.as_str() {{\n\
+                 {unit_arms}\
+                 other => ::core::result::Result::Err(::serde::Error::msg(\
+                     format!(\"unknown {name} unit variant `{{}}`\", other))),\n\
+             }},\n"
+        ));
+    }
+    if !data_arms.is_empty() {
+        match_arms.push_str(&format!(
+            "::serde::Value::Obj(pairs) if pairs.len() == 1 => {{\n\
+                 let (tag, inner) = &pairs[0];\n\
+                 match tag.as_str() {{\n\
+                     {data_arms}\
+                     other => ::core::result::Result::Err(::serde::Error::msg(\
+                         format!(\"unknown {name} variant `{{}}`\", other))),\n\
+                 }}\n\
+             }},\n"
+        ));
+    }
+    match_arms.push_str(&format!(
+        "other => ::core::result::Result::Err(::serde::Error::msg(\
+             format!(\"cannot deserialize {name} from {{:?}}\", other))),\n"
+    ));
+
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(value: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{\n\
+                 match value {{ {match_arms} }}\n\
+             }}\n\
+         }}"
+    )
+}
