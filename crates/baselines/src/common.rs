@@ -35,18 +35,21 @@ pub trait Baseline: Sync {
 
 /// Evaluate all configurations of a baseline on a split: returns
 /// `(config index, accuracy, simulated seconds)` per configuration.
+///
+/// Configurations are evaluated on the work-stealing evaluation pool;
+/// each runs against its own ledger and results are collected in
+/// configuration order, so the output is identical to a sequential
+/// sweep.
 pub fn sweep_configs(
     baseline: &dyn Baseline,
     clips: &[Clip],
-    metric: &dyn Fn(&[Vec<Track>]) -> f32,
+    metric: &(dyn Fn(&[Vec<Track>]) -> f32 + Sync),
 ) -> Vec<(usize, f32, f64)> {
-    (0..baseline.num_configs())
-        .map(|i| {
-            let ledger = CostLedger::new();
-            let tracks = baseline.run(i, clips, &ledger);
-            (i, metric(&tracks), ledger.execution_total())
-        })
-        .collect()
+    otif_core::par_map(0, (0..baseline.num_configs()).collect(), |_, i| {
+        let ledger = CostLedger::new();
+        let tracks = baseline.run(i, clips, &ledger);
+        (i, metric(&tracks), ledger.execution_total())
+    })
 }
 
 /// Reduce sweep results to the Pareto-optimal set (no other config is

@@ -10,8 +10,10 @@
 //! same-size windows from different streams share detector launches and
 //! the per-frame launch overhead amortizes away.
 //!
-//! All seconds are simulated V100 seconds from the cost model, not wall
-//! clock.
+//! Simulated seconds come from the cost model (V100-calibrated); each
+//! point also records `wall_seconds`, the wall-clock time the run took
+//! on this machine, so kernel-level speedups show up alongside the
+//! simulated numbers without being conflated with them.
 //!
 //! Usage: `cargo run --release -p otif-bench --bin throughput [tiny|small|experiment]`
 
@@ -32,6 +34,10 @@ struct ThroughputPoint {
     frames: u64,
     /// Total simulated seconds for the whole run.
     execution_seconds: f64,
+    /// Wall-clock seconds the run actually took on this machine — the
+    /// real cost of producing the simulated numbers, *not* comparable
+    /// to the paper's V100 seconds.
+    wall_seconds: f64,
     /// Simulated frames per simulated second.
     throughput_fps: f64,
     /// Detector seconds per processed frame (launch overhead + pixels).
@@ -69,12 +75,15 @@ fn main() {
             streams,
             ..EngineOptions::default()
         };
+        let started = std::time::Instant::now();
         let run = Engine::run(&config, &ctx, &dataset.test, &opts, &ledger);
+        let wall_seconds = started.elapsed().as_secs_f64();
         let frames = run.stats.frames;
         points.push(ThroughputPoint {
             streams: run.stats.streams,
             frames,
             execution_seconds: run.stats.execution_seconds,
+            wall_seconds,
             throughput_fps: frames as f64 / run.stats.execution_seconds,
             per_frame_detector_seconds: run.stats.stage_seconds.detector / frames as f64,
             detector_batches: run.stats.batches,
@@ -90,6 +99,7 @@ fn main() {
                 p.streams.to_string(),
                 p.frames.to_string(),
                 format!("{:.2}", p.execution_seconds),
+                format!("{:.3}", p.wall_seconds),
                 format!("{:.1}", p.throughput_fps),
                 format!("{:.6}", p.per_frame_detector_seconds),
                 format!("{:.2}", p.mean_batch_occupancy),
@@ -103,6 +113,7 @@ fn main() {
             "streams",
             "frames",
             "sim seconds",
+            "wall s",
             "frames/sim-s",
             "detector s/frame",
             "batch occupancy",

@@ -109,23 +109,23 @@ pub fn prepare_otif(dataset: &Dataset, options: OtifOptions) -> Otif {
 }
 
 /// Evaluate OTIF's tuned curve on the test split.
+///
+/// Curve points are independent executions, so they run on the
+/// work-stealing evaluation pool; results are collected in curve order,
+/// making the output identical to a sequential sweep.
 pub fn otif_curve(otif: &Otif, dataset: &Dataset) -> MethodCurve {
     let query = track_query_for(dataset);
     let hour = dataset.scale.hour_scale();
-    let points = otif
-        .curve
-        .iter()
-        .map(|p| {
-            let (tracks, ledger) = otif.execute(&p.config, &dataset.test);
-            PointResult {
-                config: p.config.describe(),
-                val_accuracy: p.accuracy,
-                val_seconds_hour: p.val_seconds * hour,
-                test_accuracy: query.accuracy(&tracks, &dataset.test),
-                test_seconds_hour: ledger.execution_total() * hour,
-            }
-        })
-        .collect();
+    let points = otif_core::par_map(0, otif.curve.iter().collect(), |_, p| {
+        let (tracks, ledger) = otif.execute(&p.config, &dataset.test);
+        PointResult {
+            config: p.config.describe(),
+            val_accuracy: p.accuracy,
+            val_seconds_hour: p.val_seconds * hour,
+            test_accuracy: query.accuracy(&tracks, &dataset.test),
+            test_seconds_hour: ledger.execution_total() * hour,
+        }
+    });
     MethodCurve {
         method: "otif".to_string(),
         per_query: false,
@@ -142,20 +142,19 @@ pub fn baseline_curve(baseline: &dyn Baseline, dataset: &Dataset) -> MethodCurve
     let val_metric = |tracks: &[Vec<Track>]| query.accuracy(tracks, val);
     let sweep = sweep_configs(baseline, &dataset.val, &val_metric);
     let selected = pareto(&sweep);
-    let points = selected
-        .iter()
-        .map(|(i, val_acc, val_secs)| {
-            let ledger = CostLedger::new();
-            let tracks = baseline.run(*i, &dataset.test, &ledger);
-            PointResult {
-                config: baseline.describe(*i),
-                val_accuracy: *val_acc,
-                val_seconds_hour: val_secs * hour,
-                test_accuracy: query.accuracy(&tracks, &dataset.test),
-                test_seconds_hour: ledger.execution_total() * hour,
-            }
-        })
-        .collect();
+    // Pareto-selected test evaluations are independent; fan them out on
+    // the evaluation pool and collect in selection order.
+    let points = otif_core::par_map(0, selected, |_, (i, val_acc, val_secs)| {
+        let ledger = CostLedger::new();
+        let tracks = baseline.run(i, &dataset.test, &ledger);
+        PointResult {
+            config: baseline.describe(i),
+            val_accuracy: val_acc,
+            val_seconds_hour: val_secs * hour,
+            test_accuracy: query.accuracy(&tracks, &dataset.test),
+            test_seconds_hour: ledger.execution_total() * hour,
+        }
+    });
     MethodCurve {
         method: baseline.name().to_string(),
         per_query: baseline.per_query_execution(),

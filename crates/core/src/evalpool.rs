@@ -1,0 +1,225 @@
+//! A small work-stealing evaluation pool for embarrassingly parallel,
+//! deterministic workloads.
+//!
+//! The tuner evaluates dozens of (detector, resolution, threshold)
+//! candidates and the bench harness sweeps whole speed–accuracy curves;
+//! every evaluation is independent, takes milliseconds-to-seconds, and
+//! must produce *byte-identical* results regardless of how it is
+//! scheduled. [`par_map`] provides exactly that contract:
+//!
+//! - tasks are distributed round-robin over per-worker FIFO deques
+//!   (vendored `crossbeam::deque`), with idle workers stealing from the
+//!   shared injector first and then from siblings' tails;
+//! - each result is returned tagged with its input index and written
+//!   into the output slot for that index, so the caller observes the
+//!   same `Vec` a sequential `map` would produce;
+//! - worker closures must not share mutable state; anything
+//!   order-sensitive (RNG draws, ledger charging) must be task-local
+//!   and merged by the caller in index order.
+//!
+//! Nested calls run inline on the current thread: a thread that is
+//! already inside a pool executes its inner `par_map` sequentially
+//! rather than spawning threads-of-threads. This keeps thread counts
+//! bounded when, e.g., a parallel tuner trial reaches a `run_split`
+//! that is itself parallelized.
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
+use std::cell::Cell;
+use std::sync::Mutex;
+
+thread_local! {
+    /// Set while the current thread is a pool worker; nested pools
+    /// degrade to sequential execution instead of oversubscribing.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Resolve a thread-count request: `0` means "auto" — the
+/// `OTIF_EVAL_THREADS` environment variable if set, else available
+/// parallelism, clamped to the number of tasks. Any resolved value is
+/// at least 1.
+pub fn resolve_threads(requested: usize, tasks: usize) -> usize {
+    let n = if requested > 0 {
+        requested
+    } else {
+        std::env::var("OTIF_EVAL_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    };
+    n.clamp(1, tasks.max(1))
+}
+
+/// Map `f` over `items` using up to `threads` worker threads (0 = auto,
+/// see [`resolve_threads`]), returning results in input order.
+///
+/// The output is guaranteed identical to
+/// `items.into_iter().map(f).collect()` **provided** `f` is a pure
+/// function of its arguments (any interior mutation must be task-local).
+/// `f` receives `(index, item)` so callers can derive per-task seeds or
+/// labels from the position.
+pub fn par_map<T, R, F>(threads: usize, items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    let n_tasks = items.len();
+    let threads = resolve_threads(threads, n_tasks);
+    // Sequential fast paths: trivial workloads, an explicit single
+    // thread, or a nested call from inside a pool worker.
+    if threads == 1 || n_tasks <= 1 || IN_POOL.with(|p| p.get()) {
+        return items
+            .into_iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let injector: Injector<(usize, T)> = Injector::new();
+    let workers: Vec<Worker<(usize, T)>> = (0..threads).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<(usize, T)>> = workers.iter().map(|w| w.stealer()).collect();
+    // Round-robin pre-distribution keeps the common balanced case free
+    // of any stealing at all; the injector seeds nothing up front but
+    // remains the shared overflow/steal target.
+    for (i, item) in items.into_iter().enumerate() {
+        workers[i % threads].push((i, item));
+    }
+
+    let mut out: Vec<Option<R>> = Vec::with_capacity(n_tasks);
+    out.resize_with(n_tasks, || None);
+    let slots = Mutex::new(&mut out);
+
+    std::thread::scope(|scope| {
+        for (wid, worker) in workers.into_iter().enumerate() {
+            let f = &f;
+            let injector = &injector;
+            let stealers = &stealers;
+            let slots = &slots;
+            scope.spawn(move || {
+                IN_POOL.with(|p| p.set(true));
+                loop {
+                    let task = find_task(&worker, injector, stealers, wid);
+                    match task {
+                        Some((idx, item)) => {
+                            let r = f(idx, item);
+                            slots.lock().unwrap()[idx] = Some(r);
+                        }
+                        None => break,
+                    }
+                }
+                IN_POOL.with(|p| p.set(false));
+            });
+        }
+    });
+
+    out.into_iter()
+        .map(|r| r.expect("evalpool: every task produces exactly one result"))
+        .collect()
+}
+
+/// Next task for worker `wid`: own deque first, then the injector, then
+/// steal from siblings' tails. Returns `None` when every queue is dry —
+/// with all tasks pushed before the scope starts, empty-everywhere means
+/// done (tasks never spawn subtasks).
+fn find_task<T>(
+    local: &Worker<(usize, T)>,
+    injector: &Injector<(usize, T)>,
+    stealers: &[Stealer<(usize, T)>],
+    wid: usize,
+) -> Option<(usize, T)> {
+    if let Some(t) = local.pop() {
+        return Some(t);
+    }
+    loop {
+        match injector.steal() {
+            Steal::Success(t) => return Some(t),
+            Steal::Empty => break,
+            Steal::Retry => continue,
+        }
+    }
+    // Rotate the victim order by worker id so thieves spread out.
+    let n = stealers.len();
+    for k in 1..n {
+        let victim = (wid + k) % n;
+        loop {
+            match stealers[victim].steal() {
+                Steal::Success(t) => return Some(t),
+                Steal::Empty => break,
+                Steal::Retry => continue,
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_are_in_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq: Vec<usize> = items.iter().map(|&x| x * x).collect();
+        for threads in [1, 2, 4, 7] {
+            let par = par_map(threads, items.clone(), |_, x| x * x);
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(3, items, |i, s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn actually_runs_on_multiple_threads() {
+        // With 4 long-ish tasks and 4 threads, at least two distinct
+        // threads should participate. Count distinct thread ids.
+        let seen = Mutex::new(std::collections::HashSet::new());
+        let barrier = std::sync::Barrier::new(4);
+        par_map(4, vec![(); 4], |_, ()| {
+            seen.lock().unwrap().insert(std::thread::current().id());
+            // Rendezvous forces all four tasks onto different threads.
+            barrier.wait();
+        });
+        assert_eq!(seen.lock().unwrap().len(), 4);
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline() {
+        let spawned = AtomicUsize::new(0);
+        let out = par_map(2, vec![10usize, 20], |_, base| {
+            spawned.fetch_add(1, Ordering::SeqCst);
+            // Inner call must not deadlock or explode thread counts; it
+            // runs sequentially because this thread is already pooled.
+            let inner = par_map(8, (0..4).collect::<Vec<usize>>(), move |_, x| base + x);
+            inner.iter().sum::<usize>()
+        });
+        assert_eq!(out, vec![10 * 4 + 6, 20 * 4 + 6]);
+        assert_eq!(spawned.load(Ordering::SeqCst), 2);
+    }
+
+    #[test]
+    fn zero_and_one_task_edge_cases() {
+        let empty: Vec<u8> = par_map(4, Vec::<u8>::new(), |_, x| x);
+        assert!(empty.is_empty());
+        let one = par_map(4, vec![41], |_, x| x + 1);
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn resolve_threads_clamps() {
+        assert_eq!(resolve_threads(8, 3), 3);
+        assert_eq!(resolve_threads(2, 100), 2);
+        assert_eq!(resolve_threads(5, 0), 1);
+        assert!(resolve_threads(0, 64) >= 1);
+    }
+}

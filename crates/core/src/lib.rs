@@ -28,6 +28,7 @@
 //! execute a chosen configuration over unseen video.
 
 pub mod config;
+pub mod evalpool;
 pub mod grouping;
 pub mod pipeline;
 pub mod proxy;
@@ -39,6 +40,7 @@ pub mod windows;
 pub mod workflow;
 
 pub use config::{OtifConfig, ProxyParams, TrackerKind};
+pub use evalpool::par_map;
 pub use grouping::group_cells;
 pub use pipeline::{ExecutionContext, Pipeline};
 pub use proxy::{CellGrid, SegProxyModel, PROXY_SCALES};

@@ -7,6 +7,7 @@
 //! track endpoints are refined.
 
 use crate::config::OtifConfig;
+use crate::evalpool;
 use crate::proxy::SegProxyModel;
 use crate::refine::RefineIndex;
 use crate::stages::{
@@ -16,7 +17,6 @@ use crate::windows::WindowSet;
 use otif_cv::{Component, CostLedger, CostModel, Detection, SimDetector};
 use otif_sim::{Clip, Renderer};
 use otif_track::{RecurrentTracker, Track, TrackerModel};
-use rayon::prelude::*;
 
 /// Everything a pipeline execution needs besides the configuration:
 /// trained models, the fixed window set, the refinement index, the cost
@@ -179,18 +179,30 @@ impl Pipeline {
         Self::run_clip_detailed(config, ctx, clip, ledger).0
     }
 
-    /// Execute over a split of clips (in parallel; the ledger is shared
-    /// and thread-safe). Returns tracks per clip, in clip order.
+    /// Execute over a split of clips on the work-stealing evaluation
+    /// pool. Returns tracks per clip, in clip order.
+    ///
+    /// Each clip runs against a private ledger; the private ledgers are
+    /// absorbed into `ledger` in clip order after all clips finish, so
+    /// the shared ledger ends up byte-identical to a sequential run no
+    /// matter how many threads participated or how work was stolen.
     pub fn run_split(
         config: &OtifConfig,
         ctx: &ExecutionContext,
         clips: &[Clip],
         ledger: &CostLedger,
     ) -> Vec<Vec<Track>> {
-        clips
-            .par_iter()
-            .map(|clip| Self::run_clip(config, ctx, clip, ledger))
-            .collect()
+        let per_clip = evalpool::par_map(0, clips.iter().collect(), |_, clip| {
+            let local = CostLedger::new();
+            let tracks = Self::run_clip(config, ctx, clip, &local);
+            (tracks, local)
+        });
+        let mut out = Vec::with_capacity(per_clip.len());
+        for (tracks, local) in per_clip {
+            ledger.absorb(&local);
+            out.push(tracks);
+        }
+        out
     }
 
     /// Run a split and measure: returns `(tracks per clip, accuracy,

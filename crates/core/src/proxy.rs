@@ -15,7 +15,8 @@
 //! it intersects some θ_best detection.
 
 use otif_cv::{Component, CostLedger, CostModel, Detection};
-use otif_nn::{Activation, Conv2d, OptimKind, Tensor3, XavierInit};
+use otif_nn::kernels;
+use otif_nn::{Activation, Conv2d, KernelPath, OptimKind, Tensor3, XavierInit};
 use otif_sim::{Clip, GrayImage, Renderer};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -160,15 +161,37 @@ impl SegProxyModel {
         Tensor3::from_vec(1, self.in_h, self.in_w, img.data.clone())
     }
 
-    fn infer_logits(&self, img: &GrayImage) -> Tensor3 {
-        let mut t = self.to_tensor(img);
-        for l in &self.encoder {
-            t = l.infer(&t);
+    /// Forward pass to pre-sigmoid cell logits, written into a
+    /// caller-owned tensor. Layer activations ping-pong between two
+    /// scratch-pooled tensors, so the whole pass performs zero heap
+    /// allocations after warm-up. `path` forces a convolution kernel
+    /// path ([`KernelPath::Auto`] for production use; the kernels
+    /// micro-bench forces `Naive`/`Gemm` to time them against each
+    /// other).
+    pub fn infer_logits_into(&self, img: &GrayImage, path: KernelPath, out: &mut Tensor3) {
+        debug_assert_eq!((img.w, img.h), (self.in_w, self.in_h));
+        let mut a = Tensor3 {
+            c: 1,
+            h: self.in_h,
+            w: self.in_w,
+            data: kernels::take_buf(0),
+        };
+        a.data.clear();
+        a.data.extend_from_slice(&img.data);
+        let mut b = Tensor3 {
+            c: 0,
+            h: 0,
+            w: 0,
+            data: kernels::take_buf(0),
+        };
+        for l in self.encoder.iter().chain(self.decoder.iter()) {
+            l.infer_path_into(&a, &mut b, path);
+            std::mem::swap(&mut a, &mut b);
         }
-        for l in &self.decoder {
-            t = l.infer(&t);
-        }
-        t
+        out.reset(a.c, a.h, a.w);
+        out.data.copy_from_slice(&a.data);
+        kernels::put_buf(a.data);
+        kernels::put_buf(b.data);
     }
 
     /// Simulated GPU cost of one inference.
@@ -181,7 +204,13 @@ impl SegProxyModel {
     /// grid is nearest-neighbour upsampled to the native cell lattice.
     pub fn score_cells(&self, img: &GrayImage, cost: &CostModel, ledger: &CostLedger) -> CellGrid {
         ledger.charge(Component::Proxy, self.inference_cost(cost));
-        let logits = self.infer_logits(img);
+        let mut logits = Tensor3 {
+            c: 0,
+            h: 0,
+            w: 0,
+            data: kernels::take_buf(0),
+        };
+        self.infer_logits_into(img, KernelPath::Auto, &mut logits);
         let (nc, nr) = self.native_cells();
         let mut grid = CellGrid::zeros(nc, nr);
         for cy in 0..nr {
@@ -191,6 +220,7 @@ impl SegProxyModel {
                 grid.set(cx, cy, otif_nn::sigmoid(logits.get(0, sy, sx)));
             }
         }
+        kernels::put_buf(logits.data);
         grid
     }
 

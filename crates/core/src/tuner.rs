@@ -15,6 +15,7 @@
 //! resolution, threshold) runtime estimates and recalls (§3.5.2).
 
 use crate::config::{next_pow2, OtifConfig, ProxyParams};
+use crate::evalpool;
 use crate::grouping::group_cells;
 use crate::pipeline::{decode_cost, ExecutionContext, Pipeline};
 use otif_cv::{DetectorArch, DetectorConfig, SimDetector};
@@ -41,6 +42,11 @@ pub struct TunerOptions {
     /// model (§3.4). Off for the "+ Sampling Rate" ablation, which keeps
     /// SORT at every gap.
     pub use_recurrent: bool,
+    /// Worker threads for candidate / caching evaluations: 0 = auto
+    /// (`OTIF_EVAL_THREADS` or available parallelism). The curve is
+    /// byte-identical at every thread count — evaluations are
+    /// independent and reduced in deterministic index order.
+    pub threads: usize,
 }
 
 impl Default for TunerOptions {
@@ -52,6 +58,7 @@ impl Default for TunerOptions {
             max_gap: 32,
             proxy_cache_stride: 4,
             use_recurrent: true,
+            threads: 0,
         }
     }
 }
@@ -112,33 +119,44 @@ impl<'a> Tuner<'a> {
         let mut tuning_seconds = 0.0;
 
         // --- Detection cache: accuracy + per-frame time of each combo,
-        // other modules per θ_best.
-        let mut det_cache = Vec::new();
+        // other modules per θ_best. Every (arch, scale) evaluation is
+        // independent, so the combos run on the evaluation pool; pushing
+        // results by index keeps the cache (and the f64 running sum of
+        // tuning seconds) identical to the sequential loop.
         let frame_px = val
             .first()
             .map(|c| (c.scene.width as f64) * (c.scene.height as f64))
             .unwrap_or(0.0);
-        for arch in DetectorArch::ALL {
-            for scale in DetectorConfig::SCALES {
-                let mut cfg = *theta_best;
-                cfg.detector = DetectorConfig::new(arch, scale);
-                cfg.detector.conf_threshold = theta_best.detector.conf_threshold;
-                let (_, accuracy, secs) = Pipeline::evaluate(&cfg, self_ctx(ctx), val, metric);
-                tuning_seconds += secs;
-                let det = SimDetector::new(cfg.detector, ctx.detector_seed);
-                let time_per_frame = det.windows_cost(&[otif_geom::Rect::new(
-                    0.0,
-                    0.0,
-                    frame_px.sqrt() as f32, // only px count matters here
-                    frame_px.sqrt() as f32,
-                )]) + decode_cost(&ctx.cost, frame_px, scale, cfg.gap);
-                det_cache.push(DetCacheEntry {
+        let combos: Vec<(DetectorArch, f32)> = DetectorArch::ALL
+            .into_iter()
+            .flat_map(|arch| DetectorConfig::SCALES.into_iter().map(move |s| (arch, s)))
+            .collect();
+        let evaluated = evalpool::par_map(options.threads, combos, |_, (arch, scale)| {
+            let mut cfg = *theta_best;
+            cfg.detector = DetectorConfig::new(arch, scale);
+            cfg.detector.conf_threshold = theta_best.detector.conf_threshold;
+            let (_, accuracy, secs) = Pipeline::evaluate(&cfg, self_ctx(ctx), val, metric);
+            let det = SimDetector::new(cfg.detector, ctx.detector_seed);
+            let time_per_frame = det.windows_cost(&[otif_geom::Rect::new(
+                0.0,
+                0.0,
+                frame_px.sqrt() as f32, // only px count matters here
+                frame_px.sqrt() as f32,
+            )]) + decode_cost(&ctx.cost, frame_px, scale, cfg.gap);
+            (
+                DetCacheEntry {
                     arch,
                     scale,
                     time_per_frame,
                     accuracy,
-                });
-            }
+                },
+                secs,
+            )
+        });
+        let mut det_cache = Vec::with_capacity(evaluated.len());
+        for (entry, secs) in evaluated {
+            tuning_seconds += secs;
+            det_cache.push(entry);
         }
 
         // --- Proxy cache: cached per-cell scores at every resolution on
@@ -161,17 +179,23 @@ impl<'a> Tuner<'a> {
             tuning_seconds += ledger.total();
 
             for (ri, proxy) in proxies.iter().enumerate() {
-                // score grids for all reference frames at this resolution
-                let grids: Vec<crate::proxy::CellGrid> = ref_dets
-                    .iter()
-                    .map(|(ci, f, _)| {
-                        let img = Renderer::new(&val[*ci]).render(*f, proxy.in_w, proxy.in_h);
-                        let ledger = otif_cv::CostLedger::new();
-                        let g = proxy.score_cells(&img, &ctx.cost, &ledger);
-                        tuning_seconds += ledger.total();
-                        g
-                    })
-                    .collect();
+                // Score grids for all reference frames at this
+                // resolution — each frame is independent, so the pool
+                // fans them out; collecting per-frame ledger totals by
+                // index reproduces the sequential f64 sum exactly.
+                let frames: Vec<(usize, usize)> =
+                    ref_dets.iter().map(|(ci, f, _)| (*ci, *f)).collect();
+                let scored = evalpool::par_map(options.threads, frames, |_, (ci, f)| {
+                    let img = Renderer::new(&val[ci]).render(f, proxy.in_w, proxy.in_h);
+                    let ledger = otif_cv::CostLedger::new();
+                    let g = proxy.score_cells(&img, &ctx.cost, &ledger);
+                    (g, ledger.total())
+                });
+                let mut grids: Vec<crate::proxy::CellGrid> = Vec::with_capacity(scored.len());
+                for (g, secs) in scored {
+                    tuning_seconds += secs;
+                    grids.push(g);
+                }
                 for &threshold in &options.thresholds {
                     let mut time_acc = 0.0;
                     let mut covered = 0usize;
@@ -323,18 +347,28 @@ impl<'a> Tuner<'a> {
             if candidates.is_empty() {
                 break;
             }
-            let mut best: Option<CurvePoint> = None;
-            for cand in candidates {
-                let (_, acc, secs) = Pipeline::evaluate(&cand, self.ctx, self.val, metric);
-                self.tuning_seconds += secs;
-                let point = CurvePoint {
+            // Trial evaluations run on the pool; the argmax below walks
+            // the points sequentially in candidate order, so ties break
+            // exactly as the historical sequential loop did.
+            let ctx = self.ctx;
+            let val = self.val;
+            let points = evalpool::par_map(self.options.threads, candidates, |_, cand| {
+                let (_, acc, secs) = Pipeline::evaluate(&cand, ctx, val, metric);
+                CurvePoint {
                     config: cand,
                     val_seconds: secs,
                     accuracy: acc,
-                };
+                }
+            });
+            let mut best: Option<CurvePoint> = None;
+            for point in points {
+                self.tuning_seconds += point.val_seconds;
                 let better = match &best {
                     None => true,
-                    Some(b) => acc > b.accuracy || (acc == b.accuracy && secs < b.val_seconds),
+                    Some(b) => {
+                        point.accuracy > b.accuracy
+                            || (point.accuracy == b.accuracy && point.val_seconds < b.val_seconds)
+                    }
                 };
                 if better {
                     best = Some(point);

@@ -1,0 +1,123 @@
+//! Byte-identity of parallel evaluation: the work-stealing pool must be
+//! an invisible optimization. The tuner's Θ curve and the pipeline's
+//! cost ledger are compared **bitwise** (`f32::to_bits` /
+//! `f64::to_bits`) between a single-threaded and a multi-threaded run —
+//! any re-association of floating-point sums or order-dependent
+//! reduction would fail these tests on the last ulp.
+
+use otif_core::config::{OtifConfig, TrackerKind};
+use otif_core::pipeline::{ExecutionContext, Pipeline};
+use otif_core::tuner::{CurvePoint, Tuner, TunerOptions};
+use otif_cv::{CostLedger, CostModel, DetectorArch, DetectorConfig};
+use otif_sim::{Clip, DatasetConfig, DatasetKind};
+use otif_track::Track;
+
+fn count_metric(clips: &[Clip]) -> impl Fn(&[Vec<Track>]) -> f32 + Sync + '_ {
+    move |tracks: &[Vec<Track>]| {
+        let mut acc = 0.0;
+        for (i, ts) in tracks.iter().enumerate() {
+            let gt = clips[i].gt_tracks.len() as f32;
+            let got = ts.len() as f32;
+            if gt > 0.0 {
+                acc += (1.0 - (got - gt).abs() / gt).max(0.0);
+            }
+        }
+        acc / tracks.len().max(1) as f32
+    }
+}
+
+fn theta_best() -> OtifConfig {
+    OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 1.0),
+        proxy: None,
+        gap: 1,
+        tracker: TrackerKind::Sort,
+        refine: false,
+    }
+}
+
+fn tune_with_threads(threads: usize) -> (Vec<CurvePoint>, f64) {
+    let d = DatasetConfig::small(DatasetKind::Caldot1, 33).generate();
+    let ctx = ExecutionContext::bare(CostModel::default(), 4);
+    let metric = count_metric(&d.val);
+    let options = TunerOptions {
+        threads,
+        ..TunerOptions::default()
+    };
+    let mut tuner = Tuner::new(&ctx, &d.val, &theta_best(), &metric, options);
+    let curve = tuner.tune(theta_best(), &metric);
+    (curve, tuner.tuning_seconds)
+}
+
+#[test]
+fn parallel_tuner_curve_is_byte_identical_to_sequential() {
+    let (seq, seq_secs) = tune_with_threads(1);
+    let (par, par_secs) = tune_with_threads(4);
+    assert_eq!(seq.len(), par.len(), "curve lengths differ");
+    for (i, (a, b)) in seq.iter().zip(&par).enumerate() {
+        assert_eq!(a.config, b.config, "config differs at point {i}");
+        assert_eq!(
+            a.accuracy.to_bits(),
+            b.accuracy.to_bits(),
+            "accuracy differs at point {i}: {} vs {}",
+            a.accuracy,
+            b.accuracy
+        );
+        assert_eq!(
+            a.val_seconds.to_bits(),
+            b.val_seconds.to_bits(),
+            "val_seconds differs at point {i}: {} vs {}",
+            a.val_seconds,
+            b.val_seconds
+        );
+    }
+    assert_eq!(
+        seq_secs.to_bits(),
+        par_secs.to_bits(),
+        "tuning_seconds differs: {seq_secs} vs {par_secs}"
+    );
+}
+
+#[test]
+fn run_split_ledger_is_byte_identical_across_thread_counts() {
+    let d = DatasetConfig::small(DatasetKind::Caldot2, 11).generate();
+    let ctx = ExecutionContext::bare(CostModel::default(), 3);
+    let cfg = theta_best();
+
+    let run = |threads: &str| {
+        std::env::set_var("OTIF_EVAL_THREADS", threads);
+        let ledger = CostLedger::new();
+        let tracks = Pipeline::run_split(&cfg, &ctx, &d.test, &ledger);
+        std::env::remove_var("OTIF_EVAL_THREADS");
+        (tracks, ledger)
+    };
+    let (tracks_seq, ledger_seq) = run("1");
+    let (tracks_par, ledger_par) = run("4");
+
+    assert_eq!(tracks_seq.len(), tracks_par.len());
+    for (a, b) in tracks_seq.iter().zip(&tracks_par) {
+        assert_eq!(a.len(), b.len());
+        for (ta, tb) in a.iter().zip(b) {
+            assert_eq!(ta.id, tb.id);
+            assert_eq!(ta.dets.len(), tb.dets.len());
+        }
+    }
+    assert_eq!(
+        ledger_seq.total().to_bits(),
+        ledger_par.total().to_bits(),
+        "ledger totals differ: {} vs {}",
+        ledger_seq.total(),
+        ledger_par.total()
+    );
+    assert_eq!(
+        ledger_seq.execution_total().to_bits(),
+        ledger_par.execution_total().to_bits()
+    );
+    let ba = ledger_seq.breakdown();
+    let bb = ledger_par.breakdown();
+    assert_eq!(ba.len(), bb.len());
+    for ((ca, va), (cb, vb)) in ba.iter().zip(&bb) {
+        assert_eq!(ca, cb);
+        assert_eq!(va.to_bits(), vb.to_bits(), "{ca:?}: {va} vs {vb}");
+    }
+}

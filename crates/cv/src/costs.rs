@@ -18,11 +18,15 @@
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Pipeline components, mirroring the cost breakdown in Figure 6.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+///
+/// `Ord` (declaration order) fixes the ledger's iteration order, so f64
+/// summations in [`CostLedger::total`] are reproducible across runs and
+/// thread counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum Component {
     /// Video decoding (CPU).
     Decode,
@@ -148,10 +152,14 @@ impl BatchStats {
 ///
 /// Cheap to clone (shared interior); the execution pipeline threads one
 /// ledger through every component, and experiment harnesses read the
-/// breakdown at the end.
+/// breakdown at the end. A `BTreeMap` (not `HashMap`) keys the charges:
+/// component iteration order is then deterministic, so the floating-point
+/// sums in [`total`](Self::total) / [`execution_total`](Self::execution_total)
+/// are bit-stable regardless of insertion order or map instance — a
+/// prerequisite for the parallel tuner returning byte-identical results.
 #[derive(Debug, Clone, Default)]
 pub struct CostLedger {
-    inner: Arc<Mutex<HashMap<Component, f64>>>,
+    inner: Arc<Mutex<BTreeMap<Component, f64>>>,
     batches: Arc<Mutex<BatchStats>>,
 }
 

@@ -3,9 +3,17 @@
 //! The segmentation proxy model (§3.3) is "a five-layer encoder followed by
 //! a two-layer decoder" of strided convolutions producing one score per
 //! 32×32 input cell. This module provides the conv layer that network is
-//! assembled from. Plain nested loops are fast enough here because proxy
-//! inputs are small (≤ 416×256 with few channels).
+//! assembled from.
+//!
+//! The forward/inference pass dispatches through [`crate::kernels`]: an
+//! im2col + cache-blocked GEMM path for real problem sizes, the plain
+//! nested loops for tiny shapes (and as the reference oracle). Both
+//! paths are bit-identical — see the kernels module docs — so path
+//! selection never perturbs training. Backprop keeps the explicit loops:
+//! it runs only during the one-time training phase, not in the
+//! per-frame hot path.
 
+use crate::kernels::{self, ConvShape, KernelPath};
 use crate::{Activation, OptimKind, Param, Tensor3, XavierInit};
 use serde::{Deserialize, Serialize};
 
@@ -62,9 +70,18 @@ impl Conv2d {
 
     /// Output spatial size for an input of `(h, w)`.
     pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
-        let oh = (h + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
-        let ow = (w + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
-        (oh, ow)
+        self.shape().out_size(h, w)
+    }
+
+    /// The static kernel-layer shape of this layer.
+    pub fn shape(&self) -> ConvShape {
+        ConvShape {
+            in_ch: self.in_ch,
+            out_ch: self.out_ch,
+            ksize: self.ksize,
+            stride: self.stride,
+            pad: self.pad,
+        }
     }
 
     #[inline]
@@ -72,37 +89,18 @@ impl Conv2d {
         ((oc * self.in_ch + ic) * self.ksize + ky) * self.ksize + kx
     }
 
-    fn conv_forward(&self, x: &Tensor3) -> Tensor3 {
+    fn conv_forward_into(&self, x: &Tensor3, out: &mut Tensor3, path: KernelPath) {
         assert_eq!(x.c, self.in_ch);
         let (oh, ow) = self.out_size(x.h, x.w);
-        let mut out = Tensor3::zeros(self.out_ch, oh, ow);
-        for oc in 0..self.out_ch {
-            let b = self.bias.w[oc];
-            for oy in 0..oh {
-                for ox in 0..ow {
-                    let mut acc = b;
-                    let iy0 = (oy * self.stride) as isize - self.pad as isize;
-                    let ix0 = (ox * self.stride) as isize - self.pad as isize;
-                    for ic in 0..self.in_ch {
-                        for ky in 0..self.ksize {
-                            let iy = iy0 + ky as isize;
-                            if iy < 0 || iy >= x.h as isize {
-                                continue;
-                            }
-                            for kx in 0..self.ksize {
-                                let ix = ix0 + kx as isize;
-                                if ix < 0 || ix >= x.w as isize {
-                                    continue;
-                                }
-                                acc += self.weight.w[self.widx(oc, ic, ky, kx)]
-                                    * x.get(ic, iy as usize, ix as usize);
-                            }
-                        }
-                    }
-                    out.set(oc, oy, ox, self.act.apply(acc));
-                }
-            }
-        }
+        out.reset(self.out_ch, oh, ow);
+        kernels::conv2d(&self.shape(), &self.weight.w, &self.bias.w, x, out, path);
+        let act = self.act;
+        out.map_inplace(|v| act.apply(v));
+    }
+
+    fn conv_forward(&self, x: &Tensor3) -> Tensor3 {
+        let mut out = Tensor3::zeros(0, 0, 0);
+        self.conv_forward_into(x, &mut out, KernelPath::Auto);
         out
     }
 
@@ -117,6 +115,25 @@ impl Conv2d {
     /// Inference-only forward (no caches touched).
     pub fn infer(&self, x: &Tensor3) -> Tensor3 {
         self.conv_forward(x)
+    }
+
+    /// Inference into a caller-owned output tensor (resized in place):
+    /// together with the scratch-pooled im2col matrix this performs zero
+    /// heap allocations after warm-up.
+    pub fn infer_into(&self, x: &Tensor3, out: &mut Tensor3) {
+        self.conv_forward_into(x, out, KernelPath::Auto);
+    }
+
+    /// Inference through a forced kernel path (bench/oracle use).
+    pub fn infer_path(&self, x: &Tensor3, path: KernelPath) -> Tensor3 {
+        let mut out = Tensor3::zeros(0, 0, 0);
+        self.conv_forward_into(x, &mut out, path);
+        out
+    }
+
+    /// [`Self::infer_path`] into a caller-owned output tensor.
+    pub fn infer_path_into(&self, x: &Tensor3, out: &mut Tensor3, path: KernelPath) {
+        self.conv_forward_into(x, out, path);
     }
 
     /// Backward pass: accumulate kernel/bias gradients, return dL/dx.
@@ -206,6 +223,29 @@ mod tests {
         assert_eq!(y.h, 1);
         assert_eq!(y.w, 2);
         assert_eq!(y.data, vec![14.0, 22.0]); // 1+2+5+6, 3+4+7+8
+    }
+
+    #[test]
+    fn forced_paths_agree_at_proxy_shape() {
+        // The first proxy encoder layer at the half-resolution input:
+        // big enough that Auto picks GEMM.
+        let mut init = XavierInit::new(5);
+        let c = Conv2d::new(1, 3, 3, 2, 1, Activation::LeakyRelu, &mut init);
+        let x = Tensor3::from_vec(
+            1,
+            96,
+            192,
+            (0..96 * 192)
+                .map(|i| ((i * 37 % 97) as f32) / 97.0)
+                .collect(),
+        );
+        let naive = c.infer_path(&x, KernelPath::Naive);
+        let gemm = c.infer_path(&x, KernelPath::Gemm);
+        assert_eq!(naive.data, gemm.data);
+        assert_eq!(c.infer(&x).data, gemm.data, "Auto must match the oracle");
+        let mut reused = Tensor3::zeros(0, 0, 0);
+        c.infer_into(&x, &mut reused);
+        assert_eq!(reused.data, gemm.data);
     }
 
     #[test]

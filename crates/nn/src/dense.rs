@@ -1,5 +1,13 @@
 //! Fully-connected layers and a small MLP wrapper.
+//!
+//! Forward/inference matvecs go through [`crate::kernels::matvec_acc`]
+//! (bounds-check-free, bit-identical to the plain loops). `forward`
+//! computes into layer-owned buffers reused across calls, and
+//! `infer_into` + the thread-local scratch pool make the inference path
+//! allocation-free after warm-up — these run per candidate detection in
+//! the recurrent tracker's scoring loop, the per-frame hot path.
 
+use crate::kernels::{self, matvec_acc};
 use crate::{OptimKind, Param, XavierInit};
 use serde::{Deserialize, Serialize};
 
@@ -94,34 +102,46 @@ impl Dense {
     }
 
     /// Forward pass, caching input and output for `backward`.
+    ///
+    /// The caches are layer-owned buffers reused across calls; the only
+    /// per-call allocation is the returned `Vec` (training-path only).
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
+        self.forward_cached(x);
+        self.last_output.clone()
+    }
+
+    /// Forward pass that leaves the result in `self.last_output` without
+    /// returning (and so without allocating). [`Mlp::forward`] chains
+    /// layers through these buffers.
+    pub fn forward_cached(&mut self, x: &[f32]) {
         debug_assert_eq!(x.len(), self.in_dim);
-        let mut y = vec![0.0; self.out_dim];
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.bias.w[o];
-            for (wi, xi) in row.iter().zip(x.iter()) {
-                acc += wi * xi;
-            }
-            *yo = self.act.apply(acc);
-        }
-        self.last_input = x.to_vec();
-        self.last_output = y.clone();
-        y
+        self.last_input.clear();
+        self.last_input.extend_from_slice(x);
+        // Split borrows: compute into the layer-owned output buffer.
+        let y = &mut self.last_output;
+        y.clear();
+        y.extend_from_slice(&self.bias.w);
+        matvec_acc(&self.weight.w, x, y);
+        let act = self.act;
+        y.iter_mut().for_each(|v| *v = act.apply(*v));
     }
 
     /// Inference-only forward that does not touch the caches.
     pub fn infer(&self, x: &[f32]) -> Vec<f32> {
-        let mut y = vec![0.0; self.out_dim];
-        for (o, yo) in y.iter_mut().enumerate() {
-            let row = &self.weight.w[o * self.in_dim..(o + 1) * self.in_dim];
-            let mut acc = self.bias.w[o];
-            for (wi, xi) in row.iter().zip(x.iter()) {
-                acc += wi * xi;
-            }
-            *yo = self.act.apply(acc);
-        }
+        let mut y = Vec::new();
+        self.infer_into(x, &mut y);
         y
+    }
+
+    /// Inference into a caller-owned buffer (cleared and refilled):
+    /// no heap allocation once the buffer has capacity `out_dim`.
+    pub fn infer_into(&self, x: &[f32], y: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        y.clear();
+        y.extend_from_slice(&self.bias.w);
+        matvec_acc(&self.weight.w, x, y);
+        let act = self.act;
+        y.iter_mut().for_each(|v| *v = act.apply(*v));
     }
 
     /// Backward pass: accumulate parameter gradients, return dL/dx.
@@ -184,21 +204,57 @@ impl Mlp {
     }
 
     /// Forward pass through all layers (training: caches activations).
+    ///
+    /// Layers chain through their own cached output buffers, so the only
+    /// per-call allocation is the returned `Vec`.
     pub fn forward(&mut self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
-        for l in &mut self.layers {
-            cur = l.forward(&cur);
+        for i in 0..self.layers.len() {
+            let (done, rest) = self.layers.split_at_mut(i);
+            let input: &[f32] = match done.last() {
+                None => x,
+                Some(prev) => &prev.last_output,
+            };
+            rest[0].forward_cached(input);
         }
-        cur
+        self.layers
+            .last()
+            .map(|l| l.last_output.clone())
+            .unwrap_or_default()
     }
 
     /// Inference-only forward pass.
     pub fn infer(&self, x: &[f32]) -> Vec<f32> {
-        let mut cur = x.to_vec();
-        for l in &self.layers {
-            cur = l.infer(&cur);
+        let mut y = Vec::new();
+        self.infer_into(x, &mut y);
+        y
+    }
+
+    /// Inference into a caller-owned buffer. Intermediate activations
+    /// live in the thread-local scratch pool, so the whole pass performs
+    /// zero heap allocations after warm-up (given `out` has capacity).
+    pub fn infer_into(&self, x: &[f32], out: &mut Vec<f32>) {
+        match self.layers.as_slice() {
+            [] => {
+                out.clear();
+                out.extend_from_slice(x);
+            }
+            [only] => only.infer_into(x, out),
+            [first, rest @ ..] => {
+                let mut a = kernels::take_buf(0);
+                let mut b = kernels::take_buf(0);
+                first.infer_into(x, &mut a);
+                for (i, l) in rest.iter().enumerate() {
+                    if i == rest.len() - 1 {
+                        l.infer_into(&a, out);
+                    } else {
+                        l.infer_into(&a, &mut b);
+                        std::mem::swap(&mut a, &mut b);
+                    }
+                }
+                kernels::put_buf(a);
+                kernels::put_buf(b);
+            }
         }
-        cur
     }
 
     /// Backward pass through all layers; returns dL/dx.

@@ -5,6 +5,7 @@
 //! vector. A GRU is a standard choice; the paper cites Bilinear-LSTM-style
 //! recurrent trackers.
 
+use crate::kernels::{self, matvec_acc};
 use crate::{OptimKind, Param, XavierInit};
 use serde::{Deserialize, Serialize};
 
@@ -64,23 +65,20 @@ impl GruCell {
         vec![0.0; self.hidden]
     }
 
-    fn gate_matvec(&self, gate: usize, x: &[f32], h: &[f32]) -> Vec<f32> {
+    /// `out[o] = b[o] + Σ_i W[o][i]·x[i] + Σ_j U[o][j]·h[j]` for one gate,
+    /// written into a caller-owned buffer (cleared and refilled). The
+    /// two fused [`matvec_acc`] calls keep each element's accumulation
+    /// order identical to the historical per-row loop (bias, then `W x`
+    /// in increasing `i`, then `U h` in increasing `j`).
+    fn gate_matvec_into(&self, gate: usize, x: &[f32], h: &[f32], out: &mut Vec<f32>) {
         let hd = self.hidden;
-        let mut out = vec![0.0; hd];
         let w = &self.w.w[gate * hd * self.in_dim..(gate + 1) * hd * self.in_dim];
         let u = &self.u.w[gate * hd * hd..(gate + 1) * hd * hd];
         let b = &self.b.w[gate * hd..(gate + 1) * hd];
-        for o in 0..hd {
-            let mut acc = b[o];
-            for (i, xi) in x.iter().enumerate() {
-                acc += w[o * self.in_dim + i] * xi;
-            }
-            for (j, hj) in h.iter().enumerate() {
-                acc += u[o * hd + j] * hj;
-            }
-            out[o] = acc;
-        }
-        out
+        out.clear();
+        out.extend_from_slice(b);
+        matvec_acc(w, x, out);
+        matvec_acc(u, h, out);
     }
 
     /// One recurrent step during training (caches for BPTT).
@@ -90,47 +88,53 @@ impl GruCell {
 
     /// One recurrent step during inference (no cache).
     pub fn infer(&self, x: &[f32], h_prev: &[f32]) -> Vec<f32> {
-        // Cheap clone-free path: recompute without caching.
-        let z: Vec<f32> = self
-            .gate_matvec(0, x, h_prev)
-            .into_iter()
-            .map(sigmoid)
-            .collect();
-        let r: Vec<f32> = self
-            .gate_matvec(1, x, h_prev)
-            .into_iter()
-            .map(sigmoid)
-            .collect();
-        let rh: Vec<f32> = r.iter().zip(h_prev).map(|(r, h)| r * h).collect();
-        let hcand: Vec<f32> = self
-            .gate_matvec(2, x, &rh)
-            .into_iter()
-            .map(f32::tanh)
-            .collect();
-        (0..self.hidden)
-            .map(|i| (1.0 - z[i]) * h_prev[i] + z[i] * hcand[i])
-            .collect()
+        let mut h = vec![0.0; self.hidden];
+        self.infer_into(x, h_prev, &mut h);
+        h
+    }
+
+    /// One inference step into a caller-owned state buffer. All gate
+    /// temporaries come from the thread-local scratch pool, so the step
+    /// performs zero heap allocations after warm-up — this is the inner
+    /// loop of recurrent tracker scoring.
+    pub fn infer_into(&self, x: &[f32], h_prev: &[f32], h_out: &mut Vec<f32>) {
+        debug_assert_eq!(x.len(), self.in_dim);
+        debug_assert_eq!(h_prev.len(), self.hidden);
+        let mut z = kernels::take_buf(0);
+        let mut r = kernels::take_buf(0);
+        let mut hcand = kernels::take_buf(0);
+        self.gate_matvec_into(0, x, h_prev, &mut z);
+        z.iter_mut().for_each(|v| *v = sigmoid(*v));
+        self.gate_matvec_into(1, x, h_prev, &mut r);
+        r.iter_mut().for_each(|v| *v = sigmoid(*v));
+        // reuse r's buffer pattern: rh = r ⊙ h_prev into a fourth buffer
+        let mut rh = kernels::take_buf(self.hidden);
+        for ((d, rv), hv) in rh.iter_mut().zip(r.iter()).zip(h_prev.iter()) {
+            *d = rv * hv;
+        }
+        self.gate_matvec_into(2, x, &rh, &mut hcand);
+        hcand.iter_mut().for_each(|v| *v = v.tanh());
+        h_out.clear();
+        h_out.extend((0..self.hidden).map(|i| (1.0 - z[i]) * h_prev[i] + z[i] * hcand[i]));
+        kernels::put_buf(z);
+        kernels::put_buf(r);
+        kernels::put_buf(rh);
+        kernels::put_buf(hcand);
     }
 
     fn step_impl(&mut self, x: &[f32], h_prev: &[f32], cache: bool) -> Vec<f32> {
         debug_assert_eq!(x.len(), self.in_dim);
         debug_assert_eq!(h_prev.len(), self.hidden);
-        let z: Vec<f32> = self
-            .gate_matvec(0, x, h_prev)
-            .into_iter()
-            .map(sigmoid)
-            .collect();
-        let r: Vec<f32> = self
-            .gate_matvec(1, x, h_prev)
-            .into_iter()
-            .map(sigmoid)
-            .collect();
+        let mut z = vec![0.0; self.hidden];
+        let mut r = vec![0.0; self.hidden];
+        let mut hcand = vec![0.0; self.hidden];
+        self.gate_matvec_into(0, x, h_prev, &mut z);
+        z.iter_mut().for_each(|v| *v = sigmoid(*v));
+        self.gate_matvec_into(1, x, h_prev, &mut r);
+        r.iter_mut().for_each(|v| *v = sigmoid(*v));
         let rh: Vec<f32> = r.iter().zip(h_prev).map(|(r, h)| r * h).collect();
-        let hcand: Vec<f32> = self
-            .gate_matvec(2, x, &rh)
-            .into_iter()
-            .map(f32::tanh)
-            .collect();
+        self.gate_matvec_into(2, x, &rh, &mut hcand);
+        hcand.iter_mut().for_each(|v| *v = v.tanh());
         let h: Vec<f32> = (0..self.hidden)
             .map(|i| (1.0 - z[i]) * h_prev[i] + z[i] * hcand[i])
             .collect();

@@ -1,0 +1,497 @@
+//! Fast numeric kernels: im2col + cache-blocked GEMM convolution,
+//! blocked matmul/matvec, and a thread-local scratch arena for
+//! zero-allocation inference paths.
+//!
+//! Every fast kernel here accumulates in **exactly the same order** as
+//! its naive reference (`k` strictly increasing per output element, the
+//! bias seeded first), so the fast paths are bit-identical to the plain
+//! nested loops — the speedup comes from removing per-element bounds
+//! checks and branches, streaming over contiguous rows the compiler can
+//! vectorize, and blocking for cache reuse, never from re-associating
+//! floating-point sums. That property is what lets [`crate::Conv2d`]
+//! switch paths by problem size without perturbing training
+//! trajectories, and what keeps parallel evaluation byte-identical to
+//! sequential evaluation downstream.
+//!
+//! The naive references stay exported ([`conv2d_naive`],
+//! [`matmul_naive`]) as the oracle the proptest equivalence suite and
+//! the `kernels` bench bin compare against.
+
+use crate::tensor::Tensor3;
+use std::cell::RefCell;
+
+/// A pool of reusable `f32` buffers.
+///
+/// Inference paths call [`Scratch::take`] for every temporary they
+/// need and [`Scratch::put`] the buffer back when done; after the first
+/// call at a given set of shapes ("warm-up") the pool serves every
+/// request from retained capacity and the path performs no heap
+/// allocation. Access goes through the thread-local [`with_scratch`],
+/// so `&self` inference stays `Sync` and each evaluation-pool worker
+/// warms its own arena.
+#[derive(Debug, Default)]
+pub struct Scratch {
+    pool: Vec<Vec<f32>>,
+}
+
+/// Retained buffers per thread; beyond this, returned buffers are freed.
+const SCRATCH_POOL_CAP: usize = 32;
+
+impl Scratch {
+    /// Take a zeroed buffer of length `len` from the pool (allocating
+    /// only if the pool is empty or every pooled buffer is too small).
+    ///
+    /// Picks the smallest pooled buffer that already fits `len`, so that
+    /// small temporaries never consume the large im2col buffers; when
+    /// nothing fits, the largest buffer is grown in place.
+    pub fn take(&mut self, len: usize) -> Vec<f32> {
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, v) in self.pool.iter().enumerate() {
+            let cap = v.capacity();
+            best = Some(match best {
+                None => (i, cap),
+                Some((bi, bcap)) => {
+                    let better = match (cap >= len, bcap >= len) {
+                        (true, true) => cap < bcap,
+                        (true, false) => true,
+                        (false, true) => false,
+                        (false, false) => cap > bcap,
+                    };
+                    if better {
+                        (i, cap)
+                    } else {
+                        (bi, bcap)
+                    }
+                }
+            });
+        }
+        let mut v = match best {
+            Some((i, _)) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        v.clear();
+        v.resize(len, 0.0);
+        v
+    }
+
+    /// Return a buffer to the pool for reuse.
+    pub fn put(&mut self, v: Vec<f32>) {
+        if self.pool.len() < SCRATCH_POOL_CAP && v.capacity() > 0 {
+            self.pool.push(v);
+        }
+    }
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = RefCell::new(Scratch::default());
+}
+
+/// Run `f` with this thread's scratch arena.
+///
+/// Nested calls are fine as long as inner buffers are taken after (and
+/// returned before) outer ones or simply taken in any order — the pool
+/// hands out owned `Vec`s, so there is no aliasing to manage.
+pub fn with_scratch<R>(f: impl FnOnce(&mut Scratch) -> R) -> R {
+    SCRATCH.with(|s| f(&mut s.borrow_mut()))
+}
+
+/// Take a zeroed buffer from this thread's scratch pool.
+pub fn take_buf(len: usize) -> Vec<f32> {
+    with_scratch(|s| s.take(len))
+}
+
+/// Return a buffer to this thread's scratch pool.
+pub fn put_buf(v: Vec<f32>) {
+    with_scratch(|s| s.put(v));
+}
+
+// ---------------------------------------------------------------------------
+// matvec / matmul
+// ---------------------------------------------------------------------------
+
+/// `y[r] += Σ_c w[r][c] · x[c]` for a row-major `rows × cols` matrix.
+///
+/// Accumulates into whatever `y` already holds (callers seed it with the
+/// bias), strictly in increasing-`c` order per row — the same order as a
+/// plain nested loop. The zipped-slice form carries no bounds checks in
+/// the inner loop.
+#[inline]
+pub fn matvec_acc(w: &[f32], x: &[f32], y: &mut [f32]) {
+    let cols = x.len();
+    debug_assert_eq!(w.len(), y.len() * cols, "matvec shape mismatch");
+    for (r, yr) in y.iter_mut().enumerate() {
+        let row = &w[r * cols..(r + 1) * cols];
+        let mut acc = *yr;
+        for (wv, xv) in row.iter().zip(x.iter()) {
+            acc += wv * xv;
+        }
+        *yr = acc;
+    }
+}
+
+/// Naive reference matmul: `c[m][n] = Σ_k a[m][k] · b[k][n]`
+/// (row-major, `c` pre-seeded by the caller, e.g. with a bias).
+pub fn matmul_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul A shape");
+    assert_eq!(b.len(), k * n, "matmul B shape");
+    assert_eq!(c.len(), m * n, "matmul C shape");
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = c[i * n + j];
+            for p in 0..k {
+                acc += a[i * k + p] * b[p * n + j];
+            }
+            c[i * n + j] = acc;
+        }
+    }
+}
+
+/// Column-tile width for [`matmul_blocked`]: 1024 f32 ≈ 4 KiB per B row,
+/// so a full k-strip of B tiles stays L1/L2-resident for typical k.
+const GEMM_N_BLOCK: usize = 1024;
+
+/// Cache-blocked matmul: `c[m][n] += Σ_k a[m][k] · b[k][n]`.
+///
+/// Loop order is `i, jj, p, j` (an axpy over each B-row tile), which
+/// keeps every inner access contiguous and accumulates each `c[i][j]`
+/// in strictly increasing `p` — bit-identical to [`matmul_naive`].
+pub fn matmul_blocked(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    assert_eq!(a.len(), m * k, "matmul A shape");
+    assert_eq!(b.len(), k * n, "matmul B shape");
+    assert_eq!(c.len(), m * n, "matmul C shape");
+    for i in 0..m {
+        let a_row = &a[i * k..(i + 1) * k];
+        let c_row = &mut c[i * n..(i + 1) * n];
+        let mut jj = 0;
+        while jj < n {
+            let jw = GEMM_N_BLOCK.min(n - jj);
+            let c_tile = &mut c_row[jj..jj + jw];
+            for (p, &av) in a_row.iter().enumerate() {
+                let b_tile = &b[p * n + jj..p * n + jj + jw];
+                for (cv, bv) in c_tile.iter_mut().zip(b_tile.iter()) {
+                    *cv += av * bv;
+                }
+            }
+            jj += jw;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// convolution
+// ---------------------------------------------------------------------------
+
+/// Static shape of a 2-D convolution (square kernel, symmetric stride
+/// and zero padding), shared by the naive and GEMM paths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConvShape {
+    /// Input channels.
+    pub in_ch: usize,
+    /// Output channels.
+    pub out_ch: usize,
+    /// Square kernel side.
+    pub ksize: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding on each border.
+    pub pad: usize,
+}
+
+impl ConvShape {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        let ow = (w + 2 * self.pad).saturating_sub(self.ksize) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Multiply–accumulates of one forward pass on an `(h, w)` input.
+    pub fn macs(&self, h: usize, w: usize) -> usize {
+        let (oh, ow) = self.out_size(h, w);
+        self.out_ch * self.in_ch * self.ksize * self.ksize * oh * ow
+    }
+}
+
+/// Which convolution kernel to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelPath {
+    /// Pick by problem size ([`conv_path_for`]).
+    #[default]
+    Auto,
+    /// The plain nested loops (reference oracle).
+    Naive,
+    /// im2col + cache-blocked GEMM.
+    Gemm,
+}
+
+/// MAC threshold above which the GEMM path wins: below this the im2col
+/// materialization overhead dominates the branchy-loop savings.
+const GEMM_MIN_MACS: usize = 8 * 1024;
+
+/// Resolve [`KernelPath::Auto`] for a given problem size.
+pub fn conv_path_for(shape: &ConvShape, h: usize, w: usize, path: KernelPath) -> KernelPath {
+    match path {
+        KernelPath::Auto => {
+            if shape.macs(h, w) >= GEMM_MIN_MACS {
+                KernelPath::Gemm
+            } else {
+                KernelPath::Naive
+            }
+        }
+        forced => forced,
+    }
+}
+
+/// Reference convolution: plain nested loops with per-element bounds
+/// branches. `weight` is `[out_ch][in_ch][ky][kx]` row-major; `out` must
+/// be pre-sized to `(out_ch, oh, ow)` and is fully overwritten with the
+/// **pre-activation** result (bias included).
+pub fn conv2d_naive(
+    shape: &ConvShape,
+    weight: &[f32],
+    bias: &[f32],
+    x: &Tensor3,
+    out: &mut Tensor3,
+) {
+    let (oh, ow) = shape.out_size(x.h, x.w);
+    assert_eq!(x.c, shape.in_ch, "conv input channels");
+    assert_eq!(
+        (out.c, out.h, out.w),
+        (shape.out_ch, oh, ow),
+        "conv out shape"
+    );
+    let k = shape.ksize;
+    for oc in 0..shape.out_ch {
+        let b = bias[oc];
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut acc = b;
+                let iy0 = (oy * shape.stride) as isize - shape.pad as isize;
+                let ix0 = (ox * shape.stride) as isize - shape.pad as isize;
+                for ic in 0..shape.in_ch {
+                    for ky in 0..k {
+                        let iy = iy0 + ky as isize;
+                        if iy < 0 || iy >= x.h as isize {
+                            continue;
+                        }
+                        for kx in 0..k {
+                            let ix = ix0 + kx as isize;
+                            if ix < 0 || ix >= x.w as isize {
+                                continue;
+                            }
+                            acc += weight[((oc * shape.in_ch + ic) * k + ky) * k + kx]
+                                * x.get(ic, iy as usize, ix as usize);
+                        }
+                    }
+                }
+                out.set(oc, oy, ox, acc);
+            }
+        }
+    }
+}
+
+/// Fill the im2col matrix for `x`: row `r = (ic·k + ky)·k + kx` holds,
+/// at column `oy·ow + ox`, the input value under kernel tap `(ky, kx)`
+/// for output position `(oy, ox)` — zero where the tap falls in the
+/// padding. `col` must be `in_ch·k² × oh·ow` and zeroed.
+fn im2col(shape: &ConvShape, x: &Tensor3, col: &mut [f32]) {
+    let (oh, ow) = shape.out_size(x.h, x.w);
+    let n = oh * ow;
+    let k = shape.ksize;
+    let s = shape.stride;
+    let pad = shape.pad;
+    debug_assert_eq!(col.len(), shape.in_ch * k * k * n);
+    let mut r = 0usize;
+    for ic in 0..shape.in_ch {
+        for ky in 0..k {
+            for kx in 0..k {
+                let dst = &mut col[r * n..(r + 1) * n];
+                // valid ox range: 0 <= ox·s + kx − pad < w
+                let ox_lo = if kx >= pad { 0 } else { (pad - kx).div_ceil(s) };
+                let ox_hi = if x.w + pad > kx {
+                    ((x.w + pad - kx - 1) / s + 1).min(ow)
+                } else {
+                    0
+                };
+                for oy in 0..oh {
+                    let iy = (oy * s + ky) as isize - pad as isize;
+                    if iy < 0 || iy >= x.h as isize {
+                        continue; // padding row: stays zero
+                    }
+                    let x_row = x.row(ic, iy as usize);
+                    let d_row = &mut dst[oy * ow..oy * ow + ow];
+                    if s == 1 {
+                        // contiguous: one slice copy
+                        let ix_lo = ox_lo + kx - pad;
+                        d_row[ox_lo..ox_hi].copy_from_slice(&x_row[ix_lo..ix_lo + (ox_hi - ox_lo)]);
+                    } else {
+                        for (ox, d) in d_row.iter_mut().enumerate().take(ox_hi).skip(ox_lo) {
+                            *d = x_row[ox * s + kx - pad];
+                        }
+                    }
+                }
+                r += 1;
+            }
+        }
+    }
+}
+
+/// im2col + blocked-GEMM convolution. Same contract as
+/// [`conv2d_naive`] (pre-activation output, bias included) and
+/// bit-identical to it: the GEMM accumulates taps in the same strictly
+/// increasing order the nested loops visit them, and padding taps
+/// contribute exact `+ 0.0` terms.
+///
+/// The im2col matrix lives in the thread-local scratch pool, so the
+/// call performs no heap allocation after warm-up.
+pub fn conv2d_gemm(
+    shape: &ConvShape,
+    weight: &[f32],
+    bias: &[f32],
+    x: &Tensor3,
+    out: &mut Tensor3,
+) {
+    let (oh, ow) = shape.out_size(x.h, x.w);
+    assert_eq!(x.c, shape.in_ch, "conv input channels");
+    assert_eq!(
+        (out.c, out.h, out.w),
+        (shape.out_ch, oh, ow),
+        "conv out shape"
+    );
+    let n = oh * ow;
+    let kk = shape.in_ch * shape.ksize * shape.ksize;
+    let mut col = take_buf(kk * n);
+    im2col(shape, x, &mut col);
+    for (row, b) in out.data.chunks_exact_mut(n).zip(bias) {
+        row.fill(*b);
+    }
+    matmul_blocked(weight, &col, &mut out.data, shape.out_ch, kk, n);
+    put_buf(col);
+}
+
+/// Run the selected convolution path into `out` (pre-activation).
+pub fn conv2d(
+    shape: &ConvShape,
+    weight: &[f32],
+    bias: &[f32],
+    x: &Tensor3,
+    out: &mut Tensor3,
+    path: KernelPath,
+) {
+    match conv_path_for(shape, x.h, x.w, path) {
+        KernelPath::Gemm => conv2d_gemm(shape, weight, bias, x, out),
+        _ => conv2d_naive(shape, weight, bias, x, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_fill(seed: u64, buf: &mut [f32]) {
+        let mut s = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for v in buf.iter_mut() {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            *v = ((s >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
+        }
+    }
+
+    #[test]
+    fn gemm_conv_bit_identical_to_naive() {
+        for (in_ch, out_ch, k, s, pad, h, w) in [
+            (1, 3, 3, 2, 1, 17, 23),
+            (3, 6, 3, 2, 1, 12, 9),
+            (8, 6, 1, 1, 0, 7, 12),
+            (2, 4, 5, 3, 2, 21, 16),
+            (1, 1, 3, 1, 0, 3, 3),
+        ] {
+            let shape = ConvShape {
+                in_ch,
+                out_ch,
+                ksize: k,
+                stride: s,
+                pad,
+            };
+            let mut x = Tensor3::zeros(in_ch, h, w);
+            lcg_fill(1, &mut x.data);
+            let mut weight = vec![0.0; out_ch * in_ch * k * k];
+            let mut bias = vec![0.0; out_ch];
+            lcg_fill(2, &mut weight);
+            lcg_fill(3, &mut bias);
+            let (oh, ow) = shape.out_size(h, w);
+            let mut a = Tensor3::zeros(out_ch, oh, ow);
+            let mut b = Tensor3::zeros(out_ch, oh, ow);
+            conv2d_naive(&shape, &weight, &bias, &x, &mut a);
+            conv2d_gemm(&shape, &weight, &bias, &x, &mut b);
+            assert_eq!(a.data, b.data, "paths diverge at shape {shape:?} {h}x{w}");
+        }
+    }
+
+    #[test]
+    fn blocked_matmul_bit_identical_to_naive() {
+        for (m, k, n) in [(3, 9, 300), (5, 40, 1500), (1, 1, 1), (4, 7, 2049)] {
+            let mut a = vec![0.0; m * k];
+            let mut b = vec![0.0; k * n];
+            lcg_fill(7, &mut a);
+            lcg_fill(8, &mut b);
+            let mut c1 = vec![0.5; m * n];
+            let mut c2 = vec![0.5; m * n];
+            matmul_naive(&a, &b, &mut c1, m, k, n);
+            matmul_blocked(&a, &b, &mut c2, m, k, n);
+            assert_eq!(c1, c2, "matmul paths diverge at {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matvec_acc_matches_manual_dot() {
+        let w = [1.0, 2.0, 3.0, -1.0, 0.5, 4.0];
+        let x = [2.0, -1.0, 1.0];
+        let mut y = [10.0, 20.0];
+        matvec_acc(&w, &x, &mut y);
+        assert_eq!(y, [10.0 + 2.0 - 2.0 + 3.0, 20.0 - 2.0 - 0.5 + 4.0]);
+    }
+
+    #[test]
+    fn auto_path_switches_on_problem_size() {
+        let tiny = ConvShape {
+            in_ch: 1,
+            out_ch: 1,
+            ksize: 1,
+            stride: 1,
+            pad: 0,
+        };
+        assert_eq!(
+            conv_path_for(&tiny, 2, 2, KernelPath::Auto),
+            KernelPath::Naive
+        );
+        let big = ConvShape {
+            in_ch: 3,
+            out_ch: 6,
+            ksize: 3,
+            stride: 2,
+            pad: 1,
+        };
+        assert_eq!(
+            conv_path_for(&big, 112, 192, KernelPath::Auto),
+            KernelPath::Gemm
+        );
+        assert_eq!(
+            conv_path_for(&big, 112, 192, KernelPath::Naive),
+            KernelPath::Naive
+        );
+    }
+
+    #[test]
+    fn scratch_reuses_buffers() {
+        let mut s = Scratch::default();
+        let b1 = s.take(100);
+        let p1 = b1.as_ptr();
+        s.put(b1);
+        let b2 = s.take(64);
+        assert_eq!(b2.as_ptr(), p1, "pool should hand back the same buffer");
+        assert!(b2.iter().all(|&v| v == 0.0));
+        s.put(b2);
+    }
+}

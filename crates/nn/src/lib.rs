@@ -26,6 +26,7 @@ pub mod conv;
 pub mod dense;
 pub mod gru;
 pub mod init;
+pub mod kernels;
 pub mod loss;
 pub mod param;
 pub mod tensor;
@@ -34,6 +35,7 @@ pub use conv::Conv2d;
 pub use dense::{Activation, Dense, Mlp};
 pub use gru::GruCell;
 pub use init::XavierInit;
+pub use kernels::{ConvShape, KernelPath};
 pub use loss::{bce_with_logits, bce_with_logits_grad, mse, mse_grad, sigmoid};
 pub use param::{OptimKind, Param};
 pub use tensor::Tensor3;

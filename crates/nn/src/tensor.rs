@@ -35,28 +35,71 @@ impl Tensor3 {
 
     #[inline]
     /// Flat index of element (c, y, x).
+    ///
+    /// Bounds are checked by `debug_assert!` only: release builds pay no
+    /// per-element comparison, so kernel inner loops built on these
+    /// accessors are not gated on index arithmetic. The assertions fire
+    /// in debug builds (including the test profile), which is where the
+    /// equivalence suites exercise every shape.
     pub fn idx(&self, c: usize, y: usize, x: usize) -> usize {
+        debug_assert!(
+            c < self.c && y < self.h && x < self.w,
+            "tensor index ({c},{y},{x}) out of bounds for {}x{}x{}",
+            self.c,
+            self.h,
+            self.w
+        );
         (c * self.h + y) * self.w + x
     }
 
     #[inline]
     /// Read element (c, y, x).
     pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
-        self.data[(c * self.h + y) * self.w + x]
+        let i = self.idx(c, y, x);
+        debug_assert!(i < self.data.len());
+        // SAFETY: `idx` is < c*h*w = data.len() whenever the per-axis
+        // bounds hold, which `idx`'s debug assertion enforces; callers
+        // stay inside the tensor's declared shape.
+        unsafe { *self.data.get_unchecked(i) }
     }
 
     #[inline]
     /// Write element (c, y, x).
     pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
         let i = self.idx(c, y, x);
-        self.data[i] = v;
+        debug_assert!(i < self.data.len());
+        // SAFETY: as in `get`.
+        unsafe {
+            *self.data.get_unchecked_mut(i) = v;
+        }
     }
 
     #[inline]
     /// Add to element (c, y, x).
     pub fn add_at(&mut self, c: usize, y: usize, x: usize, v: f32) {
         let i = self.idx(c, y, x);
-        self.data[i] += v;
+        debug_assert!(i < self.data.len());
+        // SAFETY: as in `get`.
+        unsafe {
+            *self.data.get_unchecked_mut(i) += v;
+        }
+    }
+
+    #[inline]
+    /// The contiguous row `(c, y, 0..w)` as a slice.
+    pub fn row(&self, c: usize, y: usize) -> &[f32] {
+        let i = self.idx(c, y, 0);
+        &self.data[i..i + self.w]
+    }
+
+    /// Reshape in place to `(c, h, w)`, reusing the allocation; data is
+    /// zeroed. Grows the buffer only when the new shape needs more room.
+    pub fn reset(&mut self, c: usize, h: usize, w: usize) {
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.clear();
+        self.data.resize(c * h * w, 0.0);
     }
 
     /// Total number of elements.
@@ -102,6 +145,25 @@ mod tests {
     #[should_panic(expected = "mismatch")]
     fn from_vec_checks_len() {
         Tensor3::from_vec(1, 2, 2, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn row_and_reset() {
+        let mut t = Tensor3::from_vec(2, 2, 3, (0..12).map(|i| i as f32).collect());
+        assert_eq!(t.row(1, 0), &[6.0, 7.0, 8.0]);
+        let cap = t.data.capacity();
+        t.reset(1, 2, 2);
+        assert_eq!((t.c, t.h, t.w), (1, 2, 2));
+        assert!(t.data.iter().all(|&v| v == 0.0));
+        assert_eq!(t.data.capacity(), cap, "reset must reuse the allocation");
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn debug_bounds_assert_fires() {
+        let t = Tensor3::zeros(1, 2, 2);
+        t.get(0, 2, 0);
     }
 
     #[test]

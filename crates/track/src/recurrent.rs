@@ -13,6 +13,7 @@
 use crate::types::{Track, TrackId};
 use otif_cv::Detection;
 use otif_geom::hungarian;
+use otif_nn::kernels;
 use otif_nn::{Activation, GruCell, Mlp, OptimKind, XavierInit};
 use serde::{Deserialize, Serialize};
 
@@ -31,8 +32,22 @@ pub const PAIR_FEAT_DIM: usize = 5;
 /// `t_elapsed` is the number of frames since the previous detection of the
 /// track (or 0 for a track's first detection), normalized by 16 frames.
 pub fn det_features(det: &Detection, t_elapsed: usize, frame_w: f32, frame_h: f32) -> Vec<f32> {
-    let c = det.rect.center();
     let mut f = Vec::with_capacity(DET_FEAT_DIM);
+    det_features_into(det, t_elapsed, frame_w, frame_h, &mut f);
+    f
+}
+
+/// [`det_features`] into a caller-owned buffer (cleared and refilled),
+/// for allocation-free scoring loops.
+pub fn det_features_into(
+    det: &Detection,
+    t_elapsed: usize,
+    frame_w: f32,
+    frame_h: f32,
+    f: &mut Vec<f32>,
+) {
+    let c = det.rect.center();
+    f.clear();
     f.push(c.x / frame_w);
     f.push(c.y / frame_h);
     f.push(det.rect.w / frame_w);
@@ -41,7 +56,6 @@ pub fn det_features(det: &Detection, t_elapsed: usize, frame_w: f32, frame_h: f3
     for i in 0..otif_cv::APPEARANCE_DIM {
         f.push(det.appearance.get(i).copied().unwrap_or(0.0));
     }
-    f
 }
 
 fn pair_features(
@@ -118,6 +132,12 @@ impl TrackerModel {
     }
 
     /// Inference: matching logit for (track state, candidate detection).
+    ///
+    /// This is the hot loop of reduced-rate tracking (one call per
+    /// (detection, active track) pair per processed frame); the feature
+    /// vector, head input and head activations all live in the
+    /// thread-local scratch pool, so a call performs zero heap
+    /// allocations after warm-up.
     pub fn score(
         &self,
         h: &[f32],
@@ -125,9 +145,21 @@ impl TrackerModel {
         cand: &Detection,
         t_elapsed: usize,
     ) -> f32 {
-        let cf = det_features(cand, t_elapsed, self.frame_w, self.frame_h);
+        let mut cf = kernels::take_buf(0);
+        det_features_into(cand, t_elapsed, self.frame_w, self.frame_h, &mut cf);
         let pf = pair_features(last_det, cand, self.frame_w, self.frame_h);
-        self.head.infer(&self.head_input(h, &cf, &pf))[0]
+        let mut x = kernels::take_buf(0);
+        x.clear();
+        x.extend_from_slice(h);
+        x.extend_from_slice(&cf);
+        x.extend_from_slice(&pf);
+        let mut y = kernels::take_buf(0);
+        self.head.infer_into(&x, &mut y);
+        let logit = y[0];
+        kernels::put_buf(cf);
+        kernels::put_buf(x);
+        kernels::put_buf(y);
+        logit
     }
 
     /// Matching probability: sigmoid of the learned logit, gated by
@@ -158,8 +190,19 @@ impl TrackerModel {
 
     /// Advance a track's hidden state with a newly appended detection.
     pub fn advance(&self, h: &[f32], det: &Detection, t_elapsed: usize) -> Vec<f32> {
-        let f = det_features(det, t_elapsed, self.frame_w, self.frame_h);
-        self.gru.infer(&f, h)
+        let mut out = Vec::with_capacity(h.len());
+        self.advance_into(h, det, t_elapsed, &mut out);
+        out
+    }
+
+    /// [`Self::advance`] into a caller-owned state buffer; together with
+    /// the GRU's scratch-pooled gate temporaries the step performs zero
+    /// heap allocations after warm-up.
+    pub fn advance_into(&self, h: &[f32], det: &Detection, t_elapsed: usize, out: &mut Vec<f32>) {
+        let mut f = kernels::take_buf(0);
+        det_features_into(det, t_elapsed, self.frame_w, self.frame_h, &mut f);
+        self.gru.infer_into(&f, h, out);
+        kernels::put_buf(f);
     }
 
     /// Training: run the GRU over a prefix (caching), then score each
@@ -297,7 +340,10 @@ impl RecurrentTracker {
                 Some(ti) => {
                     let t = &mut self.active[ti];
                     let te = frame - t.last_frame;
-                    t.h = self.model.advance(&t.h, &det, te);
+                    let mut next_h = kernels::take_buf(0);
+                    self.model.advance_into(&t.h, &det, te, &mut next_h);
+                    std::mem::swap(&mut t.h, &mut next_h);
+                    kernels::put_buf(next_h);
                     t.track.push(frame, det);
                     t.last_frame = frame;
                     t.misses = 0;

@@ -13,4 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
+echo "== kernels bench smoke (tiny shapes, bit-identity gate)"
+cargo run --release -q -p otif-bench --bin kernels tiny
+
 echo "All checks passed."

@@ -5,6 +5,195 @@
 //! cloneable `Sender`/`Receiver`, blocking `send`/`recv` that error on
 //! disconnect, `try_recv`, `len`, and receiver iteration. Built on
 //! `std::sync::{Mutex, Condvar}`.
+//!
+//! Also provides [`deque`]: the `crossbeam-deque` work-stealing API
+//! subset (`Injector`, `Worker`, `Stealer`, `Steal`) used by the
+//! evaluation pool in `otif-core`. The substitute trades the lock-free
+//! Chase–Lev algorithm for short mutex-guarded critical sections — the
+//! API (owner pops one end, thieves steal the other) and the scheduling
+//! behaviour are the same; only the per-operation constant differs,
+//! which is negligible against the coarse-grained tasks the workspace
+//! schedules (whole-clip pipeline evaluations).
+
+pub mod deque {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Mutex};
+
+    /// Outcome of a steal attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was empty.
+        Empty,
+        /// One task was stolen.
+        Success(T),
+        /// The attempt lost a race; retry.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The stolen task, if any.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A global FIFO task injector shared by every worker.
+    pub struct Injector<T> {
+        q: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Default for Injector<T> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<T> Injector<T> {
+        /// Empty injector.
+        pub fn new() -> Self {
+            Injector {
+                q: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Push a task onto the global queue.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        /// Steal one task from the front of the global queue.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_front() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the global queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+    }
+
+    /// A worker-owned deque: the owner pushes/pops the front, thieves
+    /// steal from the back.
+    pub struct Worker<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Worker<T> {
+        /// New empty FIFO worker queue.
+        pub fn new_fifo() -> Self {
+            Worker {
+                q: Arc::new(Mutex::new(VecDeque::new())),
+            }
+        }
+
+        /// Push a task onto the owner's end.
+        pub fn push(&self, task: T) {
+            self.q.lock().unwrap().push_back(task);
+        }
+
+        /// Pop the next task from the owner's end (FIFO order).
+        pub fn pop(&self) -> Option<T> {
+            self.q.lock().unwrap().pop_front()
+        }
+
+        /// Whether the local queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.q.lock().unwrap().is_empty()
+        }
+
+        /// A handle other threads can steal from.
+        pub fn stealer(&self) -> Stealer<T> {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    /// Thief-side handle to a [`Worker`]'s deque.
+    pub struct Stealer<T> {
+        q: Arc<Mutex<VecDeque<T>>>,
+    }
+
+    impl<T> Clone for Stealer<T> {
+        fn clone(&self) -> Self {
+            Stealer {
+                q: Arc::clone(&self.q),
+            }
+        }
+    }
+
+    impl<T> Stealer<T> {
+        /// Steal one task from the victim's back end.
+        pub fn steal(&self) -> Steal<T> {
+            match self.q.lock().unwrap().pop_back() {
+                Some(t) => Steal::Success(t),
+                None => Steal::Empty,
+            }
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn owner_pops_fifo_thief_steals_back() {
+            let w = Worker::new_fifo();
+            let s = w.stealer();
+            for i in 0..4 {
+                w.push(i);
+            }
+            assert_eq!(w.pop(), Some(0));
+            assert_eq!(s.steal(), Steal::Success(3));
+            assert_eq!(w.pop(), Some(1));
+            assert_eq!(s.steal(), Steal::Success(2));
+            assert_eq!(s.steal(), Steal::Empty);
+            assert_eq!(w.pop(), None);
+        }
+
+        #[test]
+        fn injector_is_fifo() {
+            let inj = Injector::new();
+            inj.push('a');
+            inj.push('b');
+            assert_eq!(inj.steal(), Steal::Success('a'));
+            assert_eq!(inj.steal(), Steal::Success('b'));
+            assert_eq!(inj.steal(), Steal::Empty);
+            assert!(inj.is_empty());
+        }
+
+        #[test]
+        fn stealing_across_threads_drains_everything() {
+            let inj = Arc::new(Injector::new());
+            for i in 0..100 {
+                inj.push(i);
+            }
+            let mut handles = Vec::new();
+            for _ in 0..4 {
+                let inj = Arc::clone(&inj);
+                handles.push(std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Steal::Success(t) = inj.steal() {
+                        got.push(t);
+                    }
+                    got
+                }));
+            }
+            let mut all: Vec<i32> = handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..100).collect::<Vec<_>>());
+        }
+    }
+}
 
 pub mod channel {
     use std::collections::VecDeque;
