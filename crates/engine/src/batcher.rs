@@ -22,10 +22,70 @@
 //! `windows_cost` accounting exactly (one `per_call` per distinct
 //! window size per frame, as long as `max_batch` exceeds the per-frame
 //! same-size window count).
+//!
+//! Fault tolerance: protocol violations (double ticket, submit after
+//! finish) are checked errors in every build profile, and
+//! [`DetectorBatcher::finish`] handles a stream dying with a ticket
+//! still pending — the orphaned ticket is discarded (its charges never
+//! happen), its blocked submitter is released with
+//! [`SubmitError::Interrupted`], and the watermark is re-evaluated so
+//! the remaining streams keep draining.
 
 use otif_cv::{Component, CostLedger};
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
+use std::fmt;
+
+/// A rejected or abandoned [`DetectorBatcher::submit`].
+///
+/// `TicketPending` and `Finished` are protocol violations (engine
+/// bugs): they are hard errors in release builds too, because silently
+/// overwriting a ticket or resurrecting a finished stream would corrupt
+/// the round accounting for every stream. `Interrupted` is a
+/// fault-tolerance signal: the stream was finished (its guard dropped)
+/// while the ticket waited, and the ticket was discarded unflushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The stream already has a ticket awaiting a flush.
+    TicketPending {
+        /// Offending stream.
+        stream: usize,
+    },
+    /// The stream was already marked finished.
+    Finished {
+        /// Offending stream.
+        stream: usize,
+    },
+    /// The stream was finished while this ticket was pending; the
+    /// ticket was discarded without being flushed or charged.
+    Interrupted {
+        /// Interrupted stream.
+        stream: usize,
+    },
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::TicketPending { stream } => write!(
+                f,
+                "batcher protocol violation: stream {stream} submitted a second \
+                 ticket while one was still pending"
+            ),
+            SubmitError::Finished { stream } => write!(
+                f,
+                "batcher protocol violation: stream {stream} submitted after finish"
+            ),
+            SubmitError::Interrupted { stream } => write!(
+                f,
+                "stream {stream} was finished while its ticket was pending; \
+                 the ticket was discarded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {}
 
 struct BatchState {
     /// One pending ticket per stream: the rounded window sizes of the
@@ -34,6 +94,10 @@ struct BatchState {
     /// Which streams still have frames to submit. A finished stream no
     /// longer gates the flush watermark.
     live: Vec<bool>,
+    /// Set when `finish` discards a stream's pending ticket, so the
+    /// blocked submitter wakes with `SubmitError::Interrupted` instead
+    /// of assuming its ticket was flushed.
+    interrupted: Vec<bool>,
     /// Completed flush rounds.
     rounds: u64,
 }
@@ -57,6 +121,7 @@ impl DetectorBatcher {
             state: Mutex::new(BatchState {
                 tickets: (0..streams).map(|_| None).collect(),
                 live: vec![true; streams],
+                interrupted: vec![false; streams],
                 rounds: 0,
             }),
             flushed: Condvar::new(),
@@ -70,26 +135,55 @@ impl DetectorBatcher {
     /// ticket has been flushed in a batch round. Each stream may have at
     /// most one ticket outstanding; submissions from one stream are
     /// processed strictly in call order.
-    pub fn submit(&self, stream: usize, sizes: Vec<(u32, u32)>) {
+    ///
+    /// Protocol violations (a second pending ticket, submit after
+    /// finish) are checked errors in every build profile; see
+    /// [`SubmitError`].
+    pub fn submit(&self, stream: usize, sizes: Vec<(u32, u32)>) -> Result<(), SubmitError> {
         let mut st = self.state.lock();
-        debug_assert!(st.tickets[stream].is_none(), "one ticket per stream");
-        debug_assert!(st.live[stream], "submit after finish");
+        if !st.live[stream] {
+            return Err(SubmitError::Finished { stream });
+        }
+        if st.tickets[stream].is_some() {
+            return Err(SubmitError::TicketPending { stream });
+        }
         st.tickets[stream] = Some(sizes);
         self.flush_if_ready(&mut st);
-        while st.tickets[stream].is_some() {
+        loop {
+            // `finish` may have discarded the ticket (stream died while
+            // waiting): report that before concluding the ticket was
+            // flushed.
+            if st.interrupted[stream] {
+                st.interrupted[stream] = false;
+                return Err(SubmitError::Interrupted { stream });
+            }
+            if st.tickets[stream].is_none() {
+                return Ok(());
+            }
             self.flushed.wait(&mut st);
         }
     }
 
     /// Mark `stream` as done (idempotent). Finished streams stop gating
     /// the flush watermark, so remaining streams keep batching among
-    /// themselves.
+    /// themselves. If the stream still had a ticket pending (its stage
+    /// died mid-submit), the ticket is discarded — never flushed or
+    /// charged — and the blocked submitter is woken with
+    /// [`SubmitError::Interrupted`].
     pub fn finish(&self, stream: usize) {
         let mut st = self.state.lock();
-        if st.live[stream] {
-            st.live[stream] = false;
-            self.flush_if_ready(&mut st);
+        if !st.live[stream] {
+            return;
         }
+        st.live[stream] = false;
+        if st.tickets[stream].take().is_some() {
+            st.interrupted[stream] = true;
+        }
+        self.flush_if_ready(&mut st);
+        // Wake waiters unconditionally: the interrupted submitter (if
+        // any) must observe its discarded ticket even when no round
+        // flushed, and remaining streams re-check the watermark.
+        self.flushed.notify_all();
     }
 
     /// Number of flush rounds completed so far.
@@ -148,8 +242,8 @@ impl<'a> StreamGuard<'a> {
     }
 
     /// Submit through the guard (same as the batcher's `submit`).
-    pub fn submit(&self, sizes: Vec<(u32, u32)>) {
-        self.batcher.submit(self.stream, sizes);
+    pub fn submit(&self, sizes: Vec<(u32, u32)>) -> Result<(), SubmitError> {
+        self.batcher.submit(self.stream, sizes)
     }
 }
 
@@ -171,7 +265,7 @@ mod tests {
     fn single_stream_charges_per_distinct_size_per_round() {
         let ledger = CostLedger::new();
         let b = DetectorBatcher::new(1, CALL, 16, ledger.clone());
-        b.submit(0, vec![(64, 64), (64, 64), (128, 96)]);
+        b.submit(0, vec![(64, 64), (64, 64), (128, 96)]).unwrap();
         b.finish(0);
         // one round: two distinct sizes → two batch charges
         assert_eq!(b.rounds(), 1);
@@ -191,7 +285,7 @@ mod tests {
             let b = Arc::clone(&b);
             handles.push(thread::spawn(move || {
                 for _ in 0..frames {
-                    b.submit(stream, vec![(64, 64)]);
+                    b.submit(stream, vec![(64, 64)]).unwrap();
                 }
                 b.finish(stream);
             }));
@@ -216,7 +310,7 @@ mod tests {
             let b = Arc::clone(&b);
             handles.push(thread::spawn(move || {
                 for _ in 0..frames {
-                    b.submit(stream, vec![(32, 32)]);
+                    b.submit(stream, vec![(32, 32)]).unwrap();
                 }
                 b.finish(stream);
             }));
@@ -233,7 +327,7 @@ mod tests {
     fn max_batch_splits_oversized_groups() {
         let ledger = CostLedger::new();
         let b = DetectorBatcher::new(1, CALL, 4, ledger.clone());
-        b.submit(0, vec![(64, 64); 10]);
+        b.submit(0, vec![(64, 64); 10]).unwrap();
         b.finish(0);
         // 10 windows in chunks of ≤4 → 3 batches (4+4+2)
         let stats = ledger.batch_stats();
@@ -252,10 +346,87 @@ mod tests {
             // stream 0
         });
         h.join().unwrap();
-        b.submit(0, vec![(64, 64)]);
+        b.submit(0, vec![(64, 64)]).unwrap();
         b.finish(0);
         assert_eq!(b.rounds(), 1);
         assert_eq!(ledger.batch_stats().batches, 1);
+    }
+
+    #[test]
+    fn submit_after_finish_is_a_checked_error() {
+        let b = DetectorBatcher::new(2, CALL, 16, CostLedger::new());
+        b.finish(1);
+        assert_eq!(
+            b.submit(1, vec![(64, 64)]),
+            Err(SubmitError::Finished { stream: 1 })
+        );
+        // the healthy stream is unaffected
+        b.submit(0, vec![(64, 64)]).unwrap();
+        assert_eq!(b.rounds(), 1);
+    }
+
+    #[test]
+    fn double_ticket_is_a_checked_error() {
+        let b = Arc::new(DetectorBatcher::new(2, CALL, 16, CostLedger::new()));
+        let b2 = Arc::clone(&b);
+        // stream 1 blocks with a pending ticket (stream 0 has none yet)
+        let h = thread::spawn(move || b2.submit(1, vec![(32, 32)]));
+        while b.state.lock().tickets[1].is_none() {
+            thread::yield_now();
+        }
+        // a second submit for stream 1 must be rejected, not corrupt the
+        // pending ticket
+        assert_eq!(
+            b.submit(1, vec![(64, 64)]),
+            Err(SubmitError::TicketPending { stream: 1 })
+        );
+        // releasing the watermark flushes the original ticket
+        b.submit(0, vec![(32, 32)]).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(()));
+        assert_eq!(b.rounds(), 1);
+    }
+
+    #[test]
+    fn finish_with_pending_ticket_releases_waiter_and_drains_others() {
+        // Regression (fault tolerance): a guard dropped while its
+        // stream's ticket is outstanding must (a) wake the blocked
+        // submitter with Interrupted, (b) discard the ticket uncharged,
+        // and (c) let the remaining streams keep draining.
+        let ledger = CostLedger::new();
+        let b = Arc::new(DetectorBatcher::new(3, CALL, 16, ledger.clone()));
+        let b2 = Arc::clone(&b);
+        // stream 2's submitter blocks: streams 0 and 1 have no tickets
+        let blocked = thread::spawn(move || b2.submit(2, vec![(99, 99)]));
+        while b.state.lock().tickets[2].is_none() {
+            thread::yield_now();
+        }
+        // the stage thread dies; its guard drops while the ticket is
+        // outstanding
+        drop(StreamGuard::new(&b, 2));
+        assert_eq!(
+            blocked.join().unwrap(),
+            Err(SubmitError::Interrupted { stream: 2 })
+        );
+        // remaining streams drain normally and the orphaned (99, 99)
+        // ticket was never flushed or charged
+        let mut handles = Vec::new();
+        for stream in 0..2usize {
+            let b = Arc::clone(&b);
+            handles.push(thread::spawn(move || {
+                for _ in 0..3 {
+                    b.submit(stream, vec![(64, 64)]).unwrap();
+                }
+                b.finish(stream);
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(b.rounds(), 3);
+        let stats = ledger.batch_stats();
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.items, 6);
+        assert!((ledger.get(Component::Detector) - 3.0 * CALL).abs() < 1e-12);
     }
 
     #[test]
@@ -270,7 +441,7 @@ mod tests {
                     for f in 0..6usize {
                         // deterministic per-stream size sequence
                         let size = (32 * (1 + ((f + stream) % 2) as u32), 32);
-                        b.submit(stream, vec![size; 1 + (f % 3)]);
+                        b.submit(stream, vec![size; 1 + (f % 3)]).unwrap();
                     }
                     b.finish(stream);
                 }));

@@ -18,13 +18,23 @@
 //! every live stream has submitted — so round contents are a pure
 //! function of the per-stream submission sequences).
 //!
+//! The engine is fault-tolerant: every stage thread runs under a
+//! panic-isolating supervisor, a dying stage takes down at most its
+//! own stream, recoverable per-clip failures are retried through the
+//! sequential pipeline, and [`Engine::run`] reports per-clip
+//! [`ClipOutcome`]s and per-stream health instead of panicking.
+//! Deterministic fault injection ([`FaultPlan`]) makes all of this
+//! testable: the determinism guarantees extend to faulted runs.
+//!
 //! Entry point: [`Engine::run`]. Observability: [`EngineStats`].
 
 pub mod batcher;
+pub mod fault;
 pub mod scheduler;
 pub(crate) mod stage;
 pub mod stats;
 
-pub use batcher::{DetectorBatcher, StreamGuard};
-pub use scheduler::{Engine, EngineOptions, EngineRun};
-pub use stats::{EngineCounters, EngineStats, StageSeconds};
+pub use batcher::{DetectorBatcher, StreamGuard, SubmitError};
+pub use fault::{FaultKind, FaultPlan, FaultSpec, PanicReport, StageName};
+pub use scheduler::{ClipOutcome, Engine, EngineOptions, EngineRun};
+pub use stats::{EngineCounters, EngineStats, FailedClip, StageSeconds, StreamStatus};

@@ -1,5 +1,5 @@
-//! Engine orchestration: clip assignment, stage threads, channels,
-//! shutdown and stats collection.
+//! Engine orchestration: clip assignment, supervised stage threads,
+//! channels, fault handling, retry and stats collection.
 //!
 //! [`Engine::run`] assigns clips round-robin to `streams` streams and
 //! gives each stream four threads (decode, window, detect, track)
@@ -9,20 +9,42 @@
 //! only cross-stream coupling; everything else is per-stream and
 //! therefore produces the exact per-clip output of the sequential
 //! [`Pipeline`](otif_core::Pipeline).
+//!
+//! Fault tolerance (supervision tree):
+//!
+//! ```text
+//! Engine::run
+//! ├─ stream 0: supervise(decode) ─ supervise(window) ─ supervise(detect) ─ supervise(track)
+//! ├─ stream 1: …
+//! └─ retry: sequential Pipeline over recoverably-failed clips
+//! ```
+//!
+//! Every stage thread runs under [`supervise`]: a panic is captured on
+//! the health board and the unwind drops the stage's channel endpoints
+//! and `StreamGuard`, so sibling streams keep draining. Each clip
+//! charges into a private ledger; failed clips' charges are discarded
+//! (reported as `wasted_seconds`), which keeps the surviving clips'
+//! accounting identical to a fault-free run. `Engine::run` never
+//! panics on a failed clip — it reports a [`ClipOutcome::Failed`] and
+//! per-stream status in [`EngineStats`], and re-runs recoverably
+//! failed clips once through the sequential pipeline.
 
 use crate::batcher::{DetectorBatcher, StreamGuard};
-use crate::stage::{decode_stage, detect_stage, track_stage, window_stage};
-use crate::stats::{EngineCounters, EngineStats};
+use crate::fault::{supervise, FaultPlan, HealthBoard, StageName};
+use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, StageCtx};
+use crate::stats::{EngineCounters, EngineStats, FailedClip, StreamStatus};
 use crossbeam::channel::bounded;
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
-use otif_cv::CostLedger;
+use otif_core::Pipeline;
+use otif_cv::{Component, CostLedger};
 use otif_sim::Clip;
 use otif_track::Track;
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// Tunables for an engine run.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Number of concurrent streams (clamped to the clip count, min 1).
     pub streams: usize,
@@ -31,25 +53,108 @@ pub struct EngineOptions {
     pub channel_capacity: usize,
     /// Maximum windows per batched detector invocation.
     pub max_batch: usize,
+    /// Deterministic fault-injection schedule (empty: no faults).
+    pub faults: FaultPlan,
+    /// Skip the sequential retry of recoverably-failed clips.
+    pub no_retry: bool,
 }
 
 impl Default for EngineOptions {
     fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EngineOptions {
+    /// The default tunables (2 streams, capacity-4 channels, batches of
+    /// up to 16 windows, no faults, retry enabled).
+    pub fn new() -> Self {
         EngineOptions {
             streams: 2,
             channel_capacity: 4,
             max_batch: 16,
+            faults: FaultPlan::none(),
+            no_retry: false,
+        }
+    }
+
+    /// `new()` with a different stream count.
+    pub fn with_streams(streams: usize) -> Self {
+        EngineOptions {
+            streams,
+            ..EngineOptions::new()
         }
     }
 }
 
-/// The result of an engine run: per-clip tracks (in input clip order)
-/// plus run statistics.
+/// The result of one clip in an engine run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ClipOutcome {
+    /// The clip completed (in-stream or via the sequential retry).
+    Ok(Vec<Track>),
+    /// The clip failed and was not recovered.
+    Failed {
+        /// Stage the failure is attributed to.
+        stage: StageName,
+        /// Failure description (injected reason or panic payload).
+        reason: String,
+    },
+}
+
+impl ClipOutcome {
+    /// The extracted tracks, if the clip completed.
+    pub fn tracks(&self) -> Option<&[Track]> {
+        match self {
+            ClipOutcome::Ok(tracks) => Some(tracks),
+            ClipOutcome::Failed { .. } => None,
+        }
+    }
+
+    /// Whether the clip completed.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, ClipOutcome::Ok(_))
+    }
+}
+
+/// The result of an engine run: per-clip outcomes (in input clip
+/// order) plus run statistics.
 pub struct EngineRun {
-    /// Extracted tracks, indexed like the input clip slice.
-    pub tracks: Vec<Vec<Track>>,
-    /// Counters, queue depths, batch occupancy and simulated seconds.
+    /// Per-clip outcome, indexed like the input clip slice.
+    pub tracks: Vec<ClipOutcome>,
+    /// Counters, queue depths, batch occupancy, health and simulated
+    /// seconds.
     pub stats: EngineStats,
+}
+
+impl EngineRun {
+    /// Unwrap every outcome into its tracks, panicking with the first
+    /// failure if any clip failed. For callers (benches, determinism
+    /// tests) that run without fault injection and treat a failure as
+    /// a harness bug.
+    pub fn expect_tracks(self) -> Vec<Vec<Track>> {
+        self.tracks
+            .into_iter()
+            .enumerate()
+            .map(|(i, outcome)| match outcome {
+                ClipOutcome::Ok(tracks) => tracks,
+                ClipOutcome::Failed { stage, reason } => {
+                    panic!("clip {i} failed in {stage}: {reason}")
+                }
+            })
+            .collect()
+    }
+
+    /// `(clip index, stage, reason)` of every unrecovered failure.
+    pub fn failures(&self) -> Vec<(usize, StageName, &str)> {
+        self.tracks
+            .iter()
+            .enumerate()
+            .filter_map(|(i, o)| match o {
+                ClipOutcome::Ok(_) => None,
+                ClipOutcome::Failed { stage, reason } => Some((i, *stage, reason.as_str())),
+            })
+            .collect()
+    }
 }
 
 /// The multi-stream streaming executor.
@@ -63,6 +168,15 @@ impl Engine {
     /// `Pipeline::run_clip(config, ctx, clip, …)`; with one stream the
     /// charged cost is identical too, and with more streams only the
     /// detector launch overhead shrinks (shared batches).
+    ///
+    /// Never panics on stage failures: a panicking stage is isolated to
+    /// its stream, a recoverable fault poisons only its clip (and is
+    /// retried once through the sequential pipeline unless
+    /// `opts.no_retry`), and every unfinished clip is reported as
+    /// [`ClipOutcome::Failed`] with per-stream status in the stats.
+    /// Only charges of clips that completed are folded into `ledger`
+    /// (plus the shared batched launch overhead), so healthy clips'
+    /// accounting is unaffected by faults elsewhere.
     pub fn run(
         config: &OtifConfig,
         ctx: &ExecutionContext,
@@ -79,16 +193,22 @@ impl Engine {
             .map(|s| clips.iter().enumerate().skip(s).step_by(streams).collect())
             .collect();
 
-        // All stage threads charge into a private ledger so the run's
-        // stats can be snapshotted before folding into the caller's.
+        // Cost accounting: every per-frame charge lands in the ledger
+        // of its clip; only completed clips are absorbed into the run's
+        // private ledger (in clip order — making the f64 sums
+        // independent of thread interleaving), and the batcher's shared
+        // launch overhead accrues in its own ledger.
         let inner = CostLedger::new();
+        let clip_ledgers: Vec<CostLedger> = (0..clips.len()).map(|_| CostLedger::new()).collect();
+        let launch = CostLedger::new();
         let batcher = DetectorBatcher::new(
             streams,
             config.detector.arch.per_call(),
             opts.max_batch,
-            inner.clone(),
+            launch.clone(),
         );
         let counters = EngineCounters::default();
+        let health = HealthBoard::new(streams);
         let results: Mutex<Vec<Option<Vec<Track>>>> =
             Mutex::new((0..clips.len()).map(|_| None).collect());
 
@@ -98,30 +218,137 @@ impl Engine {
                 let (win_tx, win_rx) = bounded(capacity);
                 let (det_tx, det_rx) = bounded(capacity);
                 let guard = StreamGuard::new(&batcher, s);
-                let (counters, inner, results) = (&counters, &inner, &results);
-                scope.spawn(move || decode_stage(config, ctx, assigned, dec_tx, counters, inner));
+                let stage_ctx = StageCtx {
+                    config,
+                    exec: ctx,
+                    clips: assigned,
+                    counters: &counters,
+                    clip_ledgers: &clip_ledgers,
+                    faults: &opts.faults,
+                    health: &health,
+                };
+                let (health, results) = (&health, &results);
+                // Four supervised stage threads per stream: a panic in
+                // any of them is captured, its channel endpoints (and
+                // the detect stage's StreamGuard) drop on unwind, and
+                // the sibling streams keep flowing.
+                let c = stage_ctx;
                 scope.spawn(move || {
-                    window_stage(config, ctx, assigned, dec_rx, win_tx, counters, inner)
+                    supervise(StageName::Decode, s, health, || decode_stage(&c, dec_tx))
                 });
+                let c = stage_ctx;
                 scope.spawn(move || {
-                    detect_stage(
-                        config, ctx, assigned, win_rx, det_tx, guard, counters, inner,
-                    )
+                    supervise(StageName::Window, s, health, || {
+                        window_stage(&c, dec_rx, win_tx)
+                    })
                 });
+                let c = stage_ctx;
                 scope.spawn(move || {
-                    track_stage(config, ctx, assigned, det_rx, results, counters, inner)
+                    supervise(StageName::Detect, s, health, || {
+                        detect_stage(&c, win_rx, det_tx, guard)
+                    })
+                });
+                let c = stage_ctx;
+                scope.spawn(move || {
+                    supervise(StageName::Track, s, health, || {
+                        track_stage(&c, det_rx, results)
+                    })
                 });
             }
         });
 
-        let stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
-        ledger.absorb(&inner);
-        let tracks = results
-            .into_inner()
-            .into_iter()
-            .map(|t| t.expect("every clip was finalized by its track stage"))
+        // Outcomes: a clip either deposited tracks, or it failed —
+        // attribute the failure (recorded per-clip error, else the
+        // owning stream's panic) instead of panicking.
+        let mut outcomes: Vec<ClipOutcome> = Vec::with_capacity(clips.len());
+        let mut failures: Vec<FailedClip> = Vec::new();
+        let mut wasted = 0.0f64;
+        let mut retryable: Vec<usize> = Vec::new();
+        for (idx, slot) in results.into_inner().into_iter().enumerate() {
+            let stream = idx % streams;
+            match slot {
+                Some(tracks) => {
+                    inner.absorb(&clip_ledgers[idx]);
+                    outcomes.push(ClipOutcome::Ok(tracks));
+                }
+                None => {
+                    wasted += clip_ledgers[idx].total();
+                    let (stage, reason, recoverable) = match health.failure_of(idx) {
+                        Some(f) => (f.stage, f.reason, f.recoverable),
+                        None => match health.panic_of(stream) {
+                            Some(p) => (
+                                p.stage,
+                                format!("stream {stream} died: {}", p.reason),
+                                false,
+                            ),
+                            None => (
+                                StageName::Track,
+                                "clip was never finalized".to_string(),
+                                false,
+                            ),
+                        },
+                    };
+                    if recoverable && !opts.no_retry {
+                        retryable.push(idx);
+                    }
+                    failures.push(FailedClip {
+                        clip: idx,
+                        stream,
+                        stage,
+                        reason: reason.clone(),
+                        recovered: false,
+                    });
+                    outcomes.push(ClipOutcome::Failed { stage, reason });
+                }
+            }
+        }
+
+        // Absorb the shared batched launch overhead (and its occupancy
+        // counters) after the per-clip charges: a fixed order keeps the
+        // run's f64 sums deterministic.
+        inner.absorb(&launch);
+
+        // Failed-clip retry: clips that failed recoverably re-run once
+        // through the sequential pipeline, charged to the same ledger —
+        // one flaky clip degrades throughput, not results.
+        let mut retried = 0usize;
+        for idx in retryable {
+            let retry_ledger = CostLedger::new();
+            let tracks = Pipeline::run_clip(config, ctx, &clips[idx], &retry_ledger);
+            inner.absorb(&retry_ledger);
+            outcomes[idx] = ClipOutcome::Ok(tracks);
+            if let Some(f) = failures.iter_mut().find(|f| f.clip == idx) {
+                f.recovered = true;
+            }
+            retried += 1;
+        }
+
+        let mut stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
+        stats.failed_clips = failures.len();
+        stats.retried_clips = retried;
+        stats.panics = health.panic_count();
+        stats.wasted_seconds = wasted;
+        stats.launch_seconds = launch.get(Component::Detector);
+        stats.stream_status = (0..streams)
+            .map(|s| {
+                let assigned = assignments[s].len();
+                let failed = failures.iter().filter(|f| f.stream == s).count();
+                StreamStatus {
+                    stream: s,
+                    clips_assigned: assigned,
+                    clips_completed: assigned - failed,
+                    clips_failed: failed,
+                    panicked: health.panic_of(s),
+                }
+            })
             .collect();
-        EngineRun { tracks, stats }
+        stats.failures = failures;
+
+        ledger.absorb(&inner);
+        EngineRun {
+            tracks: outcomes,
+            stats,
+        }
     }
 }
 
@@ -162,14 +389,12 @@ mod tests {
         }
 
         let eng = CostLedger::new();
-        let opts = EngineOptions {
-            streams: 1,
-            ..EngineOptions::default()
-        };
+        let opts = EngineOptions::with_streams(1);
         let run = Engine::run(&cfg, &ctx, &clips, &opts, &eng);
+        assert!(run.stats.healthy());
 
         let a = serde_json::to_string(&expected).unwrap();
-        let b = serde_json::to_string(&run.tracks).unwrap();
+        let b = serde_json::to_string(&run.expect_tracks()).unwrap();
         assert_eq!(a, b, "1-stream engine output must equal sequential");
         for c in [
             Component::Decode,
@@ -202,20 +427,27 @@ mod tests {
 
         for streams in [2usize, 4] {
             let eng = CostLedger::new();
-            let opts = EngineOptions {
-                streams,
-                ..EngineOptions::default()
-            };
+            let opts = EngineOptions::with_streams(streams);
             let run = Engine::run(&cfg, &ctx, &clips, &opts, &eng);
+            let stats = run.stats.clone();
             let a = serde_json::to_string(&expected).unwrap();
-            let b = serde_json::to_string(&run.tracks).unwrap();
+            let b = serde_json::to_string(&run.expect_tracks()).unwrap();
             assert_eq!(a, b, "{streams}-stream output must equal sequential");
             assert!(
                 eng.get(Component::Detector) < seq.get(Component::Detector),
                 "{streams} streams must shrink detector cost via batching"
             );
-            assert!(run.stats.mean_batch_occupancy > 1.0);
-            assert_eq!(run.stats.streams, streams.min(clips.len()));
+            assert!(stats.mean_batch_occupancy > 1.0);
+            assert_eq!(stats.streams, streams.min(clips.len()));
+            // the detector split adds up: pixel charges + shared launches
+            assert!(stats.launch_seconds > 0.0);
+            assert!(stats.launch_seconds < stats.stage_seconds.detector);
+            // every stream reports healthy completion status
+            assert_eq!(stats.stream_status.len(), stats.streams);
+            for st in &stats.stream_status {
+                assert!(st.healthy(), "{st:?}");
+                assert_eq!(st.clips_completed, st.clips_assigned);
+            }
         }
     }
 
@@ -232,14 +464,15 @@ mod tests {
             &cfg,
             &ctx,
             &clips,
-            &EngineOptions::default(),
+            &EngineOptions::new(),
             &CostLedger::new(),
         );
         assert_eq!(run.stats.frames, expected_frames);
         assert!(run.stats.max_frames_in_flight >= 1);
         // bounded channels cap the in-flight frames per stream
-        let per_stream_cap = 3 * (EngineOptions::default().channel_capacity as u64 + 1) + 1;
+        let per_stream_cap = 3 * (EngineOptions::new().channel_capacity as u64 + 1) + 1;
         assert!(run.stats.max_frames_in_flight <= run.stats.streams as u64 * per_stream_cap);
+        assert!((run.stats.wasted_seconds - 0.0).abs() < 1e-15);
     }
 
     #[test]
@@ -247,10 +480,7 @@ mod tests {
         let cfg = config();
         let ctx = ExecutionContext::bare(CostModel::default(), 7);
         let clips = clips();
-        let opts = EngineOptions {
-            streams: clips.len() + 50,
-            ..EngineOptions::default()
-        };
+        let opts = EngineOptions::with_streams(clips.len() + 50);
         let run = Engine::run(&cfg, &ctx, &clips, &opts, &CostLedger::new());
         assert_eq!(run.stats.streams, clips.len());
         assert_eq!(run.tracks.len(), clips.len());

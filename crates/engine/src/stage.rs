@@ -4,12 +4,24 @@
 //! the stream down gracefully.
 //!
 //! All cost charging goes through the same `otif_core::stages`
-//! functions the sequential pipeline uses; the only difference is the
-//! detector launch overhead, which is charged by the shared
+//! functions the sequential pipeline uses, but every charge lands in
+//! the *per-clip* ledger of the frame being processed: a clip that
+//! later fails simply has its ledger discarded, so the surviving clips'
+//! accounting is byte-identical to a fault-free run. The only shared
+//! charge is the detector launch overhead, applied by the
 //! [`DetectorBatcher`](crate::batcher::DetectorBatcher) per cross-stream
 //! batch instead of per frame.
+//!
+//! Fault handling: messages travel as [`StageMsg`] — either a frame or
+//! a per-clip abort. A stage hitting a recoverable fault records it on
+//! the [`HealthBoard`], poisons the clip locally (skipping its
+//! remaining frames) and forwards an abort so downstream stages drop
+//! their in-flight state for that clip; the stream then continues with
+//! its next clips. Injected panics unwind for real and are caught by
+//! the supervision shim in the scheduler.
 
 use crate::batcher::StreamGuard;
+use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName};
 use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
 use crossbeam::channel::{Receiver, Sender};
 use otif_core::config::OtifConfig;
@@ -22,6 +34,51 @@ use otif_geom::Rect;
 use otif_sim::{Clip, Renderer};
 use otif_track::Track;
 use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// Everything a stage loop needs besides its channels: the run
+/// configuration, this stream's clip assignment, the shared counters,
+/// the per-clip cost ledgers and the fault machinery.
+#[derive(Clone, Copy)]
+pub(crate) struct StageCtx<'a> {
+    pub config: &'a OtifConfig,
+    pub exec: &'a ExecutionContext<'a>,
+    /// This stream's assigned clips as `(global clip index, clip)`.
+    pub clips: &'a [(usize, &'a Clip)],
+    pub counters: &'a EngineCounters,
+    /// One ledger per clip in the engine's global clip list; charges
+    /// for a clip that ends up failing are discarded with it.
+    pub clip_ledgers: &'a [CostLedger],
+    pub faults: &'a FaultPlan,
+    pub health: &'a HealthBoard,
+}
+
+impl StageCtx<'_> {
+    /// Consult the fault plan for `(stage, clip, ordinal)`. Returns
+    /// `true` if a recoverable error fired (the caller poisons the
+    /// clip); panics for real if a panic fault fired — the supervision
+    /// shim catches it.
+    fn fire(&self, stage: StageName, clip: usize, ordinal: usize) -> bool {
+        match self.faults.fire(stage, clip, ordinal) {
+            None => false,
+            Some(spec) => match spec.kind {
+                FaultKind::Panic => panic!("{}", spec.reason),
+                FaultKind::Error => {
+                    self.health
+                        .record_clip_failure(clip, stage, spec.reason.clone(), true);
+                    true
+                }
+            },
+        }
+    }
+}
+
+/// A message between stages: a frame of a live clip, or notice that a
+/// clip was aborted upstream and its in-flight state must be dropped.
+pub(crate) enum StageMsg<T> {
+    Frame(T),
+    Abort { clip: usize },
+}
 
 /// A sampled frame leaving the decode stage.
 pub(crate) struct DecodedFrame {
@@ -29,6 +86,8 @@ pub(crate) struct DecodedFrame {
     pub clip: usize,
     /// Frame number within the clip.
     pub frame: usize,
+    /// 0-based arrival ordinal of the clip's sampled frames.
+    pub ordinal: usize,
     /// Whether this is the clip's last sampled frame.
     pub last: bool,
 }
@@ -37,6 +96,7 @@ pub(crate) struct DecodedFrame {
 pub(crate) struct WindowedFrame {
     pub clip: usize,
     pub frame: usize,
+    pub ordinal: usize,
     pub windows: Vec<Rect>,
     pub last: bool,
 }
@@ -45,104 +105,155 @@ pub(crate) struct WindowedFrame {
 pub(crate) struct DetectedFrame {
     pub clip: usize,
     pub frame: usize,
+    pub ordinal: usize,
     pub dets: Vec<Detection>,
     pub last: bool,
 }
 
 /// Decode stage: walks each assigned clip's sampled frames in order,
-/// charges decode cost and feeds the window stage.
-pub(crate) fn decode_stage(
-    config: &OtifConfig,
-    ctx: &ExecutionContext,
-    clips: &[(usize, &Clip)],
-    tx: Sender<DecodedFrame>,
-    counters: &EngineCounters,
-    ledger: &CostLedger,
-) {
-    for &(clip_idx, clip) in clips {
+/// charges decode cost and feeds the window stage. A recoverable fault
+/// aborts only the current clip; the loop continues with the stream's
+/// next clip.
+pub(crate) fn decode_stage(ctx: &StageCtx<'_>, tx: Sender<StageMsg<DecodedFrame>>) {
+    let gap = ctx.config.gap.max(1);
+    for &(clip_idx, clip) in ctx.clips {
+        let ledger = &ctx.clip_ledgers[clip_idx];
         let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
         let mut f = 0usize;
+        let mut ordinal = 0usize;
         while f < clip.num_frames() {
-            charge_decode(config, ctx, native_px, ledger);
-            counters
+            if ctx.fire(StageName::Decode, clip_idx, ordinal) {
+                if tx.send(StageMsg::Abort { clip: clip_idx }).is_err() {
+                    return; // downstream gone (shutdown)
+                }
+                break; // poison only this clip; continue with the next
+            }
+            charge_decode(ctx.config, ctx.exec, native_px, ledger);
+            ctx.counters
                 .frames_decoded
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            counters.frame_entered();
-            let last = f + config.gap.max(1) >= clip.num_frames();
+            ctx.counters.frame_entered();
+            let last = f + gap >= clip.num_frames();
             if tx
-                .send(DecodedFrame {
+                .send(StageMsg::Frame(DecodedFrame {
                     clip: clip_idx,
                     frame: f,
+                    ordinal,
                     last,
-                })
+                }))
                 .is_err()
             {
-                return; // downstream gone (shutdown)
+                // the frame never reached downstream: undo its entry so
+                // the in-flight gauge doesn't drift on shutdown
+                ctx.counters.frame_exited();
+                return;
             }
-            counters.observe_queue_depth(QUEUE_DECODE, tx.len());
-            f += config.gap.max(1);
+            ctx.counters.observe_queue_depth(QUEUE_DECODE, tx.len());
+            f += gap;
+            ordinal += 1;
         }
     }
 }
 
 /// Window stage: runs the segmentation proxy (when configured) to pick
-/// detector windows for each frame.
+/// detector windows for each frame. Frames of poisoned clips are
+/// dropped (and their in-flight entries released) without charging.
 pub(crate) fn window_stage(
-    config: &OtifConfig,
-    ctx: &ExecutionContext,
-    clips: &[(usize, &Clip)],
-    rx: Receiver<DecodedFrame>,
-    tx: Sender<WindowedFrame>,
-    counters: &EngineCounters,
-    ledger: &CostLedger,
+    ctx: &StageCtx<'_>,
+    rx: Receiver<StageMsg<DecodedFrame>>,
+    tx: Sender<StageMsg<WindowedFrame>>,
 ) {
-    let lookup = ClipLookup::new(clips);
+    let lookup = ClipLookup::new(ctx.clips);
+    let mut poisoned: HashSet<usize> = HashSet::new();
     for msg in &rx {
+        let msg = match msg {
+            StageMsg::Abort { clip } => {
+                poisoned.insert(clip);
+                if tx.send(StageMsg::Abort { clip }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            StageMsg::Frame(m) => m,
+        };
+        if poisoned.contains(&msg.clip) {
+            ctx.counters.frame_exited();
+            continue;
+        }
+        if ctx.fire(StageName::Window, msg.clip, msg.ordinal) {
+            poisoned.insert(msg.clip);
+            ctx.counters.frame_exited();
+            if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
+                return;
+            }
+            continue;
+        }
         let clip = lookup.get(msg.clip);
         let renderer = Renderer::new(clip);
         let windows = select_windows(
-            config,
-            ctx,
+            ctx.config,
+            ctx.exec,
             &renderer,
             clip.scene.frame_rect(),
             msg.frame,
-            ledger,
+            &ctx.clip_ledgers[msg.clip],
         );
-        counters
+        ctx.counters
             .frames_windowed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if tx
-            .send(WindowedFrame {
+            .send(StageMsg::Frame(WindowedFrame {
                 clip: msg.clip,
                 frame: msg.frame,
+                ordinal: msg.ordinal,
                 windows,
                 last: msg.last,
-            })
+            }))
             .is_err()
         {
+            ctx.counters.frame_exited();
             return;
         }
-        counters.observe_queue_depth(QUEUE_WINDOW, tx.len());
+        ctx.counters.observe_queue_depth(QUEUE_WINDOW, tx.len());
     }
 }
 
-/// Detect stage: charges per-window pixel cost locally, rendezvouses
-/// with the other streams through the batcher for the launch overhead,
-/// then computes detections with the pure (uncharged) detector path.
-#[allow(clippy::too_many_arguments)]
+/// Detect stage: charges per-window pixel cost to the clip's ledger,
+/// rendezvouses with the other streams through the batcher for the
+/// launch overhead, then computes detections with the pure (uncharged)
+/// detector path. Poisoned clips submit no tickets.
 pub(crate) fn detect_stage(
-    config: &OtifConfig,
-    ctx: &ExecutionContext,
-    clips: &[(usize, &Clip)],
-    rx: Receiver<WindowedFrame>,
-    tx: Sender<DetectedFrame>,
+    ctx: &StageCtx<'_>,
+    rx: Receiver<StageMsg<WindowedFrame>>,
+    tx: Sender<StageMsg<DetectedFrame>>,
     batcher_guard: StreamGuard<'_>,
-    counters: &EngineCounters,
-    ledger: &CostLedger,
 ) {
-    let lookup = ClipLookup::new(clips);
-    let detector = SimDetector::new(config.detector, ctx.detector_seed);
+    let lookup = ClipLookup::new(ctx.clips);
+    let detector = SimDetector::new(ctx.config.detector, ctx.exec.detector_seed);
+    let mut poisoned: HashSet<usize> = HashSet::new();
     for msg in &rx {
+        let msg = match msg {
+            StageMsg::Abort { clip } => {
+                poisoned.insert(clip);
+                if tx.send(StageMsg::Abort { clip }).is_err() {
+                    return;
+                }
+                continue;
+            }
+            StageMsg::Frame(m) => m,
+        };
+        if poisoned.contains(&msg.clip) {
+            ctx.counters.frame_exited();
+            continue;
+        }
+        if ctx.fire(StageName::Detect, msg.clip, msg.ordinal) {
+            poisoned.insert(msg.clip);
+            ctx.counters.frame_exited();
+            if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
+                return;
+            }
+            continue;
+        }
         let dets = if msg.windows.is_empty() {
             Vec::new()
         } else {
@@ -151,63 +262,98 @@ pub(crate) fn detect_stage(
                 .iter()
                 .map(|r| detector.window_px_cost(r.w, r.h))
                 .sum();
-            ledger.charge(Component::Detector, px);
+            ctx.clip_ledgers[msg.clip].charge(Component::Detector, px);
             let sizes: Vec<(u32, u32)> = msg
                 .windows
                 .iter()
                 .map(|r| (r.w.round() as u32, r.h.round() as u32))
                 .collect();
-            batcher_guard.submit(sizes);
+            // A protocol violation here is an engine bug and the stream
+            // cannot continue coherently: fail the whole stream (the
+            // supervision shim records it; siblings keep flowing).
+            batcher_guard
+                .submit(sizes)
+                .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
             detector.detect_windows_pure(lookup.get(msg.clip), msg.frame, &msg.windows)
         };
-        counters
+        ctx.counters
             .frames_detected
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         if tx
-            .send(DetectedFrame {
+            .send(StageMsg::Frame(DetectedFrame {
                 clip: msg.clip,
                 frame: msg.frame,
+                ordinal: msg.ordinal,
                 dets,
                 last: msg.last,
-            })
+            }))
             .is_err()
         {
+            ctx.counters.frame_exited();
             return;
         }
-        counters.observe_queue_depth(QUEUE_DETECT, tx.len());
+        ctx.counters.observe_queue_depth(QUEUE_DETECT, tx.len());
     }
     // batcher_guard drops here → finish(stream): remaining streams keep
     // batching among themselves
 }
 
 /// Track stage: steps the per-clip tracker, finalizes (stitch + refine)
-/// at each clip boundary and deposits results by clip index.
+/// at each clip boundary and deposits results by clip index. An abort
+/// drops the poisoned clip's tracker state, leaving its result slot
+/// empty for the scheduler to report as failed.
 pub(crate) fn track_stage(
-    config: &OtifConfig,
-    ctx: &ExecutionContext,
-    clips: &[(usize, &Clip)],
-    rx: Receiver<DetectedFrame>,
+    ctx: &StageCtx<'_>,
+    rx: Receiver<StageMsg<DetectedFrame>>,
     results: &Mutex<Vec<Option<Vec<Track>>>>,
-    counters: &EngineCounters,
-    ledger: &CostLedger,
 ) {
-    let lookup = ClipLookup::new(clips);
-    let mut tracker: Option<FrameTracker> = None;
+    let lookup = ClipLookup::new(ctx.clips);
+    let mut tracker: Option<(usize, FrameTracker)> = None;
+    let mut poisoned: HashSet<usize> = HashSet::new();
     for msg in &rx {
-        charge_tracker_step(ctx, msg.dets.len(), ledger);
+        let msg = match msg {
+            StageMsg::Abort { clip } => {
+                poisoned.insert(clip);
+                if tracker.as_ref().is_some_and(|(c, _)| *c == clip) {
+                    tracker = None;
+                }
+                continue;
+            }
+            StageMsg::Frame(m) => m,
+        };
+        if poisoned.contains(&msg.clip) {
+            ctx.counters.frame_exited();
+            continue;
+        }
+        if ctx.fire(StageName::Track, msg.clip, msg.ordinal) {
+            poisoned.insert(msg.clip);
+            if tracker.as_ref().is_some_and(|(c, _)| *c == msg.clip) {
+                tracker = None;
+            }
+            ctx.counters.frame_exited();
+            continue;
+        }
+        let ledger = &ctx.clip_ledgers[msg.clip];
+        charge_tracker_step(ctx.exec, msg.dets.len(), ledger);
         tracker
-            .get_or_insert_with(|| FrameTracker::new(config, ctx))
+            .get_or_insert_with(|| (msg.clip, FrameTracker::new(ctx.config, ctx.exec)))
+            .1
             .step(msg.frame, msg.dets);
-        counters
+        ctx.counters
             .frames_tracked
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        counters.frame_exited();
+        ctx.counters.frame_exited();
         if msg.last {
-            let finished = tracker
+            let (_, finished) = tracker
                 .take()
-                .expect("tracker exists for the clip being finalized")
-                .finish();
-            let tracks = finalize_tracks(config, ctx, lookup.get(msg.clip), finished, ledger);
+                .expect("tracker exists for the clip being finalized");
+            let tracks = finalize_tracks(
+                ctx.config,
+                ctx.exec,
+                lookup.get(msg.clip),
+                finished.finish(),
+                ledger,
+            );
             results.lock()[msg.clip] = Some(tracks);
         }
     }

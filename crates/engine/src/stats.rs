@@ -1,7 +1,9 @@
 //! Engine observability: lock-free per-stage counters updated by the
 //! stage threads, snapshotted into a serializable [`EngineStats`] at
-//! the end of a run.
+//! the end of a run — including per-stream health and the exact list
+//! of failed clips.
 
+use crate::fault::{PanicReport, StageName};
 use otif_cv::{Component, CostLedger};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -75,6 +77,44 @@ impl StageSeconds {
     }
 }
 
+/// Per-stream completion status for one engine run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamStatus {
+    /// Stream index.
+    pub stream: usize,
+    /// Clips assigned to this stream (round-robin).
+    pub clips_assigned: usize,
+    /// Clips the stream completed during the streaming run.
+    pub clips_completed: usize,
+    /// Clips the stream failed (before any sequential retry).
+    pub clips_failed: usize,
+    /// The first captured stage panic of this stream, if any.
+    pub panicked: Option<PanicReport>,
+}
+
+impl StreamStatus {
+    /// Whether the stream completed every assigned clip without a
+    /// panic.
+    pub fn healthy(&self) -> bool {
+        self.clips_failed == 0 && self.panicked.is_none()
+    }
+}
+
+/// One clip that failed during the streaming run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FailedClip {
+    /// Global clip index.
+    pub clip: usize,
+    /// Stream the clip was assigned to.
+    pub stream: usize,
+    /// Stage the failure is attributed to.
+    pub stage: StageName,
+    /// Failure description (injected reason or panic payload).
+    pub reason: String,
+    /// Whether the sequential fallback retry recovered the clip.
+    pub recovered: bool,
+}
+
 /// Snapshot of one engine run, serializable into bench artifacts.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct EngineStats {
@@ -99,6 +139,24 @@ pub struct EngineStats {
     pub stage_seconds: StageSeconds,
     /// Total simulated execution seconds.
     pub execution_seconds: f64,
+    /// Clips that failed during the streaming run (counted before any
+    /// sequential retry; a retried clip still counts here).
+    pub failed_clips: usize,
+    /// Failed clips recovered by the sequential fallback retry.
+    pub retried_clips: usize,
+    /// Stage panics captured by the supervision shim.
+    pub panics: usize,
+    /// Exactly which clips failed, where, and whether they recovered.
+    pub failures: Vec<FailedClip>,
+    /// Per-stream completion status.
+    pub stream_status: Vec<StreamStatus>,
+    /// Simulated seconds charged by clips that then failed — work the
+    /// run performed but discarded from the cost accounting.
+    pub wasted_seconds: f64,
+    /// Share of `stage_seconds.detector` that is batched launch
+    /// overhead (the cross-stream shared cost; the rest is per-clip
+    /// pixel cost).
+    pub launch_seconds: f64,
 }
 
 impl EngineStats {
@@ -131,7 +189,20 @@ impl EngineStats {
                 refinement: ledger.get(Component::Refinement),
             },
             execution_seconds: ledger.execution_total(),
+            failed_clips: 0,
+            retried_clips: 0,
+            panics: 0,
+            failures: Vec::new(),
+            stream_status: Vec::new(),
+            wasted_seconds: 0.0,
+            launch_seconds: 0.0,
         }
+    }
+
+    /// Whether every clip completed in the streaming run (no failures,
+    /// no panics).
+    pub fn healthy(&self) -> bool {
+        self.failed_clips == 0 && self.panics == 0
     }
 }
 
@@ -170,10 +241,38 @@ mod tests {
 
     #[test]
     fn stats_serialize_round_trip() {
-        let s = EngineStats::snapshot(4, 8, &EngineCounters::default(), &CostLedger::new());
+        let mut s = EngineStats::snapshot(4, 8, &EngineCounters::default(), &CostLedger::new());
+        assert!(s.healthy());
+        s.failed_clips = 1;
+        s.retried_clips = 1;
+        s.panics = 1;
+        s.failures.push(FailedClip {
+            clip: 3,
+            stream: 1,
+            stage: StageName::Decode,
+            reason: "injected".into(),
+            recovered: true,
+        });
+        s.stream_status.push(StreamStatus {
+            stream: 1,
+            clips_assigned: 2,
+            clips_completed: 1,
+            clips_failed: 1,
+            panicked: Some(PanicReport {
+                stage: StageName::Detect,
+                reason: "boom".into(),
+            }),
+        });
+        assert!(!s.healthy());
+        assert!(!s.stream_status[0].healthy());
         let json = serde_json::to_string(&s).unwrap();
+        // exact key:value shapes keep the stats JSON greppable from CI
+        assert!(json.contains("\"failed_clips\":1"), "{json}");
+        assert!(json.contains("\"stage\":\"Decode\""), "{json}");
         let back: EngineStats = serde_json::from_str(&json).unwrap();
         assert_eq!(back.streams, 4);
         assert_eq!(back.clips, 8);
+        assert_eq!(back.failures, s.failures);
+        assert_eq!(back.stream_status, s.stream_status);
     }
 }

@@ -16,4 +16,19 @@ cargo test --workspace -q
 echo "== kernels bench smoke (tiny shapes, bit-identity gate)"
 cargo run --release -q -p otif-bench --bin kernels tiny
 
+echo "== engine release build (deny warnings)"
+RUSTFLAGS="-D warnings" cargo build --release -q -p otif-engine
+
+echo "== engine fault-injection smoke (injected decode fault, healed by retry)"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+cargo run --release -q --bin otif-cli -- prepare \
+  --dataset caldot2 --clips 2 --seconds 6 --seed 3 --out "$tmp/model.json" >/dev/null
+cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --streams 2 --inject-fault decode:error:0:0 \
+  --stats "$tmp/stats.json" --out "$tmp/tracks.json" >/dev/null
+grep -q '"failed_clips":1' "$tmp/stats.json"
+grep -q '"retried_clips":1' "$tmp/stats.json"
+
 echo "All checks passed."

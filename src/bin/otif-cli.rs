@@ -17,7 +17,7 @@
 
 use otif::core::workflow::OtifArtifacts;
 use otif::core::{Otif, OtifOptions};
-use otif::engine::{Engine, EngineOptions};
+use otif::engine::{Engine, EngineOptions, FaultPlan};
 use otif::query::{AggregateQuery, TrackQuery};
 use otif::sim::{Dataset, DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
@@ -29,8 +29,13 @@ const DATASET_FLAGS: [&str; 4] = ["dataset", "clips", "seconds", "seed"];
 /// Parse `--key value` pairs, rejecting anything else: positional
 /// arguments, flags outside `allowed`, and flags with a missing value
 /// (trailing, or directly followed by another flag) are all hard errors
-/// naming the offending argument.
-fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, String>, String> {
+/// naming the offending argument. Flags listed in `switches` are
+/// boolean and take no value.
+fn parse_flags(
+    args: &[String],
+    allowed: &[&str],
+    switches: &[&str],
+) -> Result<HashMap<String, String>, String> {
     let mut out = HashMap::new();
     let mut i = 0;
     while i < args.len() {
@@ -49,6 +54,11 @@ fn parse_flags(args: &[String], allowed: &[&str]) -> Result<HashMap<String, Stri
                     .collect::<Vec<_>>()
                     .join(", ")
             ));
+        }
+        if switches.contains(&key) {
+            out.insert(key.to_string(), "true".to_string());
+            i += 1;
+            continue;
         }
         let Some(value) = args.get(i + 1) else {
             return Err(format!("flag --{key} is missing a value"));
@@ -217,14 +227,25 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --streams: {e}")))
         .transpose()?
         .unwrap_or(1);
+    let faults = flags
+        .get("inject-fault")
+        .map(|s| FaultPlan::parse(s))
+        .transpose()?
+        .unwrap_or_default();
+    let fail_fast = flags.contains_key("fail-fast");
+    let stats_out = flags.get("stats");
     let point = otif.pick_config(pick);
     eprintln!("executing {}", point.config.describe());
-    let (tracks, ledger) = if streams > 1 {
-        // Streaming engine: same per-clip output as the sequential
-        // path, but detector launches are batched across streams.
+    // Streaming engine: same per-clip output as the sequential path,
+    // but detector launches are batched across streams and failures are
+    // isolated per clip/stream. Stats or fault injection force the
+    // engine path even single-stream.
+    let use_engine = streams > 1 || !faults.is_empty() || stats_out.is_some();
+    let (tracks, ledger, failures) = if use_engine {
         let ledger = otif::cv::CostLedger::new();
         let opts = EngineOptions {
             streams,
+            faults,
             ..EngineOptions::default()
         };
         let run = Engine::run(
@@ -243,9 +264,53 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
             run.stats.mean_batch_occupancy,
             run.stats.max_frames_in_flight
         );
-        (run.tracks, ledger)
+        if !run.stats.healthy() {
+            eprintln!(
+                "engine health: {} failed clip(s), {} recovered by retry, {} panic(s)",
+                run.stats.failed_clips, run.stats.retried_clips, run.stats.panics
+            );
+            for f in &run.stats.failures {
+                eprintln!(
+                    "  clip {} (stream {}) failed in {}: {}{}",
+                    f.clip,
+                    f.stream,
+                    f.stage,
+                    f.reason,
+                    if f.recovered { " [recovered]" } else { "" }
+                );
+            }
+        }
+        if let Some(path) = stats_out {
+            let json = serde_json::to_string(&run.stats).map_err(|e| e.to_string())?;
+            std::fs::write(path, json).map_err(|e| e.to_string())?;
+            eprintln!("wrote engine stats -> {path}");
+        }
+        let failures: Vec<String> = run
+            .failures()
+            .into_iter()
+            .map(|(clip, stage, reason)| format!("clip {clip} failed in {stage}: {reason}"))
+            .collect();
+        if fail_fast && !failures.is_empty() {
+            return Err(format!(
+                "{} clip(s) failed (--fail-fast, no tracks written): {}",
+                failures.len(),
+                failures.join("; ")
+            ));
+        }
+        // Partial results: unrecovered clips contribute empty track
+        // lists, so downstream tooling keeps a slot per clip.
+        let tracks: Vec<Vec<Track>> = run
+            .tracks
+            .into_iter()
+            .map(|o| match o {
+                otif::engine::ClipOutcome::Ok(tracks) => tracks,
+                otif::engine::ClipOutcome::Failed { .. } => Vec::new(),
+            })
+            .collect();
+        (tracks, ledger, failures)
     } else {
-        otif.execute(&point.config, &dataset.test)
+        let (tracks, ledger) = otif.execute(&point.config, &dataset.test);
+        (tracks, ledger, Vec::new())
     };
     let out = flags
         .get("out")
@@ -258,6 +323,13 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         "extracted {n} tracks in {:.3} simulated seconds -> {out}",
         ledger.execution_total()
     );
+    if !failures.is_empty() {
+        return Err(format!(
+            "partial results: {} clip(s) failed: {}",
+            failures.len(),
+            failures.join("; ")
+        ));
+    }
     Ok(())
 }
 
@@ -346,8 +418,13 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query> [--f
   generate --dataset <name> [--clips N --seconds S --seed N]
   prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
   curve    --model model.json
-  execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N] [--out tracks.json]
+  execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
+           [--out tracks.json] [--stats stats.json] [--fail-fast]
+           [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error)
   query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>";
+
+/// Boolean flags (no value) across all commands.
+const SWITCH_FLAGS: [&str; 1] = ["fail-fast"];
 
 /// Flags each command accepts (beyond the shared dataset flags).
 fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
@@ -356,7 +433,15 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
         "generate" => {}
         "prepare" => allowed.push("out"),
         "curve" => allowed = vec!["model"],
-        "execute" => allowed.extend(["model", "pick", "streams", "out"]),
+        "execute" => allowed.extend([
+            "model",
+            "pick",
+            "streams",
+            "out",
+            "stats",
+            "inject-fault",
+            "fail-fast",
+        ]),
         "query" => allowed.extend(["tracks", "query"]),
         _ => return None,
     }
@@ -371,14 +456,16 @@ fn main() -> ExitCode {
     };
     let result = match allowed_flags(cmd) {
         None => Err(format!("unknown command {cmd:?}\n{USAGE}")),
-        Some(allowed) => parse_flags(rest, &allowed).and_then(|flags| match cmd.as_str() {
-            "generate" => cmd_generate(flags),
-            "prepare" => cmd_prepare(flags),
-            "curve" => cmd_curve(flags),
-            "execute" => cmd_execute(flags),
-            "query" => cmd_query(flags),
-            _ => unreachable!("allowed_flags gates the command set"),
-        }),
+        Some(allowed) => {
+            parse_flags(rest, &allowed, &SWITCH_FLAGS).and_then(|flags| match cmd.as_str() {
+                "generate" => cmd_generate(flags),
+                "prepare" => cmd_prepare(flags),
+                "curve" => cmd_curve(flags),
+                "execute" => cmd_execute(flags),
+                "query" => cmd_query(flags),
+                _ => unreachable!("allowed_flags gates the command set"),
+            })
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -182,6 +182,82 @@ fn prepare_execute_query_roundtrip() {
         "--streams 2 must write byte-identical tracks"
     );
 
+    // a recoverable injected fault is healed by the retry: exit 0,
+    // identical tracks, and the stats file records the failure
+    let tracks3 = dir.join("tracks3.json");
+    let stats = dir.join("stats.json");
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--streams", "2"])
+        .args(["--inject-fault", "decode:error:0:0"])
+        .args(["--stats", stats.to_str().unwrap()])
+        .args(["--out", tracks3.to_str().unwrap()])
+        .output()
+        .expect("execute with recoverable fault");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("engine health"), "stderr: {stderr}");
+    assert!(stderr.contains("[recovered]"), "stderr: {stderr}");
+    let stats_json = std::fs::read_to_string(&stats).unwrap();
+    assert!(stats_json.contains("\"failed_clips\":1"), "{stats_json}");
+    assert!(stats_json.contains("\"retried_clips\":1"), "{stats_json}");
+    assert_eq!(
+        std::fs::read(&tracks).unwrap(),
+        std::fs::read(&tracks3).unwrap(),
+        "retried run must write byte-identical tracks"
+    );
+
+    // an unrecoverable fault writes partial results and exits non-zero
+    let tracks4 = dir.join("tracks4.json");
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--streams", "2"])
+        .args(["--inject-fault", "decode:panic:0:0"])
+        .args(["--out", tracks4.to_str().unwrap()])
+        .output()
+        .expect("execute with panic fault");
+    assert!(!out.status.success(), "panic fault must fail the command");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("partial results"), "stderr: {stderr}");
+    assert!(tracks4.exists(), "partial tracks are still written");
+
+    // --fail-fast refuses to write anything on failure
+    let tracks5 = dir.join("tracks5.json");
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--streams", "2", "--fail-fast"])
+        .args(["--inject-fault", "decode:panic:0:0"])
+        .args(["--out", tracks5.to_str().unwrap()])
+        .output()
+        .expect("execute with fail-fast");
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("fail-fast"),
+        "stderr names the flag"
+    );
+    assert!(!tracks5.exists(), "--fail-fast must not write tracks");
+
+    // malformed fault specs are clean errors
+    let out = cli()
+        .arg("execute")
+        .args(["--model", model.to_str().unwrap()])
+        .args(DS)
+        .args(["--inject-fault", "decode:boom:0:0"])
+        .output()
+        .expect("execute with bad fault spec");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown fault kind"));
+
     for query in ["breakdown", "count", "braking", "volume"] {
         let out = cli()
             .arg("query")

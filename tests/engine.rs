@@ -64,7 +64,7 @@ fn engine_equals_sequential_with_trained_artifacts() {
                 ..EngineOptions::default()
             };
             let run = Engine::run(&config, &ctx, &dataset.test, &opts, &CostLedger::new());
-            let got = serde_json::to_string(&run.tracks).unwrap();
+            let got = serde_json::to_string(&run.expect_tracks()).unwrap();
             assert_eq!(
                 got,
                 expected_json,
@@ -136,7 +136,7 @@ proptest! {
                 for f in 0..my_frames {
                     let n = 1 + (f + s + size_salt as usize) % 3;
                     let side = 32 * (1 + ((f + size_salt as usize) % 2) as u32);
-                    batcher.submit(s, vec![(side, side); n]);
+                    batcher.submit(s, vec![(side, side); n]).unwrap();
                     rounds_seen.push(batcher.rounds());
                 }
                 batcher.finish(s);
