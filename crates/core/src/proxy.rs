@@ -398,46 +398,57 @@ mod tests {
                     .collect()
             })
             .collect();
-        // Model seed picked for an init that converges well (loss ~0.14,
-        // separation ~0.40); most inits plateau near 0.6 on this tiny
-        // low-res training set and would make the bounds meaningless.
-        let mut m = SegProxyModel::new(384, 224, 0.375, 3);
-        let loss = m.train(&clips, &labels, 800, 0.01, 9);
-        assert!(loss < 0.45, "final training loss {loss}");
+        // Averaged over three fixed inits instead of one hand-picked
+        // lucky seed: individual inits on this tiny low-res training
+        // set range from loss ~0.12 / separation ~0.37 (seeds 1, 3) to
+        // a mediocre ~0.21 / ~0.32 (seed 2), and a rare plateau basin
+        // sits near loss 0.65 / separation ~0. The averaged bounds —
+        // mean loss < 0.35 (measured ~0.155) and mean separation
+        // > 0.18 (measured ~0.36) — hold even if one of the three
+        // seeds degenerates all the way to the plateau.
+        let mut losses = Vec::new();
+        let mut separations = Vec::new();
+        for model_seed in [1u64, 2, 3] {
+            let mut m = SegProxyModel::new(384, 224, 0.375, model_seed);
+            losses.push(m.train(&clips, &labels, 800, 0.01, 9));
 
-        // Evaluate separation on a validation clip.
-        let clip = &d.val[0];
-        let cm = CostModel::default();
-        let ledger = CostLedger::new();
-        let mut pos_scores = Vec::new();
-        let mut neg_scores = Vec::new();
-        for f in (0..clip.num_frames()).step_by(7) {
-            let img = Renderer::new(clip).render(f, m.in_w, m.in_h);
-            let grid = m.score_cells(&img, &cm, &ledger);
-            let gt = CellGrid::from_detections(
-                grid.cols,
-                grid.rows,
-                &clip
-                    .gt_boxes(f)
-                    .into_iter()
-                    .map(|(_, _, r)| det(r))
-                    .collect::<Vec<_>>(),
-            );
-            for cy in 0..grid.rows {
-                for cx in 0..grid.cols {
-                    if gt.get(cx, cy) > 0.5 {
-                        pos_scores.push(grid.get(cx, cy));
-                    } else {
-                        neg_scores.push(grid.get(cx, cy));
+            // Evaluate separation on a validation clip.
+            let clip = &d.val[0];
+            let cm = CostModel::default();
+            let ledger = CostLedger::new();
+            let mut pos_scores = Vec::new();
+            let mut neg_scores = Vec::new();
+            for f in (0..clip.num_frames()).step_by(7) {
+                let img = Renderer::new(clip).render(f, m.in_w, m.in_h);
+                let grid = m.score_cells(&img, &cm, &ledger);
+                let gt = CellGrid::from_detections(
+                    grid.cols,
+                    grid.rows,
+                    &clip
+                        .gt_boxes(f)
+                        .into_iter()
+                        .map(|(_, _, r)| det(r))
+                        .collect::<Vec<_>>(),
+                );
+                for cy in 0..grid.rows {
+                    for cx in 0..grid.cols {
+                        if gt.get(cx, cy) > 0.5 {
+                            pos_scores.push(grid.get(cx, cy));
+                        } else {
+                            neg_scores.push(grid.get(cx, cy));
+                        }
                     }
                 }
             }
+            let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
+            separations.push(mean(&pos_scores) - mean(&neg_scores));
         }
-        let mean = |v: &[f32]| v.iter().sum::<f32>() / v.len().max(1) as f32;
-        let (mp, mn) = (mean(&pos_scores), mean(&neg_scores));
+        let avg = |v: &[f32]| v.iter().sum::<f32>() / v.len() as f32;
+        let (loss, sep) = (avg(&losses), avg(&separations));
+        assert!(loss < 0.35, "mean training loss {loss} ({losses:?})");
         assert!(
-            mp > mn + 0.15,
-            "object cells {mp:.3} vs empty cells {mn:.3}"
+            sep > 0.18,
+            "mean object/empty cell separation {sep} ({separations:?})"
         );
     }
 }

@@ -129,10 +129,20 @@ pub struct BatchStats {
     pub batches: u64,
     /// Total items (windows) across all batches.
     pub items: u64,
+    /// Submitted-then-abandoned batch requests that were never flushed
+    /// or charged (e.g. a stream dying with a ticket pending). Counted
+    /// so their exclusion from `mean_occupancy` is explicit, not an
+    /// accounting leak.
+    pub discarded_tickets: u64,
+    /// Items carried by those discarded requests.
+    pub discarded_items: u64,
 }
 
 impl BatchStats {
-    /// Mean items per batch (0 if no batches ran).
+    /// Mean items per *flushed* batch (0 if no batches ran). Discarded
+    /// tickets are excluded by construction — they never became a batch
+    /// — and reported separately via `discarded_tickets`/`discarded_items`
+    /// so they cannot silently skew this metric.
     pub fn mean_occupancy(&self) -> f64 {
         if self.batches == 0 {
             0.0
@@ -145,6 +155,8 @@ impl BatchStats {
     pub fn merge(&mut self, other: &BatchStats) {
         self.batches += other.batches;
         self.items += other.items;
+        self.discarded_tickets += other.discarded_tickets;
+        self.discarded_items += other.discarded_items;
     }
 }
 
@@ -216,6 +228,15 @@ impl CostLedger {
         let mut b = self.batches.lock();
         b.batches += 1;
         b.items += occupancy as u64;
+    }
+
+    /// Record a batch request that was submitted but abandoned before
+    /// it could flush (no seconds are charged): the request and its
+    /// `items` are excluded from occupancy and counted explicitly.
+    pub fn record_batch_discard(&self, items: usize) {
+        let mut b = self.batches.lock();
+        b.discarded_tickets += 1;
+        b.discarded_items += items as u64;
     }
 
     /// Snapshot of the batched-invocation counters.
@@ -301,6 +322,24 @@ mod tests {
         assert_eq!(b.items, 8);
         assert!((b.mean_occupancy() - 4.0).abs() < 1e-12);
         assert!((l.get(Component::Detector) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn discards_are_counted_but_never_averaged() {
+        let l = CostLedger::new();
+        l.charge_batch(Component::Detector, 1.0, 4);
+        l.record_batch_discard(9);
+        let b = l.batch_stats();
+        assert_eq!(b.discarded_tickets, 1);
+        assert_eq!(b.discarded_items, 9);
+        // occupancy is over flushed batches only
+        assert!((b.mean_occupancy() - 4.0).abs() < 1e-12);
+        // no seconds accrued for the discard
+        assert!((l.total() - 1.0).abs() < 1e-12);
+        // discards survive an absorb
+        let outer = CostLedger::new();
+        outer.absorb(&l);
+        assert_eq!(outer.batch_stats().discarded_items, 9);
     }
 
     #[test]

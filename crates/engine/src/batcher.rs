@@ -87,10 +87,49 @@ impl fmt::Display for SubmitError {
 
 impl std::error::Error for SubmitError {}
 
+/// Identity and cost of one submitted ticket, recorded into the round
+/// log so the pipelined replay (`crate::timeline`) can stamp detector
+/// completion times per round. Untagged submissions (unit tests, ad-hoc
+/// callers) carry `UNTAGGED` clip/ordinal markers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Ticket {
+    /// Submitting stream.
+    pub stream: usize,
+    /// Global clip index of the frame (or [`Ticket::UNTAGGED`]).
+    pub clip: usize,
+    /// Sampled-frame ordinal within the clip.
+    pub ordinal: usize,
+    /// Windows carried by the ticket.
+    pub items: usize,
+    /// Detector pixel seconds charged for the frame's windows (to the
+    /// clip's ledger, by the detect stage, before submitting).
+    pub pixel_seconds: f64,
+}
+
+impl Ticket {
+    /// Clip marker for submissions without frame identity.
+    pub const UNTAGGED: usize = usize::MAX;
+}
+
+/// One flushed batch round: which tickets it coalesced (in stream
+/// order) and the launch overhead it charged (`per_call` × number of
+/// size-group chunks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundRecord {
+    /// Member tickets, ordered by stream index.
+    pub tickets: Vec<Ticket>,
+    /// Launch seconds charged for this round's chunks.
+    pub launch_seconds: f64,
+}
+
+/// A pending submission: the rounded window sizes of the frame the
+/// stream's detect stage is blocked on, plus its identity for the
+/// round log.
+type PendingTicket = (Vec<(u32, u32)>, Ticket);
+
 struct BatchState {
-    /// One pending ticket per stream: the rounded window sizes of the
-    /// frame the stream's detect stage is blocked on.
-    tickets: Vec<Option<Vec<(u32, u32)>>>,
+    /// One pending ticket per stream.
+    tickets: Vec<Option<PendingTicket>>,
     /// Which streams still have frames to submit. A finished stream no
     /// longer gates the flush watermark.
     live: Vec<bool>,
@@ -100,6 +139,8 @@ struct BatchState {
     interrupted: Vec<bool>,
     /// Completed flush rounds.
     rounds: u64,
+    /// Flush log in round order, consumed by the pipelined replay.
+    log: Vec<RoundRecord>,
 }
 
 /// Coalesces same-size detector windows from all streams into batched
@@ -123,6 +164,7 @@ impl DetectorBatcher {
                 live: vec![true; streams],
                 interrupted: vec![false; streams],
                 rounds: 0,
+                log: Vec::new(),
             }),
             flushed: Condvar::new(),
             per_call,
@@ -140,6 +182,20 @@ impl DetectorBatcher {
     /// finish) are checked errors in every build profile; see
     /// [`SubmitError`].
     pub fn submit(&self, stream: usize, sizes: Vec<(u32, u32)>) -> Result<(), SubmitError> {
+        self.submit_tagged(stream, sizes, Ticket::UNTAGGED, 0, 0.0)
+    }
+
+    /// [`Self::submit`] carrying frame identity and the frame's
+    /// detector pixel charge, so the flush log can feed the pipelined
+    /// replay. The identity does not affect batching in any way.
+    pub fn submit_tagged(
+        &self,
+        stream: usize,
+        sizes: Vec<(u32, u32)>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<(), SubmitError> {
         let mut st = self.state.lock();
         if !st.live[stream] {
             return Err(SubmitError::Finished { stream });
@@ -147,7 +203,14 @@ impl DetectorBatcher {
         if st.tickets[stream].is_some() {
             return Err(SubmitError::TicketPending { stream });
         }
-        st.tickets[stream] = Some(sizes);
+        let ticket = Ticket {
+            stream,
+            clip,
+            ordinal,
+            items: sizes.len(),
+            pixel_seconds,
+        };
+        st.tickets[stream] = Some((sizes, ticket));
         self.flush_if_ready(&mut st);
         loop {
             // `finish` may have discarded the ticket (stream died while
@@ -176,8 +239,12 @@ impl DetectorBatcher {
             return;
         }
         st.live[stream] = false;
-        if st.tickets[stream].take().is_some() {
+        if let Some((sizes, _)) = st.tickets[stream].take() {
             st.interrupted[stream] = true;
+            // Count the orphan explicitly: it was never flushed or
+            // charged, and `mean_batch_occupancy` must neither include
+            // it nor hide that it was dropped.
+            self.ledger.record_batch_discard(sizes.len());
         }
         self.flush_if_ready(&mut st);
         // Wake waiters unconditionally: the interrupted submitter (if
@@ -189,6 +256,13 @@ impl DetectorBatcher {
     /// Number of flush rounds completed so far.
     pub fn rounds(&self) -> u64 {
         self.state.lock().rounds
+    }
+
+    /// The flush log in round order. Round contents are a pure function
+    /// of the per-stream submission sequences, so the log is as
+    /// deterministic as the charges themselves.
+    pub fn round_log(&self) -> Vec<RoundRecord> {
+        self.state.lock().log.clone()
     }
 
     /// Flush one round if every live stream has a pending ticket (and
@@ -207,22 +281,30 @@ impl DetectorBatcher {
         // Group windows by size across all streams (stream order is
         // irrelevant: only per-size counts matter).
         let mut by_size: BTreeMap<(u32, u32), usize> = BTreeMap::new();
-        for ticket in st.tickets.iter_mut() {
-            if let Some(sizes) = ticket.take() {
+        let mut members: Vec<Ticket> = Vec::new();
+        for slot in st.tickets.iter_mut() {
+            if let Some((sizes, ticket)) = slot.take() {
+                members.push(ticket);
                 for s in sizes {
                     *by_size.entry(s).or_insert(0) += 1;
                 }
             }
         }
+        let mut launch_seconds = 0.0f64;
         for (_, count) in by_size {
             let mut remaining = count;
             while remaining > 0 {
                 let occupancy = remaining.min(self.max_batch);
                 self.ledger
                     .charge_batch(Component::Detector, self.per_call, occupancy);
+                launch_seconds += self.per_call;
                 remaining -= occupancy;
             }
         }
+        st.log.push(RoundRecord {
+            tickets: members,
+            launch_seconds,
+        });
         st.rounds += 1;
         self.flushed.notify_all();
     }
@@ -244,6 +326,19 @@ impl<'a> StreamGuard<'a> {
     /// Submit through the guard (same as the batcher's `submit`).
     pub fn submit(&self, sizes: Vec<(u32, u32)>) -> Result<(), SubmitError> {
         self.batcher.submit(self.stream, sizes)
+    }
+
+    /// Submit with frame identity for the round log (same as the
+    /// batcher's `submit_tagged`).
+    pub fn submit_tagged(
+        &self,
+        sizes: Vec<(u32, u32)>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<(), SubmitError> {
+        self.batcher
+            .submit_tagged(self.stream, sizes, clip, ordinal, pixel_seconds)
     }
 }
 
@@ -455,5 +550,63 @@ mod tests {
         let (cost_b, stats_b) = run();
         assert_eq!(stats_a, stats_b);
         assert!((cost_a - cost_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn orphaned_tickets_are_counted_not_averaged() {
+        // Regression: an orphaned ticket (stream finished while its
+        // ticket was pending) must be excluded from mean_batch_occupancy
+        // *and* explicitly counted as discarded — not silently vanish.
+        let ledger = CostLedger::new();
+        let b = Arc::new(DetectorBatcher::new(2, CALL, 16, ledger.clone()));
+        let b2 = Arc::clone(&b);
+        // stream 1 blocks with a 7-window ticket; stream 0 never submits
+        let blocked = thread::spawn(move || b2.submit(1, vec![(64, 64); 7]));
+        while b.state.lock().tickets[1].is_none() {
+            thread::yield_now();
+        }
+        b.finish(1);
+        assert_eq!(
+            blocked.join().unwrap(),
+            Err(SubmitError::Interrupted { stream: 1 })
+        );
+        // stream 0 then flushes two clean 2-window rounds on its own
+        b.submit(0, vec![(32, 32); 2]).unwrap();
+        b.submit(0, vec![(32, 32); 2]).unwrap();
+        b.finish(0);
+        let stats = ledger.batch_stats();
+        assert_eq!(stats.discarded_tickets, 1);
+        assert_eq!(stats.discarded_items, 7);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(stats.items, 4);
+        // occupancy reflects only flushed chunks: (2+2)/2, not (2+2+7)/2
+        assert!((stats.mean_occupancy() - 2.0).abs() < 1e-12);
+        // the orphan was never charged either
+        assert!((ledger.get(Component::Detector) - 2.0 * CALL).abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_log_records_members_and_launch() {
+        let ledger = CostLedger::new();
+        let b = DetectorBatcher::new(1, CALL, 4, ledger.clone());
+        b.submit_tagged(0, vec![(64, 64); 6], 3, 0, 1.5).unwrap();
+        b.submit(0, vec![(32, 32)]).unwrap();
+        b.finish(0);
+        let log = b.round_log();
+        assert_eq!(log.len(), 2);
+        // 6 same-size windows in chunks of ≤4 → 2 launches
+        assert!((log[0].launch_seconds - 2.0 * CALL).abs() < 1e-12);
+        assert_eq!(
+            log[0].tickets,
+            vec![Ticket {
+                stream: 0,
+                clip: 3,
+                ordinal: 0,
+                items: 6,
+                pixel_seconds: 1.5,
+            }]
+        );
+        assert_eq!(log[1].tickets[0].clip, Ticket::UNTAGGED);
+        assert!((log[1].launch_seconds - CALL).abs() < 1e-12);
     }
 }

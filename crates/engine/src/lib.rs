@@ -26,6 +26,16 @@
 //! Deterministic fault injection ([`FaultPlan`]) makes all of this
 //! testable: the determinism guarantees extend to faulted runs.
 //!
+//! Execution time is reported two ways: `serial_seconds` is the plain
+//! sum of all stage charges, while `execution_seconds` is the
+//! *makespan* of the pipelined virtual-time model ([`timeline`]): the
+//! decode stage runs ahead of the detector by a per-stream prefetch
+//! window ([`EngineOptions::prefetch_frames`]), each stage's clock
+//! advances independently, and batcher rounds stamp detector completion
+//! times. The gap between the two is accounted per stage in
+//! [`StallSeconds`]. Charges never move, so every ledger sum is bitwise
+//! identical across prefetch settings.
+//!
 //! Entry point: [`Engine::run`]. Observability: [`EngineStats`].
 
 pub mod batcher;
@@ -33,8 +43,10 @@ pub mod fault;
 pub mod scheduler;
 pub(crate) mod stage;
 pub mod stats;
+pub mod timeline;
 
-pub use batcher::{DetectorBatcher, StreamGuard, SubmitError};
+pub use batcher::{DetectorBatcher, RoundRecord, StreamGuard, SubmitError, Ticket};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, PanicReport, StageName};
 pub use scheduler::{ClipOutcome, Engine, EngineOptions, EngineRun};
 pub use stats::{EngineCounters, EngineStats, FailedClip, StageSeconds, StreamStatus};
+pub use timeline::StallSeconds;

@@ -29,10 +29,11 @@
 //! per-stream status in [`EngineStats`], and re-runs recoverably
 //! failed clips once through the sequential pipeline.
 
-use crate::batcher::{DetectorBatcher, StreamGuard};
+use crate::batcher::{DetectorBatcher, RoundRecord, StreamGuard};
 use crate::fault::{supervise, FaultPlan, HealthBoard, StageName};
 use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, StageCtx};
 use crate::stats::{EngineCounters, EngineStats, FailedClip, StreamStatus};
+use crate::timeline::{self, ClipTimeline};
 use crossbeam::channel::bounded;
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
@@ -51,6 +52,15 @@ pub struct EngineOptions {
     /// Capacity of each inter-stage channel; bounds frames in flight
     /// per stream and provides backpressure.
     pub channel_capacity: usize,
+    /// Decode-ahead window per stream (clamped to ≥ 1): frame `j` may
+    /// be decoded as soon as frame `j - prefetch_frames` has left the
+    /// pipeline, instead of rendezvousing with the tracker each frame.
+    /// Sizes the decode→window channel (`max(channel_capacity,
+    /// prefetch_frames)`) and gates the pipelined virtual-time model:
+    /// `1` reproduces the serial rendezvous, larger windows let decode
+    /// run ahead of the detector. Charges are unaffected — only the
+    /// reported makespan and stalls change.
+    pub prefetch_frames: usize,
     /// Maximum windows per batched detector invocation.
     pub max_batch: usize,
     /// Deterministic fault-injection schedule (empty: no faults).
@@ -66,12 +76,14 @@ impl Default for EngineOptions {
 }
 
 impl EngineOptions {
-    /// The default tunables (2 streams, capacity-4 channels, batches of
-    /// up to 16 windows, no faults, retry enabled).
+    /// The default tunables (2 streams, capacity-4 channels, a
+    /// 16-frame decode prefetch window, batches of up to 16 windows,
+    /// no faults, retry enabled).
     pub fn new() -> Self {
         EngineOptions {
             streams: 2,
             channel_capacity: 4,
+            prefetch_frames: 16,
             max_batch: 16,
             faults: FaultPlan::none(),
             no_retry: false,
@@ -124,6 +136,10 @@ pub struct EngineRun {
     /// Counters, queue depths, batch occupancy, health and simulated
     /// seconds.
     pub stats: EngineStats,
+    /// The batcher's flush log in round order — which frames each
+    /// cross-stream detector round coalesced. Round contents are a
+    /// pure function of the per-stream submission sequences.
+    pub rounds: Vec<RoundRecord>,
 }
 
 impl EngineRun {
@@ -186,6 +202,11 @@ impl Engine {
     ) -> EngineRun {
         let streams = opts.streams.min(clips.len()).max(1);
         let capacity = opts.channel_capacity.max(1);
+        let prefetch = opts.prefetch_frames.max(1);
+        // The decode stage's output channel is the prefetch buffer: it
+        // must hold the whole decode-ahead budget, not just the default
+        // backpressure capacity.
+        let decode_capacity = capacity.max(prefetch);
 
         // Round-robin assignment keeps stream loads balanced without
         // knowing clip lengths: stream i gets clips i, i+streams, ….
@@ -200,6 +221,9 @@ impl Engine {
         // launch overhead accrues in its own ledger.
         let inner = CostLedger::new();
         let clip_ledgers: Vec<CostLedger> = (0..clips.len()).map(|_| CostLedger::new()).collect();
+        let timelines: Vec<Mutex<ClipTimeline>> = (0..clips.len())
+            .map(|_| Mutex::new(ClipTimeline::default()))
+            .collect();
         let launch = CostLedger::new();
         let batcher = DetectorBatcher::new(
             streams,
@@ -214,7 +238,7 @@ impl Engine {
 
         std::thread::scope(|scope| {
             for (s, assigned) in assignments.iter().enumerate() {
-                let (dec_tx, dec_rx) = bounded(capacity);
+                let (dec_tx, dec_rx) = bounded(decode_capacity);
                 let (win_tx, win_rx) = bounded(capacity);
                 let (det_tx, det_rx) = bounded(capacity);
                 let guard = StreamGuard::new(&batcher, s);
@@ -224,6 +248,7 @@ impl Engine {
                     clips: assigned,
                     counters: &counters,
                     clip_ledgers: &clip_ledgers,
+                    timelines: &timelines,
                     faults: &opts.faults,
                     health: &health,
                 };
@@ -264,10 +289,16 @@ impl Engine {
         let mut failures: Vec<FailedClip> = Vec::new();
         let mut wasted = 0.0f64;
         let mut retryable: Vec<usize> = Vec::new();
+        // Clips that completed in-stream — the set the pipelined replay
+        // covers (retried clips run sequentially afterwards; failed
+        // clips' charges are discarded, so they shape neither the
+        // ledger nor the makespan).
+        let mut completed = vec![false; clips.len()];
         for (idx, slot) in results.into_inner().into_iter().enumerate() {
             let stream = idx % streams;
             match slot {
                 Some(tracks) => {
+                    completed[idx] = true;
                     inner.absorb(&clip_ledgers[idx]);
                     outcomes.push(ClipOutcome::Ok(tracks));
                 }
@@ -308,13 +339,37 @@ impl Engine {
         // run's f64 sums deterministic.
         inner.absorb(&launch);
 
+        // Pipelined virtual-time replay: recompute completion times of
+        // the streaming portion from the recorded per-frame charges and
+        // batcher rounds. Charges don't move — the ledger above is
+        // already final — this only models *when* they complete.
+        let rounds = batcher.round_log();
+        let gap = config.gap.max(1);
+        let frame_counts: Vec<usize> = clips.iter().map(|c| c.num_frames().div_ceil(gap)).collect();
+        let assignment_idx: Vec<Vec<usize>> = assignments
+            .iter()
+            .map(|a| a.iter().map(|(i, _)| *i).collect())
+            .collect();
+        let replayed = timeline::replay(
+            &assignment_idx,
+            &completed,
+            &frame_counts,
+            &timelines,
+            &rounds,
+            prefetch,
+        );
+
         // Failed-clip retry: clips that failed recoverably re-run once
         // through the sequential pipeline, charged to the same ledger —
-        // one flaky clip degrades throughput, not results.
+        // one flaky clip degrades throughput, not results. Retries run
+        // after the streaming portion, so their execution seconds extend
+        // the makespan serially.
         let mut retried = 0usize;
+        let mut retry_seconds = 0.0f64;
         for idx in retryable {
             let retry_ledger = CostLedger::new();
             let tracks = Pipeline::run_clip(config, ctx, &clips[idx], &retry_ledger);
+            retry_seconds += retry_ledger.execution_total();
             inner.absorb(&retry_ledger);
             outcomes[idx] = ClipOutcome::Ok(tracks);
             if let Some(f) = failures.iter_mut().find(|f| f.clip == idx) {
@@ -324,6 +379,14 @@ impl Engine {
         }
 
         let mut stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
+        stats.execution_seconds = replayed.makespan + retry_seconds;
+        stats.prefetch_frames = prefetch;
+        stats.stall_seconds = replayed.stalls;
+        stats.pipeline_speedup = if stats.execution_seconds > 0.0 {
+            stats.serial_seconds / stats.execution_seconds
+        } else {
+            1.0
+        };
         stats.failed_clips = failures.len();
         stats.retried_clips = retried;
         stats.panics = health.panic_count();
@@ -348,6 +411,7 @@ impl Engine {
         EngineRun {
             tracks: outcomes,
             stats,
+            rounds,
         }
     }
 }
@@ -469,10 +533,85 @@ mod tests {
         );
         assert_eq!(run.stats.frames, expected_frames);
         assert!(run.stats.max_frames_in_flight >= 1);
-        // bounded channels cap the in-flight frames per stream
-        let per_stream_cap = 3 * (EngineOptions::new().channel_capacity as u64 + 1) + 1;
+        // bounded channels cap the in-flight frames per stream: the
+        // decode→window channel holds the prefetch budget, the other
+        // two the backpressure capacity, plus one frame resident in
+        // each consuming stage
+        let opts = EngineOptions::new();
+        let decode_cap = opts.channel_capacity.max(opts.prefetch_frames) as u64;
+        let per_stream_cap = (decode_cap + 1) + 2 * (opts.channel_capacity as u64 + 1) + 1;
         assert!(run.stats.max_frames_in_flight <= run.stats.streams as u64 * per_stream_cap);
         assert!((run.stats.wasted_seconds - 0.0).abs() < 1e-15);
+    }
+
+    /// `prefetch_frames = 1` degenerates the pipelined model to the
+    /// serial rendezvous: with a single stream the makespan equals the
+    /// serial charge sum (same charges, different summation order).
+    #[test]
+    fn single_stream_prefetch_one_makespan_is_serial() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions {
+            streams: 1,
+            prefetch_frames: 1,
+            ..EngineOptions::new()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &CostLedger::new());
+        let s = &run.stats;
+        assert!(
+            (s.execution_seconds - s.serial_seconds).abs() < 1e-9 * s.serial_seconds.max(1.0),
+            "serial {} vs makespan {}",
+            s.serial_seconds,
+            s.execution_seconds
+        );
+        // fully serial: decode stalls on the rendezvous every frame
+        assert!(s.stall_seconds.channel_backpressure > 0.0);
+    }
+
+    /// A deeper prefetch window strictly improves the makespan while
+    /// leaving every ledger component bitwise unchanged.
+    #[test]
+    fn prefetch_overlaps_without_moving_charges() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let run_at = |prefetch: usize| {
+            let ledger = CostLedger::new();
+            let opts = EngineOptions {
+                streams: 4,
+                prefetch_frames: prefetch,
+                ..EngineOptions::new()
+            };
+            let run = Engine::run(&cfg, &ctx, &clips, &opts, &ledger);
+            (run, ledger)
+        };
+        let (serial, serial_ledger) = run_at(1);
+        let (deep, deep_ledger) = run_at(16);
+        assert!(
+            deep.stats.execution_seconds < serial.stats.execution_seconds,
+            "prefetch=16 makespan {} must beat prefetch=1 {}",
+            deep.stats.execution_seconds,
+            serial.stats.execution_seconds
+        );
+        assert!(deep.stats.pipeline_speedup > serial.stats.pipeline_speedup);
+        // serial sums and every component are bitwise identical
+        assert_eq!(serial.stats.serial_seconds, deep.stats.serial_seconds);
+        for c in [
+            Component::Decode,
+            Component::Proxy,
+            Component::Detector,
+            Component::Tracker,
+            Component::Refinement,
+        ] {
+            assert_eq!(
+                serial_ledger.get(c).to_bits(),
+                deep_ledger.get(c).to_bits(),
+                "{c:?} must be bitwise identical across prefetch settings"
+            );
+        }
+        // and so are the round contents
+        assert_eq!(serial.rounds, deep.rounds);
     }
 
     #[test]

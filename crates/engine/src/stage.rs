@@ -23,6 +23,7 @@
 use crate::batcher::StreamGuard;
 use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName};
 use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
+use crate::timeline::ClipTimeline;
 use crossbeam::channel::{Receiver, Sender};
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
@@ -49,6 +50,10 @@ pub(crate) struct StageCtx<'a> {
     /// One ledger per clip in the engine's global clip list; charges
     /// for a clip that ends up failing are discarded with it.
     pub clip_ledgers: &'a [CostLedger],
+    /// Per-clip, per-frame charge recordings for the pipelined replay
+    /// (parallel to `clip_ledgers`). Each stage appends only its own
+    /// field, in frame-ordinal order.
+    pub timelines: &'a [Mutex<ClipTimeline>],
     pub faults: &'a FaultPlan,
     pub health: &'a HealthBoard,
 }
@@ -128,7 +133,12 @@ pub(crate) fn decode_stage(ctx: &StageCtx<'_>, tx: Sender<StageMsg<DecodedFrame>
                 }
                 break; // poison only this clip; continue with the next
             }
+            let before = ledger.get(Component::Decode);
             charge_decode(ctx.config, ctx.exec, native_px, ledger);
+            ctx.timelines[clip_idx]
+                .lock()
+                .decode
+                .push(ledger.get(Component::Decode) - before);
             ctx.counters
                 .frames_decoded
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -190,14 +200,20 @@ pub(crate) fn window_stage(
         }
         let clip = lookup.get(msg.clip);
         let renderer = Renderer::new(clip);
+        let ledger = &ctx.clip_ledgers[msg.clip];
+        let before = ledger.get(Component::Proxy);
         let windows = select_windows(
             ctx.config,
             ctx.exec,
             &renderer,
             clip.scene.frame_rect(),
             msg.frame,
-            &ctx.clip_ledgers[msg.clip],
+            ledger,
         );
+        ctx.timelines[msg.clip]
+            .lock()
+            .window
+            .push(ledger.get(Component::Proxy) - before);
         ctx.counters
             .frames_windowed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -255,6 +271,9 @@ pub(crate) fn detect_stage(
             continue;
         }
         let dets = if msg.windows.is_empty() {
+            // No windows → no batcher ticket; the replay passes the
+            // frame through the detect stage with zero charge.
+            ctx.timelines[msg.clip].lock().detect_px.push(None);
             Vec::new()
         } else {
             let px: f64 = msg
@@ -263,6 +282,7 @@ pub(crate) fn detect_stage(
                 .map(|r| detector.window_px_cost(r.w, r.h))
                 .sum();
             ctx.clip_ledgers[msg.clip].charge(Component::Detector, px);
+            ctx.timelines[msg.clip].lock().detect_px.push(Some(px));
             let sizes: Vec<(u32, u32)> = msg
                 .windows
                 .iter()
@@ -272,7 +292,7 @@ pub(crate) fn detect_stage(
             // cannot continue coherently: fail the whole stream (the
             // supervision shim records it; siblings keep flowing).
             batcher_guard
-                .submit(sizes)
+                .submit_tagged(sizes, msg.clip, msg.ordinal, px)
                 .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
             detector.detect_windows_pure(lookup.get(msg.clip), msg.frame, &msg.windows)
         };
@@ -334,7 +354,12 @@ pub(crate) fn track_stage(
             continue;
         }
         let ledger = &ctx.clip_ledgers[msg.clip];
+        let before = ledger.get(Component::Tracker);
         charge_tracker_step(ctx.exec, msg.dets.len(), ledger);
+        ctx.timelines[msg.clip]
+            .lock()
+            .track
+            .push(ledger.get(Component::Tracker) - before);
         tracker
             .get_or_insert_with(|| (msg.clip, FrameTracker::new(ctx.config, ctx.exec)))
             .1
@@ -347,6 +372,7 @@ pub(crate) fn track_stage(
             let (_, finished) = tracker
                 .take()
                 .expect("tracker exists for the clip being finalized");
+            let before = ledger.get(Component::Tracker) + ledger.get(Component::Refinement);
             let tracks = finalize_tracks(
                 ctx.config,
                 ctx.exec,
@@ -354,6 +380,8 @@ pub(crate) fn track_stage(
                 finished.finish(),
                 ledger,
             );
+            ctx.timelines[msg.clip].lock().finalize =
+                ledger.get(Component::Tracker) + ledger.get(Component::Refinement) - before;
             results.lock()[msg.clip] = Some(tracks);
         }
     }

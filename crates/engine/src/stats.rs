@@ -4,6 +4,7 @@
 //! of failed clips.
 
 use crate::fault::{PanicReport, StageName};
+use crate::timeline::StallSeconds;
 use otif_cv::{Component, CostLedger};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -133,12 +134,31 @@ pub struct EngineStats {
     pub batches: u64,
     /// Windows carried by those invocations.
     pub batch_items: u64,
-    /// Mean windows per batched invocation.
+    /// Mean windows per batched invocation (flushed chunks only;
+    /// discarded tickets are excluded and counted separately).
     pub mean_batch_occupancy: f64,
+    /// Tickets submitted but never flushed (stream died while its
+    /// ticket was pending) — excluded from occupancy and charges.
+    pub discarded_tickets: u64,
+    /// Windows carried by those discarded tickets.
+    pub discarded_items: u64,
     /// Simulated seconds per stage.
     pub stage_seconds: StageSeconds,
-    /// Total simulated execution seconds.
+    /// Critical-path makespan of the run under the pipelined
+    /// virtual-time model (plus sequential retry seconds, which run
+    /// after the streaming portion). This is the headline throughput
+    /// number; the serial charge sum is `serial_seconds`.
     pub execution_seconds: f64,
+    /// Serial sum of all execution-stage charges — the ledger's
+    /// `execution_total`, identical to the pre-pipelining
+    /// `execution_seconds` and bitwise independent of `prefetch_frames`.
+    pub serial_seconds: f64,
+    /// Decode-ahead window the run used (frames per stream).
+    pub prefetch_frames: usize,
+    /// Per-stage stall accounts from the pipelined replay.
+    pub stall_seconds: StallSeconds,
+    /// `serial_seconds / execution_seconds` (1.0 when degenerate).
+    pub pipeline_speedup: f64,
     /// Clips that failed during the streaming run (counted before any
     /// sequential retry; a retried clip still counts here).
     pub failed_clips: usize,
@@ -181,6 +201,8 @@ impl EngineStats {
             batches: batch.batches,
             batch_items: batch.items,
             mean_batch_occupancy: batch.mean_occupancy(),
+            discarded_tickets: batch.discarded_tickets,
+            discarded_items: batch.discarded_items,
             stage_seconds: StageSeconds {
                 decode: ledger.get(Component::Decode),
                 proxy: ledger.get(Component::Proxy),
@@ -189,6 +211,10 @@ impl EngineStats {
                 refinement: ledger.get(Component::Refinement),
             },
             execution_seconds: ledger.execution_total(),
+            serial_seconds: ledger.execution_total(),
+            prefetch_frames: 1,
+            stall_seconds: StallSeconds::default(),
+            pipeline_speedup: 1.0,
             failed_clips: 0,
             retried_clips: 0,
             panics: 0,

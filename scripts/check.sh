@@ -31,4 +31,17 @@ cargo run --release -q --bin otif-cli -- execute \
 grep -q '"failed_clips":1' "$tmp/stats.json"
 grep -q '"retried_clips":1' "$tmp/stats.json"
 
+echo "== pipelining smoke (prefetch=1 vs prefetch=16: makespan shrinks, ledger sums byte-identical)"
+# The throughput bench runs the prefetch sweep and hard-asserts both
+# properties internally (bitwise ledger identity across prefetch
+# settings, ≥1.5× makespan at prefetch=16 vs 1); re-check the makespan
+# improvement here from its summary line so a silently skipped sweep
+# can't pass.
+bench_out="$(cargo run --release -q -p otif-bench --bin throughput tiny)"
+echo "$bench_out" | grep -q 'ledger sums bitwise identical'
+echo "$bench_out" | grep 'pipelining smoke:' | awk '{
+  p1 = $5; p16 = $9;
+  if (!(p16 + 0 < p1 + 0)) { print "makespan did not improve: " p1 " -> " p16; exit 1 }
+}'
+
 echo "All checks passed."

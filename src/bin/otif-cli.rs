@@ -227,6 +227,10 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --streams: {e}")))
         .transpose()?
         .unwrap_or(1);
+    let prefetch: Option<usize> = flags
+        .get("prefetch")
+        .map(|s| s.parse().map_err(|e| format!("bad --prefetch: {e}")))
+        .transpose()?;
     let faults = flags
         .get("inject-fault")
         .map(|s| FaultPlan::parse(s))
@@ -240,14 +244,17 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
     // but detector launches are batched across streams and failures are
     // isolated per clip/stream. Stats or fault injection force the
     // engine path even single-stream.
-    let use_engine = streams > 1 || !faults.is_empty() || stats_out.is_some();
+    let use_engine = streams > 1 || !faults.is_empty() || stats_out.is_some() || prefetch.is_some();
     let (tracks, ledger, failures) = if use_engine {
         let ledger = otif::cv::CostLedger::new();
-        let opts = EngineOptions {
+        let mut opts = EngineOptions {
             streams,
             faults,
             ..EngineOptions::default()
         };
+        if let Some(p) = prefetch {
+            opts.prefetch_frames = p;
+        }
         let run = Engine::run(
             &point.config,
             &otif.context(),
@@ -263,6 +270,18 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
             run.stats.batches,
             run.stats.mean_batch_occupancy,
             run.stats.max_frames_in_flight
+        );
+        eprintln!(
+            "pipeline: prefetch {} frames, makespan {:.3} s vs serial {:.3} s \
+             ({:.2}x); stalls decode-starved {:.3} s, batcher-wait {:.3} s, \
+             backpressure {:.3} s",
+            run.stats.prefetch_frames,
+            run.stats.execution_seconds,
+            run.stats.serial_seconds,
+            run.stats.pipeline_speedup,
+            run.stats.stall_seconds.decode_starved,
+            run.stats.stall_seconds.batcher_wait,
+            run.stats.stall_seconds.channel_backpressure,
         );
         if !run.stats.healthy() {
             eprintln!(
@@ -419,7 +438,7 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query> [--f
   prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
   curve    --model model.json
   execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
-           [--out tracks.json] [--stats stats.json] [--fail-fast]
+           [--prefetch N] [--out tracks.json] [--stats stats.json] [--fail-fast]
            [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error)
   query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>";
 
@@ -437,6 +456,7 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             "model",
             "pick",
             "streams",
+            "prefetch",
             "out",
             "stats",
             "inject-fault",

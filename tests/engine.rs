@@ -7,7 +7,7 @@
 use otif::core::pipeline::ExecutionContext;
 use otif::core::{Otif, OtifOptions, Pipeline};
 use otif::cv::{Component, CostLedger, CostModel, DetectorArch, DetectorConfig};
-use otif::engine::{DetectorBatcher, Engine, EngineOptions};
+use otif::engine::{DetectorBatcher, Engine, EngineOptions, FaultPlan, StageName};
 use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
 use proptest::prelude::*;
@@ -158,5 +158,107 @@ proptest! {
         }
         // every submitted window was flushed exactly once
         prop_assert_eq!(ledger.batch_stats().items, total_items);
+    }
+}
+
+/// Fault plans the prefetch-invariance property runs under, mirroring
+/// `tests/engine_faults.rs`. Track-stage *panics* are excluded: the set
+/// of tickets in flight when the track thread dies is timing-dependent
+/// (the same reason `faulted_runs_are_deterministic` there pins the
+/// detect stage); every other fault leaves the surviving ticket
+/// sequences — and therefore the round log — deterministic.
+fn prefetch_invariance_plan(idx: usize) -> (FaultPlan, bool) {
+    match idx {
+        0 => (FaultPlan::default(), false),
+        1 => (FaultPlan::panic_at(StageName::Decode, 1, 1), false),
+        2 => (FaultPlan::panic_at(StageName::Window, 1, 1), false),
+        3 => (FaultPlan::panic_at(StageName::Detect, 1, 1), false),
+        4 => (FaultPlan::error_at(StageName::Decode, 0, 2), false),
+        5 => (FaultPlan::error_at(StageName::Detect, 2, 0), true),
+        6 => (FaultPlan::error_at(StageName::Track, 2, 0), true),
+        _ => unreachable!(),
+    }
+}
+
+// Pipelining is observation-only: for any decode prefetch window and
+// any thread interleaving, the batcher's round log and every ledger
+// component sum are *bitwise* identical to the prefetch=1 run — healthy
+// or under any deterministic fault plan. Only the reported makespan and
+// stall accounts may differ.
+proptest! {
+    #[test]
+    fn rounds_and_charges_invariant_under_prefetch(
+        prefetch in 1u64..=64,
+        plan_idx in 0u64..=6,
+    ) {
+        let (prefetch, plan_idx) = (prefetch as usize, plan_idx as usize);
+        use std::collections::HashMap;
+        use std::sync::{Mutex, OnceLock};
+
+        const COMPONENTS: [Component; 5] = [
+            Component::Decode,
+            Component::Proxy,
+            Component::Detector,
+            Component::Tracker,
+            Component::Refinement,
+        ];
+
+        static CLIPS: OnceLock<Vec<otif::sim::Clip>> = OnceLock::new();
+        let clips_pool = CLIPS.get_or_init(|| {
+            DatasetConfig::new(
+                DatasetKind::Caldot1,
+                DatasetScale {
+                    clips_per_split: 5,
+                    clip_seconds: 5.0,
+                },
+                29,
+            )
+            .generate()
+            .test
+        });
+        let cfg = otif::core::config::OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::YoloV3, 0.5),
+            proxy: None,
+            gap: 4,
+            tracker: otif::core::config::TrackerKind::Sort,
+            refine: false,
+        };
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+
+        let run_at = |prefetch: usize| {
+            let (faults, no_retry) = prefetch_invariance_plan(plan_idx);
+            let ledger = CostLedger::new();
+            let opts = EngineOptions {
+                faults,
+                no_retry,
+                prefetch_frames: prefetch,
+                ..EngineOptions::with_streams(2)
+            };
+            let run = Engine::run(&cfg, &ctx, clips_pool, &opts, &ledger);
+            let bits: Vec<u64> = COMPONENTS.iter().map(|&c| ledger.get(c).to_bits()).collect();
+            (run.rounds, bits, run.stats.serial_seconds.to_bits())
+        };
+
+        // Baseline per fault plan: the prefetch=1 run, computed once and
+        // shared across cases (the property compares *against* it, so it
+        // must not vary with the case's prefetch).
+        type Baseline = (Vec<otif::engine::RoundRecord>, Vec<u64>, u64);
+        static BASELINES: OnceLock<Mutex<HashMap<usize, Baseline>>> = OnceLock::new();
+        let baselines = BASELINES.get_or_init(|| Mutex::new(HashMap::new()));
+        let baseline = {
+            let mut map = baselines.lock().unwrap();
+            map.entry(plan_idx).or_insert_with(|| run_at(1)).clone()
+        };
+
+        let (rounds, bits, serial_bits) = run_at(prefetch);
+        prop_assert_eq!(
+            &rounds, &baseline.0,
+            "round log must not depend on prefetch (plan {})", plan_idx
+        );
+        prop_assert_eq!(
+            &bits, &baseline.1,
+            "component sums must be bitwise prefetch-independent (plan {})", plan_idx
+        );
+        prop_assert_eq!(serial_bits, baseline.2, "serial_seconds drifted (plan {})", plan_idx);
     }
 }
