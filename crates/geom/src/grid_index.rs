@@ -59,7 +59,33 @@ impl<T: Clone> GridIndex<T> {
     }
 
     /// All items within Euclidean distance `radius` of `p`.
+    ///
+    /// Equivalent to [`query_circle`](Self::query_circle); kept as the
+    /// historical name.
     pub fn query_radius(&self, p: &Point, radius: f32) -> Vec<(Point, T)> {
+        self.query_circle(p, radius)
+    }
+
+    /// Squared distance from `p` to the closest point of cell
+    /// `(cx, cy)`'s rectangle (0 when `p` is inside the cell).
+    fn cell_dist_sq(&self, cx: usize, cy: usize, p: &Point) -> f32 {
+        let x0 = cx as f32 * self.cell_size;
+        let y0 = cy as f32 * self.cell_size;
+        let dx = (x0 - p.x).max(p.x - (x0 + self.cell_size)).max(0.0);
+        let dy = (y0 - p.y).max(p.y - (y0 + self.cell_size)).max(0.0);
+        dx * dx + dy * dy
+    }
+
+    /// All items within Euclidean distance `radius` of `p`, visiting only
+    /// grid cells whose rectangle actually intersects the circle.
+    ///
+    /// A plain bounding-rectangle sweep visits `O((2r/cell)^2)` cells; the
+    /// corner cells of that rectangle (≈ 21 % of it for large `r`) cannot
+    /// contain matches and are skipped here before their contents are
+    /// touched. Output order is the cell scan order (row-major, insertion
+    /// order within a cell) — identical to the bounding-rectangle sweep,
+    /// since skipped cells contribute no items.
+    pub fn query_circle(&self, p: &Point, radius: f32) -> Vec<(Point, T)> {
         let r2 = radius * radius;
         let mut out = Vec::new();
         let cx0 = (((p.x - radius) / self.cell_size).floor() as i64).clamp(0, self.cols as i64 - 1)
@@ -70,8 +96,16 @@ impl<T: Clone> GridIndex<T> {
             as usize;
         let cy1 = (((p.y + radius) / self.cell_size).floor() as i64).clamp(0, self.rows as i64 - 1)
             as usize;
+        // Out-of-bounds inserts clamp into boundary cells, so boundary
+        // cells may hold points arbitrarily far outside the grid; they
+        // must not be distance-pruned.
+        let boundary =
+            |cx: usize, cy: usize| cx == 0 || cy == 0 || cx == self.cols - 1 || cy == self.rows - 1;
         for cy in cy0..=cy1 {
             for cx in cx0..=cx1 {
+                if !boundary(cx, cy) && self.cell_dist_sq(cx, cy, p) > r2 {
+                    continue;
+                }
                 for (q, item) in &self.cells[cy * self.cols + cx] {
                     if q.dist_sq(p) <= r2 {
                         out.push((*q, item.clone()));
@@ -173,6 +207,50 @@ mod tests {
         let found = g.query_radius(&Point::new(-100.0, -100.0), 1.0);
         assert_eq!(found.len(), 1);
         assert_eq!(found[0].1, 7);
+    }
+
+    #[test]
+    fn query_circle_matches_brute_force() {
+        // Deterministic LCG scatter over the grid, including out-of-bounds
+        // points (exercises the boundary-cell no-prune rule).
+        let mut g = GridIndex::new(200.0, 120.0, 8.0);
+        let mut pts = Vec::new();
+        let mut s: u64 = 0x9e3779b97f4a7c15;
+        let mut next = || {
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((s >> 33) as f32 / (1u64 << 31) as f32) * 300.0 - 50.0
+        };
+        for i in 0..500usize {
+            let p = Point::new(next(), next());
+            g.insert(p, i);
+            pts.push(p);
+        }
+        for (cx, cy, r) in [
+            (100.0, 60.0, 25.0),
+            (0.0, 0.0, 40.0),
+            (199.0, 119.0, 13.0),
+            (-30.0, -30.0, 35.0),
+            (100.0, 60.0, 3.0),
+            (50.0, 110.0, 500.0),
+        ] {
+            let c = Point::new(cx, cy);
+            let mut brute: Vec<usize> = pts
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.dist_sq(&c) <= r * r)
+                .map(|(i, _)| i)
+                .collect();
+            let mut fast: Vec<usize> = g.query_circle(&c, r).into_iter().map(|(_, i)| i).collect();
+            // query_radius must stay the same lookup under its old name
+            let mut old: Vec<usize> = g.query_radius(&c, r).into_iter().map(|(_, i)| i).collect();
+            brute.sort_unstable();
+            fast.sort_unstable();
+            old.sort_unstable();
+            assert_eq!(fast, brute, "center ({cx},{cy}) r {r}");
+            assert_eq!(old, brute);
+        }
     }
 
     #[test]

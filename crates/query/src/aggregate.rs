@@ -9,6 +9,7 @@
 use crate::metrics::count_accuracy;
 use otif_sim::{Clip, ObjectClass};
 use otif_track::Track;
+use serde::{Deserialize, Serialize};
 
 fn is_car(class: ObjectClass) -> bool {
     matches!(
@@ -18,7 +19,7 @@ fn is_car(class: ObjectClass) -> bool {
 }
 
 /// Aggregate queries over a clip's tracks.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AggregateQuery {
     /// Average number of cars visible per frame.
     AvgVisible,

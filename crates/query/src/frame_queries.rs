@@ -14,7 +14,7 @@ use otif_track::Track;
 use serde::{Deserialize, Serialize};
 
 /// The predicate of a frame-level query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum FrameQueryKind {
     /// At least `n` objects anywhere in the frame (UAV, Tokyo).
     Count,
@@ -29,7 +29,7 @@ pub enum FrameQueryKind {
 }
 
 /// A frame-level limit query.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FrameLimitQuery {
     /// The predicate.
     pub kind: FrameQueryKind,
@@ -50,6 +50,11 @@ pub struct FrameRef {
     /// Frame index within the clip.
     pub frame: usize,
 }
+
+/// One clip's contribution to a frame-limit query: the clip id, its
+/// frame rate, and the `(min_track_duration, frame)` matches from
+/// [`FrameLimitQuery::clip_matches`].
+pub type ClipMatches = (usize, f32, Vec<(usize, usize)>);
 
 fn is_car(class: ObjectClass) -> bool {
     matches!(
@@ -90,6 +95,66 @@ impl FrameLimitQuery {
         (pts, min_duration)
     }
 
+    /// Matching frames of one clip, as `(min visible-track duration,
+    /// frame)` in frame order. This is the per-clip half of
+    /// [`execute_on_tracks`](Self::execute_on_tracks): it depends only on
+    /// the clip's own tracks and frame count, so clips can be evaluated
+    /// independently (in parallel, or skipped entirely when an index
+    /// proves no frame can match) and merged with
+    /// [`select_frames`](Self::select_frames).
+    pub fn clip_matches(&self, tracks: &[Track], num_frames: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for f in 0..num_frames {
+            let (pts, min_dur) = Self::track_positions(tracks, f);
+            if self.positions_match(&pts) {
+                out.push((min_dur, f));
+            }
+        }
+        out
+    }
+
+    /// The cross-clip half of [`execute_on_tracks`](Self::execute_on_tracks):
+    /// merge per-clip match lists (each tagged with its clip id and frame
+    /// rate) into the final ranked, separation-constrained output.
+    ///
+    /// `per_clip` entries must be in ascending clip-id order with frames
+    /// in ascending order (as produced by
+    /// [`clip_matches`](Self::clip_matches)); clips with no possible
+    /// matches may simply be absent — the output is identical to passing
+    /// them with empty match lists.
+    pub fn select_frames(&self, per_clip: &[ClipMatches]) -> Vec<FrameRef> {
+        let mut matches: Vec<(usize, f32, FrameRef)> = Vec::new(); // (min_dur, fps, ref)
+        for (clip, fps, ms) in per_clip {
+            for (min_dur, frame) in ms {
+                matches.push((
+                    *min_dur,
+                    *fps,
+                    FrameRef {
+                        clip: *clip,
+                        frame: *frame,
+                    },
+                ));
+            }
+        }
+        // highest minimum duration first
+        matches.sort_by(|a, b| b.0.cmp(&a.0).then(a.2.clip.cmp(&b.2.clip)));
+
+        let mut out: Vec<FrameRef> = Vec::new();
+        for (_, fps, r) in matches {
+            if out.len() >= self.limit {
+                break;
+            }
+            let sep = (self.min_separation_s * fps) as usize;
+            let conflict = out
+                .iter()
+                .any(|o| o.clip == r.clip && o.frame.abs_diff(r.frame) < sep);
+            if !conflict {
+                out.push(r);
+            }
+        }
+        out
+    }
+
     /// Execute over extracted tracks: returns up to `limit` matching
     /// frames, each at least `min_separation_s` apart within a clip,
     /// ranked by the minimum visible-track duration (frames supported by
@@ -99,33 +164,19 @@ impl FrameLimitQuery {
         tracks_per_clip: &[Vec<Track>],
         clips: &[Clip],
     ) -> Vec<FrameRef> {
-        // gather all matching frames with their rank key
-        let mut matches: Vec<(usize, FrameRef)> = Vec::new(); // (min_duration, ref)
-        for (ci, (tracks, clip)) in tracks_per_clip.iter().zip(clips).enumerate() {
-            for f in 0..clip.num_frames() {
-                let (pts, min_dur) = Self::track_positions(tracks, f);
-                if self.positions_match(&pts) {
-                    matches.push((min_dur, FrameRef { clip: ci, frame: f }));
-                }
-            }
-        }
-        // highest minimum duration first
-        matches.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.clip.cmp(&b.1.clip)));
-
-        let mut out: Vec<FrameRef> = Vec::new();
-        for (_, r) in matches {
-            if out.len() >= self.limit {
-                break;
-            }
-            let sep = (self.min_separation_s * clips[r.clip].scene.fps as f32) as usize;
-            let conflict = out
-                .iter()
-                .any(|o| o.clip == r.clip && o.frame.abs_diff(r.frame) < sep);
-            if !conflict {
-                out.push(r);
-            }
-        }
-        out
+        let per_clip: Vec<ClipMatches> = tracks_per_clip
+            .iter()
+            .zip(clips)
+            .enumerate()
+            .map(|(ci, (tracks, clip))| {
+                (
+                    ci,
+                    clip.scene.fps as f32,
+                    self.clip_matches(tracks, clip.num_frames()),
+                )
+            })
+            .collect();
+        self.select_frames(&per_clip)
     }
 
     /// Ground-truth check: does the frame actually satisfy the predicate

@@ -26,6 +26,6 @@ pub mod metrics;
 pub mod track_queries;
 
 pub use aggregate::AggregateQuery;
-pub use frame_queries::{FrameLimitQuery, FrameQueryKind, FrameRef};
+pub use frame_queries::{ClipMatches, FrameLimitQuery, FrameQueryKind, FrameRef};
 pub use metrics::{count_accuracy, mean};
 pub use track_queries::{PathPattern, TrackQuery};

@@ -4,11 +4,12 @@ use crate::metrics::{count_accuracy, mean};
 use otif_geom::Polyline;
 use otif_sim::{Clip, ObjectClass, SceneSpec};
 use otif_track::Track;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
 /// A canonical spatial path pattern for path-breakdown queries: tracks
 /// are classified to the nearest pattern's polyline.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PathPattern {
     /// Pattern identifier (e.g. `"north->south"`).
     pub id: String,
@@ -110,7 +111,7 @@ pub fn classify_track(track: &Track, patterns: &[PathPattern], max_dist: f32) ->
 }
 
 /// Object track queries over extracted tracks.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum TrackQuery {
     /// Number of unique cars per clip (Amsterdam, Jackson).
     Count,

@@ -1,0 +1,172 @@
+//! The answer cache: canonical answer bytes keyed by `(canonical
+//! query, clip-set fingerprint)`, LRU-evicted, with hit/miss/eviction
+//! stats.
+//!
+//! Keying on the clip-set fingerprint makes invalidation structural:
+//! ingesting any clip changes the store fingerprint, so every answer
+//! cached against the old clip set simply stops being addressable (and
+//! ages out of the LRU). Cached bytes are exactly what evaluation
+//! produced — [`CacheMode::Verify`](crate::CacheMode) re-evaluates on
+//! every hit and asserts the bytes still match.
+
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache key: canonical query text + clip-set fingerprint.
+pub type CacheKey = (String, u64);
+
+/// Point-in-time cache counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct CacheStats {
+    /// Lookups answered from the cache.
+    pub hits: u64,
+    /// Lookups that fell through to evaluation.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+    /// Hits re-evaluated and byte-checked (verify mode).
+    pub verified: u64,
+    /// Entries currently resident.
+    pub entries: usize,
+}
+
+struct Inner {
+    map: HashMap<CacheKey, (Arc<Vec<u8>>, u64)>,
+    tick: u64,
+}
+
+/// A bounded LRU cache of canonical answer bytes.
+pub struct AnswerCache {
+    capacity: usize,
+    inner: Mutex<Inner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+    verified: AtomicU64,
+}
+
+impl AnswerCache {
+    /// A cache holding at most `capacity` answers (0 disables storage;
+    /// every lookup misses).
+    pub fn new(capacity: usize) -> AnswerCache {
+        AnswerCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            verified: AtomicU64::new(0),
+        }
+    }
+
+    /// Look up an answer, refreshing its LRU position on hit.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(key) {
+            Some((bytes, last_used)) => {
+                *last_used = tick;
+                let out = Arc::clone(bytes);
+                drop(inner);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(out)
+            }
+            None => {
+                drop(inner);
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert an answer, evicting the least-recently-used entry if full.
+    pub fn insert(&self, key: CacheKey, bytes: Arc<Vec<u8>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(victim) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&victim);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        inner.map.insert(key, (bytes, tick));
+    }
+
+    /// Record a verified hit (verify mode re-evaluated and compared).
+    pub fn record_verified(&self) {
+        self.verified.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            verified: self.verified.load(Ordering::Relaxed),
+            entries: self.inner.lock().unwrap().map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(s: &str) -> CacheKey {
+        (s.to_string(), 7)
+    }
+
+    fn bytes(s: &str) -> Arc<Vec<u8>> {
+        Arc::new(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn hit_miss_and_fingerprint_isolation() {
+        let c = AnswerCache::new(4);
+        assert!(c.get(&key("q1")).is_none());
+        c.insert(key("q1"), bytes("a1"));
+        assert_eq!(c.get(&key("q1")).unwrap().as_slice(), b"a1");
+        // same query text against a different clip set misses
+        assert!(c.get(&("q1".to_string(), 8)).is_none());
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 2));
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let c = AnswerCache::new(2);
+        c.insert(key("a"), bytes("a"));
+        c.insert(key("b"), bytes("b"));
+        c.get(&key("a")); // refresh a
+        c.insert(key("c"), bytes("c")); // evicts b
+        assert!(c.get(&key("a")).is_some());
+        assert!(c.get(&key("b")).is_none());
+        assert!(c.get(&key("c")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.stats().entries, 2);
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let c = AnswerCache::new(0);
+        c.insert(key("a"), bytes("a"));
+        assert!(c.get(&key("a")).is_none());
+        assert_eq!(c.stats().entries, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! The serving tier's query and answer types.
+//!
+//! A [`ServeQuery`] wraps the existing `otif-query` operators; its
+//! canonical form (stable serde serialization) is the cache key, and an
+//! [`Answer`]'s canonical bytes are what the determinism contract is
+//! stated over: byte-identical at any thread count, cache state, and
+//! pruning setting.
+
+use otif_query::{AggregateQuery, FrameLimitQuery, FrameRef, TrackQuery};
+use serde::{Deserialize, Serialize};
+
+/// A query the serving tier answers from stored tracks alone.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum ServeQuery {
+    /// Per-clip aggregate (§3's example queries 3–4).
+    Aggregate(AggregateQuery),
+    /// Per-clip object-track query (§4.1).
+    Track(TrackQuery),
+    /// Cross-clip frame-level limit query (§4.2).
+    FrameLimit(FrameLimitQuery),
+}
+
+impl ServeQuery {
+    /// Canonical cache-key text: the stable serde serialization. Two
+    /// queries with equal canonical keys are the same query.
+    pub fn canonical_key(&self) -> String {
+        serde_json::to_string(self).expect("queries serialize")
+    }
+
+    /// Short human-readable label for logs and bench tables.
+    pub fn label(&self) -> String {
+        match self {
+            ServeQuery::Aggregate(a) => format!("agg:{a:?}"),
+            ServeQuery::Track(TrackQuery::Count) => "track:count".into(),
+            ServeQuery::Track(TrackQuery::HardBraking { decel }) => {
+                format!("track:braking>{decel}")
+            }
+            ServeQuery::Track(TrackQuery::PathBreakdown { patterns, .. }) => {
+                format!("track:breakdown[{}]", patterns.len())
+            }
+            ServeQuery::FrameLimit(f) => {
+                let kind = match &f.kind {
+                    otif_query::FrameQueryKind::Count => "count".to_string(),
+                    otif_query::FrameQueryKind::Region(_) => "region".to_string(),
+                    otif_query::FrameQueryKind::HotSpot { radius } => format!("hotspot r={radius}"),
+                };
+                format!("frames:{kind} n={} limit={}", f.n, f.limit)
+            }
+        }
+    }
+}
+
+/// A serving answer in canonical form.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Answer {
+    /// One row per ingested clip, in clip-id order (aggregate and track
+    /// queries; row layout is the operator's count vector).
+    PerClip(Vec<Vec<f32>>),
+    /// Selected frames of a frame-limit query; `FrameRef::clip` is the
+    /// store clip id.
+    Frames(Vec<FrameRef>),
+}
+
+impl Answer {
+    /// Canonical bytes — the unit of the byte-identity contract.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        serde_json::to_string(self)
+            .expect("answers serialize")
+            .into_bytes()
+    }
+
+    /// Decode canonical bytes.
+    pub fn from_bytes(bytes: &[u8]) -> Answer {
+        let text = std::str::from_utf8(bytes).expect("canonical answer bytes are utf-8");
+        serde_json::from_str(text).expect("canonical answer bytes decode")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_query::FrameQueryKind;
+
+    #[test]
+    fn canonical_key_distinguishes_queries() {
+        let a = ServeQuery::Aggregate(AggregateQuery::AvgVisible);
+        let b = ServeQuery::Aggregate(AggregateQuery::TrafficVolume);
+        let c = ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n: 2,
+            limit: 10,
+            min_separation_s: 5.0,
+        });
+        assert_ne!(a.canonical_key(), b.canonical_key());
+        assert_ne!(a.canonical_key(), c.canonical_key());
+        assert_eq!(a.canonical_key(), a.clone().canonical_key());
+    }
+
+    #[test]
+    fn answer_bytes_roundtrip() {
+        let ans = Answer::PerClip(vec![vec![1.5, 2.0], vec![0.0]]);
+        let bytes = ans.to_bytes();
+        assert_eq!(Answer::from_bytes(&bytes), ans);
+        let frames = Answer::Frames(vec![FrameRef { clip: 3, frame: 17 }]);
+        assert_eq!(Answer::from_bytes(&frames.to_bytes()), frames);
+    }
+}

@@ -1,0 +1,245 @@
+//! The concurrent query front-end: cache lookup, index-driven clip
+//! pruning, and parallel per-clip evaluation over the evalpool.
+//!
+//! Determinism contract: for a fixed store state, an answer's canonical
+//! bytes are identical at any `threads` setting (per-clip results are
+//! reassembled in clip-id order, the `par_map` guarantee), any cache
+//! state (cached bytes are exactly what evaluation produced; the
+//! fingerprint key can never serve an answer from a different clip
+//! set), and with pruning on or off (pruning only skips clips that
+//! provably contribute nothing to the answer).
+//!
+//! Pruning rules (all *necessary* conditions — see DESIGN.md §11):
+//!
+//! - aggregate and track queries answer one row per clip, so every clip
+//!   participates — no pruning;
+//! - any frame-limit query demanding ≥ n objects skips clips whose
+//!   catalog `max_concurrent_tracks < n` (temporal interval summary);
+//! - region queries additionally skip clips whose occupied geometry
+//!   cells miss the polygon's bounding rectangle (catalog spatial
+//!   summary — the clip file is never deserialized);
+//! - hot-spot queries additionally skip the per-frame scan of loaded
+//!   clips whose spatial index proves no `radius`-cluster of `n`
+//!   distinct tracks exists anywhere, ignoring time
+//!   ([`LoadedClip::hotspot_candidate`]).
+
+use crate::cache::{AnswerCache, CacheStats};
+use crate::query::{Answer, ServeQuery};
+use crate::store::{LoadedClip, TrackStore};
+use otif_core::evalpool::par_map;
+use otif_query::{FrameLimitQuery, FrameQueryKind};
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// How the answer cache participates in a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheMode {
+    /// Bypass the cache entirely (no lookups, no inserts).
+    Off,
+    /// Normal operation: serve hits, fill on miss.
+    On,
+    /// Serve hits, but re-evaluate every hit and fail if the cached
+    /// bytes differ from fresh evaluation (the byte-identity assertion).
+    Verify,
+}
+
+/// Per-query execution options.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Worker threads for per-clip evaluation (0 = auto, the
+    /// [`par_map`] convention).
+    pub threads: usize,
+    /// Enable index-driven clip pruning.
+    pub pruning: bool,
+    /// Cache participation.
+    pub cache: CacheMode,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            threads: 0,
+            pruning: true,
+            cache: CacheMode::On,
+        }
+    }
+}
+
+/// Point-in-time serving counters.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ServeStats {
+    /// Queries executed (including cache hits).
+    pub queries: u64,
+    /// Answer-cache counters.
+    pub cache: CacheStats,
+    /// Clips skipped before their file was touched (catalog pruning).
+    pub clips_pruned: u64,
+    /// Clips evaluated (loaded and run through an operator).
+    pub clips_evaluated: u64,
+    /// Loaded clips whose per-frame scan was skipped by the spatial
+    /// index (hot-spot prefilter).
+    pub frame_scans_skipped: u64,
+    /// Clip files deserialized by the store so far.
+    pub clip_loads: u64,
+}
+
+/// The serving front-end over one [`TrackStore`].
+pub struct QueryServer {
+    store: Arc<TrackStore>,
+    cache: AnswerCache,
+    queries: AtomicU64,
+    clips_pruned: AtomicU64,
+    clips_evaluated: AtomicU64,
+    frame_scans_skipped: AtomicU64,
+}
+
+impl QueryServer {
+    /// A server over `store` with an answer cache of `cache_capacity`
+    /// entries.
+    pub fn new(store: Arc<TrackStore>, cache_capacity: usize) -> QueryServer {
+        QueryServer {
+            store,
+            cache: AnswerCache::new(cache_capacity),
+            queries: AtomicU64::new(0),
+            clips_pruned: AtomicU64::new(0),
+            clips_evaluated: AtomicU64::new(0),
+            frame_scans_skipped: AtomicU64::new(0),
+        }
+    }
+
+    /// The underlying store.
+    pub fn store(&self) -> &Arc<TrackStore> {
+        &self.store
+    }
+
+    /// Execute a query, returning the canonical answer bytes (the form
+    /// cached, compared, and shipped to clients).
+    pub fn execute_bytes(
+        &self,
+        q: &ServeQuery,
+        opts: &ServeOptions,
+    ) -> Result<Arc<Vec<u8>>, String> {
+        self.queries.fetch_add(1, Ordering::Relaxed);
+        let key = (q.canonical_key(), self.store.fingerprint());
+        if opts.cache != CacheMode::Off {
+            if let Some(hit) = self.cache.get(&key) {
+                if opts.cache == CacheMode::Verify {
+                    let fresh = self.evaluate(q, opts)?.to_bytes();
+                    if fresh != *hit.as_slice() {
+                        return Err(format!(
+                            "cache verification failed for {}: cached {} bytes != fresh {} bytes",
+                            q.label(),
+                            hit.len(),
+                            fresh.len()
+                        ));
+                    }
+                    self.cache.record_verified();
+                }
+                return Ok(hit);
+            }
+        }
+        let bytes = Arc::new(self.evaluate(q, opts)?.to_bytes());
+        if opts.cache != CacheMode::Off {
+            self.cache.insert(key, Arc::clone(&bytes));
+        }
+        Ok(bytes)
+    }
+
+    /// Execute a query and decode the answer.
+    pub fn execute(&self, q: &ServeQuery, opts: &ServeOptions) -> Result<Answer, String> {
+        Ok(Answer::from_bytes(&self.execute_bytes(q, opts)?))
+    }
+
+    /// Counter snapshot (server + cache + store).
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            queries: self.queries.load(Ordering::Relaxed),
+            cache: self.cache.stats(),
+            clips_pruned: self.clips_pruned.load(Ordering::Relaxed),
+            clips_evaluated: self.clips_evaluated.load(Ordering::Relaxed),
+            frame_scans_skipped: self.frame_scans_skipped.load(Ordering::Relaxed),
+            clip_loads: self.store.clip_loads(),
+        }
+    }
+
+    fn evaluate(&self, q: &ServeQuery, opts: &ServeOptions) -> Result<Answer, String> {
+        match q {
+            ServeQuery::Aggregate(_) | ServeQuery::Track(_) => {
+                let ids: Vec<usize> = self.store.metas().iter().map(|m| m.id).collect();
+                self.clips_evaluated
+                    .fetch_add(ids.len() as u64, Ordering::Relaxed);
+                let q = q.clone();
+                let rows: Vec<Result<Vec<f32>, String>> =
+                    par_map(opts.threads, ids, |_, id| -> Result<Vec<f32>, String> {
+                        let clip = self.store.load(id)?;
+                        Ok(match &q {
+                            ServeQuery::Aggregate(a) => {
+                                vec![a.run(&clip.tracks, clip.meta.num_frames, clip.meta.fps)]
+                            }
+                            ServeQuery::Track(t) => t.run(&clip.tracks, clip.meta.fps),
+                            ServeQuery::FrameLimit(_) => unreachable!("outer match"),
+                        })
+                    });
+                Ok(Answer::PerClip(
+                    rows.into_iter().collect::<Result<Vec<_>, _>>()?,
+                ))
+            }
+            ServeQuery::FrameLimit(f) => {
+                let candidates = self.prune_frame_limit(f, opts.pruning);
+                let results: Vec<Result<otif_query::ClipMatches, String>> =
+                    par_map(opts.threads, candidates, |_, id| {
+                        let clip = self.store.load(id)?;
+                        Ok((id, clip.meta.fps, self.clip_frame_matches(f, &clip, opts)))
+                    });
+                let per_clip = results.into_iter().collect::<Result<Vec<_>, _>>()?;
+                Ok(Answer::Frames(f.select_frames(&per_clip)))
+            }
+        }
+    }
+
+    /// Catalog-level pruning for a frame-limit query: returns candidate
+    /// clip ids in ascending order.
+    fn prune_frame_limit(&self, f: &FrameLimitQuery, pruning: bool) -> Vec<usize> {
+        let metas = self.store.metas();
+        let mut out = Vec::with_capacity(metas.len());
+        for m in metas {
+            let keep = !pruning
+                || (m.max_concurrent_tracks >= f.n
+                    && match &f.kind {
+                        FrameQueryKind::Count => true,
+                        FrameQueryKind::Region(poly) => m.geometry_intersects(&poly.bounds()),
+                        // spatial side handled post-load by the per-clip
+                        // index (hotspot_candidate)
+                        FrameQueryKind::HotSpot { .. } => true,
+                    });
+            if keep {
+                out.push(m.id);
+            }
+        }
+        self.clips_pruned
+            .fetch_add((metas.len() - out.len()) as u64, Ordering::Relaxed);
+        self.clips_evaluated
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        out
+    }
+
+    /// Per-clip frame matching, with the index-driven hot-spot
+    /// prefilter in front of the O(frames × tracks) scan.
+    fn clip_frame_matches(
+        &self,
+        f: &FrameLimitQuery,
+        clip: &LoadedClip,
+        opts: &ServeOptions,
+    ) -> Vec<(usize, usize)> {
+        if opts.pruning {
+            if let FrameQueryKind::HotSpot { radius } = &f.kind {
+                if !clip.hotspot_candidate(*radius, f.n) {
+                    self.frame_scans_skipped.fetch_add(1, Ordering::Relaxed);
+                    return Vec::new();
+                }
+            }
+        }
+        f.clip_matches(&clip.tracks, clip.meta.num_frames)
+    }
+}

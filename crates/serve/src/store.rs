@@ -1,0 +1,551 @@
+//! The persistent track store: an on-disk clip catalog with per-clip
+//! spatial and temporal indexes, loaded lazily.
+//!
+//! Layout under the store directory:
+//!
+//! ```text
+//! store/
+//!   catalog.json          # Vec<ClipMeta>: per-clip summaries + fingerprints
+//!   clips/clip_<id>.json  # Vec<Track>: the clip's extracted tracks
+//! ```
+//!
+//! The catalog is small and always resident; it carries everything clip
+//! pruning needs (occupied spatial cells of the track geometry, the
+//! maximum number of concurrently alive tracks, frame count, frame
+//! rate) so a query decides *which* clip files to deserialize without
+//! touching any of them. Track geometry is rasterized segment-by-segment
+//! at half-cell steps before cells are marked, so positions interpolated
+//! between detections (what the frame-limit operators actually query)
+//! are covered by the occupancy summary up to half a cell of error —
+//! pruning rules must (and do) budget that slack.
+
+use otif_geom::{GridIndex, Point, Rect};
+use otif_track::Track;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Frame-level metadata the ingester must supply per clip (the serving
+/// tier never sees the simulator's `Clip`, only its dimensions).
+#[derive(Debug, Clone, Copy)]
+pub struct ClipInfo {
+    /// Number of frames in the clip.
+    pub num_frames: usize,
+    /// Frame rate.
+    pub fps: f32,
+    /// Native frame width in pixels.
+    pub width: f32,
+    /// Native frame height in pixels.
+    pub height: f32,
+}
+
+/// Catalog entry for one ingested clip: identity, dimensions, and the
+/// compact spatial/temporal summaries used for index-driven pruning.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ClipMeta {
+    /// Clip id — dense, assigned at ingest in ingest order.
+    pub id: usize,
+    /// Number of frames.
+    pub num_frames: usize,
+    /// Frame rate.
+    pub fps: f32,
+    /// Native frame width in pixels.
+    pub width: f32,
+    /// Native frame height in pixels.
+    pub height: f32,
+    /// Number of extracted tracks.
+    pub num_tracks: usize,
+    /// Maximum number of tracks alive at the same frame (temporal
+    /// interval summary). A frame-limit query demanding ≥ n objects can
+    /// never match a clip with fewer than n concurrent tracks.
+    pub max_concurrent_tracks: usize,
+    /// FNV-1a over the clip's serialized tracks; feeds the clip-set
+    /// fingerprint that keys the answer cache.
+    pub fingerprint: u64,
+    /// Side of the square summary cells, in native pixels.
+    pub cell_size: f32,
+    /// Sorted `(col, row)` cells touched by rasterized track geometry.
+    pub occupied_cells: Vec<(u32, u32)>,
+}
+
+impl ClipMeta {
+    /// Whether any occupied cell's rectangle — inflated by the half-cell
+    /// rasterization slack — intersects `rect`. Sound for pruning: if
+    /// this is false, no (possibly interpolated) track position lies in
+    /// `rect`.
+    pub fn geometry_intersects(&self, rect: &Rect) -> bool {
+        let slack = self.cell_size * 0.5;
+        self.occupied_cells.iter().any(|&(cx, cy)| {
+            let cell = Rect::new(
+                cx as f32 * self.cell_size - slack,
+                cy as f32 * self.cell_size - slack,
+                self.cell_size + 2.0 * slack,
+                self.cell_size + 2.0 * slack,
+            );
+            cell.intersects(rect)
+        })
+    }
+}
+
+/// A clip resident in memory: tracks plus the two per-clip indexes,
+/// built on load.
+pub struct LoadedClip {
+    /// Catalog entry.
+    pub meta: ClipMeta,
+    /// The clip's extracted tracks, in stored order.
+    pub tracks: Vec<Track>,
+    /// Spatial index over rasterized track geometry; payload is the
+    /// position of the owning track in `tracks`.
+    pub index: GridIndex<u32>,
+    /// Temporal interval index: `(first_frame, last_frame)` per track,
+    /// sorted by first frame.
+    pub intervals: Vec<(usize, usize)>,
+}
+
+impl LoadedClip {
+    fn build(meta: ClipMeta, tracks: Vec<Track>) -> LoadedClip {
+        let mut index = GridIndex::new(
+            meta.width.max(1.0),
+            meta.height.max(1.0),
+            meta.cell_size.max(1.0),
+        );
+        for (ti, t) in tracks.iter().enumerate() {
+            for p in rasterize_track(t, meta.cell_size * 0.5) {
+                index.insert(p, ti as u32);
+            }
+        }
+        let mut intervals: Vec<(usize, usize)> = tracks
+            .iter()
+            .filter(|t| !t.is_empty())
+            .map(|t| (t.first_frame(), t.last_frame()))
+            .collect();
+        intervals.sort_unstable();
+        LoadedClip {
+            meta,
+            tracks,
+            index,
+            intervals,
+        }
+    }
+
+    /// Index-driven hot-spot prefilter: can *any* frame of this clip
+    /// contain `n` objects within `radius` of one of them?
+    ///
+    /// At a matching frame, n distinct tracks have (interpolated)
+    /// positions within `radius` of a center that is itself one of the
+    /// positions. Every interpolated position is within half a cell of a
+    /// rasterized index point of its track, so querying the index around
+    /// each stored point with `radius + cell_size` (two half-cell
+    /// slacks) and counting distinct track ids is a sound necessary
+    /// condition — when it never reaches `n`, the per-frame scan is
+    /// skipped entirely. Time is ignored, which only over-approximates.
+    pub fn hotspot_candidate(&self, radius: f32, n: usize) -> bool {
+        if n <= 1 {
+            return !self.tracks.is_empty();
+        }
+        if self.meta.max_concurrent_tracks < n {
+            return false;
+        }
+        let slack = self.meta.cell_size;
+        let mut seen: Vec<bool> = vec![false; self.tracks.len()];
+        for (ti, t) in self.tracks.iter().enumerate() {
+            for (_, d) in &t.dets {
+                let center = d.rect.center();
+                let near = self.index.query_circle(&center, radius + slack);
+                for s in seen.iter_mut() {
+                    *s = false;
+                }
+                let mut distinct = 0usize;
+                for (_, id) in near {
+                    let id = id as usize;
+                    if !seen[id] {
+                        seen[id] = true;
+                        distinct += 1;
+                        if distinct >= n {
+                            return true;
+                        }
+                    }
+                }
+                let _ = ti;
+            }
+        }
+        false
+    }
+}
+
+/// Sample points along a track's center polyline at `step` px so every
+/// interpolated position is within `step / 2` of a sample.
+fn rasterize_track(t: &Track, step: f32) -> Vec<Point> {
+    let step = step.max(0.5);
+    let centers: Vec<Point> = t.dets.iter().map(|(_, d)| d.rect.center()).collect();
+    let mut out = Vec::new();
+    match centers.len() {
+        0 => {}
+        1 => out.push(centers[0]),
+        _ => {
+            for w in centers.windows(2) {
+                let (a, b) = (w[0], w[1]);
+                let n = (a.dist(&b) / step).ceil().max(1.0) as usize;
+                for k in 0..n {
+                    out.push(a.lerp(&b, k as f32 / n as f32));
+                }
+            }
+            out.push(*centers.last().unwrap());
+        }
+    }
+    out
+}
+
+/// FNV-1a 64-bit over a byte slice — stable across runs and platforms.
+pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Maximum number of overlapping `(first, last)` intervals.
+fn max_concurrent(tracks: &[Track]) -> usize {
+    let mut events: Vec<(usize, i32)> = Vec::with_capacity(tracks.len() * 2);
+    for t in tracks.iter().filter(|t| !t.is_empty()) {
+        events.push((t.first_frame(), 1));
+        events.push((t.last_frame() + 1, -1));
+    }
+    events.sort_unstable();
+    let (mut cur, mut peak) = (0i64, 0i64);
+    for (_, d) in events {
+        cur += d as i64;
+        peak = peak.max(cur);
+    }
+    peak as usize
+}
+
+const CATALOG_FILE: &str = "catalog.json";
+
+/// The persistent track store. Cheap always-resident catalog; clip
+/// payloads (tracks + indexes) deserialized lazily per clip and cached.
+pub struct TrackStore {
+    dir: PathBuf,
+    catalog: Vec<ClipMeta>,
+    loaded: Mutex<HashMap<usize, Arc<LoadedClip>>>,
+    loads: AtomicU64,
+}
+
+impl TrackStore {
+    /// Create an empty store at `dir` (the directory is created; an
+    /// existing catalog there is an error — stores are append-only).
+    pub fn create(dir: &Path) -> Result<TrackStore, String> {
+        let catalog_path = dir.join(CATALOG_FILE);
+        if catalog_path.exists() {
+            return Err(format!(
+                "{} already exists; open() it instead",
+                catalog_path.display()
+            ));
+        }
+        std::fs::create_dir_all(dir.join("clips"))
+            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        let store = TrackStore {
+            dir: dir.to_path_buf(),
+            catalog: Vec::new(),
+            loaded: Mutex::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+        };
+        store.write_catalog()?;
+        Ok(store)
+    }
+
+    /// Open an existing store.
+    pub fn open(dir: &Path) -> Result<TrackStore, String> {
+        let path = dir.join(CATALOG_FILE);
+        let json =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let catalog: Vec<ClipMeta> =
+            serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+        Ok(TrackStore {
+            dir: dir.to_path_buf(),
+            catalog,
+            loaded: Mutex::new(HashMap::new()),
+            loads: AtomicU64::new(0),
+        })
+    }
+
+    fn write_catalog(&self) -> Result<(), String> {
+        let path = self.dir.join(CATALOG_FILE);
+        let json = serde_json::to_string(&self.catalog).map_err(|e| e.to_string())?;
+        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    fn clip_path(&self, id: usize) -> PathBuf {
+        self.dir.join("clips").join(format!("clip_{id}.json"))
+    }
+
+    /// Cell side used for a clip's spatial summary: coarse enough that
+    /// the catalog stays small, fine enough that corner-region pruning
+    /// discriminates (≈ 48×48 cells over the larger frame dimension).
+    fn cell_size_for(info: &ClipInfo) -> f32 {
+        (info.width.max(info.height) / 48.0).max(4.0)
+    }
+
+    /// Ingest one clip's extracted tracks (`Engine` / `Pipeline` output
+    /// order is preserved). Returns the assigned clip id.
+    pub fn ingest_clip(&mut self, info: &ClipInfo, tracks: &[Track]) -> Result<usize, String> {
+        let id = self.catalog.len();
+        let json = serde_json::to_string(tracks).map_err(|e| e.to_string())?;
+        let fingerprint = fnv1a(json.as_bytes());
+
+        let cell_size = Self::cell_size_for(info);
+        let cols = (info.width / cell_size).ceil().max(1.0) as u32;
+        let rows = (info.height / cell_size).ceil().max(1.0) as u32;
+        let mut cells: Vec<(u32, u32)> = Vec::new();
+        for t in tracks {
+            for p in rasterize_track(t, cell_size * 0.5) {
+                let cx = ((p.x / cell_size).floor() as i64).clamp(0, cols as i64 - 1) as u32;
+                let cy = ((p.y / cell_size).floor() as i64).clamp(0, rows as i64 - 1) as u32;
+                cells.push((cx, cy));
+            }
+        }
+        cells.sort_unstable();
+        cells.dedup();
+
+        let path = self.clip_path(id);
+        std::fs::write(&path, &json).map_err(|e| format!("{}: {e}", path.display()))?;
+        self.catalog.push(ClipMeta {
+            id,
+            num_frames: info.num_frames,
+            fps: info.fps,
+            width: info.width,
+            height: info.height,
+            num_tracks: tracks.len(),
+            max_concurrent_tracks: max_concurrent(tracks),
+            fingerprint,
+            cell_size,
+            occupied_cells: cells,
+        });
+        self.write_catalog()?;
+        Ok(id)
+    }
+
+    /// Catalog entries, in clip-id order.
+    pub fn metas(&self) -> &[ClipMeta] {
+        &self.catalog
+    }
+
+    /// Number of ingested clips.
+    pub fn len(&self) -> usize {
+        self.catalog.len()
+    }
+
+    /// Whether the store holds no clips.
+    pub fn is_empty(&self) -> bool {
+        self.catalog.is_empty()
+    }
+
+    /// Clip-set fingerprint: FNV-1a over every clip's id and content
+    /// fingerprint, in id order. Any ingest changes it, invalidating all
+    /// cached answers keyed against the previous clip set.
+    pub fn fingerprint(&self) -> u64 {
+        let mut bytes = Vec::with_capacity(self.catalog.len() * 16);
+        for m in &self.catalog {
+            bytes.extend_from_slice(&(m.id as u64).to_le_bytes());
+            bytes.extend_from_slice(&m.fingerprint.to_le_bytes());
+        }
+        fnv1a(&bytes)
+    }
+
+    /// Load a clip (lazily; cached). Concurrent callers may race on the
+    /// first load of the same clip — exactly one result wins the cache
+    /// and `clip_loads` counts file reads that won.
+    pub fn load(&self, id: usize) -> Result<Arc<LoadedClip>, String> {
+        if let Some(c) = self.loaded.lock().unwrap().get(&id) {
+            return Ok(Arc::clone(c));
+        }
+        let meta = self
+            .catalog
+            .get(id)
+            .ok_or_else(|| format!("clip {id} is not in the catalog"))?
+            .clone();
+        let path = self.clip_path(id);
+        let json =
+            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        let tracks: Vec<Track> =
+            serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+        let built = Arc::new(LoadedClip::build(meta, tracks));
+        let mut cache = self.loaded.lock().unwrap();
+        let entry = cache.entry(id).or_insert_with(|| {
+            self.loads.fetch_add(1, Ordering::Relaxed);
+            Arc::clone(&built)
+        });
+        Ok(Arc::clone(entry))
+    }
+
+    /// Number of clip files actually deserialized so far (cache-winning
+    /// loads). The pruning benches assert on this.
+    pub fn clip_loads(&self) -> u64 {
+        self.loads.load(Ordering::Relaxed)
+    }
+
+    /// Drop every cached clip payload (cold-cache benchmarking).
+    pub fn evict_clips(&self) {
+        self.loaded.lock().unwrap().clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use otif_cv::Detection;
+    use otif_sim::ObjectClass;
+
+    fn det(x: f32, y: f32) -> Detection {
+        Detection {
+            rect: Rect::new(x - 5.0, y - 3.0, 10.0, 6.0),
+            class: ObjectClass::Car,
+            confidence: 0.9,
+            appearance: vec![],
+            debug_gt: None,
+        }
+    }
+
+    fn track(id: u32, pts: &[(usize, f32, f32)]) -> Track {
+        let mut t = Track::new(id, ObjectClass::Car);
+        for &(f, x, y) in pts {
+            t.push(f, det(x, y));
+        }
+        t
+    }
+
+    fn info() -> ClipInfo {
+        ClipInfo {
+            num_frames: 100,
+            fps: 10.0,
+            width: 640.0,
+            height: 352.0,
+        }
+    }
+
+    #[test]
+    fn ingest_load_roundtrip_preserves_tracks() {
+        let dir = std::env::temp_dir().join(format!("otif-store-rt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = TrackStore::create(&dir).unwrap();
+        let tracks = vec![
+            track(0, &[(0, 10.0, 10.0), (50, 600.0, 300.0)]),
+            track(1, &[(20, 320.0, 176.0), (80, 10.0, 340.0)]),
+        ];
+        let id = store.ingest_clip(&info(), &tracks).unwrap();
+        // round-trip through a fresh open (no warm in-memory state)
+        let store = TrackStore::open(&dir).unwrap();
+        let loaded = store.load(id).unwrap();
+        assert_eq!(
+            serde_json::to_string(&loaded.tracks).unwrap(),
+            serde_json::to_string(&tracks).unwrap(),
+            "ingest → load must be lossless"
+        );
+        assert_eq!(store.clip_loads(), 1);
+        store.load(id).unwrap();
+        assert_eq!(store.clip_loads(), 1, "second load is cached");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn occupancy_covers_interpolated_geometry() {
+        let dir = std::env::temp_dir().join(format!("otif-store-occ-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = TrackStore::create(&dir).unwrap();
+        // A diagonal track with only two detections: the midpoint is
+        // interpolated, far from either endpoint.
+        let tracks = vec![track(0, &[(0, 10.0, 10.0), (99, 630.0, 340.0)])];
+        let id = store.ingest_clip(&info(), &tracks).unwrap();
+        let meta = &store.metas()[id];
+        let mid = Rect::new(315.0, 170.0, 10.0, 10.0);
+        assert!(
+            meta.geometry_intersects(&mid),
+            "rasterized cells must cover the interpolated midpoint"
+        );
+        let off = Rect::new(600.0, 10.0, 30.0, 30.0);
+        assert!(
+            !meta.geometry_intersects(&off),
+            "opposite corner stays unoccupied"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_concurrent_and_fingerprint() {
+        let tracks = vec![
+            track(0, &[(0, 1.0, 1.0), (10, 2.0, 2.0)]),
+            track(1, &[(5, 1.0, 1.0), (15, 2.0, 2.0)]),
+            track(2, &[(11, 1.0, 1.0), (20, 2.0, 2.0)]),
+        ];
+        assert_eq!(max_concurrent(&tracks), 2);
+        let a = fnv1a(b"hello");
+        let b = fnv1a(b"hellp");
+        assert_ne!(a, b);
+        assert_eq!(a, fnv1a(b"hello"));
+    }
+
+    #[test]
+    fn ingest_changes_store_fingerprint() {
+        let dir = std::env::temp_dir().join(format!("otif-store-fp-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut store = TrackStore::create(&dir).unwrap();
+        store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        let f1 = store.fingerprint();
+        store
+            .ingest_clip(&info(), &[track(0, &[(0, 2.0, 2.0), (5, 8.0, 8.0)])])
+            .unwrap();
+        assert_ne!(f1, store.fingerprint());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn hotspot_candidate_detects_clusters_and_rejects_spread() {
+        // two tracks that pass close together
+        let close = LoadedClip::build(
+            ClipMeta {
+                id: 0,
+                num_frames: 100,
+                fps: 10.0,
+                width: 640.0,
+                height: 352.0,
+                num_tracks: 2,
+                max_concurrent_tracks: 2,
+                fingerprint: 0,
+                cell_size: 13.0,
+                occupied_cells: vec![],
+            },
+            vec![
+                track(0, &[(0, 100.0, 100.0), (50, 110.0, 100.0)]),
+                track(1, &[(0, 105.0, 105.0), (50, 115.0, 105.0)]),
+            ],
+        );
+        assert!(close.hotspot_candidate(30.0, 2));
+        // two tracks in opposite corners
+        let far = LoadedClip::build(
+            ClipMeta {
+                id: 1,
+                num_frames: 100,
+                fps: 10.0,
+                width: 640.0,
+                height: 352.0,
+                num_tracks: 2,
+                max_concurrent_tracks: 2,
+                fingerprint: 0,
+                cell_size: 13.0,
+                occupied_cells: vec![],
+            },
+            vec![
+                track(0, &[(0, 10.0, 10.0), (50, 40.0, 10.0)]),
+                track(1, &[(0, 600.0, 340.0), (50, 630.0, 340.0)]),
+            ],
+        );
+        assert!(!far.hotspot_candidate(30.0, 2));
+        assert!(far.hotspot_candidate(30.0, 1), "n=1 only needs any track");
+    }
+}

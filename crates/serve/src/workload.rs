@@ -1,0 +1,251 @@
+//! Deterministic mixed read workloads and a multi-client runner.
+//!
+//! [`mixed_workload`] builds the query mix the serving bench and the
+//! CLI smoke share: repeated aggregates (cache-friendly), scan-heavy
+//! frame-limit queries, a prunable corner region query, and hot-spot
+//! queries at two radii — shuffled with a fixed seed so every run at
+//! every thread count executes the same sequence. [`run_workload`]
+//! drives a [`QueryServer`] from `clients` concurrent threads and
+//! reports latency percentiles, QPS, and a fingerprint over all answer
+//! bytes in workload order (the byte-identity comparator across runs).
+
+use crate::query::ServeQuery;
+use crate::server::{QueryServer, ServeOptions};
+use crate::store::{fnv1a, ClipMeta};
+use otif_geom::{Point, Polygon};
+use otif_query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::Serialize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Build the deterministic mixed read workload: `repeats` passes over
+/// the base query mix, shuffled by `seed`. Region and hot-spot
+/// parameters are derived from the catalog's clip dimensions so the
+/// same generator works at any scale.
+pub fn mixed_workload(metas: &[ClipMeta], repeats: usize, seed: u64) -> Vec<ServeQuery> {
+    let w = metas.iter().map(|m| m.width).fold(64.0_f32, f32::max);
+    let h = metas.iter().map(|m| m.height).fold(64.0_f32, f32::max);
+    let base = vec![
+        ServeQuery::Aggregate(AggregateQuery::AvgVisible),
+        ServeQuery::Aggregate(AggregateQuery::TrafficVolume),
+        ServeQuery::Aggregate(AggregateQuery::PeakOccupancy),
+        ServeQuery::Track(TrackQuery::Count),
+        ServeQuery::Track(TrackQuery::HardBraking { decel: 60.0 }),
+        // scan-heavy: touches every frame of every clip
+        ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n: 1,
+            limit: 25,
+            min_separation_s: 5.0,
+        }),
+        // prunable: a sliver in the top-left corner most clips' traffic
+        // never enters
+        ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::Region(Polygon::new(vec![
+                Point { x: 0.0, y: 0.0 },
+                Point {
+                    x: w * 0.04,
+                    y: 0.0,
+                },
+                Point {
+                    x: w * 0.04,
+                    y: h * 0.04,
+                },
+                Point {
+                    x: 0.0,
+                    y: h * 0.04,
+                },
+            ])),
+            n: 1,
+            limit: 25,
+            min_separation_s: 5.0,
+        }),
+        ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::HotSpot {
+                radius: (w.min(h) * 0.08).max(8.0),
+            },
+            n: 2,
+            limit: 25,
+            min_separation_s: 5.0,
+        }),
+        ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::HotSpot {
+                radius: (w.min(h) * 0.05).max(5.0),
+            },
+            n: 3,
+            limit: 25,
+            min_separation_s: 5.0,
+        }),
+    ];
+    let mut queries: Vec<ServeQuery> = Vec::with_capacity(base.len() * repeats);
+    for _ in 0..repeats.max(1) {
+        queries.extend(base.iter().cloned());
+    }
+    // Fisher-Yates with a fixed stream so the sequence is a pure
+    // function of (metas, repeats, seed)
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    for i in (1..queries.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        queries.swap(i, j);
+    }
+    queries
+}
+
+/// Latency summary over one workload run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct LatencyStats {
+    /// Queries completed.
+    pub count: usize,
+    /// Wall-clock for the whole run in seconds.
+    pub wall_seconds: f64,
+    /// Completed queries per wall-clock second.
+    pub qps: f64,
+    /// Mean per-query latency in milliseconds.
+    pub mean_ms: f64,
+    /// Median per-query latency in milliseconds.
+    pub p50_ms: f64,
+    /// 90th-percentile latency in milliseconds.
+    pub p90_ms: f64,
+    /// 99th-percentile latency in milliseconds.
+    pub p99_ms: f64,
+    /// Worst per-query latency in milliseconds.
+    pub max_ms: f64,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = (p / 100.0 * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+impl LatencyStats {
+    fn from_latencies(mut ms: Vec<f64>, wall_seconds: f64) -> LatencyStats {
+        let count = ms.len();
+        ms.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mean = if count == 0 {
+            0.0
+        } else {
+            ms.iter().sum::<f64>() / count as f64
+        };
+        LatencyStats {
+            count,
+            wall_seconds,
+            qps: if wall_seconds > 0.0 {
+                count as f64 / wall_seconds
+            } else {
+                0.0
+            },
+            mean_ms: mean,
+            p50_ms: percentile(&ms, 50.0),
+            p90_ms: percentile(&ms, 90.0),
+            p99_ms: percentile(&ms, 99.0),
+            max_ms: ms.last().copied().unwrap_or(0.0),
+        }
+    }
+}
+
+/// The outcome of one multi-client workload run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct WorkloadRun {
+    /// Concurrent client threads used.
+    pub clients: usize,
+    /// Latency and throughput summary.
+    pub latency: LatencyStats,
+    /// FNV-1a over all answer bytes in workload order — equal
+    /// fingerprints mean byte-identical answers query-for-query.
+    pub answers_fingerprint: u64,
+}
+
+/// Run `queries` against `server` from `clients` concurrent threads.
+/// Clients pull queries from a shared counter, so the assignment of
+/// query to client is timing-dependent — but each query's answer bytes
+/// are not, which is exactly what `answers_fingerprint` checks.
+pub fn run_workload(
+    server: &QueryServer,
+    queries: &[ServeQuery],
+    clients: usize,
+    opts: &ServeOptions,
+) -> Result<WorkloadRun, String> {
+    let clients = clients.max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<(f64, u64)>>> =
+        (0..queries.len()).map(|_| Mutex::new(None)).collect();
+    let first_err: Mutex<Option<String>> = Mutex::new(None);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for _ in 0..clients {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= queries.len() || first_err.lock().unwrap().is_some() {
+                    return;
+                }
+                let t0 = Instant::now();
+                match server.execute_bytes(&queries[i], opts) {
+                    Ok(bytes) => {
+                        let ms = t0.elapsed().as_secs_f64() * 1e3;
+                        *slots[i].lock().unwrap() = Some((ms, fnv1a(&bytes)));
+                    }
+                    Err(e) => {
+                        let mut err = first_err.lock().unwrap();
+                        if err.is_none() {
+                            *err = Some(e);
+                        }
+                        return;
+                    }
+                }
+            });
+        }
+    });
+    let wall = start.elapsed().as_secs_f64();
+    if let Some(e) = first_err.lock().unwrap().take() {
+        return Err(e);
+    }
+    let mut latencies = Vec::with_capacity(queries.len());
+    let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
+    for slot in &slots {
+        let (ms, fp) = slot
+            .lock()
+            .unwrap()
+            .ok_or_else(|| "workload slot left unfilled".to_string())?;
+        latencies.push(ms);
+        combined = fnv1a(&[combined.to_le_bytes(), fp.to_le_bytes()].concat());
+    }
+    Ok(WorkloadRun {
+        clients,
+        latency: LatencyStats::from_latencies(latencies, wall),
+        answers_fingerprint: combined,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_is_deterministic_in_seed() {
+        let metas: Vec<ClipMeta> = Vec::new();
+        let a = mixed_workload(&metas, 3, 11);
+        let b = mixed_workload(&metas, 3, 11);
+        let c = mixed_workload(&metas, 3, 12);
+        assert_eq!(a.len(), 27);
+        let keys =
+            |qs: &[ServeQuery]| -> Vec<String> { qs.iter().map(|q| q.canonical_key()).collect() };
+        assert_eq!(keys(&a), keys(&b));
+        assert_ne!(keys(&a), keys(&c));
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let s = LatencyStats::from_latencies(vec![5.0, 1.0, 3.0, 2.0, 4.0], 0.5);
+        assert_eq!(s.count, 5);
+        assert!((s.p50_ms - 3.0).abs() < 1e-9);
+        assert!((s.max_ms - 5.0).abs() < 1e-9);
+        assert!((s.qps - 10.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,242 @@
+//! The serving tier's determinism contract, end to end:
+//!
+//! - `TrackStore` round-trips `Engine` output losslessly (canonical
+//!   JSON of loaded tracks == canonical JSON of extracted tracks);
+//! - answer bytes are identical at worker-thread counts 1/2/8, with the
+//!   cache off / cold / warm / in verify mode, and with index pruning
+//!   on or off — for the full mixed workload over engine-extracted
+//!   tracks (integration test) and over randomized synthetic stores
+//!   (property test).
+
+use otif_core::pipeline::ExecutionContext;
+use otif_core::{OtifConfig, TrackerKind};
+use otif_cv::{CostLedger, CostModel, Detection, DetectorArch, DetectorConfig};
+use otif_engine::{Engine, EngineOptions};
+use otif_geom::Rect;
+use otif_serve::{
+    mixed_workload, CacheMode, ClipInfo, QueryServer, ServeOptions, ServeQuery, TrackStore,
+};
+use otif_sim::{DatasetConfig, DatasetKind, ObjectClass};
+use otif_track::Track;
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("otif-serve-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Extract tracks from a small synthetic dataset with the untrained
+/// pipeline (no proxy, SORT, no refinement — fast and deterministic)
+/// and ingest them into a fresh store at `dir`.
+fn engine_store(dir: &Path) -> (TrackStore, Vec<Vec<Track>>) {
+    let cfg = OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 0.5),
+        proxy: None,
+        gap: 4,
+        tracker: TrackerKind::Sort,
+        refine: false,
+    };
+    let ctx = ExecutionContext::bare(CostModel::default(), 17);
+    let clips = DatasetConfig::small(DatasetKind::Caldot1, 29)
+        .generate()
+        .test;
+    let run = Engine::run(
+        &cfg,
+        &ctx,
+        &clips,
+        &EngineOptions::with_streams(2),
+        &CostLedger::new(),
+    );
+    let mut store = TrackStore::create(dir).unwrap();
+    let mut extracted = Vec::new();
+    for (clip, outcome) in clips.iter().zip(&run.tracks) {
+        let tracks = outcome.tracks().expect("healthy run").to_vec();
+        let info = ClipInfo {
+            num_frames: clip.num_frames(),
+            fps: clip.scene.fps as f32,
+            width: clip.scene.width as f32,
+            height: clip.scene.height as f32,
+        };
+        store.ingest_clip(&info, &tracks).unwrap();
+        extracted.push(tracks);
+    }
+    (store, extracted)
+}
+
+#[test]
+fn store_roundtrips_engine_output_losslessly() {
+    let dir = temp_dir("roundtrip");
+    let (_, extracted) = engine_store(&dir);
+    // reopen cold so every clip goes through disk
+    let store = TrackStore::open(&dir).unwrap();
+    assert_eq!(store.len(), extracted.len());
+    for (id, tracks) in extracted.iter().enumerate() {
+        let loaded = store.load(id).unwrap();
+        assert_eq!(
+            serde_json::to_string(&loaded.tracks).unwrap(),
+            serde_json::to_string(tracks).unwrap(),
+            "clip {id}: ingest → load must be lossless"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Run every query in `workload` and return the answer bytes in order.
+fn answers(server: &QueryServer, workload: &[ServeQuery], opts: &ServeOptions) -> Vec<Vec<u8>> {
+    workload
+        .iter()
+        .map(|q| server.execute_bytes(q, opts).unwrap().as_ref().clone())
+        .collect()
+}
+
+#[test]
+fn answers_byte_identical_across_threads_cache_and_pruning() {
+    let dir = temp_dir("identity");
+    engine_store(&dir);
+    let store = Arc::new(TrackStore::open(&dir).unwrap());
+    let workload = mixed_workload(store.metas(), 2, 42);
+
+    // reference: single-threaded, no cache, no pruning
+    let reference = answers(
+        &QueryServer::new(Arc::clone(&store), 64),
+        &workload,
+        &ServeOptions {
+            threads: 1,
+            pruning: false,
+            cache: CacheMode::Off,
+        },
+    );
+
+    for threads in [1usize, 2, 8] {
+        for pruning in [false, true] {
+            // fresh server per combination → cold answer cache
+            let server = QueryServer::new(Arc::clone(&store), 64);
+            store.evict_clips(); // cold clip cache too
+            let cold = answers(
+                &server,
+                &workload,
+                &ServeOptions {
+                    threads,
+                    pruning,
+                    cache: CacheMode::On,
+                },
+            );
+            // warm: every repeated query now hits the cache; verify mode
+            // re-evaluates each hit and asserts bytes internally as well
+            let warm = answers(
+                &server,
+                &workload,
+                &ServeOptions {
+                    threads,
+                    pruning,
+                    cache: CacheMode::Verify,
+                },
+            );
+            assert_eq!(
+                cold, reference,
+                "threads={threads} pruning={pruning}: cold-cache answers must match reference"
+            );
+            assert_eq!(
+                warm, reference,
+                "threads={threads} pruning={pruning}: warm-cache answers must match reference"
+            );
+            let stats = server.stats();
+            assert!(
+                stats.cache.hits >= workload.len() as u64,
+                "second pass must be served from the cache (hits={})",
+                stats.cache.hits
+            );
+            if pruning {
+                assert!(
+                    stats.clips_pruned > 0,
+                    "the corner-region query must prune clips at the catalog"
+                );
+            }
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Random-walk synthetic tracks from a seeded LCG (the vendored
+/// proptest has no collection-of-struct strategies).
+fn synth_tracks(seed: u64, n_tracks: usize, w: f32, h: f32) -> Vec<Track> {
+    let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f32 / (1u64 << 31) as f32
+    };
+    (0..n_tracks)
+        .map(|id| {
+            let mut t = Track::new(id as u32, ObjectClass::Car);
+            let mut x = next() * w;
+            let mut y = next() * h;
+            let start = (next() * 20.0) as usize;
+            let dets = 2 + (next() * 6.0) as usize;
+            for k in 0..dets {
+                t.push(
+                    start + k * 3,
+                    Detection {
+                        rect: Rect::new(x, y, 12.0, 8.0),
+                        class: ObjectClass::Car,
+                        confidence: 0.9,
+                        appearance: vec![],
+                        debug_gt: None,
+                    },
+                );
+                x = (x + (next() - 0.5) * 60.0).clamp(0.0, w);
+                y = (y + (next() - 0.5) * 60.0).clamp(0.0, h);
+            }
+            t
+        })
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn random_stores_serve_identical_bytes_at_any_concurrency(
+        seed in 0u64..u64::MAX,
+        shape in ((1usize..4), (0usize..7)),
+    ) {
+        let (n_clips, n_tracks) = shape;
+        let dir = temp_dir(&format!("prop-{seed:x}"));
+        let mut store = TrackStore::create(&dir).unwrap();
+        for c in 0..n_clips {
+            let tracks = synth_tracks(
+                seed ^ (c as u64).wrapping_mul(0x517c_c1b7_2722_0a95),
+                n_tracks,
+                640.0,
+                352.0,
+            );
+            let info = ClipInfo { num_frames: 60, fps: 10.0, width: 640.0, height: 352.0 };
+            store.ingest_clip(&info, &tracks).unwrap();
+        }
+        let store = Arc::new(store);
+        let workload = mixed_workload(store.metas(), 1, seed);
+        let reference = answers(
+            &QueryServer::new(Arc::clone(&store), 16),
+            &workload,
+            &ServeOptions { threads: 1, pruning: false, cache: CacheMode::Off },
+        );
+        for threads in [2usize, 8] {
+            let server = QueryServer::new(Arc::clone(&store), 16);
+            let cold = answers(
+                &server,
+                &workload,
+                &ServeOptions { threads, pruning: true, cache: CacheMode::On },
+            );
+            let warm = answers(
+                &server,
+                &workload,
+                &ServeOptions { threads, pruning: true, cache: CacheMode::Verify },
+            );
+            prop_assert!(cold == reference);
+            prop_assert!(warm == reference);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

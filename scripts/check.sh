@@ -44,4 +44,20 @@ echo "$bench_out" | grep 'pipelining smoke:' | awk '{
   if (!(p16 + 0 < p1 + 0)) { print "makespan did not improve: " p1 " -> " p16; exit 1 }
 }'
 
+echo "== serving smoke (ingest synthetic clips, mixed workload, pruning + cache-hit + byte-identity gates)"
+# The serving bench hard-asserts internally: byte-identical answers
+# across pruning / cache state / concurrency, strictly fewer clips
+# evaluated (and clip files read) with index pruning on, and a warm
+# answer cache beating the cold pass. `smoke` writes
+# results/BENCH_serving_smoke.json.
+serve_out="$(cargo run --release -q -p otif-bench --bin serving smoke)"
+echo "$serve_out" | grep -q 'answers byte-identical: true'
+# CLI round-trip over the same store machinery
+cargo run --release -q --bin otif-cli -- ingest \
+  --tracks "$tmp/tracks.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --store "$tmp/store" >/dev/null
+cargo run --release -q --bin otif-cli -- serve-bench \
+  --store "$tmp/store" --clients 4 --repeats 3 --stats "$tmp/serve-stats.json" >/dev/null
+grep -q '"hits":' "$tmp/serve-stats.json"
+
 echo "All checks passed."

@@ -18,11 +18,18 @@
 use otif::core::workflow::OtifArtifacts;
 use otif::core::{Otif, OtifOptions};
 use otif::engine::{Engine, EngineOptions, FaultPlan};
-use otif::query::{AggregateQuery, TrackQuery};
+use otif::geom::{Point, Polygon};
+use otif::query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
+use otif::serve::{
+    mixed_workload, run_workload, Answer, CacheMode, ClipInfo, QueryServer, ServeOptions,
+    ServeQuery, TrackStore,
+};
 use otif::sim::{Dataset, DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
 use std::collections::HashMap;
+use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 const DATASET_FLAGS: [&str; 4] = ["dataset", "clips", "seconds", "seed"];
 
@@ -433,17 +440,264 @@ fn cmd_query(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query> [--flag value ...]
+fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
+    let path = flags
+        .get("tracks")
+        .cloned()
+        .unwrap_or_else(|| "tracks.json".to_string());
+    let json = std::fs::read_to_string(&path).map_err(|e| format!("{path}: {e}"))?;
+    let tracks: Vec<Vec<Track>> = serde_json::from_str(&json).map_err(|e| e.to_string())?;
+    let dataset = dataset_from_flags(&flags)?;
+    if tracks.len() != dataset.test.len() {
+        return Err(format!(
+            "tracks file has {} clips but the dataset's test split has {} — \
+             regenerate with matching --dataset/--clips/--seconds/--seed",
+            tracks.len(),
+            dataset.test.len()
+        ));
+    }
+    let dir = flags
+        .get("store")
+        .cloned()
+        .unwrap_or_else(|| "otif-store".to_string());
+    let dir = Path::new(&dir);
+    // append to an existing store, create otherwise
+    let mut store = if dir.join("catalog.json").exists() {
+        TrackStore::open(dir)?
+    } else {
+        TrackStore::create(dir)?
+    };
+    for (clip, ts) in dataset.test.iter().zip(&tracks) {
+        let info = ClipInfo {
+            num_frames: clip.num_frames(),
+            fps: dataset.scene.fps as f32,
+            width: dataset.scene.width as f32,
+            height: dataset.scene.height as f32,
+        };
+        let id = store.ingest_clip(&info, ts)?;
+        println!(
+            "ingested clip {id}: {} tracks, {} frames",
+            ts.len(),
+            clip.num_frames()
+        );
+    }
+    println!(
+        "store {}: {} clips, fingerprint {:016x}",
+        dir.display(),
+        store.len(),
+        store.fingerprint()
+    );
+    Ok(())
+}
+
+/// Shared serve flags: store path + execution options.
+fn serve_options(flags: &HashMap<String, String>) -> Result<ServeOptions, String> {
+    let threads: usize = flags
+        .get("threads")
+        .map(|s| s.parse().map_err(|e| format!("bad --threads: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    Ok(ServeOptions {
+        threads,
+        pruning: !flags.contains_key("no-prune"),
+        cache: CacheMode::On,
+    })
+}
+
+fn open_store(flags: &HashMap<String, String>) -> Result<Arc<TrackStore>, String> {
+    let dir = flags
+        .get("store")
+        .cloned()
+        .unwrap_or_else(|| "otif-store".to_string());
+    Ok(Arc::new(TrackStore::open(Path::new(&dir))?))
+}
+
+fn serve_query_from_flags(flags: &HashMap<String, String>) -> Result<ServeQuery, String> {
+    let n: usize = flags
+        .get("n")
+        .map(|s| s.parse().map_err(|e| format!("bad --n: {e}")))
+        .transpose()?
+        .unwrap_or(2);
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| s.parse().map_err(|e| format!("bad --limit: {e}")))
+        .transpose()?
+        .unwrap_or(25);
+    let min_separation_s: f32 = flags
+        .get("sep")
+        .map(|s| s.parse().map_err(|e| format!("bad --sep: {e}")))
+        .transpose()?
+        .unwrap_or(5.0);
+    let which = flags
+        .get("query")
+        .cloned()
+        .unwrap_or_else(|| "avg".to_string());
+    Ok(match which.as_str() {
+        "avg" => ServeQuery::Aggregate(AggregateQuery::AvgVisible),
+        "volume" => ServeQuery::Aggregate(AggregateQuery::TrafficVolume),
+        "peak" => ServeQuery::Aggregate(AggregateQuery::PeakOccupancy),
+        "count" => ServeQuery::Track(TrackQuery::Count),
+        "braking" => ServeQuery::Track(TrackQuery::HardBraking { decel: 60.0 }),
+        "busy" => ServeQuery::FrameLimit(FrameLimitQuery {
+            kind: FrameQueryKind::Count,
+            n,
+            limit,
+            min_separation_s,
+        }),
+        "hotspot" => {
+            let radius: f32 = flags
+                .get("radius")
+                .map(|s| s.parse().map_err(|e| format!("bad --radius: {e}")))
+                .transpose()?
+                .unwrap_or(40.0);
+            ServeQuery::FrameLimit(FrameLimitQuery {
+                kind: FrameQueryKind::HotSpot { radius },
+                n,
+                limit,
+                min_separation_s,
+            })
+        }
+        "region" => {
+            let rect = flags
+                .get("rect")
+                .ok_or_else(|| "--query region needs --rect x,y,w,h".to_string())?;
+            let parts: Vec<f32> = rect
+                .split(',')
+                .map(|p| p.trim().parse().map_err(|e| format!("bad --rect: {e}")))
+                .collect::<Result<_, _>>()?;
+            let [x, y, w, h] = parts[..] else {
+                return Err(format!("bad --rect {rect:?}: expected x,y,w,h"));
+            };
+            ServeQuery::FrameLimit(FrameLimitQuery {
+                kind: FrameQueryKind::Region(Polygon::new(vec![
+                    Point { x, y },
+                    Point { x: x + w, y },
+                    Point { x: x + w, y: y + h },
+                    Point { x, y: y + h },
+                ])),
+                n,
+                limit,
+                min_separation_s,
+            })
+        }
+        other => {
+            return Err(format!(
+                "unknown --query {other:?} (avg|volume|peak|count|braking|busy|hotspot|region)"
+            ))
+        }
+    })
+}
+
+fn cmd_serve_query(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = open_store(&flags)?;
+    let opts = serve_options(&flags)?;
+    let q = serve_query_from_flags(&flags)?;
+    let server = QueryServer::new(Arc::clone(&store), 64);
+    match server.execute(&q, &opts)? {
+        Answer::PerClip(rows) => {
+            for (m, row) in store.metas().iter().zip(&rows) {
+                let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+                println!("clip {}: {}", m.id, vals.join(" "));
+            }
+        }
+        Answer::Frames(frames) => {
+            if frames.is_empty() {
+                println!("no matching frames");
+            }
+            for f in &frames {
+                println!("clip {} frame {}", f.clip, f.frame);
+            }
+        }
+    }
+    let s = server.stats();
+    eprintln!(
+        "{}: evaluated {} clip(s), pruned {} at the catalog, skipped {} frame scan(s), \
+         loaded {} clip file(s)",
+        q.label(),
+        s.clips_evaluated,
+        s.clips_pruned,
+        s.frame_scans_skipped,
+        s.clip_loads
+    );
+    Ok(())
+}
+
+fn cmd_serve_bench(flags: HashMap<String, String>) -> Result<(), String> {
+    let store = open_store(&flags)?;
+    let opts = serve_options(&flags)?;
+    let clients: usize = flags
+        .get("clients")
+        .map(|s| s.parse().map_err(|e| format!("bad --clients: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let repeats: usize = flags
+        .get("repeats")
+        .map(|s| s.parse().map_err(|e| format!("bad --repeats: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let seed: u64 = flags
+        .get("seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(2022);
+    if store.is_empty() {
+        return Err("store is empty — run `otif-cli ingest` first".to_string());
+    }
+    let workload = mixed_workload(store.metas(), repeats, seed);
+    let server = QueryServer::new(Arc::clone(&store), 256);
+    let cold = run_workload(&server, &workload, clients, &opts)?;
+    let warm = run_workload(&server, &workload, clients, &opts)?;
+    if cold.answers_fingerprint != warm.answers_fingerprint {
+        return Err("cold and warm answers diverged — cache corruption".to_string());
+    }
+    for (name, run) in [("cold", &cold), ("warm", &warm)] {
+        println!(
+            "{name}: {} queries, {} clients, {:.1} qps, p50 {:.3} ms, p90 {:.3} ms, \
+             p99 {:.3} ms, max {:.3} ms",
+            run.latency.count,
+            run.clients,
+            run.latency.qps,
+            run.latency.p50_ms,
+            run.latency.p90_ms,
+            run.latency.p99_ms,
+            run.latency.max_ms
+        );
+    }
+    let s = server.stats();
+    println!(
+        "cache: {} hits, {} misses, {} evictions; pruned {} clip(s), \
+         skipped {} frame scan(s), loaded {} clip file(s)",
+        s.cache.hits,
+        s.cache.misses,
+        s.cache.evictions,
+        s.clips_pruned,
+        s.frame_scans_skipped,
+        s.clip_loads
+    );
+    if let Some(path) = flags.get("stats") {
+        let json = serde_json::to_string(&s).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote serve stats -> {path}");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|ingest|serve-query|serve-bench> [--flag value ...]
   generate --dataset <name> [--clips N --seconds S --seed N]
   prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
   curve    --model model.json
   execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
            [--prefetch N] [--out tracks.json] [--stats stats.json] [--fail-fast]
            [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error)
-  query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>";
+  query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>
+  ingest       --tracks tracks.json --dataset <name> [... same dataset flags] [--store otif-store]
+  serve-query  --store otif-store --query <avg|volume|peak|count|braking|busy|hotspot|region>
+               [--n N --limit N --sep S] [--radius R] [--rect x,y,w,h] [--threads N] [--no-prune]
+  serve-bench  --store otif-store [--clients N --repeats N --seed N] [--threads N] [--no-prune]
+               [--stats stats.json]";
 
 /// Boolean flags (no value) across all commands.
-const SWITCH_FLAGS: [&str; 1] = ["fail-fast"];
+const SWITCH_FLAGS: [&str; 2] = ["fail-fast", "no-prune"];
 
 /// Flags each command accepts (beyond the shared dataset flags).
 fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
@@ -463,6 +717,17 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             "fail-fast",
         ]),
         "query" => allowed.extend(["tracks", "query"]),
+        "ingest" => allowed.extend(["tracks", "store"]),
+        "serve-query" => {
+            allowed = vec![
+                "store", "query", "n", "limit", "sep", "radius", "rect", "threads", "no-prune",
+            ]
+        }
+        "serve-bench" => {
+            allowed = vec![
+                "store", "clients", "repeats", "seed", "threads", "no-prune", "stats",
+            ]
+        }
         _ => return None,
     }
     Some(allowed)
@@ -483,6 +748,9 @@ fn main() -> ExitCode {
                 "curve" => cmd_curve(flags),
                 "execute" => cmd_execute(flags),
                 "query" => cmd_query(flags),
+                "ingest" => cmd_ingest(flags),
+                "serve-query" => cmd_serve_query(flags),
+                "serve-bench" => cmd_serve_bench(flags),
                 _ => unreachable!("allowed_flags gates the command set"),
             })
         }

@@ -23,6 +23,8 @@
 //! - [`engine`] — the multi-stream streaming executor with cross-stream
 //!   detector batching.
 //! - [`query`] — the post-processing query engine over extracted tracks.
+//! - [`serve`] — the persistent track store, index-driven clip pruning
+//!   and the concurrent, cache-fronted query-serving tier.
 //! - [`baselines`] — Miris, BlazeIt, TASTI, NoScope, Chameleon, CaTDet and
 //!   CenterTrack re-implementations.
 //!
@@ -48,5 +50,6 @@ pub use otif_engine as engine;
 pub use otif_geom as geom;
 pub use otif_nn as nn;
 pub use otif_query as query;
+pub use otif_serve as serve;
 pub use otif_sim as sim;
 pub use otif_track as track;
