@@ -18,9 +18,10 @@
 //! `results/BENCH_kernels.json` produced by the full mode.
 
 use otif_bench::report::{print_table, write_json};
-use otif_core::SegProxyModel;
+use otif_core::{SegProxyModel, WindowNet};
+use otif_cv::{DetectorArch, DetectorConfig};
 use otif_nn::kernels::{matmul_blocked, matmul_naive};
-use otif_nn::{KernelPath, Tensor3};
+use otif_nn::{BatchTensor3, KernelPath, Tensor3};
 use otif_sim::GrayImage;
 use serde::Serialize;
 use std::time::Instant;
@@ -48,10 +49,23 @@ struct MatmulBench {
 }
 
 #[derive(Serialize)]
+struct BatchedBench {
+    shape: String,
+    in_w: usize,
+    in_h: usize,
+    batch: usize,
+    reps: usize,
+    looped_seconds_per_window: f64,
+    batched_seconds_per_window: f64,
+    speedup_batched_over_looped: f64,
+}
+
+#[derive(Serialize)]
 struct KernelsReport {
     mode: String,
     proxy: ProxyBench,
     matmul: Vec<MatmulBench>,
+    batched_vs_looped: Vec<BatchedBench>,
 }
 
 /// Best-of-3 timing of `reps` calls to `f`, in seconds per call.
@@ -141,6 +155,108 @@ fn bench_matmul(m: usize, k: usize, n: usize, reps: usize) -> MatmulBench {
     }
 }
 
+/// Batched vs looped forward of the segmentation-proxy architecture at
+/// a window-scale input — the shape the engine's detect stages feed the
+/// cross-stream batcher. Per-window wall-clock, bitwise-gated first.
+fn bench_proxy_batched(
+    native_w: usize,
+    native_h: usize,
+    batch: usize,
+    reps: usize,
+) -> BatchedBench {
+    let model = SegProxyModel::new(native_w, native_h, 1.0, 42);
+    let imgs: Vec<GrayImage> = (0..batch)
+        .map(|i| {
+            let mut img = GrayImage::new(model.in_w, model.in_h);
+            for (j, v) in img.data.iter_mut().enumerate() {
+                *v = (((j + 13 * i) % 251) as f32) / 251.0;
+            }
+            img
+        })
+        .collect();
+    let refs: Vec<&GrayImage> = imgs.iter().collect();
+
+    // Correctness gate: every batched item must equal its looped twin
+    // bitwise before any timing happens.
+    let mut batched_out = BatchTensor3::zeros(0, 0, 0, 0);
+    model.infer_logits_batched_into(&refs, KernelPath::Auto, &mut batched_out);
+    let mut item = Tensor3::zeros(0, 0, 0);
+    let mut looped_out = Tensor3::zeros(0, 0, 0);
+    for (i, img) in imgs.iter().enumerate() {
+        model.infer_logits_into(img, KernelPath::Auto, &mut looped_out);
+        batched_out.item_into(i, &mut item);
+        assert_eq!(
+            looped_out, item,
+            "batched proxy forward diverged from looped at item {i} (batch {batch})"
+        );
+    }
+
+    let looped = time_per_call(reps, || {
+        for img in &imgs {
+            model.infer_logits_into(img, KernelPath::Auto, &mut looped_out);
+        }
+    }) / batch as f64;
+    let batched = time_per_call(reps, || {
+        model.infer_logits_batched_into(&refs, KernelPath::Auto, &mut batched_out)
+    }) / batch as f64;
+    BatchedBench {
+        shape: "proxy-window".to_string(),
+        in_w: model.in_w,
+        in_h: model.in_h,
+        batch,
+        reps,
+        looped_seconds_per_window: looped,
+        batched_seconds_per_window: batched,
+        speedup_batched_over_looped: looped / batched,
+    }
+}
+
+/// Batched vs looped forward of the detector surrogate (`WindowNet`) at
+/// the input shape a YOLO window of the given rounded size produces.
+fn bench_windownet_batched(window: (u32, u32), batch: usize, reps: usize) -> BatchedBench {
+    let net = WindowNet::new(&DetectorConfig::new(DetectorArch::YoloV3, 0.5), 42);
+    let (iw, ih) = net.input_dims(window);
+    let xs: Vec<Tensor3> = (0..batch)
+        .map(|i| {
+            let mut t = Tensor3::zeros(1, ih, iw);
+            for (j, v) in t.data.iter_mut().enumerate() {
+                *v = (((j + 31 * i) % 257) as f32) / 257.0;
+            }
+            t
+        })
+        .collect();
+    let refs: Vec<&Tensor3> = xs.iter().collect();
+
+    let outs = net.forward_batched(&refs);
+    let mut y = Tensor3::zeros(0, 0, 0);
+    for (i, x) in xs.iter().enumerate() {
+        net.forward_into(x, &mut y);
+        assert_eq!(
+            y, outs[i],
+            "batched WindowNet forward diverged from looped at item {i} (batch {batch})"
+        );
+    }
+
+    let looped = time_per_call(reps, || {
+        for x in &xs {
+            net.forward_into(x, &mut y);
+        }
+    }) / batch as f64;
+    let batched = time_per_call(reps, || {
+        let _ = net.forward_batched(&refs);
+    }) / batch as f64;
+    BatchedBench {
+        shape: format!("yolo-window-{}x{}", window.0, window.1),
+        in_w: iw,
+        in_h: ih,
+        batch,
+        reps,
+        looped_seconds_per_window: looped,
+        batched_seconds_per_window: batched,
+        speedup_batched_over_looped: looped / batched,
+    }
+}
+
 fn main() {
     let smoke = matches!(std::env::args().nth(1).as_deref(), Some("tiny"));
     let (report_name, mode, proxy, matmul_shapes, reps) = if smoke {
@@ -166,6 +282,32 @@ fn main() {
         .into_iter()
         .map(|(m, k, n)| bench_matmul(m, k, n, reps))
         .collect();
+
+    // Batched-vs-looped sweep: per-window wall-clock of one batched
+    // forward over N same-size windows against N single forwards, at
+    // the proxy architecture (window-scale input) and the detector
+    // surrogate at a typical YOLO window. Smoke mode shrinks shapes and
+    // reps; the sweep itself covers the same batch sizes.
+    // The gated proxy entry runs at the window-scale 32×32 input (a
+    // 64×64 detector window at scale 0.5): small per-item problems are
+    // where looped forwards can't amortize and batching genuinely pays.
+    let (proxy_window, yolo_window, batched_reps) = if smoke {
+        ((48usize, 32usize), (96u32, 64u32), 3usize)
+    } else {
+        ((48usize, 32usize), (128u32, 96u32), 30usize)
+    };
+    let mut batched_vs_looped: Vec<BatchedBench> = Vec::new();
+    for &batch in &[1usize, 2, 4, 8, 16] {
+        batched_vs_looped.push(bench_proxy_batched(
+            proxy_window.0,
+            proxy_window.1,
+            batch,
+            batched_reps,
+        ));
+    }
+    for &batch in &[1usize, 2, 4, 8, 16] {
+        batched_vs_looped.push(bench_windownet_batched(yolo_window, batch, batched_reps));
+    }
 
     print_table(
         "Proxy forward pass — naive vs GEMM kernel path (wall clock)",
@@ -196,6 +338,31 @@ fn main() {
         &["m x k x n", "reps", "naive s", "blocked s", "speedup"],
         &rows,
     );
+    let rows: Vec<Vec<String>> = batched_vs_looped
+        .iter()
+        .map(|b| {
+            vec![
+                b.shape.clone(),
+                format!("{}x{}", b.in_w, b.in_h),
+                b.batch.to_string(),
+                format!("{:.6}", b.looped_seconds_per_window),
+                format!("{:.6}", b.batched_seconds_per_window),
+                format!("{:.2}x", b.speedup_batched_over_looped),
+            ]
+        })
+        .collect();
+    print_table(
+        "Batched vs looped forward — per-window wall clock",
+        &[
+            "shape",
+            "input",
+            "batch",
+            "looped s/win",
+            "batched s/win",
+            "speedup",
+        ],
+        &rows,
+    );
 
     if !smoke {
         // Regression guard for the tentpole claim (the recorded full
@@ -206,6 +373,24 @@ fn main() {
             proxy.speedup_gemm_over_naive
         );
     }
+    // Batched-vs-looped gate: at batch >= 4 the batched forward must
+    // actually pay off per window. Full mode holds the tentpole claim
+    // (>= 1.5x on the proxy shape); smoke mode only guards against the
+    // batched path regressing below the looped one on tiny shapes and
+    // rep counts, where timing noise dominates.
+    let gate = if smoke { 1.0 } else { 1.5 };
+    for b in &batched_vs_looped {
+        if b.batch >= 4 && b.shape == "proxy-window" {
+            assert!(
+                b.speedup_batched_over_looped >= gate,
+                "batched {} at batch {} regressed to {:.2}x (gate {:.1}x)",
+                b.shape,
+                b.batch,
+                b.speedup_batched_over_looped,
+                gate
+            );
+        }
+    }
 
     write_json(
         report_name,
@@ -213,6 +398,7 @@ fn main() {
             mode: mode.to_string(),
             proxy,
             matmul,
+            batched_vs_looped,
         },
     );
 }

@@ -28,6 +28,7 @@
 //! execute a chosen configuration over unseen video.
 
 pub mod config;
+pub mod detnet;
 pub mod evalpool;
 pub mod grouping;
 pub mod pipeline;
@@ -40,6 +41,7 @@ pub mod windows;
 pub mod workflow;
 
 pub use config::{OtifConfig, ProxyParams, TrackerKind};
+pub use detnet::{digest_tensor, fold_digest, WindowNet, DIGEST_SEED};
 pub use evalpool::par_map;
 pub use grouping::group_cells;
 pub use pipeline::{ExecutionContext, Pipeline};

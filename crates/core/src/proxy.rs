@@ -16,7 +16,7 @@
 
 use otif_cv::{Component, CostLedger, CostModel, Detection};
 use otif_nn::kernels;
-use otif_nn::{Activation, Conv2d, KernelPath, OptimKind, Tensor3, XavierInit};
+use otif_nn::{Activation, BatchTensor3, Conv2d, KernelPath, OptimKind, Tensor3, XavierInit};
 use otif_sim::{Clip, GrayImage, Renderer};
 use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
@@ -189,6 +189,57 @@ impl SegProxyModel {
             std::mem::swap(&mut a, &mut b);
         }
         out.reset(a.c, a.h, a.w);
+        out.data.copy_from_slice(&a.data);
+        kernels::put_buf(a.data);
+        kernels::put_buf(b.data);
+    }
+
+    /// Batched forward to pre-sigmoid logits for several same-size input
+    /// frames at once: each layer runs **one** batched convolution over
+    /// the whole stack (one im2col, one cache-blocked GEMM with the
+    /// batch folded into the column dimension — see
+    /// [`otif_nn::kernels::conv2d_gemm_batched`]), so the weights stream
+    /// through cache once per batch instead of once per frame.
+    /// Bit-identical to looping [`Self::infer_logits_into`] over the
+    /// frames; activations ping-pong between two scratch-pooled batch
+    /// tensors, zero heap allocations after warm-up.
+    pub fn infer_logits_batched_into(
+        &self,
+        imgs: &[&GrayImage],
+        path: KernelPath,
+        out: &mut BatchTensor3,
+    ) {
+        let n = imgs.len();
+        if n == 0 {
+            out.reset(0, 1, 0, 0);
+            return;
+        }
+        let plane = self.in_h * self.in_w;
+        let mut a = BatchTensor3 {
+            n,
+            c: 1,
+            h: self.in_h,
+            w: self.in_w,
+            data: kernels::take_buf(0),
+        };
+        a.data.clear();
+        for img in imgs {
+            debug_assert_eq!((img.w, img.h), (self.in_w, self.in_h));
+            debug_assert_eq!(img.data.len(), plane);
+            a.data.extend_from_slice(&img.data);
+        }
+        let mut b = BatchTensor3 {
+            n,
+            c: 0,
+            h: 0,
+            w: 0,
+            data: kernels::take_buf(0),
+        };
+        for l in self.encoder.iter().chain(self.decoder.iter()) {
+            l.infer_batched_path_into(&a, &mut b, path);
+            std::mem::swap(&mut a, &mut b);
+        }
+        out.reset(a.n, a.c, a.h, a.w);
         out.data.copy_from_slice(&a.data);
         kernels::put_buf(a.data);
         kernels::put_buf(b.data);
@@ -380,6 +431,34 @@ mod tests {
         let hi = SegProxyModel::new(384, 224, 1.0, 1).inference_cost(&cm);
         let lo = SegProxyModel::new(384, 224, 0.25, 1).inference_cost(&cm);
         assert!(lo < hi * 0.3);
+    }
+
+    #[test]
+    fn batched_logits_bit_identical_to_looped() {
+        let m = SegProxyModel::new(128, 96, 0.5, 5);
+        let mut imgs = Vec::new();
+        for i in 0..5u32 {
+            let mut img = GrayImage::new(m.in_w, m.in_h);
+            for (j, v) in img.data.iter_mut().enumerate() {
+                *v = ((j as f32 * 0.013 + i as f32).sin() + 1.0) * 0.5;
+            }
+            imgs.push(img);
+        }
+        for path in [KernelPath::Auto, KernelPath::Gemm, KernelPath::Naive] {
+            let refs: Vec<&GrayImage> = imgs.iter().collect();
+            let mut batched = BatchTensor3::zeros(0, 0, 0, 0);
+            m.infer_logits_batched_into(&refs, path, &mut batched);
+            let mut want = Tensor3::zeros(0, 0, 0);
+            let mut got = Tensor3::zeros(0, 0, 0);
+            for (i, img) in imgs.iter().enumerate() {
+                m.infer_logits_into(img, path, &mut want);
+                batched.item_into(i, &mut got);
+                assert_eq!(
+                    got.data, want.data,
+                    "batched proxy logits diverge at item {i} ({path:?})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -31,10 +31,14 @@
 //! [`SubmitError::Interrupted`], and the watermark is re-evaluated so
 //! the remaining streams keep draining.
 
+use crate::exec::{DetectorExec, DetectorExecHarness};
 use otif_cv::{Component, CostLedger};
+use otif_nn::Tensor3;
 use parking_lot::{Condvar, Mutex};
 use std::collections::BTreeMap;
 use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
 
 /// A rejected or abandoned [`DetectorBatcher::submit`].
 ///
@@ -123,13 +127,17 @@ pub struct RoundRecord {
 }
 
 /// A pending submission: the rounded window sizes of the frame the
-/// stream's detect stage is blocked on, plus its identity for the
-/// round log.
-type PendingTicket = (Vec<(u32, u32)>, Ticket);
+/// stream's detect stage is blocked on, the materialized window inputs
+/// (empty unless the run executes the surrogate detector in batched
+/// mode), plus its identity for the round log.
+type PendingTicket = (Vec<(u32, u32)>, Vec<Tensor3>, Ticket);
 
 struct BatchState {
     /// One pending ticket per stream.
     tickets: Vec<Option<PendingTicket>>,
+    /// Surrogate outputs scattered back per stream by a batched-exec
+    /// flush, collected by the blocked submitter on wake-up.
+    outputs: Vec<Option<Vec<Tensor3>>>,
     /// Which streams still have frames to submit. A finished stream no
     /// longer gates the flush watermark.
     live: Vec<bool>,
@@ -145,13 +153,15 @@ struct BatchState {
 
 /// Coalesces same-size detector windows from all streams into batched
 /// invocations, charging launch overhead per batch instead of per
-/// frame.
+/// frame — and, when a batched-execution harness is attached, actually
+/// running **one** surrogate forward per (size, chunk) of each round.
 pub struct DetectorBatcher {
     state: Mutex<BatchState>,
     flushed: Condvar,
     per_call: f64,
     max_batch: usize,
     ledger: CostLedger,
+    exec: Option<Arc<DetectorExecHarness>>,
 }
 
 impl DetectorBatcher {
@@ -161,6 +171,7 @@ impl DetectorBatcher {
         DetectorBatcher {
             state: Mutex::new(BatchState {
                 tickets: (0..streams).map(|_| None).collect(),
+                outputs: (0..streams).map(|_| None).collect(),
                 live: vec![true; streams],
                 interrupted: vec![false; streams],
                 rounds: 0,
@@ -170,7 +181,18 @@ impl DetectorBatcher {
             per_call,
             max_batch: max_batch.max(1),
             ledger,
+            exec: None,
         }
+    }
+
+    /// Attach a detector-execution harness. When its mode is
+    /// [`DetectorExec::Batched`], each flush runs the surrogate forward
+    /// over the round's same-size chunks (exactly the chunks the launch
+    /// accounting charges for) and scatters per-window outputs back to
+    /// the submitting streams.
+    pub fn with_exec(mut self, exec: Arc<DetectorExecHarness>) -> Self {
+        self.exec = Some(exec);
+        self
     }
 
     /// Submit one frame's window sizes for `stream` and block until the
@@ -196,6 +218,29 @@ impl DetectorBatcher {
         ordinal: usize,
         pixel_seconds: f64,
     ) -> Result<(), SubmitError> {
+        self.submit_exec(stream, sizes, Vec::new(), clip, ordinal, pixel_seconds)
+            .map(|_| ())
+    }
+
+    /// [`Self::submit_tagged`] additionally carrying the frame's
+    /// materialized window input tensors (one per entry of `sizes`, or
+    /// empty when the run does not execute the surrogate in batched
+    /// mode). Returns the per-window surrogate outputs the flushing
+    /// thread scattered back — empty unless a batched-execution harness
+    /// is attached.
+    pub fn submit_exec(
+        &self,
+        stream: usize,
+        sizes: Vec<(u32, u32)>,
+        inputs: Vec<Tensor3>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<Vec<Tensor3>, SubmitError> {
+        debug_assert!(
+            inputs.is_empty() || inputs.len() == sizes.len(),
+            "one input tensor per window"
+        );
         let mut st = self.state.lock();
         if !st.live[stream] {
             return Err(SubmitError::Finished { stream });
@@ -210,7 +255,7 @@ impl DetectorBatcher {
             items: sizes.len(),
             pixel_seconds,
         };
-        st.tickets[stream] = Some((sizes, ticket));
+        st.tickets[stream] = Some((sizes, inputs, ticket));
         self.flush_if_ready(&mut st);
         loop {
             // `finish` may have discarded the ticket (stream died while
@@ -221,7 +266,7 @@ impl DetectorBatcher {
                 return Err(SubmitError::Interrupted { stream });
             }
             if st.tickets[stream].is_none() {
-                return Ok(());
+                return Ok(st.outputs[stream].take().unwrap_or_default());
             }
             self.flushed.wait(&mut st);
         }
@@ -239,7 +284,8 @@ impl DetectorBatcher {
             return;
         }
         st.live[stream] = false;
-        if let Some((sizes, _)) = st.tickets[stream].take() {
+        st.outputs[stream] = None;
+        if let Some((sizes, _, _)) = st.tickets[stream].take() {
             st.interrupted[stream] = true;
             // Count the orphan explicitly: it was never flushed or
             // charged, and `mean_batch_occupancy` must neither include
@@ -279,15 +325,23 @@ impl DetectorBatcher {
             return;
         }
         // Group windows by size across all streams (stream order is
-        // irrelevant: only per-size counts matter).
+        // irrelevant for the *charges*: only per-size counts matter).
+        let n_streams = st.tickets.len();
         let mut by_size: BTreeMap<(u32, u32), usize> = BTreeMap::new();
         let mut members: Vec<Ticket> = Vec::new();
-        for slot in st.tickets.iter_mut() {
-            if let Some((sizes, ticket)) = slot.take() {
+        let mut member_streams: Vec<usize> = Vec::new();
+        let mut sizes_by_stream: Vec<Vec<(u32, u32)>> = vec![Vec::new(); n_streams];
+        let mut inputs_by_stream: Vec<Vec<Tensor3>> = Vec::new();
+        inputs_by_stream.resize_with(n_streams, Vec::new);
+        for (stream, slot) in st.tickets.iter_mut().enumerate() {
+            if let Some((sizes, inputs, ticket)) = slot.take() {
                 members.push(ticket);
-                for s in sizes {
-                    *by_size.entry(s).or_insert(0) += 1;
+                member_streams.push(stream);
+                for s in &sizes {
+                    *by_size.entry(*s).or_insert(0) += 1;
                 }
+                sizes_by_stream[stream] = sizes;
+                inputs_by_stream[stream] = inputs;
             }
         }
         let mut launch_seconds = 0.0f64;
@@ -299,6 +353,50 @@ impl DetectorBatcher {
                     .charge_batch(Component::Detector, self.per_call, occupancy);
                 launch_seconds += self.per_call;
                 remaining -= occupancy;
+            }
+        }
+        // Batched surrogate execution: one forward per (size, chunk) —
+        // the same chunks the launch accounting charged for — with
+        // outputs scattered back to the submitting streams. Chunk
+        // membership is deterministic (sizes in BTreeMap order, windows
+        // in stream-then-window order within a size), and chunk
+        // boundaries cannot affect bits anyway: the batched kernels
+        // accumulate each window's elements in exactly the looped order.
+        if let Some(exec) = self
+            .exec
+            .as_ref()
+            .filter(|e| e.mode() == DetectorExec::Batched)
+        {
+            let start = Instant::now();
+            let mut forwards = 0u64;
+            let mut windows = 0u64;
+            let mut groups: BTreeMap<(u32, u32), Vec<(usize, usize)>> = BTreeMap::new();
+            for &stream in &member_streams {
+                for (w, s) in sizes_by_stream[stream].iter().enumerate() {
+                    groups.entry(*s).or_default().push((stream, w));
+                }
+            }
+            let mut outs: Vec<Vec<Tensor3>> = inputs_by_stream
+                .iter()
+                .map(|v| vec![Tensor3::zeros(0, 0, 0); v.len()])
+                .collect();
+            for refs in groups.values() {
+                for chunk in refs.chunks(self.max_batch) {
+                    let xs: Vec<&Tensor3> = chunk
+                        .iter()
+                        .map(|&(s, w)| &inputs_by_stream[s][w])
+                        .collect();
+                    let ys = exec.net().forward_batched(&xs);
+                    forwards += 1;
+                    windows += xs.len() as u64;
+                    for (&(s, w), y) in chunk.iter().zip(ys) {
+                        outs[s][w] = y;
+                    }
+                }
+            }
+            exec.record(start.elapsed(), forwards, windows);
+            for &stream in &member_streams {
+                st.outputs[stream] = Some(std::mem::take(&mut outs[stream]));
             }
         }
         st.log.push(RoundRecord {
@@ -339,6 +437,20 @@ impl<'a> StreamGuard<'a> {
     ) -> Result<(), SubmitError> {
         self.batcher
             .submit_tagged(self.stream, sizes, clip, ordinal, pixel_seconds)
+    }
+
+    /// Submit with window input tensors for batched surrogate execution
+    /// (same as the batcher's `submit_exec`).
+    pub fn submit_exec(
+        &self,
+        sizes: Vec<(u32, u32)>,
+        inputs: Vec<Tensor3>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<Vec<Tensor3>, SubmitError> {
+        self.batcher
+            .submit_exec(self.stream, sizes, inputs, clip, ordinal, pixel_seconds)
     }
 }
 
@@ -583,6 +695,91 @@ mod tests {
         assert!((stats.mean_occupancy() - 2.0).abs() < 1e-12);
         // the orphan was never charged either
         assert!((ledger.get(Component::Detector) - 2.0 * CALL).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_exec_scatters_outputs_bitwise_equal_to_looped() {
+        use otif_core::WindowNet;
+        use otif_cv::{DetectorArch, DetectorConfig};
+
+        let net = WindowNet::new(&DetectorConfig::new(DetectorArch::YoloV3, 0.5), 3);
+        let exec = Arc::new(DetectorExecHarness::new(net.clone(), DetectorExec::Batched));
+        let ledger = CostLedger::new();
+        let b =
+            Arc::new(DetectorBatcher::new(2, CALL, 2, ledger.clone()).with_exec(Arc::clone(&exec)));
+        // two streams, mixed window sizes; inputs are small deterministic
+        // tensors whose dims come from the rounded sizes
+        let make_inputs = |stream: usize, sizes: &[(u32, u32)]| -> Vec<Tensor3> {
+            sizes
+                .iter()
+                .enumerate()
+                .map(|(w, s)| {
+                    let (iw, ih) = net.input_dims(*s);
+                    let mut t = Tensor3::zeros(1, ih, iw);
+                    for (j, v) in t.data.iter_mut().enumerate() {
+                        *v = ((j + 7 * stream + w) as f32 * 0.031).sin() * 0.5 + 0.5;
+                    }
+                    t
+                })
+                .collect()
+        };
+        let sizes0 = vec![(64, 64), (64, 64), (128, 96)];
+        let sizes1 = vec![(64, 64), (128, 96)];
+        let b2 = Arc::clone(&b);
+        let s1 = sizes1.clone();
+        let inputs1 = make_inputs(1, &sizes1);
+        let expected1: Vec<Tensor3> = inputs1
+            .iter()
+            .map(|x| {
+                let mut y = Tensor3::zeros(0, 0, 0);
+                net.forward_into(x, &mut y);
+                y
+            })
+            .collect();
+        let h = thread::spawn(move || {
+            let out = b2.submit_exec(1, s1, inputs1, 0, 0, 0.0).unwrap();
+            b2.finish(1);
+            out
+        });
+        let inputs0 = make_inputs(0, &sizes0);
+        let expected0: Vec<Tensor3> = inputs0
+            .iter()
+            .map(|x| {
+                let mut y = Tensor3::zeros(0, 0, 0);
+                net.forward_into(x, &mut y);
+                y
+            })
+            .collect();
+        let out0 = b.submit_exec(0, sizes0, inputs0, 0, 0, 0.0).unwrap();
+        b.finish(0);
+        let out1 = h.join().unwrap();
+        // outputs arrive per stream, in window order, bitwise equal to
+        // the looped forward of the same inputs
+        assert_eq!(out0.len(), 3);
+        assert_eq!(out1.len(), 2);
+        for (got, want) in out0.iter().zip(&expected0) {
+            assert_eq!(got.data, want.data);
+        }
+        for (got, want) in out1.iter().zip(&expected1) {
+            assert_eq!(got.data, want.data);
+        }
+        // max_batch=2 split the 3-window (64,64) group into 2 chunks,
+        // plus 1 chunk for the (128,96) group → 3 forwards, 5 windows
+        assert_eq!(exec.forwards(), 3);
+        assert_eq!(exec.windows(), 5);
+        assert!(exec.wall_seconds() > 0.0);
+        // charges are untouched by execution: same as accounting-only
+        assert_eq!(ledger.batch_stats().items, 5);
+    }
+
+    #[test]
+    fn exec_off_returns_no_outputs() {
+        let b = DetectorBatcher::new(1, CALL, 16, CostLedger::new());
+        let out = b
+            .submit_exec(0, vec![(64, 64)], Vec::new(), 0, 0, 0.0)
+            .unwrap();
+        assert!(out.is_empty());
+        b.finish(0);
     }
 
     #[test]

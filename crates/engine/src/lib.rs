@@ -39,6 +39,7 @@
 //! Entry point: [`Engine::run`]. Observability: [`EngineStats`].
 
 pub mod batcher;
+pub mod exec;
 pub mod fault;
 pub mod scheduler;
 pub(crate) mod stage;
@@ -46,6 +47,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use batcher::{DetectorBatcher, RoundRecord, StreamGuard, SubmitError, Ticket};
+pub use exec::{DetectorExec, DetectorExecHarness};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, PanicReport, StageName};
 pub use scheduler::{ClipOutcome, Engine, EngineOptions, EngineRun};
 pub use stats::{EngineCounters, EngineStats, FailedClip, StageSeconds, StreamStatus};

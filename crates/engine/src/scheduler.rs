@@ -30,6 +30,7 @@
 //! failed clips once through the sequential pipeline.
 
 use crate::batcher::{DetectorBatcher, RoundRecord, StreamGuard};
+use crate::exec::{DetectorExec, DetectorExecHarness};
 use crate::fault::{supervise, FaultPlan, HealthBoard, StageName};
 use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, StageCtx};
 use crate::stats::{EngineCounters, EngineStats, FailedClip, StreamStatus};
@@ -37,12 +38,13 @@ use crate::timeline::{self, ClipTimeline};
 use crossbeam::channel::bounded;
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
-use otif_core::Pipeline;
+use otif_core::{fold_digest, Pipeline, WindowNet, DIGEST_SEED};
 use otif_cv::{Component, CostLedger};
 use otif_sim::Clip;
 use otif_track::Track;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Tunables for an engine run.
 #[derive(Debug, Clone)]
@@ -67,6 +69,11 @@ pub struct EngineOptions {
     pub faults: FaultPlan,
     /// Skip the sequential retry of recoverably-failed clips.
     pub no_retry: bool,
+    /// How to execute the surrogate detector forward pass ([`Off`]
+    /// runs no surrogate at all — the historical behaviour).
+    ///
+    /// [`Off`]: DetectorExec::Off
+    pub detector_exec: DetectorExec,
 }
 
 impl Default for EngineOptions {
@@ -87,6 +94,7 @@ impl EngineOptions {
             max_batch: 16,
             faults: FaultPlan::none(),
             no_retry: false,
+            detector_exec: DetectorExec::Off,
         }
     }
 
@@ -225,12 +233,27 @@ impl Engine {
             .map(|_| Mutex::new(ClipTimeline::default()))
             .collect();
         let launch = CostLedger::new();
-        let batcher = DetectorBatcher::new(
+        // The surrogate harness is shared by every stream (identical
+        // weights, one set of wall-clock counters); the batcher holds
+        // a reference only in batched mode, where its flushing thread
+        // runs the forwards.
+        let harness = (opts.detector_exec != DetectorExec::Off).then(|| {
+            Arc::new(DetectorExecHarness::new(
+                WindowNet::new(&config.detector, ctx.detector_seed),
+                opts.detector_exec,
+            ))
+        });
+        let mut batcher = DetectorBatcher::new(
             streams,
             config.detector.arch.per_call(),
             opts.max_batch,
             launch.clone(),
         );
+        if opts.detector_exec == DetectorExec::Batched {
+            if let Some(h) = &harness {
+                batcher = batcher.with_exec(Arc::clone(h));
+            }
+        }
         let counters = EngineCounters::default();
         let health = HealthBoard::new(streams);
         let results: Mutex<Vec<Option<Vec<Track>>>> =
@@ -251,6 +274,7 @@ impl Engine {
                     timelines: &timelines,
                     faults: &opts.faults,
                     health: &health,
+                    detector_exec: harness.as_deref(),
                 };
                 let (health, results) = (&health, &results);
                 // Four supervised stage threads per stream: a panic in
@@ -392,6 +416,23 @@ impl Engine {
         stats.panics = health.panic_count();
         stats.wasted_seconds = wasted;
         stats.launch_seconds = launch.get(Component::Detector);
+        stats.detector_exec = opts.detector_exec.as_str().to_string();
+        if let Some(h) = &harness {
+            stats.detector_wall_seconds = h.wall_seconds();
+            stats.detector_forwards = h.forwards();
+            stats.detector_exec_windows = h.windows();
+            // Run digest: completed clips' surrogate digests folded in
+            // clip order — the set and the per-clip values are
+            // deterministic, so looped and batched runs (at any stream
+            // count, under any fault plan) must agree exactly.
+            let mut d = DIGEST_SEED;
+            for (idx, done) in completed.iter().enumerate() {
+                if *done {
+                    d = fold_digest(d, timelines[idx].lock().detect_digest);
+                }
+            }
+            stats.detector_digest = d;
+        }
         stats.stream_status = (0..streams)
             .map(|s| {
                 let assigned = assignments[s].len();

@@ -21,6 +21,7 @@
 //! the supervision shim in the scheduler.
 
 use crate::batcher::StreamGuard;
+use crate::exec::{DetectorExec, DetectorExecHarness};
 use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName};
 use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
 use crate::timeline::ClipTimeline;
@@ -30,12 +31,15 @@ use otif_core::pipeline::ExecutionContext;
 use otif_core::stages::{
     charge_decode, charge_tracker_step, finalize_tracks, select_windows, FrameTracker,
 };
+use otif_core::{digest_tensor, fold_digest};
 use otif_cv::{Component, CostLedger, Detection, SimDetector};
 use otif_geom::Rect;
+use otif_nn::Tensor3;
 use otif_sim::{Clip, Renderer};
 use otif_track::Track;
 use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::time::Instant;
 
 /// Everything a stage loop needs besides its channels: the run
 /// configuration, this stream's clip assignment, the shared counters,
@@ -56,6 +60,10 @@ pub(crate) struct StageCtx<'a> {
     pub timelines: &'a [Mutex<ClipTimeline>],
     pub faults: &'a FaultPlan,
     pub health: &'a HealthBoard,
+    /// Surrogate detector execution harness; `None` (or mode `Off`)
+    /// means the detect stage computes accounting only, exactly as
+    /// before the surrogate existed.
+    pub detector_exec: Option<&'a DetectorExecHarness>,
 }
 
 impl StageCtx<'_> {
@@ -246,6 +254,7 @@ pub(crate) fn detect_stage(
 ) {
     let lookup = ClipLookup::new(ctx.clips);
     let detector = SimDetector::new(ctx.config.detector, ctx.exec.detector_seed);
+    let harness = ctx.detector_exec.filter(|h| h.mode() != DetectorExec::Off);
     let mut poisoned: HashSet<usize> = HashSet::new();
     for msg in &rx {
         let msg = match msg {
@@ -288,12 +297,66 @@ pub(crate) fn detect_stage(
                 .iter()
                 .map(|r| (r.w.round() as u32, r.h.round() as u32))
                 .collect();
+            // Surrogate execution: materialize the window crops at the
+            // net's input resolution (identically for both modes — the
+            // shapes depend only on the rounded sizes the ticket
+            // carries, so the looped and batched paths run the same
+            // arithmetic per window).
+            let inputs: Vec<Tensor3> = match harness {
+                Some(h) => {
+                    let renderer = Renderer::new(lookup.get(msg.clip));
+                    msg.windows
+                        .iter()
+                        .zip(&sizes)
+                        .map(|(w, &sz)| h.net().materialize(&renderer, msg.frame, w, sz))
+                        .collect()
+                }
+                None => Vec::new(),
+            };
             // A protocol violation here is an engine bug and the stream
             // cannot continue coherently: fail the whole stream (the
             // supervision shim records it; siblings keep flowing).
-            batcher_guard
-                .submit_tagged(sizes, msg.clip, msg.ordinal, px)
-                .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
+            let outputs = match harness.map(|h| (h, h.mode())) {
+                Some((h, DetectorExec::Looped)) => {
+                    // Wall-clock baseline: one forward per window, timed
+                    // around the forwards only (materialization happens
+                    // on this thread in both modes).
+                    let start = Instant::now();
+                    let outs: Vec<Tensor3> = inputs
+                        .iter()
+                        .map(|x| {
+                            let mut y = Tensor3::zeros(0, 0, 0);
+                            h.net().forward_into(x, &mut y);
+                            y
+                        })
+                        .collect();
+                    h.record(start.elapsed(), outs.len() as u64, outs.len() as u64);
+                    batcher_guard
+                        .submit_tagged(sizes, msg.clip, msg.ordinal, px)
+                        .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
+                    outs
+                }
+                Some((_, DetectorExec::Batched)) => batcher_guard
+                    .submit_exec(sizes, inputs, msg.clip, msg.ordinal, px)
+                    .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}")),
+                _ => {
+                    batcher_guard
+                        .submit_tagged(sizes, msg.clip, msg.ordinal, px)
+                        .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
+                    Vec::new()
+                }
+            };
+            if harness.is_some() {
+                // Fold this frame's surrogate outputs (window order)
+                // into the clip's digest — the per-clip half of the
+                // batched≡looped bitwise contract. The detect stage is
+                // the clip's only writer and sees frames in ordinal
+                // order, so the fold is deterministic.
+                let mut t = ctx.timelines[msg.clip].lock();
+                for out in &outputs {
+                    t.detect_digest = fold_digest(t.detect_digest, digest_tensor(out));
+                }
+            }
             detector.detect_windows_pure(lookup.get(msg.clip), msg.frame, &msg.windows)
         };
         ctx.counters

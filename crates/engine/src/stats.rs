@@ -177,6 +177,21 @@ pub struct EngineStats {
     /// overhead (the cross-stream shared cost; the rest is per-clip
     /// pixel cost).
     pub launch_seconds: f64,
+    /// Detector execution mode the run used (`"off"`, `"looped"` or
+    /// `"batched"` — see [`DetectorExec`](crate::exec::DetectorExec)).
+    pub detector_exec: String,
+    /// Wall-clock (not simulated) seconds spent in surrogate detector
+    /// forward passes; 0 when execution is off.
+    pub detector_wall_seconds: f64,
+    /// Surrogate forward passes run (a batched pass counts once).
+    pub detector_forwards: u64,
+    /// Windows executed across those forward passes.
+    pub detector_exec_windows: u64,
+    /// FNV-1a digest over the surrogate outputs of all completed clips
+    /// (clip order, then frame-ordinal, then window order). Identical
+    /// between looped and batched runs by the bitwise-kernel contract;
+    /// 0 when execution is off.
+    pub detector_digest: u64,
 }
 
 impl EngineStats {
@@ -222,6 +237,11 @@ impl EngineStats {
             stream_status: Vec::new(),
             wasted_seconds: 0.0,
             launch_seconds: 0.0,
+            detector_exec: crate::exec::DetectorExec::Off.as_str().to_string(),
+            detector_wall_seconds: 0.0,
+            detector_forwards: 0,
+            detector_exec_windows: 0,
+            detector_digest: 0,
         }
     }
 

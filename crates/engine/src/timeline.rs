@@ -68,6 +68,12 @@ pub struct ClipTimeline {
     /// Clip finalization seconds (track stitch + refinement), charged
     /// after the last frame.
     pub finalize: f64,
+    /// Running FNV-1a digest over the clip's surrogate detector outputs
+    /// (frame-ordinal, then window order), recorded by the detect stage
+    /// when a [`DetectorExec`](crate::exec::DetectorExec) mode is on;
+    /// stays 0 when execution is off. Not part of the replay — it is
+    /// the per-clip half of the batched≡looped bitwise contract.
+    pub detect_digest: u64,
 }
 
 impl ClipTimeline {
@@ -346,6 +352,7 @@ mod tests {
             detect_px: vec![px; n],
             track: vec![track; n],
             finalize: 0.0,
+            detect_digest: 0,
         }
     }
 

@@ -14,6 +14,7 @@
 //! per-frame hot path.
 
 use crate::kernels::{self, ConvShape, KernelPath};
+use crate::tensor::BatchTensor3;
 use crate::{Activation, OptimKind, Param, Tensor3, XavierInit};
 use serde::{Deserialize, Serialize};
 
@@ -134,6 +135,29 @@ impl Conv2d {
     /// [`Self::infer_path`] into a caller-owned output tensor.
     pub fn infer_path_into(&self, x: &Tensor3, out: &mut Tensor3, path: KernelPath) {
         self.conv_forward_into(x, out, path);
+    }
+
+    /// Batched inference over `x.n` same-shape items: one im2col + one
+    /// GEMM for the whole batch (see [`kernels::conv2d_gemm_batched`]),
+    /// bit-identical to `x.n` [`Self::infer_into`] calls. `out` is
+    /// resized in place; the path dispatches per-item problem size.
+    pub fn infer_batched_into(&self, x: &BatchTensor3, out: &mut BatchTensor3) {
+        self.infer_batched_path_into(x, out, KernelPath::Auto);
+    }
+
+    /// [`Self::infer_batched_into`] through a forced kernel path.
+    pub fn infer_batched_path_into(
+        &self,
+        x: &BatchTensor3,
+        out: &mut BatchTensor3,
+        path: KernelPath,
+    ) {
+        assert_eq!(x.c, self.in_ch);
+        let (oh, ow) = self.out_size(x.h, x.w);
+        out.reset(x.n, self.out_ch, oh, ow);
+        kernels::conv2d_batched(&self.shape(), &self.weight.w, &self.bias.w, x, out, path);
+        let act = self.act;
+        out.data.iter_mut().for_each(|v| *v = act.apply(*v));
     }
 
     /// Backward pass: accumulate kernel/bias gradients, return dL/dx.

@@ -17,7 +17,7 @@
 //! [`matmul_naive`]) as the oracle the proptest equivalence suite and
 //! the `kernels` bench bin compare against.
 
-use crate::tensor::Tensor3;
+use crate::tensor::{BatchTensor3, Tensor3};
 use std::cell::RefCell;
 
 /// A pool of reusable `f32` buffers.
@@ -242,6 +242,32 @@ pub fn conv_path_for(shape: &ConvShape, h: usize, w: usize, path: KernelPath) ->
     }
 }
 
+/// Resolve [`KernelPath::Auto`] for a batched problem. The whole stack
+/// feeds one im2col + one GEMM, so the threshold compares the *stacked*
+/// MAC count: batching pushes per-item problems over the GEMM cliff
+/// that are too small to clear it alone — which is precisely where the
+/// batched path earns its wall-clock win. The choice can never affect
+/// results: every kernel path accumulates in the same per-element
+/// order and is bit-identical to the others.
+pub fn conv_path_for_batched(
+    shape: &ConvShape,
+    n: usize,
+    h: usize,
+    w: usize,
+    path: KernelPath,
+) -> KernelPath {
+    match path {
+        KernelPath::Auto => {
+            if shape.macs(h, w).saturating_mul(n) >= GEMM_MIN_MACS {
+                KernelPath::Gemm
+            } else {
+                KernelPath::Naive
+            }
+        }
+        forced => forced,
+    }
+}
+
 /// Reference convolution: plain nested loops with per-element bounds
 /// branches. `weight` is `[out_ch][in_ch][ky][kx]` row-major; `out` must
 /// be pre-sized to `(out_ch, oh, ow)` and is fully overwritten with the
@@ -298,37 +324,106 @@ fn im2col(shape: &ConvShape, x: &Tensor3, col: &mut [f32]) {
     let (oh, ow) = shape.out_size(x.h, x.w);
     let n = oh * ow;
     let k = shape.ksize;
+    debug_assert_eq!(col.len(), shape.in_ch * k * k * n);
+    let mut r = 0usize;
+    for ic in 0..shape.in_ch {
+        let plane = &x.data[ic * x.h * x.w..(ic + 1) * x.h * x.w];
+        for ky in 0..k {
+            for kx in 0..k {
+                im2col_tap(
+                    shape,
+                    oh,
+                    ow,
+                    ky,
+                    kx,
+                    plane,
+                    x.h,
+                    x.w,
+                    &mut col[r * n..(r + 1) * n],
+                );
+                r += 1;
+            }
+        }
+    }
+}
+
+/// Fill the `oh·ow` im2col columns of one kernel tap `(ky, kx)` from one
+/// contiguous `h × w` input plane. Shared by [`im2col`] and the batched
+/// variant — the fill is a pure copy, so factoring it cannot perturb
+/// bits.
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn im2col_tap(
+    shape: &ConvShape,
+    oh: usize,
+    ow: usize,
+    ky: usize,
+    kx: usize,
+    plane: &[f32],
+    h: usize,
+    w: usize,
+    dst: &mut [f32],
+) {
     let s = shape.stride;
     let pad = shape.pad;
+    // valid ox range: 0 <= ox·s + kx − pad < w
+    let ox_lo = if kx >= pad { 0 } else { (pad - kx).div_ceil(s) };
+    let ox_hi = if w + pad > kx {
+        ((w + pad - kx - 1) / s + 1).min(ow)
+    } else {
+        0
+    };
+    for oy in 0..oh {
+        let iy = (oy * s + ky) as isize - pad as isize;
+        if iy < 0 || iy >= h as isize {
+            continue; // padding row: stays zero
+        }
+        let x_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+        let d_row = &mut dst[oy * ow..oy * ow + ow];
+        if s == 1 {
+            // contiguous: one slice copy
+            let ix_lo = ox_lo + kx - pad;
+            d_row[ox_lo..ox_hi].copy_from_slice(&x_row[ix_lo..ix_lo + (ox_hi - ox_lo)]);
+        } else {
+            for (ox, d) in d_row.iter_mut().enumerate().take(ox_hi).skip(ox_lo) {
+                *d = x_row[ox * s + kx - pad];
+            }
+        }
+    }
+}
+
+/// Fill the batched im2col matrix: row `r = (ic·k + ky)·k + kx` holds the
+/// per-item column blocks side by side — item `i`'s `oh·ow` columns at
+/// `[i·oh·ow, (i+1)·oh·ow)`. Because [`BatchTensor3`] output data is laid
+/// out the same way (`C × N × H × W`), one GEMM over the widened column
+/// dimension computes every item's convolution with exactly the
+/// per-item accumulation order. `col` must be `in_ch·k² × n·oh·ow` and
+/// zeroed.
+fn im2col_batched(shape: &ConvShape, x: &BatchTensor3, col: &mut [f32]) {
+    let (oh, ow) = shape.out_size(x.h, x.w);
+    let nsp = oh * ow;
+    let n = x.n * nsp;
+    let k = shape.ksize;
+    let plane_len = x.h * x.w;
     debug_assert_eq!(col.len(), shape.in_ch * k * k * n);
     let mut r = 0usize;
     for ic in 0..shape.in_ch {
         for ky in 0..k {
             for kx in 0..k {
                 let dst = &mut col[r * n..(r + 1) * n];
-                // valid ox range: 0 <= ox·s + kx − pad < w
-                let ox_lo = if kx >= pad { 0 } else { (pad - kx).div_ceil(s) };
-                let ox_hi = if x.w + pad > kx {
-                    ((x.w + pad - kx - 1) / s + 1).min(ow)
-                } else {
-                    0
-                };
-                for oy in 0..oh {
-                    let iy = (oy * s + ky) as isize - pad as isize;
-                    if iy < 0 || iy >= x.h as isize {
-                        continue; // padding row: stays zero
-                    }
-                    let x_row = x.row(ic, iy as usize);
-                    let d_row = &mut dst[oy * ow..oy * ow + ow];
-                    if s == 1 {
-                        // contiguous: one slice copy
-                        let ix_lo = ox_lo + kx - pad;
-                        d_row[ox_lo..ox_hi].copy_from_slice(&x_row[ix_lo..ix_lo + (ox_hi - ox_lo)]);
-                    } else {
-                        for (ox, d) in d_row.iter_mut().enumerate().take(ox_hi).skip(ox_lo) {
-                            *d = x_row[ox * s + kx - pad];
-                        }
-                    }
+                for i in 0..x.n {
+                    let plane = &x.data[(ic * x.n + i) * plane_len..][..plane_len];
+                    im2col_tap(
+                        shape,
+                        oh,
+                        ow,
+                        ky,
+                        kx,
+                        plane,
+                        x.h,
+                        x.w,
+                        &mut dst[i * nsp..(i + 1) * nsp],
+                    );
                 }
                 r += 1;
             }
@@ -382,6 +477,154 @@ pub fn conv2d(
         KernelPath::Gemm => conv2d_gemm(shape, weight, bias, x, out),
         _ => conv2d_naive(shape, weight, bias, x, out),
     }
+}
+
+// ---------------------------------------------------------------------------
+// batched convolution / matmul
+// ---------------------------------------------------------------------------
+
+/// Batched im2col + blocked-GEMM convolution over `x.n` same-shape
+/// items: **one** im2col buffer stacking every item's columns and
+/// **one** cache-blocked GEMM whose column dimension is
+/// `batch · oh · ow`, so the `out_ch × in_ch·k²` weight matrix is
+/// streamed once per *batch* instead of once per item.
+///
+/// Bit-identical to `x.n` separate [`conv2d_gemm`] calls: item `i`
+/// occupies columns `[i·oh·ow, (i+1)·oh·ow)` of both the im2col matrix
+/// and the output, so each output element accumulates its taps in
+/// exactly the per-item order (`p` strictly increasing, bias seeded
+/// first). The column-tile split of [`matmul_blocked`] never reorders
+/// accumulation, so where chunk boundaries fall is irrelevant to bits.
+///
+/// `out` must be pre-sized to `(x.n, out_ch, oh, ow)` and is fully
+/// overwritten with the pre-activation result.
+pub fn conv2d_gemm_batched(
+    shape: &ConvShape,
+    weight: &[f32],
+    bias: &[f32],
+    x: &BatchTensor3,
+    out: &mut BatchTensor3,
+) {
+    let (oh, ow) = shape.out_size(x.h, x.w);
+    assert_eq!(x.c, shape.in_ch, "conv input channels");
+    assert_eq!(
+        (out.n, out.c, out.h, out.w),
+        (x.n, shape.out_ch, oh, ow),
+        "conv out shape"
+    );
+    if x.n == 0 {
+        return;
+    }
+    let n = x.n * oh * ow;
+    let kk = shape.in_ch * shape.ksize * shape.ksize;
+    let mut col = take_buf(kk * n);
+    im2col_batched(shape, x, &mut col);
+    // C×N×H×W layout: each out channel's chunk holds every item's plane
+    for (row, b) in out.data.chunks_exact_mut(n).zip(bias) {
+        row.fill(*b);
+    }
+    matmul_blocked(weight, &col, &mut out.data, shape.out_ch, kk, n);
+    put_buf(col);
+}
+
+/// Run the selected convolution path over a batch (pre-activation).
+///
+/// `Auto` resolves by **per-item** problem size — the same rule the
+/// looped path applies — so a batched forward takes the same kernel per
+/// layer as its looped counterpart and stays bit-identical to it. On
+/// the naive path items are processed one at a time through scratch
+/// tensors (there is nothing to fold; the reference loops already touch
+/// each element once).
+pub fn conv2d_batched(
+    shape: &ConvShape,
+    weight: &[f32],
+    bias: &[f32],
+    x: &BatchTensor3,
+    out: &mut BatchTensor3,
+    path: KernelPath,
+) {
+    match conv_path_for_batched(shape, x.n, x.h, x.w, path) {
+        KernelPath::Gemm => conv2d_gemm_batched(shape, weight, bias, x, out),
+        _ => {
+            let (oh, ow) = shape.out_size(x.h, x.w);
+            assert_eq!(
+                (out.n, out.c, out.h, out.w),
+                (x.n, shape.out_ch, oh, ow),
+                "conv out shape"
+            );
+            let mut xi = Tensor3 {
+                c: x.c,
+                h: x.h,
+                w: x.w,
+                data: take_buf(x.c * x.h * x.w),
+            };
+            let mut oi = Tensor3 {
+                c: shape.out_ch,
+                h: oh,
+                w: ow,
+                data: take_buf(shape.out_ch * oh * ow),
+            };
+            for i in 0..x.n {
+                x.item_into(i, &mut xi);
+                conv2d_naive(shape, weight, bias, &xi, &mut oi);
+                out.set_item(i, &oi);
+            }
+            put_buf(oi.data);
+            put_buf(xi.data);
+        }
+    }
+}
+
+/// Batched matmul: for each item `i`, `cs_i[m][n] += Σ_k a[m][k] ·
+/// bs_i[k][n]`, where `bs` holds `batch` consecutive `k × n` blocks and
+/// `cs` holds `batch` consecutive pre-seeded `m × n` blocks.
+///
+/// The per-item B matrices are restacked column-wise into one
+/// `k × batch·n` scratch matrix (item `i` at columns `[i·n, (i+1)·n)`),
+/// the seeded C blocks likewise, and a single [`matmul_blocked`] call
+/// runs over the widened column dimension — per-element accumulation
+/// order is untouched, so the result is bit-identical to `batch`
+/// separate `matmul_blocked` calls. Scratch comes from the thread-local
+/// pool: zero heap allocation after warm-up.
+pub fn matmul_batched(
+    a: &[f32],
+    bs: &[f32],
+    cs: &mut [f32],
+    batch: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "matmul A shape");
+    assert_eq!(bs.len(), batch * k * n, "batched matmul B shape");
+    assert_eq!(cs.len(), batch * m * n, "batched matmul C shape");
+    if batch == 0 || m * k * n == 0 {
+        return;
+    }
+    let bn = batch * n;
+    let mut col = take_buf(k * bn);
+    for p in 0..k {
+        for i in 0..batch {
+            col[p * bn + i * n..p * bn + (i + 1) * n]
+                .copy_from_slice(&bs[(i * k + p) * n..(i * k + p + 1) * n]);
+        }
+    }
+    let mut out = take_buf(m * bn);
+    for r in 0..m {
+        for i in 0..batch {
+            out[r * bn + i * n..r * bn + (i + 1) * n]
+                .copy_from_slice(&cs[(i * m + r) * n..(i * m + r + 1) * n]);
+        }
+    }
+    matmul_blocked(a, &col, &mut out, m, k, bn);
+    for r in 0..m {
+        for i in 0..batch {
+            cs[(i * m + r) * n..(i * m + r + 1) * n]
+                .copy_from_slice(&out[r * bn + i * n..r * bn + (i + 1) * n]);
+        }
+    }
+    put_buf(out);
+    put_buf(col);
 }
 
 #[cfg(test)]
@@ -481,6 +724,89 @@ mod tests {
             conv_path_for(&big, 112, 192, KernelPath::Naive),
             KernelPath::Naive
         );
+    }
+
+    #[test]
+    fn batched_conv_bit_identical_to_looped_gemm() {
+        for (in_ch, out_ch, k, s, pad, h, w, batch) in [
+            (1, 3, 3, 2, 1, 17, 23, 4),
+            (3, 6, 3, 2, 1, 12, 9, 3),
+            (8, 6, 1, 1, 0, 7, 12, 5),
+            (2, 4, 5, 3, 2, 21, 16, 2),
+            (1, 1, 3, 1, 0, 3, 3, 1),
+        ] {
+            let shape = ConvShape {
+                in_ch,
+                out_ch,
+                ksize: k,
+                stride: s,
+                pad,
+            };
+            let mut items = Vec::new();
+            for i in 0..batch {
+                let mut x = Tensor3::zeros(in_ch, h, w);
+                lcg_fill(100 + i as u64, &mut x.data);
+                items.push(x);
+            }
+            let mut weight = vec![0.0; out_ch * in_ch * k * k];
+            let mut bias = vec![0.0; out_ch];
+            lcg_fill(2, &mut weight);
+            lcg_fill(3, &mut bias);
+            let (oh, ow) = shape.out_size(h, w);
+            let refs: Vec<&Tensor3> = items.iter().collect();
+            let x_b = BatchTensor3::from_items(&refs);
+            let mut out_b = BatchTensor3::zeros(batch, out_ch, oh, ow);
+            conv2d_gemm_batched(&shape, &weight, &bias, &x_b, &mut out_b);
+            let mut got = Tensor3::zeros(out_ch, oh, ow);
+            let mut want = Tensor3::zeros(out_ch, oh, ow);
+            for (i, x) in items.iter().enumerate() {
+                conv2d_gemm(&shape, &weight, &bias, x, &mut want);
+                out_b.item_into(i, &mut got);
+                assert_eq!(
+                    got.data, want.data,
+                    "batched conv diverges at item {i}, shape {shape:?} {h}x{w}"
+                );
+            }
+            // the batched Auto dispatcher (stacked-MAC threshold) may
+            // pick a different kernel than per-item Auto, but outputs
+            // stay bit-identical — every path accumulates identically
+            let mut out_d = BatchTensor3::zeros(batch, out_ch, oh, ow);
+            conv2d_batched(&shape, &weight, &bias, &x_b, &mut out_d, KernelPath::Auto);
+            for (i, x) in items.iter().enumerate() {
+                conv2d(&shape, &weight, &bias, x, &mut want, KernelPath::Auto);
+                out_d.item_into(i, &mut got);
+                assert_eq!(got.data, want.data, "Auto dispatch diverges at item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_matmul_bit_identical_to_looped() {
+        for (batch, m, k, n) in [
+            (3, 3, 9, 300),
+            (2, 5, 40, 700),
+            (1, 1, 1, 1),
+            (4, 4, 7, 1100),
+        ] {
+            let mut a = vec![0.0; m * k];
+            lcg_fill(7, &mut a);
+            let mut bs = vec![0.0; batch * k * n];
+            lcg_fill(8, &mut bs);
+            let mut cs = vec![0.25; batch * m * n];
+            let mut want = cs.clone();
+            matmul_batched(&a, &bs, &mut cs, batch, m, k, n);
+            for i in 0..batch {
+                matmul_blocked(
+                    &a,
+                    &bs[i * k * n..(i + 1) * k * n],
+                    &mut want[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+            assert_eq!(cs, want, "batched matmul diverges at {batch}x{m}x{k}x{n}");
+        }
     }
 
     #[test]

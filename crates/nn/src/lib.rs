@@ -38,4 +38,4 @@ pub use init::XavierInit;
 pub use kernels::{ConvShape, KernelPath};
 pub use loss::{bce_with_logits, bce_with_logits_grad, mse, mse_grad, sigmoid};
 pub use param::{OptimKind, Param};
-pub use tensor::Tensor3;
+pub use tensor::{BatchTensor3, Tensor3};

@@ -118,6 +118,132 @@ impl Tensor3 {
     }
 }
 
+/// A batch of `n` same-shape `C × H × W` tensors stored **channel-major**
+/// (`C × N × H × W`): for each channel, the `n` item planes sit
+/// consecutively, so item `i`'s plane for channel `c` is the contiguous
+/// slice `data[(c*n + i)*h*w ..][..h*w]`.
+///
+/// This layout is what makes batched convolution bitwise-identical to
+/// the looped kernel *by construction*: the im2col matrix for the whole
+/// batch is the per-item matrices placed side by side column-wise, so a
+/// single cache-blocked GEMM over the widened column dimension performs
+/// exactly the per-element accumulation the per-item GEMM would — and
+/// its output matrix *is* the next layer's `BatchTensor3`, so multi-layer
+/// forwards chain with no per-layer gather/scatter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchTensor3 {
+    /// Batch size (number of items).
+    pub n: usize,
+    /// Channels per item.
+    pub c: usize,
+    /// Height.
+    pub h: usize,
+    /// Width.
+    pub w: usize,
+    /// `C × N × H × W` data (length `c * n * h * w`).
+    pub data: Vec<f32>,
+}
+
+impl BatchTensor3 {
+    /// All-zero batch.
+    pub fn zeros(n: usize, c: usize, h: usize, w: usize) -> Self {
+        BatchTensor3 {
+            n,
+            c,
+            h,
+            w,
+            data: vec![0.0; n * c * h * w],
+        }
+    }
+
+    /// Gather `items` (all the same shape) into a fresh batch.
+    pub fn from_items(items: &[&Tensor3]) -> Self {
+        assert!(!items.is_empty(), "cannot batch zero items");
+        let (c, h, w) = (items[0].c, items[0].h, items[0].w);
+        let mut b = BatchTensor3::zeros(items.len(), c, h, w);
+        b.gather(items);
+        b
+    }
+
+    /// Copy `items` into this batch; shapes must match exactly.
+    pub fn gather(&mut self, items: &[&Tensor3]) {
+        assert_eq!(items.len(), self.n, "batch size mismatch");
+        let plane = self.h * self.w;
+        for (i, t) in items.iter().enumerate() {
+            assert_eq!(
+                (t.c, t.h, t.w),
+                (self.c, self.h, self.w),
+                "batched items must share one shape"
+            );
+            for c in 0..self.c {
+                let dst = (c * self.n + i) * plane;
+                self.data[dst..dst + plane].copy_from_slice(&t.data[c * plane..(c + 1) * plane]);
+            }
+        }
+    }
+
+    /// Copy item `i` out into `t` (reshaped to fit).
+    pub fn item_into(&self, i: usize, t: &mut Tensor3) {
+        assert!(i < self.n, "item index out of range");
+        t.reset(self.c, self.h, self.w);
+        let plane = self.h * self.w;
+        for c in 0..self.c {
+            let src = (c * self.n + i) * plane;
+            t.data[c * plane..(c + 1) * plane].copy_from_slice(&self.data[src..src + plane]);
+        }
+    }
+
+    /// Overwrite item `i` from `t`; shape must match.
+    pub fn set_item(&mut self, i: usize, t: &Tensor3) {
+        assert!(i < self.n, "item index out of range");
+        assert_eq!(
+            (t.c, t.h, t.w),
+            (self.c, self.h, self.w),
+            "item shape mismatch"
+        );
+        let plane = self.h * self.w;
+        for c in 0..self.c {
+            let dst = (c * self.n + i) * plane;
+            self.data[dst..dst + plane].copy_from_slice(&t.data[c * plane..(c + 1) * plane]);
+        }
+    }
+
+    #[inline]
+    /// The contiguous row `(c, i, y, 0..w)` as a slice.
+    pub fn row(&self, c: usize, i: usize, y: usize) -> &[f32] {
+        debug_assert!(c < self.c && i < self.n && y < self.h);
+        let start = ((c * self.n + i) * self.h + y) * self.w;
+        &self.data[start..start + self.w]
+    }
+
+    #[inline]
+    /// Read element (c, i, y, x).
+    pub fn get(&self, c: usize, i: usize, y: usize, x: usize) -> f32 {
+        debug_assert!(x < self.w);
+        self.row(c, i, y)[x]
+    }
+
+    /// Reshape in place, reusing the allocation; data is zeroed.
+    pub fn reset(&mut self, n: usize, c: usize, h: usize, w: usize) {
+        self.n = n;
+        self.c = c;
+        self.h = h;
+        self.w = w;
+        self.data.clear();
+        self.data.resize(n * c * h * w, 0.0);
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the batch holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -171,5 +297,46 @@ mod tests {
         let mut t = Tensor3::from_vec(1, 1, 3, vec![1.0, -2.0, 3.0]);
         t.map_inplace(|v| v.abs());
         assert_eq!(t.data, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn batch_gather_scatter_roundtrip() {
+        let a = Tensor3::from_vec(2, 2, 2, (0..8).map(|i| i as f32).collect());
+        let b = Tensor3::from_vec(2, 2, 2, (100..108).map(|i| i as f32).collect());
+        let batch = BatchTensor3::from_items(&[&a, &b]);
+        assert_eq!((batch.n, batch.c, batch.h, batch.w), (2, 2, 2, 2));
+        // channel-major: channel 0 holds item 0's plane then item 1's
+        assert_eq!(&batch.data[0..4], &a.data[0..4]);
+        assert_eq!(&batch.data[4..8], &b.data[0..4]);
+        assert_eq!(&batch.data[8..12], &a.data[4..8]);
+        assert_eq!(batch.get(1, 1, 0, 1), b.get(1, 0, 1));
+        let mut out = Tensor3::zeros(1, 1, 1);
+        batch.item_into(0, &mut out);
+        assert_eq!(out, a);
+        batch.item_into(1, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn batch_set_item_overwrites_one_plane_set() {
+        let a = Tensor3::zeros(1, 2, 2);
+        let mut batch = BatchTensor3::from_items(&[&a, &a, &a]);
+        let b = Tensor3::from_vec(1, 2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        batch.set_item(1, &b);
+        let mut out = Tensor3::zeros(1, 1, 1);
+        batch.item_into(0, &mut out);
+        assert_eq!(out, a);
+        batch.item_into(1, &mut out);
+        assert_eq!(out, b);
+    }
+
+    #[test]
+    fn batch_reset_reuses_allocation() {
+        let mut b = BatchTensor3::zeros(4, 2, 3, 3);
+        let cap = b.data.capacity();
+        b.reset(2, 1, 2, 2);
+        assert_eq!(b.len(), 8);
+        assert_eq!(b.data.capacity(), cap, "reset must reuse the allocation");
+        assert!(!b.is_empty());
     }
 }

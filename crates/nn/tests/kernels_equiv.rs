@@ -9,9 +9,10 @@
 //! seed and fills the arrays with a deterministic LCG.
 
 use otif_nn::kernels::{
-    conv2d, conv2d_gemm, conv2d_naive, matmul_blocked, matmul_naive, ConvShape, KernelPath,
+    conv2d, conv2d_batched, conv2d_gemm, conv2d_naive, matmul_batched, matmul_blocked,
+    matmul_naive, ConvShape, KernelPath,
 };
-use otif_nn::Tensor3;
+use otif_nn::{BatchTensor3, Tensor3};
 use proptest::prelude::*;
 
 fn lcg_fill(seed: u64, buf: &mut [f32]) {
@@ -111,5 +112,120 @@ proptest! {
         matmul_naive(&a, &b, &mut c_naive, m, k, n);
         matmul_blocked(&a, &b, &mut c_blocked, m, k, n);
         prop_assert_eq!(c_naive, c_blocked);
+    }
+
+    // The batched convolution must be *bitwise* identical to N looped
+    // calls — for every kernel path, every randomized shape and batch
+    // size, and regardless of which path runs first (the thread-local
+    // scratch pool is reused across calls in whatever order, and its
+    // state must never leak into results).
+    #[test]
+    fn batched_conv_bitwise_equals_looped(
+        chans in ((1usize..5), (1usize..5)),
+        geom in ((1usize..4), (1usize..3), (0usize..2)),
+        dims in ((1usize..16), (1usize..16)),
+        batch in 1usize..6,
+        path_sel in 0usize..3,
+        batched_first in 0usize..2,
+        seed in 0u64..u64::MAX,
+    ) {
+        let (in_ch, out_ch) = chans;
+        let (ksize, stride, pad) = geom;
+        let h = dims.0.max(ksize);
+        let w = dims.1.max(ksize);
+        let shape = ConvShape { in_ch, out_ch, ksize, stride, pad };
+        let path = [KernelPath::Auto, KernelPath::Naive, KernelPath::Gemm][path_sel];
+        let batched_first = batched_first == 1;
+
+        let mut items = Vec::new();
+        for i in 0..batch {
+            let mut x = Tensor3::zeros(in_ch, h, w);
+            lcg_fill(seed.wrapping_add(i as u64), &mut x.data);
+            items.push(x);
+        }
+        let mut weight = vec![0.0; out_ch * in_ch * ksize * ksize];
+        let mut bias = vec![0.0; out_ch];
+        lcg_fill(seed ^ 0xdead_beef, &mut weight);
+        lcg_fill(seed ^ 0x5eed_cafe, &mut bias);
+
+        let (oh, ow) = shape.out_size(h, w);
+        let refs: Vec<&Tensor3> = items.iter().collect();
+        let xb = BatchTensor3::from_items(&refs);
+        let mut out_b = BatchTensor3::zeros(batch, out_ch, oh, ow);
+        let mut looped: Vec<Tensor3> = (0..batch).map(|_| Tensor3::zeros(out_ch, oh, ow)).collect();
+
+        let run_looped = |outs: &mut Vec<Tensor3>| {
+            for (x, out) in items.iter().zip(outs.iter_mut()) {
+                conv2d(&shape, &weight, &bias, x, out, path);
+            }
+        };
+        if batched_first {
+            conv2d_batched(&shape, &weight, &bias, &xb, &mut out_b, path);
+            run_looped(&mut looped);
+        } else {
+            run_looped(&mut looped);
+            conv2d_batched(&shape, &weight, &bias, &xb, &mut out_b, path);
+        }
+
+        let mut got = Tensor3::zeros(0, 0, 0);
+        for (i, want) in looped.iter().enumerate() {
+            out_b.item_into(i, &mut got);
+            let got_bits: Vec<u32> = got.data.iter().map(|v| v.to_bits()).collect();
+            let want_bits: Vec<u32> = want.data.iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(
+                got_bits, want_bits,
+                "batched conv not bitwise at item {} ({:?}, {:?}, {}x{}, batch {}, batched_first {})",
+                i, shape, path, h, w, batch, batched_first
+            );
+        }
+    }
+
+    // Same contract for the batched matmul: one widened GEMM over
+    // column-stacked B/C blocks, bitwise-equal to per-item
+    // `matmul_blocked` calls in either execution order.
+    #[test]
+    fn batched_matmul_bitwise_equals_looped(
+        m in 1usize..6,
+        k in 1usize..12,
+        n in 1usize..64,
+        batch in 1usize..6,
+        batched_first in 0usize..2,
+        c0 in -2.0f32..2.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let batched_first = batched_first == 1;
+        let mut a = vec![0.0; m * k];
+        lcg_fill(seed, &mut a);
+        let mut bs = vec![0.0; batch * k * n];
+        lcg_fill(seed ^ 0xabcd_ef12, &mut bs);
+        let mut cs = vec![c0; batch * m * n];
+        let mut want = cs.clone();
+
+        let run_looped = |want: &mut Vec<f32>| {
+            for i in 0..batch {
+                matmul_blocked(
+                    &a,
+                    &bs[i * k * n..(i + 1) * k * n],
+                    &mut want[i * m * n..(i + 1) * m * n],
+                    m,
+                    k,
+                    n,
+                );
+            }
+        };
+        if batched_first {
+            matmul_batched(&a, &bs, &mut cs, batch, m, k, n);
+            run_looped(&mut want);
+        } else {
+            run_looped(&mut want);
+            matmul_batched(&a, &bs, &mut cs, batch, m, k, n);
+        }
+        let got_bits: Vec<u32> = cs.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        prop_assert_eq!(
+            got_bits, want_bits,
+            "batched matmul not bitwise at {}x{}x{} batch {} batched_first {}",
+            m, k, n, batch, batched_first
+        );
     }
 }

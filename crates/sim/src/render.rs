@@ -163,6 +163,84 @@ impl<'a> Renderer<'a> {
         }
         img
     }
+
+    /// Render the native-coordinate region `(rx, ry, rw, rh)` of frame
+    /// `frame` at `w × h` pixels — the crop a detector sees for one
+    /// window, resampled to its input resolution.
+    ///
+    /// Shares [`Self::render`]'s scene content (background anchored in
+    /// native coordinates, objects as filled boxes), deterministically
+    /// per `(frame, region, resolution)`. Kept as a separate method so
+    /// the full-frame path — whose bits feed proxy training — stays
+    /// untouched.
+    #[allow(clippy::too_many_arguments)]
+    pub fn render_region(
+        &self,
+        frame: usize,
+        rx: f32,
+        ry: f32,
+        rw: f32,
+        rh: f32,
+        w: usize,
+        h: usize,
+    ) -> GrayImage {
+        let scene = &self.clip.scene;
+        let sx = rw / w as f32; // native px per target px
+        let sy = rh / h as f32;
+        let bg_seed = scene
+            .name
+            .bytes()
+            .fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+        let fs = &self.clip.frames[frame];
+        let cam = fs.cam_offset;
+
+        let mut img = GrayImage::new(w, h);
+        for y in 0..h {
+            let ny = ry + y as f32 * sy + cam.1;
+            for x in 0..w {
+                let nx = rx + x as f32 * sx + cam.0;
+                let block = hash01(
+                    (nx / 8.0).floor() as i64 as u64,
+                    (ny / 8.0).floor() as i64 as u64,
+                    bg_seed,
+                );
+                let v = scene.background_level + 0.10 * (ny / scene.height as f32) + 0.08 * block;
+                img.set(x, y, v);
+            }
+        }
+
+        for o in &fs.objs {
+            let tone = o.class.intensity() * (0.85 + 0.3 * hash01(o.track_id as u64, 17, bg_seed));
+            let ox = (o.rect.x - rx) / sx;
+            let oy = (o.rect.y - ry) / sy;
+            let x0 = ox.floor().max(0.0) as usize;
+            let y0 = oy.floor().max(0.0) as usize;
+            let x1 = (((o.rect.x1() - rx) / sx).ceil().min(w as f32).max(0.0)) as usize;
+            let y1 = (((o.rect.y1() - ry) / sy).ceil().min(h as f32).max(0.0)) as usize;
+            for y in y0..y1 {
+                let band = if (y as f32 - oy) < (o.rect.h / sy) * 0.4 {
+                    0.85
+                } else {
+                    1.0
+                };
+                for x in x0..x1 {
+                    img.set(x, y, (tone * band).clamp(0.0, 1.0));
+                }
+            }
+        }
+
+        if scene.noise_sigma > 0.0 {
+            let amp = scene.noise_sigma;
+            for y in 0..h {
+                for x in 0..w {
+                    let n = hash01(x as u64, y as u64, frame as u64 ^ (bg_seed << 1)) - 0.5;
+                    let i = y * w + x;
+                    img.data[i] = (img.data[i] + 2.0 * amp * n).clamp(0.0, 1.0);
+                }
+            }
+        }
+        img
+    }
 }
 
 #[cfg(test)]
@@ -255,6 +333,33 @@ mod tests {
         for (a, b) in img.data.iter().zip(&back.data) {
             assert!((a - b).abs() < 1.0 / 255.0 + 1e-6);
         }
+    }
+
+    #[test]
+    fn region_render_matches_full_frame_content() {
+        let c = clip();
+        let r = Renderer::new(&c);
+        // full-frame region at native resolution ≡ plain render
+        let full = r.render(2, 320, 192);
+        let via_region = r.render_region(2, 0.0, 0.0, 320.0, 192.0, 320, 192);
+        assert_eq!(full, via_region);
+        // a native-aligned crop at native sampling equals the same pixels
+        // of the full frame
+        let crop = r.render_region(2, 64.0, 32.0, 128.0, 96.0, 128, 96);
+        for y in 0..96 {
+            for x in 0..128 {
+                assert_eq!(
+                    crop.get(x, y),
+                    full.get(x + 64, y + 32),
+                    "crop diverges at ({x},{y})"
+                );
+            }
+        }
+        // deterministic
+        assert_eq!(
+            r.render_region(1, 10.0, 5.0, 50.0, 40.0, 25, 20),
+            r.render_region(1, 10.0, 5.0, 50.0, 40.0, 25, 20)
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo test"
 cargo test --workspace -q
 
-echo "== kernels bench smoke (tiny shapes, bit-identity gate)"
+echo "== kernels bench smoke (tiny shapes, bit-identity + batched-vs-looped gates)"
 cargo run --release -q -p otif-bench --bin kernels tiny
 
 echo "== engine release build (deny warnings)"
@@ -30,6 +30,32 @@ cargo run --release -q --bin otif-cli -- execute \
   --stats "$tmp/stats.json" --out "$tmp/tracks.json" >/dev/null
 grep -q '"failed_clips":1' "$tmp/stats.json"
 grep -q '"retried_clips":1' "$tmp/stats.json"
+
+echo "== batched detector exec smoke (looped vs batched: digests equal, forwards coalesce)"
+# Re-run the fault-smoke model with the detector surrogate in both
+# execution modes: output digests must match bit-for-bit and batched
+# mode must need strictly fewer forward passes than looped.
+cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --streams 2 --detector-exec looped \
+  --stats "$tmp/stats-looped.json" --out "$tmp/tracks-looped.json" >/dev/null
+cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --streams 2 --detector-exec batched \
+  --stats "$tmp/stats-batched.json" --out "$tmp/tracks-batched.json" >/dev/null
+python3 - "$tmp" <<'PY'
+import json, sys
+tmp = sys.argv[1]
+looped = json.load(open(f"{tmp}/stats-looped.json"))
+batched = json.load(open(f"{tmp}/stats-batched.json"))
+assert looped["detector_digest"] == batched["detector_digest"] != 0, \
+    (looped["detector_digest"], batched["detector_digest"])
+assert batched["detector_forwards"] < looped["detector_forwards"], \
+    (batched["detector_forwards"], looped["detector_forwards"])
+assert open(f"{tmp}/tracks-looped.json").read() == open(f"{tmp}/tracks-batched.json").read()
+print(f"  digest {batched['detector_digest']:#018x}, "
+      f"{looped['detector_forwards']} looped -> {batched['detector_forwards']} batched forwards")
+PY
 
 echo "== pipelining smoke (prefetch=1 vs prefetch=16: makespan shrinks, ledger sums byte-identical)"
 # The throughput bench runs the prefetch sweep and hard-asserts both

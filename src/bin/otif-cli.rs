@@ -17,7 +17,7 @@
 
 use otif::core::workflow::OtifArtifacts;
 use otif::core::{Otif, OtifOptions};
-use otif::engine::{Engine, EngineOptions, FaultPlan};
+use otif::engine::{DetectorExec, Engine, EngineOptions, FaultPlan};
 use otif::geom::{Point, Polygon};
 use otif::query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
 use otif::serve::{
@@ -245,18 +245,31 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_default();
     let fail_fast = flags.contains_key("fail-fast");
     let stats_out = flags.get("stats");
+    let detector_exec = flags
+        .get("detector-exec")
+        .map(|s| {
+            DetectorExec::parse(s)
+                .ok_or_else(|| format!("bad --detector-exec {s:?} (off|looped|batched)"))
+        })
+        .transpose()?
+        .unwrap_or(DetectorExec::Off);
     let point = otif.pick_config(pick);
     eprintln!("executing {}", point.config.describe());
     // Streaming engine: same per-clip output as the sequential path,
     // but detector launches are batched across streams and failures are
-    // isolated per clip/stream. Stats or fault injection force the
-    // engine path even single-stream.
-    let use_engine = streams > 1 || !faults.is_empty() || stats_out.is_some() || prefetch.is_some();
+    // isolated per clip/stream. Stats, fault injection or a detector
+    // execution mode force the engine path even single-stream.
+    let use_engine = streams > 1
+        || !faults.is_empty()
+        || stats_out.is_some()
+        || prefetch.is_some()
+        || detector_exec != DetectorExec::Off;
     let (tracks, ledger, failures) = if use_engine {
         let ledger = otif::cv::CostLedger::new();
         let mut opts = EngineOptions {
             streams,
             faults,
+            detector_exec,
             ..EngineOptions::default()
         };
         if let Some(p) = prefetch {
@@ -290,6 +303,17 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
             run.stats.stall_seconds.batcher_wait,
             run.stats.stall_seconds.channel_backpressure,
         );
+        if detector_exec != DetectorExec::Off {
+            eprintln!(
+                "detector exec: {} mode, {} windows in {} forwards, \
+                 {:.3} s wall, digest {:#018x}",
+                run.stats.detector_exec,
+                run.stats.detector_exec_windows,
+                run.stats.detector_forwards,
+                run.stats.detector_wall_seconds,
+                run.stats.detector_digest,
+            );
+        }
         if !run.stats.healthy() {
             eprintln!(
                 "engine health: {} failed clip(s), {} recovered by retry, {} panic(s)",
@@ -688,6 +712,7 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|inges
   curve    --model model.json
   execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
            [--prefetch N] [--out tracks.json] [--stats stats.json] [--fail-fast]
+           [--detector-exec off|looped|batched]   (run the detector surrogate per window, looped or batched)
            [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error)
   query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>
   ingest       --tracks tracks.json --dataset <name> [... same dataset flags] [--store otif-store]
@@ -713,6 +738,7 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             "prefetch",
             "out",
             "stats",
+            "detector-exec",
             "inject-fault",
             "fail-fast",
         ]),

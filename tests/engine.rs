@@ -7,7 +7,7 @@
 use otif::core::pipeline::ExecutionContext;
 use otif::core::{Otif, OtifOptions, Pipeline};
 use otif::cv::{Component, CostLedger, CostModel, DetectorArch, DetectorConfig};
-use otif::engine::{DetectorBatcher, Engine, EngineOptions, FaultPlan, StageName};
+use otif::engine::{DetectorBatcher, DetectorExec, Engine, EngineOptions, FaultPlan, StageName};
 use otif::sim::{DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
 use proptest::prelude::*;
@@ -260,5 +260,111 @@ proptest! {
             "component sums must be bitwise prefetch-independent (plan {})", plan_idx
         );
         prop_assert_eq!(serial_bits, baseline.2, "serial_seconds drifted (plan {})", plan_idx);
+    }
+}
+
+/// Detector execution is observation-only: `off`, `looped` and
+/// `batched` runs produce byte-identical per-clip outcomes, a
+/// bitwise-identical ledger and the same round log — at 1, 4 and 16
+/// streams, and under injected faults. Looped and batched additionally
+/// agree on the surrogate output digest (the bitwise-kernel contract
+/// end to end), while `off` reports digest 0 and zero wall-clock.
+#[test]
+fn detector_exec_modes_are_bitwise_invariant() {
+    const COMPONENTS: [Component; 5] = [
+        Component::Decode,
+        Component::Proxy,
+        Component::Detector,
+        Component::Tracker,
+        Component::Refinement,
+    ];
+    // 16 short clips so a 16-stream run is not clamped down
+    let clips = DatasetConfig::new(
+        DatasetKind::Caldot1,
+        DatasetScale {
+            clips_per_split: 16,
+            clip_seconds: 2.0,
+        },
+        53,
+    )
+    .generate()
+    .test;
+    assert_eq!(clips.len(), 16);
+    let cfg = otif::core::config::OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 0.25),
+        proxy: None,
+        gap: 4,
+        tracker: otif::core::config::TrackerKind::Sort,
+        refine: false,
+    };
+    let ctx = ExecutionContext::bare(CostModel::default(), 7);
+
+    let run_at = |streams: usize, mode: DetectorExec, plan_idx: usize| {
+        let (faults, no_retry) = prefetch_invariance_plan(plan_idx);
+        let ledger = CostLedger::new();
+        let opts = EngineOptions {
+            streams,
+            detector_exec: mode,
+            faults,
+            no_retry,
+            ..EngineOptions::new()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &ledger);
+        let outcomes = serde_json::to_string(&run.tracks).unwrap();
+        let bits: Vec<u64> = COMPONENTS
+            .iter()
+            .map(|&c| ledger.get(c).to_bits())
+            .collect();
+        (outcomes, bits, run.rounds, run.stats)
+    };
+
+    // the fault-free plan at every stream count; the injected plans
+    // (decode panic, detect error) at 4 streams
+    let cases: &[(usize, usize)] = &[(1, 0), (4, 0), (16, 0), (4, 1), (4, 5)];
+    for &(streams, plan_idx) in cases {
+        let off = run_at(streams, DetectorExec::Off, plan_idx);
+        let looped = run_at(streams, DetectorExec::Looped, plan_idx);
+        let batched = run_at(streams, DetectorExec::Batched, plan_idx);
+        for (name, run) in [("looped", &looped), ("batched", &batched)] {
+            assert_eq!(
+                run.0, off.0,
+                "{name} outcomes differ from off (streams={streams} plan={plan_idx})"
+            );
+            assert_eq!(
+                run.1, off.1,
+                "{name} ledger not bitwise off (streams={streams} plan={plan_idx})"
+            );
+            assert_eq!(
+                run.2, off.2,
+                "{name} round log differs from off (streams={streams} plan={plan_idx})"
+            );
+        }
+        // the bitwise contract between the two executing paths
+        assert_eq!(
+            looped.3.detector_digest, batched.3.detector_digest,
+            "surrogate digests diverge (streams={streams} plan={plan_idx})"
+        );
+        assert_ne!(looped.3.detector_digest, 0);
+        assert_eq!(off.3.detector_digest, 0);
+        assert_eq!(off.3.detector_exec, "off");
+        assert_eq!(looped.3.detector_exec, "looped");
+        assert_eq!(batched.3.detector_exec, "batched");
+        assert_eq!(off.3.detector_wall_seconds, 0.0);
+        assert!(looped.3.detector_wall_seconds > 0.0);
+        assert!(batched.3.detector_wall_seconds > 0.0);
+        // both paths execute the same windows; batching can only merge
+        // forwards, never add them
+        assert_eq!(
+            looped.3.detector_exec_windows,
+            batched.3.detector_exec_windows
+        );
+        assert_eq!(looped.3.detector_forwards, looped.3.detector_exec_windows);
+        assert!(batched.3.detector_forwards <= looped.3.detector_forwards);
+        if streams > 1 && plan_idx == 0 {
+            assert!(
+                batched.3.detector_forwards < looped.3.detector_forwards,
+                "multi-stream batching must coalesce forwards (streams={streams})"
+            );
+        }
     }
 }
