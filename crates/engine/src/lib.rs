@@ -49,6 +49,6 @@ pub mod timeline;
 pub use batcher::{DetectorBatcher, RoundRecord, StreamGuard, SubmitError, Ticket};
 pub use exec::{DetectorExec, DetectorExecHarness};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, PanicReport, StageName};
-pub use scheduler::{ClipOutcome, Engine, EngineOptions, EngineRun};
+pub use scheduler::{retry_backoff, ClipOutcome, Engine, EngineOptions, EngineRun};
 pub use stats::{EngineCounters, EngineStats, FailedClip, StageSeconds, StreamStatus};
 pub use timeline::StallSeconds;

@@ -69,6 +69,14 @@ pub struct EngineOptions {
     pub faults: FaultPlan,
     /// Skip the sequential retry of recoverably-failed clips.
     pub no_retry: bool,
+    /// Retry budget per recoverably-failed clip: at most this many
+    /// sequential re-runs (0 behaves like `no_retry`).
+    pub retry_attempts: usize,
+    /// Base of the deterministic retry backoff schedule: attempt `k`
+    /// (0-based) schedules `retry_backoff_base * 2^k` *virtual* seconds
+    /// before re-running — accounted in `EngineStats` and the makespan,
+    /// never slept, never charged to the cost ledger.
+    pub retry_backoff_base: f64,
     /// How to execute the surrogate detector forward pass ([`Off`]
     /// runs no surrogate at all — the historical behaviour).
     ///
@@ -85,7 +93,7 @@ impl Default for EngineOptions {
 impl EngineOptions {
     /// The default tunables (2 streams, capacity-4 channels, a
     /// 16-frame decode prefetch window, batches of up to 16 windows,
-    /// no faults, retry enabled).
+    /// no faults, a 3-attempt retry budget with 50 ms backoff base).
     pub fn new() -> Self {
         EngineOptions {
             streams: 2,
@@ -94,6 +102,8 @@ impl EngineOptions {
             max_batch: 16,
             faults: FaultPlan::none(),
             no_retry: false,
+            retry_attempts: 3,
+            retry_backoff_base: 0.05,
             detector_exec: DetectorExec::Off,
         }
     }
@@ -105,6 +115,14 @@ impl EngineOptions {
             ..EngineOptions::new()
         }
     }
+}
+
+/// The deterministic retry backoff schedule: attempt `attempt`
+/// (0-based) waits `base * 2^attempt` virtual seconds. Pure — the same
+/// (base, attempt) always yields the same delay, so retry accounting is
+/// reproducible run-to-run.
+pub fn retry_backoff(base: f64, attempt: u32) -> f64 {
+    base * f64::from(2u32.saturating_pow(attempt))
 }
 
 /// The result of one clip in an engine run.
@@ -343,7 +361,7 @@ impl Engine {
                             ),
                         },
                     };
-                    if recoverable && !opts.no_retry {
+                    if recoverable && !opts.no_retry && opts.retry_attempts > 0 {
                         retryable.push(idx);
                     }
                     failures.push(FailedClip {
@@ -383,14 +401,24 @@ impl Engine {
             prefetch,
         );
 
-        // Failed-clip retry: clips that failed recoverably re-run once
-        // through the sequential pipeline, charged to the same ledger —
-        // one flaky clip degrades throughput, not results. Retries run
-        // after the streaming portion, so their execution seconds extend
-        // the makespan serially.
+        // Failed-clip retry: clips that failed recoverably re-run
+        // through the sequential pipeline under a bounded deterministic
+        // backoff schedule — attempt k schedules retry_backoff_base*2^k
+        // *virtual* seconds before running, accounted in the makespan
+        // and the retry counters but never slept and never charged to
+        // the ledger (sums stay bitwise identical). The sequential
+        // fallback is infallible today, so each clip recovers on
+        // attempt 0 and the rest of the `retry_attempts` budget stays
+        // unused; charges land on the same ledger — one flaky clip
+        // degrades throughput, not results. Retries run after the
+        // streaming portion, so they extend the makespan serially.
         let mut retried = 0usize;
+        let mut retry_attempts = 0u64;
         let mut retry_seconds = 0.0f64;
+        let mut retry_backoff_seconds = 0.0f64;
         for idx in retryable {
+            retry_backoff_seconds += retry_backoff(opts.retry_backoff_base, 0);
+            retry_attempts += 1;
             let retry_ledger = CostLedger::new();
             let tracks = Pipeline::run_clip(config, ctx, &clips[idx], &retry_ledger);
             retry_seconds += retry_ledger.execution_total();
@@ -403,7 +431,9 @@ impl Engine {
         }
 
         let mut stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
-        stats.execution_seconds = replayed.makespan + retry_seconds;
+        stats.execution_seconds = replayed.makespan + retry_seconds + retry_backoff_seconds;
+        stats.retry_attempts = retry_attempts;
+        stats.retry_backoff_seconds = retry_backoff_seconds;
         stats.prefetch_frames = prefetch;
         stats.stall_seconds = replayed.stalls;
         stats.pipeline_speedup = if stats.execution_seconds > 0.0 {

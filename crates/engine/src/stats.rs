@@ -164,6 +164,14 @@ pub struct EngineStats {
     pub failed_clips: usize,
     /// Failed clips recovered by the sequential fallback retry.
     pub retried_clips: usize,
+    /// Individual retry attempts run (today the sequential fallback is
+    /// infallible, so this equals `retried_clips`; the backoff budget
+    /// allows more).
+    pub retry_attempts: u64,
+    /// Virtual seconds of deterministic retry backoff scheduled
+    /// (`retry_backoff_base * 2^k` per attempt k) — included in
+    /// `execution_seconds`, never in the ledger sums.
+    pub retry_backoff_seconds: f64,
     /// Stage panics captured by the supervision shim.
     pub panics: usize,
     /// Exactly which clips failed, where, and whether they recovered.
@@ -232,6 +240,8 @@ impl EngineStats {
             pipeline_speedup: 1.0,
             failed_clips: 0,
             retried_clips: 0,
+            retry_attempts: 0,
+            retry_backoff_seconds: 0.0,
             panics: 0,
             failures: Vec::new(),
             stream_status: Vec::new(),

@@ -28,6 +28,9 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Hits re-evaluated and byte-checked (verify mode).
     pub verified: u64,
+    /// Degraded (approximate) answers that skipped the cache entirely —
+    /// only exact answers are cacheable.
+    pub bypasses: u64,
     /// Entries currently resident.
     pub entries: usize,
 }
@@ -45,6 +48,7 @@ pub struct AnswerCache {
     misses: AtomicU64,
     evictions: AtomicU64,
     verified: AtomicU64,
+    bypasses: AtomicU64,
 }
 
 impl AnswerCache {
@@ -61,6 +65,7 @@ impl AnswerCache {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             verified: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
         }
     }
 
@@ -112,6 +117,11 @@ impl AnswerCache {
         self.verified.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record an answer that bypassed the cache because it was degraded.
+    pub fn record_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Counter snapshot.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -119,6 +129,7 @@ impl AnswerCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             verified: self.verified.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
             entries: self.inner.lock().unwrap().map.len(),
         }
     }

@@ -1,0 +1,205 @@
+//! The store's append-only ingest journal — the durability commit
+//! point.
+//!
+//! Every ingest appends exactly one record to `journal.log` *after* the
+//! clip payload file is durably in place (tmp write + fsync + atomic
+//! rename). A record is one line:
+//!
+//! ```text
+//! <16 hex chars: FNV-1a of body> <body: ClipMeta as JSON>\n
+//! ```
+//!
+//! The checksum makes torn appends self-detecting: a crash mid-append
+//! leaves a trailing line whose checksum cannot match (or no newline at
+//! all), and [`replay`] classifies it as a *torn tail* — expected
+//! crash debris, truncated by `store-fsck --repair`, never data loss.
+//! Because the clip file is renamed into place before its record is
+//! appended, every valid journal record refers to a clip file that
+//! exists on disk: an acknowledged ingest (journal append returned Ok)
+//! can always be recovered by replaying the journal, which is the
+//! zero-acknowledged-loss invariant the robustness bench sweeps.
+//!
+//! `catalog.json` is demoted to a rewritable *checkpoint* of the same
+//! entries — convenient for tools, never authoritative: `open()`
+//! replays the journal when one exists.
+
+use crate::io::StoreError;
+use crate::store::{fnv1a, ClipMeta};
+
+/// File name of the ingest journal inside a store directory.
+pub const JOURNAL_FILE: &str = "journal.log";
+
+/// Encode one journal record (checksum + body + newline).
+pub fn encode_record(meta: &ClipMeta) -> Result<Vec<u8>, StoreError> {
+    let body = serde_json::to_string(meta).map_err(|e| StoreError::Invalid {
+        detail: format!("journal encode: {e}"),
+    })?;
+    Ok(format!("{:016x} {}\n", fnv1a(body.as_bytes()), body).into_bytes())
+}
+
+/// Outcome of replaying journal bytes: the valid record prefix plus a
+/// classification of whatever follows it.
+#[derive(Debug, Default)]
+pub struct JournalReplay {
+    /// Catalog entries recovered from valid records, in journal order.
+    pub entries: Vec<ClipMeta>,
+    /// Whether the journal ends in crash debris (a final line that is
+    /// unterminated or fails its checksum).
+    pub torn_tail: bool,
+    /// Complete, newline-terminated records that failed their checksum
+    /// or did not parse — corruption beyond a simple torn tail.
+    pub invalid_records: usize,
+    /// Byte length of the valid record prefix; truncating the journal
+    /// to this length drops only debris.
+    pub valid_bytes: usize,
+}
+
+impl JournalReplay {
+    /// Whether the journal is pristine: every byte belongs to a valid
+    /// record.
+    pub fn clean(&self) -> bool {
+        !self.torn_tail && self.invalid_records == 0
+    }
+}
+
+/// Decode one record line (without its newline) into a [`ClipMeta`].
+fn decode_line(line: &str) -> Option<ClipMeta> {
+    let (sum, body) = line.split_at_checked(16)?;
+    let body = body.strip_prefix(' ')?;
+    let sum = u64::from_str_radix(sum, 16).ok()?;
+    if sum != fnv1a(body.as_bytes()) {
+        return None;
+    }
+    serde_json::from_str(body).ok()
+}
+
+/// Replay raw journal bytes. Reading stops being "valid prefix" at the
+/// first bad record; a bad *final* line with no records after it is a
+/// torn tail (crash debris), anything else bad counts as an invalid
+/// record. Ids must be dense (`0..n` in order) — a gap means records
+/// from a foreign store were spliced in, and replay reports the prefix
+/// up to the gap as valid with the rest invalid.
+pub fn replay(bytes: &[u8]) -> JournalReplay {
+    let mut out = JournalReplay::default();
+    let mut pos = 0usize;
+    while pos < bytes.len() {
+        let rest = &bytes[pos..];
+        let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+            // unterminated final line: torn append
+            out.torn_tail = true;
+            break;
+        };
+        let line = &rest[..nl];
+        let decoded = std::str::from_utf8(line).ok().and_then(decode_line);
+        match decoded {
+            Some(meta) if meta.id == out.entries.len() => {
+                out.entries.push(meta);
+                pos += nl + 1;
+                out.valid_bytes = pos;
+            }
+            _ => {
+                if pos + nl + 1 >= bytes.len() {
+                    // bad but final line: a torn append that happened
+                    // to land a newline inside the half-written bytes
+                    out.torn_tail = true;
+                } else {
+                    out.invalid_records += 1;
+                    // everything after a mid-journal bad record is
+                    // untrusted
+                    out.invalid_records += bytes[pos + nl + 1..]
+                        .iter()
+                        .filter(|&&b| b == b'\n')
+                        .count();
+                }
+                break;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta(id: usize) -> ClipMeta {
+        ClipMeta {
+            id,
+            num_frames: 100,
+            fps: 10.0,
+            width: 640.0,
+            height: 352.0,
+            num_tracks: 3,
+            max_concurrent_tracks: 2,
+            fingerprint: 0xdead_beef ^ id as u64,
+            cell_size: 13.0,
+            occupied_cells: vec![(1, 2), (3, 4)],
+        }
+    }
+
+    fn journal(n: usize) -> Vec<u8> {
+        (0..n)
+            .flat_map(|i| encode_record(&meta(i)).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn round_trip_replays_all_records() {
+        let bytes = journal(3);
+        let r = replay(&bytes);
+        assert!(r.clean());
+        assert_eq!(r.entries.len(), 3);
+        assert_eq!(r.valid_bytes, bytes.len());
+        for (i, e) in r.entries.iter().enumerate() {
+            assert_eq!(e.id, i);
+            assert_eq!(e.fingerprint, meta(i).fingerprint);
+        }
+    }
+
+    #[test]
+    fn empty_journal_is_clean_and_empty() {
+        let r = replay(b"");
+        assert!(r.clean());
+        assert!(r.entries.is_empty());
+        assert_eq!(r.valid_bytes, 0);
+    }
+
+    #[test]
+    fn torn_tail_is_detected_and_truncatable() {
+        let mut bytes = journal(2);
+        let good = bytes.len();
+        let extra = encode_record(&meta(2)).unwrap();
+        bytes.extend_from_slice(&extra[..extra.len() / 2]); // torn append
+        let r = replay(&bytes);
+        assert!(r.torn_tail);
+        assert_eq!(r.invalid_records, 0);
+        assert_eq!(r.entries.len(), 2);
+        assert_eq!(r.valid_bytes, good, "truncation point = valid prefix");
+        // truncating to valid_bytes yields a clean journal
+        let r2 = replay(&bytes[..r.valid_bytes]);
+        assert!(r2.clean());
+        assert_eq!(r2.entries.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_mid_journal_record_invalidates_suffix() {
+        let mut bytes = journal(3);
+        // flip a byte inside record 1's body
+        let rec0 = encode_record(&meta(0)).unwrap().len();
+        bytes[rec0 + 20] ^= 0xff;
+        let r = replay(&bytes);
+        assert!(!r.clean());
+        assert_eq!(r.entries.len(), 1, "only the prefix before the damage");
+        assert_eq!(r.invalid_records, 2, "bad record + untrusted suffix");
+        assert!(!r.torn_tail);
+    }
+
+    #[test]
+    fn id_gap_stops_the_valid_prefix() {
+        let mut bytes: Vec<u8> = encode_record(&meta(0)).unwrap();
+        bytes.extend(encode_record(&meta(2)).unwrap()); // gap: 1 missing
+        let r = replay(&bytes);
+        assert_eq!(r.entries.len(), 1);
+        assert!(r.torn_tail, "bad final line classifies as tail debris");
+    }
+}

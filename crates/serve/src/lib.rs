@@ -37,19 +37,47 @@
 //!   multi-client runner reporting latency percentiles and QPS, used by
 //!   the `serving` bench and `otif-cli serve-bench`.
 //!
-//! The determinism contract mirrors the extraction side: an answer's
-//! serialized bytes are identical at any worker-thread count, any cache
-//! state, and with pruning on or off (pruning only ever skips clips that
-//! provably contribute nothing).
+//! The determinism contract mirrors the extraction side: an *exact*
+//! answer's serialized bytes are identical at any worker-thread count,
+//! any cache state, and with pruning on or off (pruning only ever skips
+//! clips that provably contribute nothing).
+//!
+//! The robustness layer (DESIGN.md §13) adds durability and overload
+//! safety on top:
+//!
+//! - [`io`] — the injectable [`StoreIo`] filesystem seam every store
+//!   read/write flows through, with typed [`StoreError`]s and a
+//!   deterministic `(operation, ordinal)`-addressed fault plan
+//!   ([`FaultyIo`]) for torn writes, failed renames, read errors, and
+//!   crash points.
+//! - [`journal`] — the append-only checksummed ingest journal whose
+//!   append is the acknowledgement point; `catalog.json` becomes a
+//!   rewritable checkpoint and [`store::fsck`] replays/repairs.
+//! - Overload safety in [`QueryServer`]: a bounded admission queue with
+//!   load shedding, per-query deadlines, and self-marking catalog-only
+//!   [`Answer::Approximate`] answers for shed/deadlined queries and
+//!   quarantined clips.
 
 pub mod cache;
+pub mod io;
+pub mod journal;
 pub mod query;
 pub mod server;
 pub mod store;
 pub mod workload;
 
 pub use cache::{AnswerCache, CacheStats};
+pub use io::{
+    FaultyIo, RealIo, StoreError, StoreFaultKind, StoreFaultPlan, StoreFaultSpec, StoreIo, StoreOp,
+};
 pub use query::{Answer, ServeQuery};
-pub use server::{CacheMode, QueryServer, ServeOptions, ServeStats};
-pub use store::{ClipInfo, ClipMeta, LoadedClip, TrackStore};
-pub use workload::{mixed_workload, run_workload, LatencyStats, WorkloadRun};
+pub use server::{
+    CacheMode, OverloadPolicy, QueryOutcome, QueryServer, ServeError, ServeOptions, ServeStats,
+};
+pub use store::{
+    fsck, fsck_with, retry_backoff, ClipInfo, ClipMeta, FsckReport, LoadedClip, StoreOptions,
+    TrackStore,
+};
+pub use workload::{
+    mixed_workload, run_workload, run_workload_traced, LatencyStats, QueryTrace, WorkloadRun,
+};

@@ -5,7 +5,14 @@
 //! [`Answer`]'s canonical bytes are what the determinism contract is
 //! stated over: byte-identical at any thread count, cache state, and
 //! pruning setting.
+//!
+//! Overloaded or partially-degraded serving produces
+//! [`Answer::Approximate`] — a catalog-only estimate that is
+//! *self-marking*: its canonical bytes carry the degradation reason, so
+//! a degraded answer can never be mistaken for (or cached as) an exact
+//! one. Only exact answers participate in the byte-identity contract.
 
+use crate::store::ClipMeta;
 use otif_query::{AggregateQuery, FrameLimitQuery, FrameRef, TrackQuery};
 use serde::{Deserialize, Serialize};
 
@@ -48,6 +55,60 @@ impl ServeQuery {
             }
         }
     }
+
+    /// Catalog-only approximate row for one clip — computed from the
+    /// always-resident [`ClipMeta`] summaries without touching the clip
+    /// file. Used when the exact payload is unavailable (quarantined)
+    /// or the query was shed / deadlined. The estimates lean on the
+    /// same summaries pruning uses: `max_concurrent_tracks` bounds
+    /// per-frame visibility, `num_tracks` bounds volume.
+    pub fn approximate_row(&self, meta: &ClipMeta) -> Vec<f32> {
+        match self {
+            ServeQuery::Aggregate(AggregateQuery::AvgVisible) => {
+                // tracks alive at once, discounted: mean ≤ peak
+                vec![meta.max_concurrent_tracks as f32 * 0.5]
+            }
+            ServeQuery::Aggregate(AggregateQuery::TrafficVolume) => {
+                let minutes = meta.num_frames as f32 / meta.fps.max(1e-6) / 60.0;
+                vec![if minutes > 0.0 {
+                    meta.num_tracks as f32 / minutes
+                } else {
+                    0.0
+                }]
+            }
+            ServeQuery::Aggregate(AggregateQuery::PeakOccupancy) => {
+                vec![meta.max_concurrent_tracks as f32]
+            }
+            ServeQuery::Track(TrackQuery::Count) => vec![meta.num_tracks as f32],
+            // no catalog summary speaks to kinematics or paths: report
+            // zeros of the right arity (the marker string carries the
+            // caveat)
+            ServeQuery::Track(TrackQuery::HardBraking { .. }) => vec![0.0],
+            ServeQuery::Track(TrackQuery::PathBreakdown { patterns, .. }) => {
+                vec![0.0; patterns.len()]
+            }
+            // frame-limit answers are frame lists, not rows
+            ServeQuery::FrameLimit(_) => Vec::new(),
+        }
+    }
+
+    /// Whole-store catalog-only approximation: one approximate row per
+    /// clip (frame-limit queries get an empty frame list — the catalog
+    /// cannot name matching frames).
+    pub fn approximate_answer(&self, metas: &[ClipMeta], reason: &str) -> Answer {
+        match self {
+            ServeQuery::FrameLimit(_) => Answer::Approximate {
+                reason: reason.to_string(),
+                rows: Vec::new(),
+                frames: Vec::new(),
+            },
+            _ => Answer::Approximate {
+                reason: reason.to_string(),
+                rows: metas.iter().map(|m| self.approximate_row(m)).collect(),
+                frames: Vec::new(),
+            },
+        }
+    }
 }
 
 /// A serving answer in canonical form.
@@ -59,6 +120,19 @@ pub enum Answer {
     /// Selected frames of a frame-limit query; `FrameRef::clip` is the
     /// store clip id.
     Frames(Vec<FrameRef>),
+    /// A degraded answer: catalog-only estimates (or exact rows with
+    /// approximate substitutions), produced when the server shed the
+    /// query, a deadline expired, or a clip is quarantined. The reason
+    /// rides in the canonical bytes, so degraded answers are
+    /// distinguishable from exact ones by construction.
+    Approximate {
+        /// Why the answer is degraded (shed / deadline / quarantine).
+        reason: String,
+        /// Per-clip rows, possibly mixing exact and estimated values.
+        rows: Vec<Vec<f32>>,
+        /// Frames the server could still select (may be incomplete).
+        frames: Vec<FrameRef>,
+    },
 }
 
 impl Answer {
@@ -73,6 +147,11 @@ impl Answer {
     pub fn from_bytes(bytes: &[u8]) -> Answer {
         let text = std::str::from_utf8(bytes).expect("canonical answer bytes are utf-8");
         serde_json::from_str(text).expect("canonical answer bytes decode")
+    }
+
+    /// Whether this is a degraded (approximate) answer.
+    pub fn is_approximate(&self) -> bool {
+        matches!(self, Answer::Approximate { .. })
     }
 }
 
@@ -103,5 +182,44 @@ mod tests {
         assert_eq!(Answer::from_bytes(&bytes), ans);
         let frames = Answer::Frames(vec![FrameRef { clip: 3, frame: 17 }]);
         assert_eq!(Answer::from_bytes(&frames.to_bytes()), frames);
+    }
+
+    #[test]
+    fn approximate_answers_are_self_marking() {
+        let meta = ClipMeta {
+            id: 0,
+            num_frames: 600,
+            fps: 10.0,
+            width: 640.0,
+            height: 352.0,
+            num_tracks: 12,
+            max_concurrent_tracks: 4,
+            fingerprint: 0,
+            cell_size: 13.0,
+            occupied_cells: vec![],
+        };
+        let q = ServeQuery::Aggregate(AggregateQuery::PeakOccupancy);
+        let exact = Answer::PerClip(vec![vec![4.0]]);
+        let approx = q.approximate_answer(std::slice::from_ref(&meta), "shed");
+        assert!(approx.is_approximate());
+        assert!(!exact.is_approximate());
+        assert_ne!(exact.to_bytes(), approx.to_bytes());
+        let decoded = Answer::from_bytes(&approx.to_bytes());
+        match decoded {
+            Answer::Approximate { reason, rows, .. } => {
+                assert_eq!(reason, "shed");
+                assert_eq!(rows, vec![vec![4.0]], "peak occupancy = catalog summary");
+            }
+            other => panic!("expected approximate, got {other:?}"),
+        }
+        // volume estimate: 12 tracks over 1 minute of video
+        match q_volume().approximate_answer(std::slice::from_ref(&meta), "x") {
+            Answer::Approximate { rows, .. } => assert!((rows[0][0] - 12.0).abs() < 1e-4),
+            other => panic!("expected approximate, got {other:?}"),
+        }
+    }
+
+    fn q_volume() -> ServeQuery {
+        ServeQuery::Aggregate(AggregateQuery::TrafficVolume)
     }
 }

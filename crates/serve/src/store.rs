@@ -1,13 +1,27 @@
 //! The persistent track store: an on-disk clip catalog with per-clip
-//! spatial and temporal indexes, loaded lazily.
+//! spatial and temporal indexes, loaded lazily — now crash-consistent.
 //!
 //! Layout under the store directory:
 //!
 //! ```text
 //! store/
-//!   catalog.json          # Vec<ClipMeta>: per-clip summaries + fingerprints
+//!   journal.log           # append-only ingest journal (authoritative)
+//!   catalog.json          # rewritable checkpoint of the same entries
 //!   clips/clip_<id>.json  # Vec<Track>: the clip's extracted tracks
+//!   quarantine/           # clip files that failed verification
 //! ```
+//!
+//! Durability model (DESIGN.md §13): an ingest writes the clip payload
+//! to a tmp file, fsyncs, atomically renames it into `clips/`, and only
+//! then appends a checksummed record to the journal — the append is the
+//! acknowledgement point. Because the payload is in place before its
+//! record is durable, every valid journal record refers to an existing
+//! clip file: a crash at *any* intermediate step loses only the
+//! unacknowledged ingest (recoverable debris that [`fsck`] removes),
+//! never an acknowledged one. `catalog.json` is a best-effort
+//! checkpoint; [`TrackStore::open`] replays the journal whenever one
+//! exists. Every [`TrackStore::load`] re-verifies the payload's FNV-1a
+//! fingerprint against its catalog entry and quarantines mismatches.
 //!
 //! The catalog is small and always resident; it carries everything clip
 //! pruning needs (occupied spatial cells of the track geometry, the
@@ -19,10 +33,12 @@
 //! are covered by the occupancy summary up to half a cell of error —
 //! pruning rules must (and do) budget that slack.
 
+use crate::io::{RealIo, StoreError, StoreIo};
+use crate::journal::{self, JOURNAL_FILE};
 use otif_geom::{GridIndex, Point, Rect};
 use otif_track::Track;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -62,7 +78,8 @@ pub struct ClipMeta {
     /// never match a clip with fewer than n concurrent tracks.
     pub max_concurrent_tracks: usize,
     /// FNV-1a over the clip's serialized tracks; feeds the clip-set
-    /// fingerprint that keys the answer cache.
+    /// fingerprint that keys the answer cache and is re-verified on
+    /// every load.
     pub fingerprint: u64,
     /// Side of the square summary cells, in native pixels.
     pub cell_size: f32,
@@ -225,62 +242,186 @@ fn max_concurrent(tracks: &[Track]) -> usize {
 }
 
 const CATALOG_FILE: &str = "catalog.json";
+const CLIPS_DIR: &str = "clips";
+const QUARANTINE_DIR: &str = "quarantine";
+
+/// Store tuning: how hard `load()` retries transient read faults and
+/// how much *virtual* backoff each attempt schedules (deterministic —
+/// recorded in counters, never slept).
+#[derive(Debug, Clone, Copy)]
+pub struct StoreOptions {
+    /// Extra read attempts after a transient I/O failure (corruption
+    /// and absence never retry).
+    pub read_retries: u32,
+    /// Virtual backoff before retry attempt `k` is
+    /// `backoff_base_seconds * 2^k`.
+    pub backoff_base_seconds: f64,
+}
+
+impl Default for StoreOptions {
+    fn default() -> Self {
+        StoreOptions {
+            read_retries: 2,
+            backoff_base_seconds: 0.01,
+        }
+    }
+}
+
+/// Deterministic exponential backoff schedule: attempt `k` (0-based)
+/// waits `base * 2^k` virtual seconds.
+pub fn retry_backoff(base: f64, attempt: u32) -> f64 {
+    base * f64::from(2u32.saturating_pow(attempt))
+}
+
+fn clip_file_name(id: usize) -> String {
+    format!("clip_{id}.json")
+}
+
+/// Parse `clip_<id>.json` back into an id.
+fn parse_clip_name(name: &str) -> Option<usize> {
+    name.strip_prefix("clip_")?
+        .strip_suffix(".json")?
+        .parse()
+        .ok()
+}
 
 /// The persistent track store. Cheap always-resident catalog; clip
 /// payloads (tracks + indexes) deserialized lazily per clip and cached.
+/// All filesystem traffic flows through one injectable [`StoreIo`].
 pub struct TrackStore {
     dir: PathBuf,
+    io: Arc<dyn StoreIo>,
+    opts: StoreOptions,
     catalog: Vec<ClipMeta>,
     loaded: Mutex<HashMap<usize, Arc<LoadedClip>>>,
+    quarantined: Mutex<BTreeSet<usize>>,
     loads: AtomicU64,
+    read_retries: AtomicU64,
+    backoff_nanos: AtomicU64,
 }
 
 impl TrackStore {
-    /// Create an empty store at `dir` (the directory is created; an
-    /// existing catalog there is an error — stores are append-only).
-    pub fn create(dir: &Path) -> Result<TrackStore, String> {
-        let catalog_path = dir.join(CATALOG_FILE);
-        if catalog_path.exists() {
-            return Err(format!(
-                "{} already exists; open() it instead",
-                catalog_path.display()
-            ));
+    /// Create an empty store at `dir` on the real filesystem.
+    pub fn create(dir: &Path) -> Result<TrackStore, StoreError> {
+        Self::create_with(dir, Arc::new(RealIo), StoreOptions::default())
+    }
+
+    /// Create an empty store at `dir` through `io` (the directory is
+    /// created; an existing store there is an error — stores are
+    /// append-only).
+    pub fn create_with(
+        dir: &Path,
+        io: Arc<dyn StoreIo>,
+        opts: StoreOptions,
+    ) -> Result<TrackStore, StoreError> {
+        for existing in [dir.join(JOURNAL_FILE), dir.join(CATALOG_FILE)] {
+            if io.exists(&existing) {
+                return Err(StoreError::Invalid {
+                    detail: format!("{} already exists; open() it instead", existing.display()),
+                });
+            }
         }
-        std::fs::create_dir_all(dir.join("clips"))
-            .map_err(|e| format!("{}: {e}", dir.display()))?;
+        io.create_dir_all(&dir.join(CLIPS_DIR))?;
+        // an empty append creates the journal file durably
+        io.append(&dir.join(JOURNAL_FILE), b"")?;
         let store = TrackStore {
             dir: dir.to_path_buf(),
+            io,
+            opts,
             catalog: Vec::new(),
             loaded: Mutex::new(HashMap::new()),
+            quarantined: Mutex::new(BTreeSet::new()),
             loads: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
+            backoff_nanos: AtomicU64::new(0),
         };
-        store.write_catalog()?;
+        store.write_checkpoint()?;
         Ok(store)
     }
 
-    /// Open an existing store.
-    pub fn open(dir: &Path) -> Result<TrackStore, String> {
-        let path = dir.join(CATALOG_FILE);
-        let json =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let catalog: Vec<ClipMeta> =
-            serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+    /// Open an existing store on the real filesystem.
+    pub fn open(dir: &Path) -> Result<TrackStore, StoreError> {
+        Self::open_with(dir, Arc::new(RealIo), StoreOptions::default())
+    }
+
+    /// Open an existing store through `io`. The journal is
+    /// authoritative when present (a torn tail — crash debris — is
+    /// tolerated and ignored; mid-journal corruption is an error that
+    /// `store-fsck` must resolve). A store with only a legacy
+    /// `catalog.json` opens from the checkpoint.
+    pub fn open_with(
+        dir: &Path,
+        io: Arc<dyn StoreIo>,
+        opts: StoreOptions,
+    ) -> Result<TrackStore, StoreError> {
+        let journal_path = dir.join(JOURNAL_FILE);
+        let catalog = if io.exists(&journal_path) {
+            let replayed = journal::replay(&io.read(&journal_path)?);
+            if replayed.invalid_records > 0 {
+                return Err(StoreError::Invalid {
+                    detail: format!(
+                        "{}: {} invalid mid-journal record(s); run store-fsck --repair",
+                        journal_path.display(),
+                        replayed.invalid_records
+                    ),
+                });
+            }
+            replayed.entries
+        } else {
+            // legacy (pre-journal) store: checkpoint only
+            let path = dir.join(CATALOG_FILE);
+            if !io.exists(&path) {
+                return Err(StoreError::Missing {
+                    what: format!("store at {} (no journal, no catalog)", dir.display()),
+                });
+            }
+            let bytes = io.read(&path)?;
+            let text = std::str::from_utf8(&bytes).map_err(|e| StoreError::Invalid {
+                detail: format!("{}: {e}", path.display()),
+            })?;
+            serde_json::from_str(text).map_err(|e| StoreError::Invalid {
+                detail: format!("{}: {e}", path.display()),
+            })?
+        };
+        let mut quarantined = BTreeSet::new();
+        let qdir = dir.join(QUARANTINE_DIR);
+        if io.exists(&qdir) {
+            for name in io.list(&qdir)? {
+                if let Some(id) = parse_clip_name(&name) {
+                    quarantined.insert(id);
+                }
+            }
+        }
         Ok(TrackStore {
             dir: dir.to_path_buf(),
+            io,
+            opts,
             catalog,
             loaded: Mutex::new(HashMap::new()),
+            quarantined: Mutex::new(quarantined),
             loads: AtomicU64::new(0),
+            read_retries: AtomicU64::new(0),
+            backoff_nanos: AtomicU64::new(0),
         })
     }
 
-    fn write_catalog(&self) -> Result<(), String> {
+    /// Rewrite the `catalog.json` checkpoint atomically (tmp + rename).
+    fn write_checkpoint(&self) -> Result<(), StoreError> {
         let path = self.dir.join(CATALOG_FILE);
-        let json = serde_json::to_string(&self.catalog).map_err(|e| e.to_string())?;
-        std::fs::write(&path, json).map_err(|e| format!("{}: {e}", path.display()))
+        let tmp = self.dir.join(format!("{CATALOG_FILE}.tmp"));
+        let json = serde_json::to_string(&self.catalog).map_err(|e| StoreError::Invalid {
+            detail: format!("catalog encode: {e}"),
+        })?;
+        self.io.write(&tmp, json.as_bytes())?;
+        self.io.rename(&tmp, &path)
     }
 
     fn clip_path(&self, id: usize) -> PathBuf {
-        self.dir.join("clips").join(format!("clip_{id}.json"))
+        self.dir.join(CLIPS_DIR).join(clip_file_name(id))
+    }
+
+    fn quarantine_path(&self, id: usize) -> PathBuf {
+        self.dir.join(QUARANTINE_DIR).join(clip_file_name(id))
     }
 
     /// Cell side used for a clip's spatial summary: coarse enough that
@@ -292,9 +433,19 @@ impl TrackStore {
 
     /// Ingest one clip's extracted tracks (`Engine` / `Pipeline` output
     /// order is preserved). Returns the assigned clip id.
-    pub fn ingest_clip(&mut self, info: &ClipInfo, tracks: &[Track]) -> Result<usize, String> {
+    ///
+    /// Crash consistency: payload tmp-write → fsync → atomic rename,
+    /// *then* the journal append — which is the acknowledgement point.
+    /// `Ok` means the ingest survives any subsequent crash; `Err` means
+    /// it left at most recoverable debris (an orphan tmp or clip file
+    /// with no journal record, removed by [`fsck`]). The checkpoint
+    /// rewrite afterwards is best-effort: its failure is swallowed
+    /// because the journal already carries the entry.
+    pub fn ingest_clip(&mut self, info: &ClipInfo, tracks: &[Track]) -> Result<usize, StoreError> {
         let id = self.catalog.len();
-        let json = serde_json::to_string(tracks).map_err(|e| e.to_string())?;
+        let json = serde_json::to_string(tracks).map_err(|e| StoreError::Invalid {
+            detail: format!("track encode: {e}"),
+        })?;
         let fingerprint = fnv1a(json.as_bytes());
 
         let cell_size = Self::cell_size_for(info);
@@ -311,9 +462,7 @@ impl TrackStore {
         cells.sort_unstable();
         cells.dedup();
 
-        let path = self.clip_path(id);
-        std::fs::write(&path, &json).map_err(|e| format!("{}: {e}", path.display()))?;
-        self.catalog.push(ClipMeta {
+        let meta = ClipMeta {
             id,
             num_frames: info.num_frames,
             fps: info.fps,
@@ -324,8 +473,22 @@ impl TrackStore {
             fingerprint,
             cell_size,
             occupied_cells: cells,
-        });
-        self.write_catalog()?;
+        };
+
+        let path = self.clip_path(id);
+        let tmp = self
+            .dir
+            .join(CLIPS_DIR)
+            .join(format!("{}.tmp", clip_file_name(id)));
+        self.io.write(&tmp, json.as_bytes())?;
+        self.io.rename(&tmp, &path)?;
+        self.io.append(
+            &self.dir.join(JOURNAL_FILE),
+            &journal::encode_record(&meta)?,
+        )?;
+        // === acknowledged: the record is durable ===
+        self.catalog.push(meta);
+        let _ = self.write_checkpoint(); // best-effort; journal is authoritative
         Ok(id)
     }
 
@@ -356,23 +519,93 @@ impl TrackStore {
         fnv1a(&bytes)
     }
 
+    /// Read `path` with the bounded deterministic retry schedule:
+    /// transient I/O failures retry up to `opts.read_retries` times,
+    /// accruing `retry_backoff(base, attempt)` *virtual* seconds per
+    /// retry (counted, never slept — wall clock stays deterministic).
+    fn read_with_retry(&self, path: &Path) -> Result<Vec<u8>, StoreError> {
+        let mut attempt = 0u32;
+        loop {
+            match self.io.read(path) {
+                Ok(bytes) => return Ok(bytes),
+                Err(e) if e.is_transient() && attempt < self.opts.read_retries => {
+                    let backoff = retry_backoff(self.opts.backoff_base_seconds, attempt);
+                    self.read_retries.fetch_add(1, Ordering::Relaxed);
+                    self.backoff_nanos
+                        .fetch_add((backoff * 1e9) as u64, Ordering::Relaxed);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Move a clip file that failed verification into `quarantine/` and
+    /// mark the id. Best-effort on the filesystem (the in-memory mark
+    /// alone stops the store from serving the payload); the persistent
+    /// marker survives reopen.
+    fn quarantine(&self, id: usize) {
+        self.quarantined.lock().unwrap().insert(id);
+        if self
+            .io
+            .create_dir_all(&self.dir.join(QUARANTINE_DIR))
+            .is_ok()
+        {
+            let _ = self
+                .io
+                .rename(&self.clip_path(id), &self.quarantine_path(id));
+        }
+    }
+
+    /// Quarantined clip ids, in order.
+    pub fn quarantined(&self) -> Vec<usize> {
+        self.quarantined.lock().unwrap().iter().copied().collect()
+    }
+
+    /// Whether `id` is quarantined.
+    pub fn is_quarantined(&self, id: usize) -> bool {
+        self.quarantined.lock().unwrap().contains(&id)
+    }
+
     /// Load a clip (lazily; cached). Concurrent callers may race on the
     /// first load of the same clip — exactly one result wins the cache
     /// and `clip_loads` counts file reads that won.
-    pub fn load(&self, id: usize) -> Result<Arc<LoadedClip>, String> {
+    ///
+    /// Every cache-missing load re-reads the payload (with bounded
+    /// transient-fault retry) and verifies its FNV-1a fingerprint
+    /// against the catalog entry; a mismatch quarantines the file and
+    /// returns [`StoreError::Corrupt`].
+    pub fn load(&self, id: usize) -> Result<Arc<LoadedClip>, StoreError> {
         if let Some(c) = self.loaded.lock().unwrap().get(&id) {
             return Ok(Arc::clone(c));
+        }
+        if self.is_quarantined(id) {
+            return Err(StoreError::Quarantined { clip: id });
         }
         let meta = self
             .catalog
             .get(id)
-            .ok_or_else(|| format!("clip {id} is not in the catalog"))?
+            .ok_or(StoreError::Missing {
+                what: format!("clip {id} in the catalog"),
+            })?
             .clone();
         let path = self.clip_path(id);
-        let json =
-            std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?;
-        let tracks: Vec<Track> =
-            serde_json::from_str(&json).map_err(|e| format!("{}: {e}", path.display()))?;
+        let bytes = self.read_with_retry(&path)?;
+        let actual = fnv1a(&bytes);
+        if actual != meta.fingerprint {
+            self.quarantine(id);
+            return Err(StoreError::Corrupt {
+                clip: id,
+                expected: meta.fingerprint,
+                actual,
+            });
+        }
+        let text = std::str::from_utf8(&bytes).map_err(|e| StoreError::Invalid {
+            detail: format!("{}: {e}", path.display()),
+        })?;
+        let tracks: Vec<Track> = serde_json::from_str(text).map_err(|e| StoreError::Invalid {
+            detail: format!("{}: {e}", path.display()),
+        })?;
         let built = Arc::new(LoadedClip::build(meta, tracks));
         let mut cache = self.loaded.lock().unwrap();
         let entry = cache.entry(id).or_insert_with(|| {
@@ -388,15 +621,205 @@ impl TrackStore {
         self.loads.load(Ordering::Relaxed)
     }
 
+    /// Transient read failures retried so far.
+    pub fn read_retry_count(&self) -> u64 {
+        self.read_retries.load(Ordering::Relaxed)
+    }
+
+    /// Virtual seconds of retry backoff scheduled so far.
+    pub fn retry_backoff_seconds(&self) -> f64 {
+        self.backoff_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
     /// Drop every cached clip payload (cold-cache benchmarking).
     pub fn evict_clips(&self) {
         self.loaded.lock().unwrap().clear();
     }
 }
 
+/// What `store-fsck` found (and, with `repair`, did) in one store
+/// directory.
+#[derive(Debug, Default, Serialize)]
+pub struct FsckReport {
+    /// Valid records replayed from the journal (or checkpoint entries
+    /// for a legacy store).
+    pub journal_entries: usize,
+    /// Entries in the `catalog.json` checkpoint (0 when absent).
+    pub checkpoint_entries: usize,
+    /// Whether the journal ended in crash debris.
+    pub torn_tail: bool,
+    /// Whether repair truncated that debris away.
+    pub torn_tail_truncated: bool,
+    /// Complete mid-journal records that failed checksum/parse —
+    /// corruption beyond crash debris (unrepairable without loss).
+    pub invalid_records: usize,
+    /// Acknowledged clips whose payload file is absent and not
+    /// quarantined — the data-loss signal; must be empty after any
+    /// crash-only history.
+    pub missing_clips: Vec<usize>,
+    /// Clips whose payload failed fingerprint verification during this
+    /// fsck (moved to `quarantine/` when repairing).
+    pub corrupt_quarantined: Vec<usize>,
+    /// Clips already sitting in `quarantine/` before this fsck.
+    pub already_quarantined: Vec<usize>,
+    /// Debris files in the store (orphan tmp files, clip files with no
+    /// journal record).
+    pub orphan_files: Vec<String>,
+    /// How many of those repair removed.
+    pub orphan_files_removed: usize,
+    /// Whether repair rewrote the `catalog.json` checkpoint from the
+    /// journal.
+    pub checkpoint_rewritten: bool,
+    /// Whether this fsck ran in repair mode.
+    pub repaired: bool,
+}
+
+impl FsckReport {
+    /// No acknowledged data is lost: every journal entry's payload is
+    /// present and verified (or explicitly quarantined) and no
+    /// mid-journal record is corrupt.
+    pub fn consistent(&self) -> bool {
+        self.missing_clips.is_empty() && self.invalid_records == 0
+    }
+
+    /// Nothing wrong at all — no debris, no corruption, checkpoint in
+    /// sync with the journal.
+    pub fn healthy(&self) -> bool {
+        self.consistent()
+            && !self.torn_tail
+            && self.corrupt_quarantined.is_empty()
+            && self.orphan_files.is_empty()
+            && self.checkpoint_entries == self.journal_entries
+    }
+}
+
+/// Check (and with `repair`, fix) a store directory on the real
+/// filesystem. See [`fsck_with`].
+pub fn fsck(dir: &Path, repair: bool) -> Result<FsckReport, StoreError> {
+    fsck_with(dir, &RealIo, repair)
+}
+
+/// Replay the ingest journal and reconcile the store directory with it:
+/// truncate a torn journal tail, verify every acknowledged payload's
+/// fingerprint (quarantining corruption), detect missing payloads (data
+/// loss — never expected from crashes), remove orphan debris, and
+/// rewrite the `catalog.json` checkpoint. Without `repair` nothing is
+/// modified; the report says what *would* be done.
+pub fn fsck_with(dir: &Path, io: &dyn StoreIo, repair: bool) -> Result<FsckReport, StoreError> {
+    let mut report = FsckReport {
+        repaired: repair,
+        ..FsckReport::default()
+    };
+    let journal_path = dir.join(JOURNAL_FILE);
+    let catalog_path = dir.join(CATALOG_FILE);
+
+    // checkpoint entry count (diagnostic only — journal is authoritative)
+    let checkpoint: Vec<ClipMeta> = if io.exists(&catalog_path) {
+        let bytes = io.read(&catalog_path)?;
+        std::str::from_utf8(&bytes)
+            .ok()
+            .and_then(|t| serde_json::from_str(t).ok())
+            .unwrap_or_default()
+    } else {
+        Vec::new()
+    };
+    report.checkpoint_entries = checkpoint.len();
+
+    let entries: Vec<ClipMeta> = if io.exists(&journal_path) {
+        let bytes = io.read(&journal_path)?;
+        let replayed = journal::replay(&bytes);
+        report.torn_tail = replayed.torn_tail;
+        report.invalid_records = replayed.invalid_records;
+        if repair && (replayed.torn_tail || replayed.invalid_records > 0) {
+            // keep only the valid prefix (atomic rewrite)
+            let tmp = dir.join(format!("{JOURNAL_FILE}.tmp"));
+            io.write(&tmp, &bytes[..replayed.valid_bytes])?;
+            io.rename(&tmp, &journal_path)?;
+            report.torn_tail_truncated = replayed.torn_tail;
+        }
+        replayed.entries
+    } else if io.exists(&catalog_path) {
+        // legacy store: adopt the checkpoint as history; repair writes
+        // the journal those ingests would have produced
+        if repair {
+            let mut bytes = Vec::new();
+            for m in &checkpoint {
+                bytes.extend(journal::encode_record(m)?);
+            }
+            io.append(&journal_path, &bytes)?;
+        }
+        checkpoint.clone()
+    } else {
+        // unborn store: nothing to check
+        return Ok(report);
+    };
+    report.journal_entries = entries.len();
+
+    // reconcile payloads with the journal
+    let clips_dir = dir.join(CLIPS_DIR);
+    let qdir = dir.join(QUARANTINE_DIR);
+    for meta in &entries {
+        let path = clips_dir.join(clip_file_name(meta.id));
+        if io.exists(&path) {
+            let actual = fnv1a(&io.read(&path)?);
+            if actual != meta.fingerprint {
+                report.corrupt_quarantined.push(meta.id);
+                if repair {
+                    io.create_dir_all(&qdir)?;
+                    io.rename(&path, &qdir.join(clip_file_name(meta.id)))?;
+                }
+            }
+        } else if io.exists(&qdir.join(clip_file_name(meta.id))) {
+            report.already_quarantined.push(meta.id);
+        } else {
+            report.missing_clips.push(meta.id);
+        }
+    }
+
+    // debris: tmp files anywhere, clip files without a journal record
+    let mut orphans: Vec<PathBuf> = Vec::new();
+    if io.exists(&clips_dir) {
+        for name in io.list(&clips_dir)? {
+            let acked = parse_clip_name(&name).is_some_and(|id| id < entries.len());
+            if !acked {
+                orphans.push(clips_dir.join(&name));
+            }
+        }
+    }
+    let catalog_tmp = dir.join(format!("{CATALOG_FILE}.tmp"));
+    if io.exists(&catalog_tmp) {
+        orphans.push(catalog_tmp);
+    }
+    for path in orphans {
+        report.orphan_files.push(
+            path.file_name()
+                .unwrap_or_default()
+                .to_string_lossy()
+                .into_owned(),
+        );
+        if repair {
+            io.remove_file(&path)?;
+            report.orphan_files_removed += 1;
+        }
+    }
+
+    // bring the checkpoint back in sync with the journal
+    if repair && (report.checkpoint_entries != entries.len() || !io.exists(&catalog_path)) {
+        let json = serde_json::to_string(&entries).map_err(|e| StoreError::Invalid {
+            detail: format!("catalog encode: {e}"),
+        })?;
+        let tmp = dir.join(format!("{CATALOG_FILE}.tmp"));
+        io.write(&tmp, json.as_bytes())?;
+        io.rename(&tmp, &catalog_path)?;
+        report.checkpoint_rewritten = true;
+    }
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::{FaultyIo, StoreFaultPlan, StoreOp};
     use otif_cv::Detection;
     use otif_sim::ObjectClass;
 
@@ -427,10 +850,15 @@ mod tests {
         }
     }
 
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("otif-store-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn ingest_load_roundtrip_preserves_tracks() {
-        let dir = std::env::temp_dir().join(format!("otif-store-rt-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("rt");
         let mut store = TrackStore::create(&dir).unwrap();
         let tracks = vec![
             track(0, &[(0, 10.0, 10.0), (50, 600.0, 300.0)]),
@@ -452,9 +880,144 @@ mod tests {
     }
 
     #[test]
+    fn open_replays_journal_not_checkpoint() {
+        let dir = tmp_dir("journal-first");
+        let mut store = TrackStore::create(&dir).unwrap();
+        store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        // sabotage the checkpoint: journal must still win
+        std::fs::write(dir.join(CATALOG_FILE), b"[]").unwrap();
+        let store = TrackStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "journal is authoritative over checkpoint");
+        store.load(0).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn load_verifies_fingerprint_and_quarantines() {
+        let dir = tmp_dir("verify");
+        let mut store = TrackStore::create(&dir).unwrap();
+        let id = store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        let path = dir.join(CLIPS_DIR).join(clip_file_name(id));
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[0] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let store = TrackStore::open(&dir).unwrap();
+        let err = store.load(id).err().unwrap();
+        assert!(matches!(err, StoreError::Corrupt { clip: 0, .. }), "{err}");
+        assert!(store.is_quarantined(id));
+        assert!(dir.join(QUARANTINE_DIR).join(clip_file_name(id)).exists());
+        // second load short-circuits on the quarantine mark
+        let err = store.load(id).err().unwrap();
+        assert!(matches!(err, StoreError::Quarantined { clip: 0 }), "{err}");
+        // quarantine survives reopen via the persistent marker
+        let store = TrackStore::open(&dir).unwrap();
+        assert!(store.is_quarantined(id));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_read_faults_retry_with_virtual_backoff() {
+        let dir = tmp_dir("retry");
+        let mut store = TrackStore::create(&dir).unwrap();
+        let id = store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        let io = Arc::new(FaultyIo::new(RealIo, StoreFaultPlan::transient_reads(1, 2)));
+        // read ordinal 0 is the journal replay on open; 1 and 2 fail
+        let store = TrackStore::open_with(&dir, io, StoreOptions::default()).unwrap();
+        store.load(id).unwrap();
+        assert_eq!(store.read_retry_count(), 2);
+        let expected = retry_backoff(0.01, 0) + retry_backoff(0.01, 1);
+        assert!((store.retry_backoff_seconds() - expected).abs() < 1e-9);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crash_mid_ingest_loses_nothing_acknowledged() {
+        let dir = tmp_dir("crash");
+        // crash on the journal append of the second ingest: clip 1's file
+        // landed but was never acknowledged
+        let io = Arc::new(FaultyIo::new(
+            RealIo,
+            StoreFaultPlan::crash_at(StoreOp::Append, 2),
+        ));
+        let mut store = TrackStore::create_with(&dir, io, StoreOptions::default()).unwrap();
+        let t0 = vec![track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])];
+        let t1 = vec![track(0, &[(0, 2.0, 2.0), (5, 8.0, 8.0)])];
+        store.ingest_clip(&info(), &t0).unwrap();
+        assert!(store.ingest_clip(&info(), &t1).is_err(), "crash fires");
+        drop(store);
+
+        let report = fsck(&dir, true).unwrap();
+        assert!(report.consistent(), "{report:?}");
+        assert_eq!(report.journal_entries, 1);
+        assert_eq!(report.orphan_files_removed, 1, "unacked clip 1 removed");
+
+        let store = TrackStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "exactly the acknowledged ingest survives");
+        let loaded = store.load(0).unwrap();
+        assert_eq!(
+            serde_json::to_string(&loaded.tracks).unwrap(),
+            serde_json::to_string(&t0).unwrap()
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_truncates_torn_journal_tail() {
+        let dir = tmp_dir("torn-tail");
+        // torn append on the second ingest's journal record
+        let io = Arc::new(FaultyIo::new(
+            RealIo,
+            StoreFaultPlan::torn_at(StoreOp::Append, 2),
+        ));
+        let mut store = TrackStore::create_with(&dir, io, StoreOptions::default()).unwrap();
+        store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        assert!(store
+            .ingest_clip(&info(), &[track(0, &[(0, 2.0, 2.0), (5, 8.0, 8.0)])])
+            .is_err());
+        drop(store);
+
+        let unrepaired = fsck(&dir, false).unwrap();
+        assert!(unrepaired.torn_tail);
+        assert!(!unrepaired.healthy());
+        assert!(unrepaired.consistent(), "torn tail is not data loss");
+
+        let repaired = fsck(&dir, true).unwrap();
+        assert!(repaired.torn_tail_truncated);
+        let clean = fsck(&dir, false).unwrap();
+        assert!(clean.healthy(), "{clean:?}");
+        assert_eq!(TrackStore::open(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn fsck_adopts_legacy_catalog_only_store() {
+        let dir = tmp_dir("legacy");
+        let mut store = TrackStore::create(&dir).unwrap();
+        store
+            .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])
+            .unwrap();
+        // simulate a pre-journal store
+        std::fs::remove_file(dir.join(JOURNAL_FILE)).unwrap();
+        let store = TrackStore::open(&dir).unwrap();
+        assert_eq!(store.len(), 1, "legacy open falls back to checkpoint");
+        let report = fsck(&dir, true).unwrap();
+        assert!(report.consistent());
+        assert_eq!(report.journal_entries, 1, "journal rebuilt from checkpoint");
+        assert!(dir.join(JOURNAL_FILE).exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn occupancy_covers_interpolated_geometry() {
-        let dir = std::env::temp_dir().join(format!("otif-store-occ-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("occ");
         let mut store = TrackStore::create(&dir).unwrap();
         // A diagonal track with only two detections: the midpoint is
         // interpolated, far from either endpoint.
@@ -490,8 +1053,7 @@ mod tests {
 
     #[test]
     fn ingest_changes_store_fingerprint() {
-        let dir = std::env::temp_dir().join(format!("otif-store-fp-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = tmp_dir("fp");
         let mut store = TrackStore::create(&dir).unwrap();
         store
             .ingest_clip(&info(), &[track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])])

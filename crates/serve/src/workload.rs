@@ -8,9 +8,17 @@
 //! drives a [`QueryServer`] from `clients` concurrent threads and
 //! reports latency percentiles, QPS, and a fingerprint over all answer
 //! bytes in workload order (the byte-identity comparator across runs).
+//!
+//! Under an [`OverloadPolicy`](crate::server::OverloadPolicy) some
+//! queries may be shed or degraded — *which* ones is timing-dependent,
+//! so byte-identity is then stated per query over the non-degraded
+//! subset: [`run_workload_traced`] returns one [`QueryTrace`] per query
+//! (latency, answer fingerprint, degraded flag) for exactly that
+//! comparison. All client threads start behind a barrier, so a
+//! saturating burst genuinely arrives at once.
 
 use crate::query::ServeQuery;
-use crate::server::{QueryServer, ServeOptions};
+use crate::server::{QueryServer, ServeError, ServeOptions};
 use crate::store::{fnv1a, ClipMeta};
 use otif_geom::{Point, Polygon};
 use otif_query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
@@ -19,7 +27,7 @@ use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::Serialize;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Barrier, Mutex};
 use std::time::Instant;
 
 /// Build the deterministic mixed read workload: `repeats` passes over
@@ -150,6 +158,17 @@ impl LatencyStats {
     }
 }
 
+/// One query's observed outcome within a workload run.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct QueryTrace {
+    /// Per-query latency in milliseconds.
+    pub ms: f64,
+    /// FNV-1a over the answer's canonical bytes.
+    pub fingerprint: u64,
+    /// Whether the answer was degraded (shed / deadline / quarantine).
+    pub degraded: bool,
+}
+
 /// The outcome of one multi-client workload run.
 #[derive(Debug, Clone, Copy, Serialize)]
 pub struct WorkloadRun {
@@ -158,45 +177,59 @@ pub struct WorkloadRun {
     /// Latency and throughput summary.
     pub latency: LatencyStats,
     /// FNV-1a over all answer bytes in workload order — equal
-    /// fingerprints mean byte-identical answers query-for-query.
+    /// fingerprints mean byte-identical answers query-for-query. Only
+    /// meaningful when `degraded == 0` (degraded answers are
+    /// timing-dependent by design; compare per-query traces instead).
     pub answers_fingerprint: u64,
+    /// Queries answered degraded (shed, deadlined, or quarantine).
+    pub degraded: usize,
 }
 
-/// Run `queries` against `server` from `clients` concurrent threads.
-/// Clients pull queries from a shared counter, so the assignment of
-/// query to client is timing-dependent — but each query's answer bytes
-/// are not, which is exactly what `answers_fingerprint` checks.
-pub fn run_workload(
+/// Run `queries` against `server` from `clients` concurrent threads,
+/// returning the run summary plus one [`QueryTrace`] per query in
+/// workload order. Clients pull queries from a shared counter, so the
+/// assignment of query to client is timing-dependent — but each
+/// *exact* answer's bytes are not, which is what per-trace fingerprint
+/// comparison checks.
+pub fn run_workload_traced(
     server: &QueryServer,
     queries: &[ServeQuery],
     clients: usize,
     opts: &ServeOptions,
-) -> Result<WorkloadRun, String> {
+) -> Result<(WorkloadRun, Vec<QueryTrace>), ServeError> {
     let clients = clients.max(1);
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<(f64, u64)>>> =
+    let barrier = Barrier::new(clients);
+    let slots: Vec<Mutex<Option<QueryTrace>>> =
         (0..queries.len()).map(|_| Mutex::new(None)).collect();
-    let first_err: Mutex<Option<String>> = Mutex::new(None);
+    let first_err: Mutex<Option<ServeError>> = Mutex::new(None);
     let start = Instant::now();
     std::thread::scope(|scope| {
         for _ in 0..clients {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= queries.len() || first_err.lock().unwrap().is_some() {
-                    return;
-                }
-                let t0 = Instant::now();
-                match server.execute_bytes(&queries[i], opts) {
-                    Ok(bytes) => {
-                        let ms = t0.elapsed().as_secs_f64() * 1e3;
-                        *slots[i].lock().unwrap() = Some((ms, fnv1a(&bytes)));
-                    }
-                    Err(e) => {
-                        let mut err = first_err.lock().unwrap();
-                        if err.is_none() {
-                            *err = Some(e);
-                        }
+            scope.spawn(|| {
+                barrier.wait(); // the burst arrives at once
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= queries.len() || first_err.lock().unwrap().is_some() {
                         return;
+                    }
+                    let t0 = Instant::now();
+                    match server.execute_robust(&queries[i], opts) {
+                        Ok(outcome) => {
+                            let ms = t0.elapsed().as_secs_f64() * 1e3;
+                            *slots[i].lock().unwrap() = Some(QueryTrace {
+                                ms,
+                                fingerprint: fnv1a(&outcome.bytes),
+                                degraded: outcome.degraded.is_some(),
+                            });
+                        }
+                        Err(e) => {
+                            let mut err = first_err.lock().unwrap();
+                            if err.is_none() {
+                                *err = Some(e);
+                            }
+                            return;
+                        }
                     }
                 }
             });
@@ -207,20 +240,41 @@ pub fn run_workload(
         return Err(e);
     }
     let mut latencies = Vec::with_capacity(queries.len());
+    let mut traces = Vec::with_capacity(queries.len());
+    let mut degraded = 0usize;
     let mut combined: u64 = 0xcbf2_9ce4_8422_2325;
     for slot in &slots {
-        let (ms, fp) = slot
-            .lock()
-            .unwrap()
-            .ok_or_else(|| "workload slot left unfilled".to_string())?;
-        latencies.push(ms);
-        combined = fnv1a(&[combined.to_le_bytes(), fp.to_le_bytes()].concat());
+        let trace =
+            slot.lock()
+                .unwrap()
+                .ok_or(ServeError::Store(crate::io::StoreError::Invalid {
+                    detail: "workload slot left unfilled".to_string(),
+                }))?;
+        latencies.push(trace.ms);
+        degraded += trace.degraded as usize;
+        combined = fnv1a(&[combined.to_le_bytes(), trace.fingerprint.to_le_bytes()].concat());
+        traces.push(trace);
     }
-    Ok(WorkloadRun {
-        clients,
-        latency: LatencyStats::from_latencies(latencies, wall),
-        answers_fingerprint: combined,
-    })
+    Ok((
+        WorkloadRun {
+            clients,
+            latency: LatencyStats::from_latencies(latencies, wall),
+            answers_fingerprint: combined,
+            degraded,
+        },
+        traces,
+    ))
+}
+
+/// Run `queries` against `server` and return the summary only (see
+/// [`run_workload_traced`]).
+pub fn run_workload(
+    server: &QueryServer,
+    queries: &[ServeQuery],
+    clients: usize,
+    opts: &ServeOptions,
+) -> Result<WorkloadRun, ServeError> {
+    run_workload_traced(server, queries, clients, opts).map(|(run, _)| run)
 }
 
 #[cfg(test)]

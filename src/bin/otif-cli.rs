@@ -21,8 +21,8 @@ use otif::engine::{DetectorExec, Engine, EngineOptions, FaultPlan};
 use otif::geom::{Point, Polygon};
 use otif::query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
 use otif::serve::{
-    mixed_workload, run_workload, Answer, CacheMode, ClipInfo, QueryServer, ServeOptions,
-    ServeQuery, TrackStore,
+    fsck, mixed_workload, run_workload_traced, Answer, CacheMode, ClipInfo, OverloadPolicy,
+    QueryServer, ServeOptions, ServeQuery, TrackStore,
 };
 use otif::sim::{Dataset, DatasetConfig, DatasetKind, DatasetScale};
 use otif::track::Track;
@@ -30,6 +30,7 @@ use std::collections::HashMap;
 use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
+use std::time::Duration;
 
 const DATASET_FLAGS: [&str; 4] = ["dataset", "clips", "seconds", "seed"];
 
@@ -485,8 +486,11 @@ fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "otif-store".to_string());
     let dir = Path::new(&dir);
-    // append to an existing store, create otherwise
-    let mut store = if dir.join("catalog.json").exists() {
+    // append to an existing store (journal-bearing or legacy
+    // catalog-only), create otherwise
+    let mut store = if dir.join(otif::serve::journal::JOURNAL_FILE).exists()
+        || dir.join("catalog.json").exists()
+    {
         TrackStore::open(dir)?
     } else {
         TrackStore::create(dir)?
@@ -525,6 +529,34 @@ fn serve_options(flags: &HashMap<String, String>) -> Result<ServeOptions, String
         threads,
         pruning: !flags.contains_key("no-prune"),
         cache: CacheMode::On,
+    })
+}
+
+/// Overload policy from the shared serve flags; all absent = the
+/// permissive default (unbounded admission, no deadline).
+fn overload_policy(flags: &HashMap<String, String>) -> Result<OverloadPolicy, String> {
+    let max_concurrent: usize = flags
+        .get("max-concurrent")
+        .map(|s| s.parse().map_err(|e| format!("bad --max-concurrent: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let max_queue: usize = flags
+        .get("queue")
+        .map(|s| s.parse().map_err(|e| format!("bad --queue: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let deadline = flags
+        .get("deadline-ms")
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad --deadline-ms: {e}"))
+        })
+        .transpose()?
+        .map(|ms| Duration::from_secs_f64(ms / 1e3));
+    Ok(OverloadPolicy {
+        max_concurrent,
+        max_queue,
+        deadline,
     })
 }
 
@@ -612,18 +644,22 @@ fn serve_query_from_flags(flags: &HashMap<String, String>) -> Result<ServeQuery,
     })
 }
 
+fn print_rows(store: &TrackStore, rows: &[Vec<f32>]) {
+    for (m, row) in store.metas().iter().zip(rows) {
+        let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        println!("clip {}: {}", m.id, vals.join(" "));
+    }
+}
+
 fn cmd_serve_query(flags: HashMap<String, String>) -> Result<(), String> {
     let store = open_store(&flags)?;
     let opts = serve_options(&flags)?;
     let q = serve_query_from_flags(&flags)?;
-    let server = QueryServer::new(Arc::clone(&store), 64);
-    match server.execute(&q, &opts)? {
-        Answer::PerClip(rows) => {
-            for (m, row) in store.metas().iter().zip(&rows) {
-                let vals: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
-                println!("clip {}: {}", m.id, vals.join(" "));
-            }
-        }
+    let policy = overload_policy(&flags)?;
+    let server = QueryServer::with_policy(Arc::clone(&store), 64, policy);
+    let outcome = server.execute_robust(&q, &opts)?;
+    match Answer::from_bytes(&outcome.bytes) {
+        Answer::PerClip(rows) => print_rows(&store, &rows),
         Answer::Frames(frames) => {
             if frames.is_empty() {
                 println!("no matching frames");
@@ -632,17 +668,98 @@ fn cmd_serve_query(flags: HashMap<String, String>) -> Result<(), String> {
                 println!("clip {} frame {}", f.clip, f.frame);
             }
         }
+        Answer::Approximate {
+            reason,
+            rows,
+            frames,
+        } => {
+            println!("[approximate] {reason}");
+            print_rows(&store, &rows);
+            for f in &frames {
+                println!("clip {} frame {}", f.clip, f.frame);
+            }
+        }
     }
     let s = server.stats();
     eprintln!(
         "{}: evaluated {} clip(s), pruned {} at the catalog, skipped {} frame scan(s), \
-         loaded {} clip file(s)",
+         loaded {} clip file(s), {} quarantined, {} read retr(ies)",
         q.label(),
         s.clips_evaluated,
         s.clips_pruned,
         s.frame_scans_skipped,
-        s.clip_loads
+        s.clip_loads,
+        s.quarantined_clips,
+        s.read_retries
     );
+    Ok(())
+}
+
+fn cmd_store_fsck(flags: HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("store")
+        .cloned()
+        .unwrap_or_else(|| "otif-store".to_string());
+    let repair = flags.contains_key("repair");
+    let report = fsck(Path::new(&dir), repair)?;
+    println!(
+        "journal: {} entr(ies), checkpoint {} entr(ies){}{}",
+        report.journal_entries,
+        report.checkpoint_entries,
+        if report.torn_tail { ", torn tail" } else { "" },
+        if report.torn_tail_truncated {
+            " (truncated)"
+        } else {
+            ""
+        }
+    );
+    if report.invalid_records > 0 {
+        println!("invalid journal records: {}", report.invalid_records);
+    }
+    if !report.missing_clips.is_empty() {
+        println!("missing clip files: {:?}", report.missing_clips);
+    }
+    if !report.corrupt_quarantined.is_empty() {
+        println!(
+            "corrupt clips quarantined: {:?}",
+            report.corrupt_quarantined
+        );
+    }
+    if !report.already_quarantined.is_empty() {
+        println!("already quarantined: {:?}", report.already_quarantined);
+    }
+    if !report.orphan_files.is_empty() {
+        println!(
+            "orphan files{}: {:?}",
+            if report.orphan_files_removed > 0 {
+                " (removed)"
+            } else {
+                ""
+            },
+            report.orphan_files
+        );
+    }
+    if report.checkpoint_rewritten {
+        println!("checkpoint rewritten from journal");
+    }
+    if let Some(path) = flags.get("report") {
+        let json = serde_json::to_string(&report).map_err(|e| e.to_string())?;
+        std::fs::write(path, json).map_err(|e| e.to_string())?;
+        eprintln!("wrote fsck report -> {path}");
+    }
+    if repair {
+        if !report.missing_clips.is_empty() {
+            return Err(format!(
+                "unrepairable: {} acknowledged clip(s) have no payload on disk",
+                report.missing_clips.len()
+            ));
+        }
+        println!("store repaired: {} clip(s) intact", report.journal_entries);
+    } else if !report.healthy() {
+        return Err("store is unhealthy — re-run with --repair".to_string());
+    } else {
+        println!("store healthy: {} clip(s)", report.journal_entries);
+    }
     Ok(())
 }
 
@@ -668,35 +785,47 @@ fn cmd_serve_bench(flags: HashMap<String, String>) -> Result<(), String> {
         return Err("store is empty — run `otif-cli ingest` first".to_string());
     }
     let workload = mixed_workload(store.metas(), repeats, seed);
-    let server = QueryServer::new(Arc::clone(&store), 256);
-    let cold = run_workload(&server, &workload, clients, &opts)?;
-    let warm = run_workload(&server, &workload, clients, &opts)?;
-    if cold.answers_fingerprint != warm.answers_fingerprint {
-        return Err("cold and warm answers diverged — cache corruption".to_string());
+    let policy = overload_policy(&flags)?;
+    let server = QueryServer::with_policy(Arc::clone(&store), 256, policy);
+    let (cold, cold_traces) = run_workload_traced(&server, &workload, clients, &opts)?;
+    let (warm, warm_traces) = run_workload_traced(&server, &workload, clients, &opts)?;
+    // Byte identity holds per query over the non-degraded subset: which
+    // queries get shed or deadlined under an overload policy is
+    // timing-dependent, but every exact answer's bytes are not.
+    for (i, (c, w)) in cold_traces.iter().zip(&warm_traces).enumerate() {
+        if !c.degraded && !w.degraded && c.fingerprint != w.fingerprint {
+            return Err(format!(
+                "query {i}: cold and warm exact answers diverged — cache corruption"
+            ));
+        }
     }
     for (name, run) in [("cold", &cold), ("warm", &warm)] {
         println!(
             "{name}: {} queries, {} clients, {:.1} qps, p50 {:.3} ms, p90 {:.3} ms, \
-             p99 {:.3} ms, max {:.3} ms",
+             p99 {:.3} ms, max {:.3} ms, {} degraded",
             run.latency.count,
             run.clients,
             run.latency.qps,
             run.latency.p50_ms,
             run.latency.p90_ms,
             run.latency.p99_ms,
-            run.latency.max_ms
+            run.latency.max_ms,
+            run.degraded
         );
     }
     let s = server.stats();
     println!(
         "cache: {} hits, {} misses, {} evictions; pruned {} clip(s), \
-         skipped {} frame scan(s), loaded {} clip file(s)",
+         skipped {} frame scan(s), loaded {} clip file(s); \
+         shed {} quer(ies), {} degraded answer(s)",
         s.cache.hits,
         s.cache.misses,
         s.cache.evictions,
         s.clips_pruned,
         s.frame_scans_skipped,
-        s.clip_loads
+        s.clip_loads,
+        s.shed_queries,
+        s.degraded_answers
     );
     if let Some(path) = flags.get("stats") {
         let json = serde_json::to_string(&s).map_err(|e| e.to_string())?;
@@ -706,7 +835,7 @@ fn cmd_serve_bench(flags: HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|ingest|serve-query|serve-bench> [--flag value ...]
+const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|ingest|serve-query|serve-bench|store-fsck> [--flag value ...]
   generate --dataset <name> [--clips N --seconds S --seed N]
   prepare  --dataset <name> [--clips N --seconds S --seed N] [--out model.json]
   curve    --model model.json
@@ -718,11 +847,13 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|inges
   ingest       --tracks tracks.json --dataset <name> [... same dataset flags] [--store otif-store]
   serve-query  --store otif-store --query <avg|volume|peak|count|braking|busy|hotspot|region>
                [--n N --limit N --sep S] [--radius R] [--rect x,y,w,h] [--threads N] [--no-prune]
+               [--deadline-ms MS --max-concurrent N --queue N]   (overload policy; degraded answers print [approximate])
   serve-bench  --store otif-store [--clients N --repeats N --seed N] [--threads N] [--no-prune]
-               [--stats stats.json]";
+               [--deadline-ms MS --max-concurrent N --queue N] [--stats stats.json]
+  store-fsck   --store otif-store [--repair] [--report report.json]   (journal replay; verifies every clip payload)";
 
 /// Boolean flags (no value) across all commands.
-const SWITCH_FLAGS: [&str; 2] = ["fail-fast", "no-prune"];
+const SWITCH_FLAGS: [&str; 3] = ["fail-fast", "no-prune", "repair"];
 
 /// Flags each command accepts (beyond the shared dataset flags).
 fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
@@ -746,14 +877,35 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
         "ingest" => allowed.extend(["tracks", "store"]),
         "serve-query" => {
             allowed = vec![
-                "store", "query", "n", "limit", "sep", "radius", "rect", "threads", "no-prune",
+                "store",
+                "query",
+                "n",
+                "limit",
+                "sep",
+                "radius",
+                "rect",
+                "threads",
+                "no-prune",
+                "deadline-ms",
+                "max-concurrent",
+                "queue",
             ]
         }
         "serve-bench" => {
             allowed = vec![
-                "store", "clients", "repeats", "seed", "threads", "no-prune", "stats",
+                "store",
+                "clients",
+                "repeats",
+                "seed",
+                "threads",
+                "no-prune",
+                "stats",
+                "deadline-ms",
+                "max-concurrent",
+                "queue",
             ]
         }
+        "store-fsck" => allowed = vec!["store", "repair", "report"],
         _ => return None,
     }
     Some(allowed)
@@ -777,6 +929,7 @@ fn main() -> ExitCode {
                 "ingest" => cmd_ingest(flags),
                 "serve-query" => cmd_serve_query(flags),
                 "serve-bench" => cmd_serve_bench(flags),
+                "store-fsck" => cmd_store_fsck(flags),
                 _ => unreachable!("allowed_flags gates the command set"),
             })
         }

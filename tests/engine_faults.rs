@@ -216,6 +216,16 @@ fn recoverable_error_is_healed_by_sequential_retry() {
 
     assert_eq!(stats.failed_clips, 1);
     assert_eq!(stats.retried_clips, 1);
+    // the bounded backoff schedule: one attempt, base * 2^0 virtual
+    // seconds accounted in the makespan (never in the ledger)
+    assert_eq!(stats.retry_attempts, 1);
+    let expected_backoff = otif_engine::retry_backoff(opts.retry_backoff_base, 0);
+    assert!(
+        (stats.retry_backoff_seconds - expected_backoff).abs() < 1e-12,
+        "backoff {} != schedule {}",
+        stats.retry_backoff_seconds,
+        expected_backoff
+    );
     assert_eq!(stats.panics, 0);
     assert_eq!(stats.failures.len(), 1);
     assert_eq!(stats.failures[0].clip, 0);
@@ -264,6 +274,8 @@ fn error_without_retry_poisons_exactly_one_clip() {
 
         assert_eq!(stats.failed_clips, 1, "stage={stage}");
         assert_eq!(stats.retried_clips, 0, "retry disabled");
+        assert_eq!(stats.retry_attempts, 0, "no attempts when disabled");
+        assert_eq!(stats.retry_backoff_seconds, 0.0, "no backoff scheduled");
         assert_eq!(stats.panics, 0, "errors must not panic (stage={stage})");
         assert_eq!(stats.stream_status[0].clips_failed, 1);
         assert!(stats.stream_status[0].panicked.is_none());
