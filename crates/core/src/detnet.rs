@@ -56,6 +56,18 @@ pub fn fold_digest(acc: u64, word: u64) -> u64 {
     h
 }
 
+/// FNV-1a 64-bit over a byte slice — stable across runs and platforms.
+/// Shared by every content fingerprint in the system (store payloads,
+/// journal records, run checkpoints).
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = DIGEST_SEED;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(DIGEST_PRIME);
+    }
+    h
+}
+
 /// The surrogate network: the five-layer strided encoder + 1×1 decoder
 /// stack of the segmentation proxy, run at per-window input shapes.
 /// Weights are Xavier-initialized from a seed derived from the detector

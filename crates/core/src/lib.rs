@@ -41,7 +41,7 @@ pub mod windows;
 pub mod workflow;
 
 pub use config::{OtifConfig, ProxyParams, TrackerKind};
-pub use detnet::{digest_tensor, fold_digest, WindowNet, DIGEST_SEED};
+pub use detnet::{digest_tensor, fnv1a, fold_digest, WindowNet, DIGEST_SEED};
 pub use evalpool::par_map;
 pub use grouping::group_cells;
 pub use pipeline::{ExecutionContext, Pipeline};

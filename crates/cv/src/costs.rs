@@ -259,6 +259,29 @@ impl CostLedger {
         self.inner.lock().clear();
         *self.batches.lock() = BatchStats::default();
     }
+
+    /// Exact snapshot of every entry as `(component, f64 bit pattern)`,
+    /// in component order. Together with [`Self::charge_slice_bits`]
+    /// this round-trips a ledger through serialization without any
+    /// floating-point re-summation: restoring charges each recorded
+    /// total once, so a later [`Self::absorb`] adds bit-identical f64s
+    /// in the identical order a live run would have produced.
+    pub fn slice_bits(&self) -> Vec<(Component, u64)> {
+        self.inner
+            .lock()
+            .iter()
+            .map(|(c, s)| (*c, s.to_bits()))
+            .collect()
+    }
+
+    /// Restore a [`Self::slice_bits`] snapshot by charging each
+    /// component total exactly once. Intended for empty ledgers; on a
+    /// non-empty ledger the totals accumulate like any other charge.
+    pub fn charge_slice_bits(&self, slice: &[(Component, u64)]) {
+        for &(c, bits) in slice {
+            self.charge(c, f64::from_bits(bits));
+        }
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +378,32 @@ mod tests {
         assert_eq!(outer.batch_stats().items, 4);
         // absorbing leaves the source untouched
         assert!((inner.total() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slice_bits_round_trip_is_bitwise_exact() {
+        let l = CostLedger::new();
+        // accumulate awkward floats the way a pipeline would
+        for k in 1..=37u32 {
+            l.charge(Component::Decode, 0.1 / k as f64);
+            l.charge(Component::Detector, 1.0 / 3.0 / k as f64);
+        }
+        let restored = CostLedger::new();
+        restored.charge_slice_bits(&l.slice_bits());
+        for c in [Component::Decode, Component::Detector] {
+            assert_eq!(l.get(c).to_bits(), restored.get(c).to_bits());
+        }
+        // absorbing the restored ledger equals absorbing the original
+        let (a, b) = (CostLedger::new(), CostLedger::new());
+        a.charge(Component::Decode, 0.7);
+        b.charge(Component::Decode, 0.7);
+        a.absorb(&l);
+        b.absorb(&restored);
+        assert_eq!(
+            a.get(Component::Decode).to_bits(),
+            b.get(Component::Decode).to_bits()
+        );
+        assert_eq!(a.total().to_bits(), b.total().to_bits());
     }
 
     #[test]

@@ -66,6 +66,14 @@ pub enum SubmitError {
         /// Interrupted stream.
         stream: usize,
     },
+    /// The submit deadline elapsed before the ticket's round flushed —
+    /// the cross-stream rendezvous is wedged (a sibling stream stalled
+    /// without finishing). The ticket is still pending; the caller is
+    /// expected to exit the stage, whose `StreamGuard` drop discards it.
+    TimedOut {
+        /// Timed-out stream.
+        stream: usize,
+    },
 }
 
 impl fmt::Display for SubmitError {
@@ -84,6 +92,11 @@ impl fmt::Display for SubmitError {
                 f,
                 "stream {stream} was finished while its ticket was pending; \
                  the ticket was discarded"
+            ),
+            SubmitError::TimedOut { stream } => write!(
+                f,
+                "stream {stream}'s ticket stalled past the batcher submit \
+                 deadline (batcher rendezvous wedged)"
             ),
         }
     }
@@ -162,6 +175,9 @@ pub struct DetectorBatcher {
     max_batch: usize,
     ledger: CostLedger,
     exec: Option<Arc<DetectorExecHarness>>,
+    /// Optional watchdog deadline for blocked submits (see
+    /// [`Self::with_submit_timeout`]).
+    submit_timeout: Option<std::time::Duration>,
 }
 
 impl DetectorBatcher {
@@ -182,7 +198,18 @@ impl DetectorBatcher {
             max_batch: max_batch.max(1),
             ledger,
             exec: None,
+            submit_timeout: None,
         }
+    }
+
+    /// Attach a submit watchdog: a blocked [`Self::submit`] that waits
+    /// longer than `timeout` for its round to flush returns
+    /// [`SubmitError::TimedOut`] instead of waiting forever — the
+    /// escape hatch when a sibling stream wedges the rendezvous without
+    /// dying (a dead stream's guard already unblocks the watermark).
+    pub fn with_submit_timeout(mut self, timeout: Option<std::time::Duration>) -> Self {
+        self.submit_timeout = timeout;
+        self
     }
 
     /// Attach a detector-execution harness. When its mode is
@@ -268,7 +295,20 @@ impl DetectorBatcher {
             if st.tickets[stream].is_none() {
                 return Ok(st.outputs[stream].take().unwrap_or_default());
             }
-            self.flushed.wait(&mut st);
+            match self.submit_timeout {
+                None => self.flushed.wait(&mut st),
+                Some(timeout) => {
+                    if self.flushed.wait_for(&mut st, timeout).timed_out()
+                        && st.tickets[stream].is_some()
+                        && !st.interrupted[stream]
+                    {
+                        // Leave the ticket pending: the caller exits its
+                        // stage and the StreamGuard drop discards it
+                        // (counted, uncharged) via `finish`.
+                        return Err(SubmitError::TimedOut { stream });
+                    }
+                }
+            }
         }
     }
 
@@ -370,9 +410,18 @@ impl DetectorBatcher {
             let start = Instant::now();
             let mut forwards = 0u64;
             let mut windows = 0u64;
+            // Only windows that carry materialized inputs participate in
+            // the forwards: a ghost-replay ticket submits sizes without
+            // inputs (its outputs were digested in the original run), so
+            // it shapes the launch accounting above but not the
+            // execution. Excluding it cannot perturb live outputs — the
+            // batched kernels accumulate each window's elements in
+            // exactly the looped order, so chunk membership never
+            // affects bits.
             let mut groups: BTreeMap<(u32, u32), Vec<(usize, usize)>> = BTreeMap::new();
             for &stream in &member_streams {
-                for (w, s) in sizes_by_stream[stream].iter().enumerate() {
+                let with_inputs = inputs_by_stream[stream].len();
+                for (w, s) in sizes_by_stream[stream].iter().take(with_inputs).enumerate() {
                     groups.entry(*s).or_default().push((stream, w));
                 }
             }

@@ -76,6 +76,12 @@ impl fmt::Display for StageName {
     }
 }
 
+/// How long an injected [`FaultKind::Stall`] blocks its stage thread.
+/// Finite, so an un-watchdogged run still terminates — just slowly; a
+/// stage watchdog with a shorter timeout converts the wedge into typed
+/// stall failures instead.
+pub const STALL_SLEEP: std::time::Duration = std::time::Duration::from_millis(400);
+
 /// What an injected fault does when it fires.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
@@ -87,6 +93,13 @@ pub enum FaultKind {
     /// clips — and the clip is re-run through the sequential fallback
     /// after the streaming run.
     Error,
+    /// Wedge the stage: sleep [`STALL_SLEEP`] wall-clock before
+    /// processing the frame, then continue normally. Without a stage
+    /// watchdog the run completes (slowly); with
+    /// [`EngineOptions::stage_timeout`](crate::EngineOptions) set below
+    /// the sleep, blocked neighbours convert the wedge into typed,
+    /// recoverable stall failures that the sequential retry heals.
+    Stall,
 }
 
 impl FaultKind {
@@ -95,6 +108,7 @@ impl FaultKind {
         match self {
             FaultKind::Panic => "panic",
             FaultKind::Error => "error",
+            FaultKind::Stall => "stall",
         }
     }
 
@@ -103,7 +117,8 @@ impl FaultKind {
         match s {
             "panic" => Ok(FaultKind::Panic),
             "error" => Ok(FaultKind::Error),
-            other => Err(format!("unknown fault kind {other:?} (panic|error)")),
+            "stall" => Ok(FaultKind::Stall),
+            other => Err(format!("unknown fault kind {other:?} (panic|error|stall)")),
         }
     }
 }
@@ -164,6 +179,18 @@ impl FaultPlan {
             clip,
             frame,
             reason: format!("injected error in {stage} (clip {clip}, frame {frame})"),
+        })
+    }
+
+    /// Convenience: a single [`STALL_SLEEP`]-long stall at
+    /// `(stage, clip, frame)`.
+    pub fn stall_at(stage: StageName, clip: usize, frame: usize) -> Self {
+        FaultPlan::none().with(FaultSpec {
+            stage,
+            kind: FaultKind::Stall,
+            clip,
+            frame,
+            reason: format!("injected stall in {stage} (clip {clip}, frame {frame})"),
         })
     }
 
@@ -244,6 +271,16 @@ pub(crate) struct ClipFailure {
     pub recoverable: bool,
 }
 
+/// A stream-level stall detected by the stage watchdog: some stage of
+/// the stream gave up on a wedged channel or batcher rendezvous and
+/// exited. Clips the stream never finalized because of it are
+/// recoverable (the work itself is healthy — only the plumbing wedged).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct StallReport {
+    pub stage: StageName,
+    pub reason: String,
+}
+
 /// Shared per-run health record: which streams panicked (and where),
 /// and which clips failed recoverably.
 #[derive(Debug)]
@@ -254,6 +291,8 @@ pub(crate) struct HealthBoard {
     panic_count: Mutex<usize>,
     /// First recorded failure per clip.
     clip_failures: Mutex<BTreeMap<usize, ClipFailure>>,
+    /// First watchdog stall per stream.
+    stalls: Mutex<Vec<Option<StallReport>>>,
 }
 
 impl HealthBoard {
@@ -262,7 +301,18 @@ impl HealthBoard {
             panics: Mutex::new((0..streams).map(|_| None).collect()),
             panic_count: Mutex::new(0),
             clip_failures: Mutex::new(BTreeMap::new()),
+            stalls: Mutex::new((0..streams).map(|_| None).collect()),
         }
+    }
+
+    /// Record a watchdog stall of `stream` (first one wins).
+    pub fn record_stall(&self, stream: usize, stage: StageName, reason: String) {
+        self.stalls.lock()[stream].get_or_insert(StallReport { stage, reason });
+    }
+
+    /// The first recorded watchdog stall of `stream`, if any.
+    pub fn stall_of(&self, stream: usize) -> Option<StallReport> {
+        self.stalls.lock()[stream].clone()
     }
 
     /// Record a captured stage panic for `stream` (first one wins for

@@ -41,6 +41,7 @@
 pub mod batcher;
 pub mod exec;
 pub mod fault;
+pub mod journal;
 pub mod scheduler;
 pub(crate) mod stage;
 pub mod stats;
@@ -49,6 +50,13 @@ pub mod timeline;
 pub use batcher::{DetectorBatcher, RoundRecord, StreamGuard, SubmitError, Ticket};
 pub use exec::{DetectorExec, DetectorExecHarness};
 pub use fault::{FaultKind, FaultPlan, FaultSpec, PanicReport, StageName};
-pub use scheduler::{retry_backoff, ClipOutcome, Engine, EngineOptions, EngineRun};
+pub use journal::replay as replay_run_journal;
+pub use journal::{
+    ClipRecord, FrameRecord, RealRunIo, RunIo, RunJournal, RunManifest, RunReplay, RUN_CLIPS_DIR,
+    RUN_JOURNAL_FILE, RUN_MANIFEST_FILE,
+};
+pub use scheduler::{
+    retry_backoff, run_manifest, ClipOutcome, Engine, EngineOptions, EngineRun, RunSession,
+};
 pub use stats::{EngineCounters, EngineStats, FailedClip, StageSeconds, StreamStatus};
 pub use timeline::StallSeconds;

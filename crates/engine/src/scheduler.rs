@@ -32,19 +32,21 @@
 use crate::batcher::{DetectorBatcher, RoundRecord, StreamGuard};
 use crate::exec::{DetectorExec, DetectorExecHarness};
 use crate::fault::{supervise, FaultPlan, HealthBoard, StageName};
-use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, StageCtx};
+use crate::journal::{Checkpointer, ClipRecord, RunJournal, RunManifest};
+use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, GhostMode, StageCtx};
 use crate::stats::{EngineCounters, EngineStats, FailedClip, StreamStatus};
 use crate::timeline::{self, ClipTimeline};
 use crossbeam::channel::bounded;
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
-use otif_core::{fold_digest, Pipeline, WindowNet, DIGEST_SEED};
+use otif_core::{fnv1a, fold_digest, Pipeline, WindowNet, DIGEST_SEED};
 use otif_cv::{Component, CostLedger};
 use otif_sim::Clip;
 use otif_track::Track;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Tunables for an engine run.
 #[derive(Debug, Clone)]
@@ -82,6 +84,13 @@ pub struct EngineOptions {
     ///
     /// [`Off`]: DetectorExec::Off
     pub detector_exec: DetectorExec,
+    /// Stage watchdog (wall-clock): how long a stage may stay blocked
+    /// on a wedged channel send/recv or batcher rendezvous before the
+    /// wedge is converted into a typed, recoverable stall failure and
+    /// the stage exits (letting the stream's clips be healed by the
+    /// sequential retry). `None` (the default) blocks indefinitely —
+    /// the historical behaviour.
+    pub stage_timeout: Option<Duration>,
 }
 
 impl Default for EngineOptions {
@@ -105,6 +114,7 @@ impl EngineOptions {
             retry_attempts: 3,
             retry_backoff_base: 0.05,
             detector_exec: DetectorExec::Off,
+            stage_timeout: None,
         }
     }
 
@@ -199,6 +209,81 @@ impl EngineRun {
     }
 }
 
+/// Build the [`RunManifest`] identifying an engine run: everything that
+/// shapes per-clip results, ledger bits or batcher rounds. Resuming is
+/// only valid against a bitwise-equal manifest.
+pub fn run_manifest(
+    config: &OtifConfig,
+    ctx: &ExecutionContext,
+    clips: &[Clip],
+    opts: &EngineOptions,
+) -> RunManifest {
+    let config_json = serde_json::to_string(config).expect("config serializes");
+    let cost_json = serde_json::to_string(&ctx.cost).expect("cost model serializes");
+    let config_fingerprint =
+        fnv1a(format!("{config_json}|{cost_json}|{}", ctx.detector_seed).as_bytes());
+    let mut dataset = format!("{}", clips.len());
+    for c in clips {
+        dataset.push_str(&format!(
+            "|{}:{}:{}:{}x{}",
+            c.id,
+            c.seed,
+            c.num_frames(),
+            c.scene.width,
+            c.scene.height
+        ));
+    }
+    RunManifest {
+        version: 1,
+        config_fingerprint,
+        dataset_fingerprint: fnv1a(dataset.as_bytes()),
+        clips: clips.len(),
+        streams: opts.streams.min(clips.len()).max(1),
+        max_batch: opts.max_batch,
+        prefetch_frames: opts.prefetch_frames.max(1),
+        detector_exec: opts.detector_exec.as_str().to_string(),
+    }
+}
+
+/// A journaled run's durable state: the open [`RunJournal`] plus what a
+/// resume recovered from it. Pass to [`Engine::run_with_session`] to
+/// checkpoint completed clips (fresh or resumed) and ghost-replay the
+/// recovered ones (resumed).
+pub struct RunSession {
+    journal: Arc<RunJournal>,
+    recovered: Vec<Option<(ClipRecord, Vec<Track>)>>,
+    resumed: bool,
+}
+
+impl RunSession {
+    /// A fresh journaled run: every clip computes live and checkpoints.
+    pub fn fresh(journal: Arc<RunJournal>) -> RunSession {
+        RunSession {
+            journal,
+            recovered: Vec::new(),
+            resumed: false,
+        }
+    }
+
+    /// A resumed run: recovered clips (from [`RunJournal::recover`])
+    /// ghost-replay; the rest compute live and checkpoint.
+    pub fn resumed(
+        journal: Arc<RunJournal>,
+        recovered: Vec<Option<(ClipRecord, Vec<Track>)>>,
+    ) -> RunSession {
+        RunSession {
+            journal,
+            recovered,
+            resumed: true,
+        }
+    }
+
+    /// Number of clips this session recovered from the journal.
+    pub fn recovered_clips(&self) -> usize {
+        self.recovered.iter().filter(|r| r.is_some()).count()
+    }
+}
+
 /// The multi-stream streaming executor.
 pub struct Engine;
 
@@ -226,6 +311,24 @@ impl Engine {
         opts: &EngineOptions,
         ledger: &CostLedger,
     ) -> EngineRun {
+        Self::run_with_session(config, ctx, clips, opts, ledger, None)
+    }
+
+    /// [`Engine::run`] with an optional journaled [`RunSession`]: every
+    /// completed clip is durably checkpointed before its result is
+    /// acknowledged, and clips the session recovered from a previous
+    /// (crashed) run are *ghost-replayed* — their recorded charges,
+    /// timelines, batcher tickets and tracks are replayed bit-exactly
+    /// without recomputation, so the final ledgers, deterministic stats
+    /// and detector digests equal an uninterrupted run's.
+    pub fn run_with_session(
+        config: &OtifConfig,
+        ctx: &ExecutionContext,
+        clips: &[Clip],
+        opts: &EngineOptions,
+        ledger: &CostLedger,
+        session: Option<&RunSession>,
+    ) -> EngineRun {
         let streams = opts.streams.min(clips.len()).max(1);
         let capacity = opts.channel_capacity.max(1);
         let prefetch = opts.prefetch_frames.max(1);
@@ -233,6 +336,8 @@ impl Engine {
         // must hold the whole decode-ahead budget, not just the default
         // backpressure capacity.
         let decode_capacity = capacity.max(prefetch);
+        let gap = config.gap.max(1);
+        let frame_counts: Vec<usize> = clips.iter().map(|c| c.num_frames().div_ceil(gap)).collect();
 
         // Round-robin assignment keeps stream loads balanced without
         // knowing clip lengths: stream i gets clips i, i+streams, ….
@@ -266,7 +371,8 @@ impl Engine {
             config.detector.arch.per_call(),
             opts.max_batch,
             launch.clone(),
-        );
+        )
+        .with_submit_timeout(opts.stage_timeout);
         if opts.detector_exec == DetectorExec::Batched {
             if let Some(h) = &harness {
                 batcher = batcher.with_exec(Arc::clone(h));
@@ -277,6 +383,34 @@ impl Engine {
         let results: Mutex<Vec<Option<Vec<Track>>>> =
             Mutex::new((0..clips.len()).map(|_| None).collect());
 
+        // Resume ghosting: classify every clip the session recovered.
+        // In-stream checkpoints with a full frame recording ghost-stream
+        // (ledger pre-charged with the recorded component totals as
+        // exact bits — re-accumulating per-frame deltas would not
+        // reproduce IEEE sums — timeline pre-populated, result
+        // pre-deposited); retried checkpoints skip streaming entirely
+        // and replay in the retry section; anything malformed stays
+        // Live and is recomputed (self-healing).
+        let mut ghost = vec![GhostMode::Live; clips.len()];
+        let mut skip_replay: Vec<(usize, ClipRecord, Vec<Track>)> = Vec::new();
+        if let Some(session) = session {
+            for (idx, rec) in session.recovered.iter().enumerate().take(clips.len()) {
+                let Some((record, tracks)) = rec else {
+                    continue;
+                };
+                if record.retried {
+                    ghost[idx] = GhostMode::Skip;
+                    skip_replay.push((idx, record.clone(), tracks.clone()));
+                } else if record.frames.len() == frame_counts[idx] {
+                    ghost[idx] = GhostMode::Stream;
+                    clip_ledgers[idx].charge_slice_bits(&record.ledger);
+                    *timelines[idx].lock() = record.timeline();
+                    results.lock()[idx] = Some(tracks.clone());
+                }
+            }
+        }
+        let checkpointer = session.map(|s| Checkpointer::new(Arc::clone(&s.journal)));
+
         std::thread::scope(|scope| {
             for (s, assigned) in assignments.iter().enumerate() {
                 let (dec_tx, dec_rx) = bounded(decode_capacity);
@@ -286,6 +420,7 @@ impl Engine {
                 let stage_ctx = StageCtx {
                     config,
                     exec: ctx,
+                    stream: s,
                     clips: assigned,
                     counters: &counters,
                     clip_ledgers: &clip_ledgers,
@@ -293,6 +428,9 @@ impl Engine {
                     faults: &opts.faults,
                     health: &health,
                     detector_exec: harness.as_deref(),
+                    ghost: &ghost,
+                    checkpoint: checkpointer.as_ref(),
+                    stage_timeout: opts.stage_timeout,
                 };
                 let (health, results) = (&health, &results);
                 // Four supervised stage threads per stream: a panic in
@@ -338,6 +476,14 @@ impl Engine {
         let mut completed = vec![false; clips.len()];
         for (idx, slot) in results.into_inner().into_iter().enumerate() {
             let stream = idx % streams;
+            if ghost[idx] == GhostMode::Skip {
+                // Replayed retry clip: never streamed this run; the
+                // retry-replay section below deposits its recorded
+                // tracks and accounting. Placeholder outcome, no
+                // failure entry, no wasted accrual.
+                outcomes.push(ClipOutcome::Ok(Vec::new()));
+                continue;
+            }
             match slot {
                 Some(tracks) => {
                     completed[idx] = true;
@@ -354,11 +500,21 @@ impl Engine {
                                 format!("stream {stream} died: {}", p.reason),
                                 false,
                             ),
-                            None => (
-                                StageName::Track,
-                                "clip was never finalized".to_string(),
-                                false,
-                            ),
+                            None => match health.stall_of(stream) {
+                                // A watchdogged stall is recoverable:
+                                // the wedged stream's unfinished clips
+                                // all heal through the sequential retry.
+                                Some(st) => (
+                                    st.stage,
+                                    format!("stream {stream} stalled: {}", st.reason),
+                                    true,
+                                ),
+                                None => (
+                                    StageName::Track,
+                                    "clip was never finalized".to_string(),
+                                    false,
+                                ),
+                            },
                         },
                     };
                     if recoverable && !opts.no_retry && opts.retry_attempts > 0 {
@@ -386,8 +542,6 @@ impl Engine {
         // batcher rounds. Charges don't move — the ledger above is
         // already final — this only models *when* they complete.
         let rounds = batcher.round_log();
-        let gap = config.gap.max(1);
-        let frame_counts: Vec<usize> = clips.iter().map(|c| c.num_frames().div_ceil(gap)).collect();
         let assignment_idx: Vec<Vec<usize>> = assignments
             .iter()
             .map(|a| a.iter().map(|(i, _)| *i).collect())
@@ -416,18 +570,68 @@ impl Engine {
         let mut retry_attempts = 0u64;
         let mut retry_seconds = 0.0f64;
         let mut retry_backoff_seconds = 0.0f64;
-        for idx in retryable {
-            retry_backoff_seconds += retry_backoff(opts.retry_backoff_base, 0);
-            retry_attempts += 1;
-            let retry_ledger = CostLedger::new();
-            let tracks = Pipeline::run_clip(config, ctx, &clips[idx], &retry_ledger);
-            retry_seconds += retry_ledger.execution_total();
-            inner.absorb(&retry_ledger);
-            outcomes[idx] = ClipOutcome::Ok(tracks);
-            if let Some(f) = failures.iter_mut().find(|f| f.clip == idx) {
-                f.recovered = true;
+        // Merge freshly-failed clips with recovered retry checkpoints
+        // (ghost Skip) in clip-index order, so the retry accounting's
+        // f64 sums accrue in the same deterministic order every run.
+        enum RetryWork {
+            Live,
+            Replay(ClipRecord, Vec<Track>),
+        }
+        let mut retry_plan: Vec<(usize, RetryWork)> = retryable
+            .into_iter()
+            .map(|idx| (idx, RetryWork::Live))
+            .chain(
+                skip_replay
+                    .into_iter()
+                    .map(|(idx, rec, tracks)| (idx, RetryWork::Replay(rec, tracks))),
+            )
+            .collect();
+        retry_plan.sort_by_key(|(idx, _)| *idx);
+        for (idx, work) in retry_plan {
+            match work {
+                RetryWork::Live => {
+                    retry_backoff_seconds += retry_backoff(opts.retry_backoff_base, 0);
+                    retry_attempts += 1;
+                    let retry_ledger = CostLedger::new();
+                    let tracks = Pipeline::run_clip(config, ctx, &clips[idx], &retry_ledger);
+                    retry_seconds += retry_ledger.execution_total();
+                    inner.absorb(&retry_ledger);
+                    // Checkpoint the recovered clip as a retry record:
+                    // slice-only accounting (no frame recordings — a
+                    // resume replays it without streaming).
+                    if let Some(cp) = &checkpointer {
+                        cp.checkpoint_clip(
+                            idx,
+                            &tracks,
+                            &ClipTimeline::default(),
+                            &retry_ledger,
+                            true,
+                            1,
+                            retry_backoff(opts.retry_backoff_base, 0),
+                        );
+                    }
+                    outcomes[idx] = ClipOutcome::Ok(tracks);
+                    if let Some(f) = failures.iter_mut().find(|f| f.clip == idx) {
+                        f.recovered = true;
+                    }
+                    retried += 1;
+                }
+                RetryWork::Replay(rec, tracks) => {
+                    // Replay the recorded retry bit-exactly: charge the
+                    // recorded component totals into a fresh ledger (the
+                    // same order an actual retry charges), accrue the
+                    // recorded backoff and attempts, deposit the
+                    // recorded tracks.
+                    retry_backoff_seconds += f64::from_bits(rec.retry_backoff);
+                    retry_attempts += rec.retry_attempts;
+                    let retry_ledger = CostLedger::new();
+                    retry_ledger.charge_slice_bits(&rec.ledger);
+                    retry_seconds += retry_ledger.execution_total();
+                    inner.absorb(&retry_ledger);
+                    outcomes[idx] = ClipOutcome::Ok(tracks);
+                    retried += 1;
+                }
             }
-            retried += 1;
         }
 
         let mut stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
@@ -447,6 +651,15 @@ impl Engine {
         stats.wasted_seconds = wasted;
         stats.launch_seconds = launch.get(Component::Detector);
         stats.detector_exec = opts.detector_exec.as_str().to_string();
+        if session.is_some_and(|s| s.resumed) {
+            stats.resumed_clips_skipped = ghost.iter().filter(|g| **g != GhostMode::Live).count();
+            stats.resumed_clips_recomputed =
+                ghost.iter().filter(|g| **g == GhostMode::Live).count();
+        }
+        if let Some(cp) = &checkpointer {
+            stats.clips_checkpointed = cp.acked.load(std::sync::atomic::Ordering::Relaxed);
+            stats.checkpoint_failures = cp.ack_failures.load(std::sync::atomic::Ordering::Relaxed);
+        }
         if let Some(h) = &harness {
             stats.detector_wall_seconds = h.wall_seconds();
             stats.detector_forwards = h.forwards();
@@ -683,6 +896,212 @@ mod tests {
         }
         // and so are the round contents
         assert_eq!(serial.rounds, deep.rounds);
+    }
+
+    const COMPONENTS: [Component; 5] = [
+        Component::Decode,
+        Component::Proxy,
+        Component::Detector,
+        Component::Tracker,
+        Component::Refinement,
+    ];
+
+    fn temp_run_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("otif-engine-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Tentpole contract: a fresh journaled run is bitwise identical to
+    /// an unjournaled one, and resuming after a crash at several
+    /// acknowledgement counts reproduces the uninterrupted run's
+    /// tracks, ledger bits, deterministic stats and batcher rounds
+    /// byte-for-byte while recomputing only the unacknowledged clips.
+    #[test]
+    fn journaled_run_and_every_resume_are_bitwise_identical() {
+        use crate::journal::{RealRunIo, RunIo, RUN_JOURNAL_FILE};
+
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions {
+            streams: 2,
+            detector_exec: DetectorExec::Batched,
+            ..EngineOptions::new()
+        };
+
+        // Uninterrupted, unjournaled baseline.
+        let base_ledger = CostLedger::new();
+        let base = Engine::run(&cfg, &ctx, &clips, &opts, &base_ledger);
+        let base_proj = base.stats.deterministic_projection();
+        let base_rounds = base.rounds.clone();
+        let base_tracks = serde_json::to_string(&base.expect_tracks()).unwrap();
+
+        // Fresh journaled run: identical outputs, every clip durably
+        // acknowledged.
+        let io: Arc<dyn RunIo> = Arc::new(RealRunIo);
+        let dir = temp_run_dir("resume");
+        let manifest = run_manifest(&cfg, &ctx, &clips, &opts);
+        let journal = Arc::new(RunJournal::create(&dir, Arc::clone(&io), &manifest).unwrap());
+        let session = RunSession::fresh(Arc::clone(&journal));
+        let fresh_ledger = CostLedger::new();
+        let fresh =
+            Engine::run_with_session(&cfg, &ctx, &clips, &opts, &fresh_ledger, Some(&session));
+        assert_eq!(fresh.stats.clips_checkpointed, clips.len() as u64);
+        assert_eq!(fresh.stats.checkpoint_failures, 0);
+        assert_eq!(fresh.stats.resumed_clips_skipped, 0);
+        assert_eq!(fresh.stats.deterministic_projection(), base_proj);
+        assert_eq!(fresh.rounds, base_rounds);
+        for c in COMPONENTS {
+            assert_eq!(
+                fresh_ledger.get(c).to_bits(),
+                base_ledger.get(c).to_bits(),
+                "{c:?}"
+            );
+        }
+        assert_eq!(
+            serde_json::to_string(&fresh.expect_tracks()).unwrap(),
+            base_tracks
+        );
+
+        // Crash simulation: keep only the first k acknowledged records
+        // (append order is the crash order), resume, and demand byte
+        // identity plus bounded recomputation.
+        let journal_path = dir.join(RUN_JOURNAL_FILE);
+        let full = std::fs::read(&journal_path).unwrap();
+        let lines: Vec<&[u8]> = full.split_inclusive(|&b| b == b'\n').collect();
+        assert_eq!(lines.len(), clips.len());
+        for k in [0usize, 1, clips.len() - 1, clips.len()] {
+            std::fs::write(&journal_path, lines[..k].concat()).unwrap();
+            let (reopened, replayed) = RunJournal::open(&dir, Arc::clone(&io), &manifest).unwrap();
+            let reopened = Arc::new(reopened);
+            let recovered = reopened.recover(&replayed, clips.len());
+            let session = RunSession::resumed(Arc::clone(&reopened), recovered);
+            assert_eq!(session.recovered_clips(), k);
+            let led = CostLedger::new();
+            let run = Engine::run_with_session(&cfg, &ctx, &clips, &opts, &led, Some(&session));
+            assert_eq!(run.stats.resumed_clips_skipped, k, "k={k}");
+            assert_eq!(run.stats.resumed_clips_recomputed, clips.len() - k, "k={k}");
+            assert_eq!(run.stats.deterministic_projection(), base_proj, "k={k}");
+            assert_eq!(run.rounds, base_rounds, "k={k}");
+            for c in COMPONENTS {
+                assert_eq!(
+                    led.get(c).to_bits(),
+                    base_ledger.get(c).to_bits(),
+                    "k={k} {c:?}"
+                );
+            }
+            assert_eq!(
+                serde_json::to_string(&run.expect_tracks()).unwrap(),
+                base_tracks,
+                "k={k}"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A corrupt checkpoint payload self-heals: the clip recomputes
+    /// live and the final outputs still match the baseline.
+    #[test]
+    fn tampered_checkpoint_payload_recomputes_and_matches() {
+        use crate::journal::{RealRunIo, RunIo, RUN_CLIPS_DIR};
+
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions::with_streams(2);
+
+        let base_ledger = CostLedger::new();
+        let base = Engine::run(&cfg, &ctx, &clips, &opts, &base_ledger);
+        let base_proj = base.stats.deterministic_projection();
+        let base_tracks = serde_json::to_string(&base.expect_tracks()).unwrap();
+
+        let io: Arc<dyn RunIo> = Arc::new(RealRunIo);
+        let dir = temp_run_dir("selfheal");
+        let manifest = run_manifest(&cfg, &ctx, &clips, &opts);
+        let journal = Arc::new(RunJournal::create(&dir, Arc::clone(&io), &manifest).unwrap());
+        let session = RunSession::fresh(Arc::clone(&journal));
+        Engine::run_with_session(
+            &cfg,
+            &ctx,
+            &clips,
+            &opts,
+            &CostLedger::new(),
+            Some(&session),
+        );
+
+        std::fs::write(dir.join(RUN_CLIPS_DIR).join("clip_0.json"), b"garbage").unwrap();
+        let (reopened, replayed) = RunJournal::open(&dir, Arc::clone(&io), &manifest).unwrap();
+        let reopened = Arc::new(reopened);
+        let recovered = reopened.recover(&replayed, clips.len());
+        assert!(
+            recovered[0].is_none(),
+            "tampered payload must drop the record"
+        );
+        let session = RunSession::resumed(Arc::clone(&reopened), recovered);
+        let led = CostLedger::new();
+        let run = Engine::run_with_session(&cfg, &ctx, &clips, &opts, &led, Some(&session));
+        assert_eq!(run.stats.resumed_clips_recomputed, 1);
+        assert_eq!(run.stats.resumed_clips_skipped, clips.len() - 1);
+        assert_eq!(run.stats.deterministic_projection(), base_proj);
+        for c in COMPONENTS {
+            assert_eq!(led.get(c).to_bits(), base_ledger.get(c).to_bits(), "{c:?}");
+        }
+        assert_eq!(
+            serde_json::to_string(&run.expect_tracks()).unwrap(),
+            base_tracks
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Without a watchdog an injected stall only slows the run down —
+    /// it still completes healthy.
+    #[test]
+    fn stall_fault_without_watchdog_completes_healthy() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions {
+            streams: 1,
+            faults: FaultPlan::stall_at(StageName::Detect, 0, 1),
+            ..EngineOptions::new()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &CostLedger::new());
+        assert!(run.stats.healthy(), "{:?}", run.stats.failures);
+        assert_eq!(run.expect_tracks().len(), clips.len());
+    }
+
+    /// With a stage watchdog shorter than the stall, the wedge becomes
+    /// typed recoverable stall failures and the sequential retry heals
+    /// every clip — the run completes instead of hanging.
+    #[test]
+    fn watchdog_converts_wedge_into_recoverable_stalls() {
+        let cfg = config();
+        let ctx = ExecutionContext::bare(CostModel::default(), 7);
+        let clips = clips();
+        let opts = EngineOptions {
+            streams: 1,
+            stage_timeout: Some(std::time::Duration::from_millis(40)),
+            faults: FaultPlan::stall_at(StageName::Detect, 0, 1),
+            ..EngineOptions::new()
+        };
+        let run = Engine::run(&cfg, &ctx, &clips, &opts, &CostLedger::new());
+        assert!(run.stats.failed_clips > 0, "the wedge must fail clips");
+        assert!(
+            run.stats
+                .failures
+                .iter()
+                .any(|f| f.reason.contains("watchdog")),
+            "{:?}",
+            run.stats.failures
+        );
+        assert!(
+            run.stats.failures.iter().all(|f| f.recovered),
+            "every stalled clip must heal via the sequential retry: {:?}",
+            run.stats.failures
+        );
+        assert_eq!(run.stats.retried_clips, run.stats.failed_clips);
+        assert!(run.tracks.iter().all(ClipOutcome::is_ok));
     }
 
     #[test]

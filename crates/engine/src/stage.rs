@@ -20,12 +20,13 @@
 //! its next clips. Injected panics unwind for real and are caught by
 //! the supervision shim in the scheduler.
 
-use crate::batcher::StreamGuard;
+use crate::batcher::{StreamGuard, SubmitError};
 use crate::exec::{DetectorExec, DetectorExecHarness};
-use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName};
+use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName, STALL_SLEEP};
+use crate::journal::Checkpointer;
 use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
 use crate::timeline::ClipTimeline;
-use crossbeam::channel::{Receiver, Sender};
+use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
 use otif_core::stages::{
@@ -39,7 +40,27 @@ use otif_sim::{Clip, Renderer};
 use otif_track::Track;
 use parking_lot::Mutex;
 use std::collections::HashSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// How a clip is processed on this run: live, or replayed from a run
+/// journal checkpoint without recomputation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum GhostMode {
+    /// Normal processing — decode, window, detect and track for real.
+    #[default]
+    Live,
+    /// The clip completed in-stream in a previous (crashed) run and was
+    /// checkpointed: its ledger, timeline and result are pre-loaded by
+    /// the scheduler, and the stages only *stream* it — forwarding
+    /// frames and submitting recorded batcher tickets so the
+    /// cross-stream round sequence (and every sibling's accounting)
+    /// reproduces bitwise — without recomputing or re-charging anything.
+    Stream,
+    /// The clip completed via the sequential retry path in a previous
+    /// run: it is not streamed at all; the scheduler replays its
+    /// recorded retry accounting directly.
+    Skip,
+}
 
 /// Everything a stage loop needs besides its channels: the run
 /// configuration, this stream's clip assignment, the shared counters,
@@ -48,6 +69,8 @@ use std::time::Instant;
 pub(crate) struct StageCtx<'a> {
     pub config: &'a OtifConfig,
     pub exec: &'a ExecutionContext<'a>,
+    /// This stream's index (for stream-level health reporting).
+    pub stream: usize,
     /// This stream's assigned clips as `(global clip index, clip)`.
     pub clips: &'a [(usize, &'a Clip)],
     pub counters: &'a EngineCounters,
@@ -64,13 +87,35 @@ pub(crate) struct StageCtx<'a> {
     /// means the detect stage computes accounting only, exactly as
     /// before the surrogate existed.
     pub detector_exec: Option<&'a DetectorExecHarness>,
+    /// Per-clip ghost modes (indexed by global clip index) — how much
+    /// of each clip's work this run actually performs.
+    pub ghost: &'a [GhostMode],
+    /// Run-journal checkpoint sink; `None` for unjournaled runs.
+    pub checkpoint: Option<&'a Checkpointer>,
+    /// Stage watchdog: how long a stage may stay blocked on a wedged
+    /// channel send/recv or batcher rendezvous before converting the
+    /// wedge into a typed, recoverable stall failure and exiting.
+    pub stage_timeout: Option<Duration>,
+}
+
+/// What became of a watchdogged channel send.
+pub(crate) enum SendStatus {
+    /// Message delivered.
+    Sent,
+    /// All receivers gone (downstream shut down) — exit quietly.
+    Closed,
+    /// The watchdog fired: downstream is wedged. The stall has been
+    /// recorded; the stage must exit so its dropped endpoints unwedge
+    /// the neighbours.
+    Stalled,
 }
 
 impl StageCtx<'_> {
     /// Consult the fault plan for `(stage, clip, ordinal)`. Returns
     /// `true` if a recoverable error fired (the caller poisons the
     /// clip); panics for real if a panic fault fired — the supervision
-    /// shim catches it.
+    /// shim catches it. A stall fault sleeps [`STALL_SLEEP`] and then
+    /// lets the frame proceed normally.
     fn fire(&self, stage: StageName, clip: usize, ordinal: usize) -> bool {
         match self.faults.fire(stage, clip, ordinal) {
             None => false,
@@ -81,8 +126,77 @@ impl StageCtx<'_> {
                         .record_clip_failure(clip, stage, spec.reason.clone(), true);
                     true
                 }
+                FaultKind::Stall => {
+                    std::thread::sleep(STALL_SLEEP);
+                    false
+                }
             },
         }
+    }
+
+    /// Send under the optional stage watchdog. A send blocked past the
+    /// timeout means the pipeline downstream of `stage` is wedged: the
+    /// stall is recorded (stream-level, plus a recoverable failure for
+    /// the in-flight clip) and the caller must exit the stage.
+    fn send_watch<T>(&self, stage: StageName, clip: usize, tx: &Sender<T>, msg: T) -> SendStatus {
+        let Some(timeout) = self.stage_timeout else {
+            return match tx.send(msg) {
+                Ok(()) => SendStatus::Sent,
+                Err(_) => SendStatus::Closed,
+            };
+        };
+        match tx.send_timeout(msg, timeout) {
+            Ok(()) => SendStatus::Sent,
+            Err(SendTimeoutError::Disconnected(_)) => SendStatus::Closed,
+            Err(SendTimeoutError::Timeout(_)) => {
+                let reason = format!(
+                    "watchdog: {stage} stalled >{:.3}s sending to the next stage \
+                     (channel_backpressure)",
+                    timeout.as_secs_f64()
+                );
+                self.health.record_stall(self.stream, stage, reason.clone());
+                self.health.record_clip_failure(clip, stage, reason, true);
+                SendStatus::Stalled
+            }
+        }
+    }
+
+    /// Receive under the optional stage watchdog. Returns `None` when
+    /// the stage should exit: channel disconnected (normal shutdown) or
+    /// the watchdog fired while senders were still connected (upstream
+    /// wedged; the stall is recorded stream-level).
+    fn recv_watch<T>(&self, stage: StageName, rx: &Receiver<T>) -> Option<T> {
+        let Some(timeout) = self.stage_timeout else {
+            return rx.recv().ok();
+        };
+        match rx.recv_timeout(timeout) {
+            Ok(msg) => Some(msg),
+            Err(RecvTimeoutError::Disconnected) => None,
+            Err(RecvTimeoutError::Timeout) => {
+                let reason = format!(
+                    "watchdog: {stage} starved >{:.3}s waiting for input \
+                     (decode_starved)",
+                    timeout.as_secs_f64()
+                );
+                self.health.record_stall(self.stream, stage, reason);
+                None
+            }
+        }
+    }
+
+    /// Record a batcher-submit watchdog timeout (the cross-stream
+    /// rendezvous wedged) before the detect stage exits.
+    fn record_batcher_stall(&self, clip: usize) {
+        let timeout = self.stage_timeout.unwrap_or_default();
+        let reason = format!(
+            "watchdog: detect stalled >{:.3}s in the batcher rendezvous \
+             (batcher_wait)",
+            timeout.as_secs_f64()
+        );
+        self.health
+            .record_stall(self.stream, StageName::Detect, reason.clone());
+        self.health
+            .record_clip_failure(clip, StageName::Detect, reason, true);
     }
 }
 
@@ -130,41 +244,55 @@ pub(crate) struct DetectedFrame {
 pub(crate) fn decode_stage(ctx: &StageCtx<'_>, tx: Sender<StageMsg<DecodedFrame>>) {
     let gap = ctx.config.gap.max(1);
     for &(clip_idx, clip) in ctx.clips {
+        let mode = ctx.ghost[clip_idx];
+        if mode == GhostMode::Skip {
+            // Replayed retry clip: not streamed at all; the scheduler
+            // replays its recorded accounting directly.
+            continue;
+        }
+        let ghost = mode == GhostMode::Stream;
         let ledger = &ctx.clip_ledgers[clip_idx];
         let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
         let mut f = 0usize;
         let mut ordinal = 0usize;
         while f < clip.num_frames() {
-            if ctx.fire(StageName::Decode, clip_idx, ordinal) {
+            if !ghost && ctx.fire(StageName::Decode, clip_idx, ordinal) {
                 if tx.send(StageMsg::Abort { clip: clip_idx }).is_err() {
                     return; // downstream gone (shutdown)
                 }
                 break; // poison only this clip; continue with the next
             }
-            let before = ledger.get(Component::Decode);
-            charge_decode(ctx.config, ctx.exec, native_px, ledger);
-            ctx.timelines[clip_idx]
-                .lock()
-                .decode
-                .push(ledger.get(Component::Decode) - before);
+            if !ghost {
+                let before = ledger.get(Component::Decode);
+                charge_decode(ctx.config, ctx.exec, native_px, ledger);
+                ctx.timelines[clip_idx]
+                    .lock()
+                    .decode
+                    .push(ledger.get(Component::Decode) - before);
+            }
             ctx.counters
                 .frames_decoded
                 .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             ctx.counters.frame_entered();
             let last = f + gap >= clip.num_frames();
-            if tx
-                .send(StageMsg::Frame(DecodedFrame {
+            match ctx.send_watch(
+                StageName::Decode,
+                clip_idx,
+                &tx,
+                StageMsg::Frame(DecodedFrame {
                     clip: clip_idx,
                     frame: f,
                     ordinal,
                     last,
-                }))
-                .is_err()
-            {
-                // the frame never reached downstream: undo its entry so
-                // the in-flight gauge doesn't drift on shutdown
-                ctx.counters.frame_exited();
-                return;
+                }),
+            ) {
+                SendStatus::Sent => {}
+                SendStatus::Closed | SendStatus::Stalled => {
+                    // the frame never reached downstream: undo its entry
+                    // so the in-flight gauge doesn't drift on shutdown
+                    ctx.counters.frame_exited();
+                    return;
+                }
             }
             ctx.counters.observe_queue_depth(QUEUE_DECODE, tx.len());
             f += gap;
@@ -183,7 +311,7 @@ pub(crate) fn window_stage(
 ) {
     let lookup = ClipLookup::new(ctx.clips);
     let mut poisoned: HashSet<usize> = HashSet::new();
-    for msg in &rx {
+    while let Some(msg) = ctx.recv_watch(StageName::Window, &rx) {
         let msg = match msg {
             StageMsg::Abort { clip } => {
                 poisoned.insert(clip);
@@ -198,45 +326,58 @@ pub(crate) fn window_stage(
             ctx.counters.frame_exited();
             continue;
         }
-        if ctx.fire(StageName::Window, msg.clip, msg.ordinal) {
-            poisoned.insert(msg.clip);
-            ctx.counters.frame_exited();
-            if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
-                return;
+        let windows = if ctx.ghost[msg.clip] == GhostMode::Stream {
+            // Ghost: no proxy charge, no timeline write. The detect
+            // stage replays the recorded ticket from the pre-populated
+            // timeline, so the windows themselves are not needed.
+            Vec::new()
+        } else {
+            if ctx.fire(StageName::Window, msg.clip, msg.ordinal) {
+                poisoned.insert(msg.clip);
+                ctx.counters.frame_exited();
+                if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
+                    return;
+                }
+                continue;
             }
-            continue;
-        }
-        let clip = lookup.get(msg.clip);
-        let renderer = Renderer::new(clip);
-        let ledger = &ctx.clip_ledgers[msg.clip];
-        let before = ledger.get(Component::Proxy);
-        let windows = select_windows(
-            ctx.config,
-            ctx.exec,
-            &renderer,
-            clip.scene.frame_rect(),
-            msg.frame,
-            ledger,
-        );
-        ctx.timelines[msg.clip]
-            .lock()
-            .window
-            .push(ledger.get(Component::Proxy) - before);
+            let clip = lookup.get(msg.clip);
+            let renderer = Renderer::new(clip);
+            let ledger = &ctx.clip_ledgers[msg.clip];
+            let before = ledger.get(Component::Proxy);
+            let windows = select_windows(
+                ctx.config,
+                ctx.exec,
+                &renderer,
+                clip.scene.frame_rect(),
+                msg.frame,
+                ledger,
+            );
+            ctx.timelines[msg.clip]
+                .lock()
+                .window
+                .push(ledger.get(Component::Proxy) - before);
+            windows
+        };
         ctx.counters
             .frames_windowed
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if tx
-            .send(StageMsg::Frame(WindowedFrame {
+        match ctx.send_watch(
+            StageName::Window,
+            msg.clip,
+            &tx,
+            StageMsg::Frame(WindowedFrame {
                 clip: msg.clip,
                 frame: msg.frame,
                 ordinal: msg.ordinal,
                 windows,
                 last: msg.last,
-            }))
-            .is_err()
-        {
-            ctx.counters.frame_exited();
-            return;
+            }),
+        ) {
+            SendStatus::Sent => {}
+            SendStatus::Closed | SendStatus::Stalled => {
+                ctx.counters.frame_exited();
+                return;
+            }
         }
         ctx.counters.observe_queue_depth(QUEUE_WINDOW, tx.len());
     }
@@ -256,7 +397,7 @@ pub(crate) fn detect_stage(
     let detector = SimDetector::new(ctx.config.detector, ctx.exec.detector_seed);
     let harness = ctx.detector_exec.filter(|h| h.mode() != DetectorExec::Off);
     let mut poisoned: HashSet<usize> = HashSet::new();
-    for msg in &rx {
+    while let Some(msg) = ctx.recv_watch(StageName::Detect, &rx) {
         let msg = match msg {
             StageMsg::Abort { clip } => {
                 poisoned.insert(clip);
@@ -271,6 +412,50 @@ pub(crate) fn detect_stage(
             ctx.counters.frame_exited();
             continue;
         }
+        if ctx.ghost[msg.clip] == GhostMode::Stream {
+            // Ghost: replay the recorded batcher ticket — the recorded
+            // pixel-seconds and window sizes reproduce the cross-stream
+            // round sequence bitwise — with no charge, digest fold or
+            // detection compute.
+            let (px, sizes) = {
+                let t = ctx.timelines[msg.clip].lock();
+                (t.detect_px[msg.ordinal], t.sizes[msg.ordinal].clone())
+            };
+            if let Some(px) = px {
+                match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
+                    Ok(()) => {}
+                    Err(SubmitError::TimedOut { .. }) => {
+                        ctx.record_batcher_stall(msg.clip);
+                        ctx.counters.frame_exited();
+                        return;
+                    }
+                    Err(e) => panic!("detect stage cannot batch: {e}"),
+                }
+            }
+            ctx.counters
+                .frames_detected
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            match ctx.send_watch(
+                StageName::Detect,
+                msg.clip,
+                &tx,
+                StageMsg::Frame(DetectedFrame {
+                    clip: msg.clip,
+                    frame: msg.frame,
+                    ordinal: msg.ordinal,
+                    dets: Vec::new(),
+                    last: msg.last,
+                }),
+            ) {
+                SendStatus::Sent => {}
+                SendStatus::Closed | SendStatus::Stalled => {
+                    ctx.counters.frame_exited();
+                    return;
+                }
+            }
+            ctx.counters.observe_queue_depth(QUEUE_DETECT, tx.len());
+            continue;
+        }
         if ctx.fire(StageName::Detect, msg.clip, msg.ordinal) {
             poisoned.insert(msg.clip);
             ctx.counters.frame_exited();
@@ -282,7 +467,10 @@ pub(crate) fn detect_stage(
         let dets = if msg.windows.is_empty() {
             // No windows → no batcher ticket; the replay passes the
             // frame through the detect stage with zero charge.
-            ctx.timelines[msg.clip].lock().detect_px.push(None);
+            let mut t = ctx.timelines[msg.clip].lock();
+            t.detect_px.push(None);
+            t.sizes.push(Vec::new());
+            drop(t);
             Vec::new()
         } else {
             let px: f64 = msg
@@ -291,12 +479,16 @@ pub(crate) fn detect_stage(
                 .map(|r| detector.window_px_cost(r.w, r.h))
                 .sum();
             ctx.clip_ledgers[msg.clip].charge(Component::Detector, px);
-            ctx.timelines[msg.clip].lock().detect_px.push(Some(px));
             let sizes: Vec<(u32, u32)> = msg
                 .windows
                 .iter()
                 .map(|r| (r.w.round() as u32, r.h.round() as u32))
                 .collect();
+            {
+                let mut t = ctx.timelines[msg.clip].lock();
+                t.detect_px.push(Some(px));
+                t.sizes.push(sizes.clone());
+            }
             // Surrogate execution: materialize the window crops at the
             // net's input resolution (identically for both modes — the
             // shapes depend only on the rounded sizes the ticket
@@ -315,7 +507,10 @@ pub(crate) fn detect_stage(
             };
             // A protocol violation here is an engine bug and the stream
             // cannot continue coherently: fail the whole stream (the
-            // supervision shim records it; siblings keep flowing).
+            // supervision shim records it; siblings keep flowing). A
+            // submit watchdog timeout instead records a typed stall and
+            // exits the stage, leaving the pending ticket for the
+            // guard-drop to discard.
             let outputs = match harness.map(|h| (h, h.mode())) {
                 Some((h, DetectorExec::Looped)) => {
                     // Wall-clock baseline: one forward per window, timed
@@ -331,18 +526,38 @@ pub(crate) fn detect_stage(
                         })
                         .collect();
                     h.record(start.elapsed(), outs.len() as u64, outs.len() as u64);
-                    batcher_guard
-                        .submit_tagged(sizes, msg.clip, msg.ordinal, px)
-                        .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
+                    match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
+                        Ok(()) => {}
+                        Err(SubmitError::TimedOut { .. }) => {
+                            ctx.record_batcher_stall(msg.clip);
+                            ctx.counters.frame_exited();
+                            return;
+                        }
+                        Err(e) => panic!("detect stage cannot batch: {e}"),
+                    }
                     outs
                 }
-                Some((_, DetectorExec::Batched)) => batcher_guard
-                    .submit_exec(sizes, inputs, msg.clip, msg.ordinal, px)
-                    .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}")),
+                Some((_, DetectorExec::Batched)) => {
+                    match batcher_guard.submit_exec(sizes, inputs, msg.clip, msg.ordinal, px) {
+                        Ok(outs) => outs,
+                        Err(SubmitError::TimedOut { .. }) => {
+                            ctx.record_batcher_stall(msg.clip);
+                            ctx.counters.frame_exited();
+                            return;
+                        }
+                        Err(e) => panic!("detect stage cannot batch: {e}"),
+                    }
+                }
                 _ => {
-                    batcher_guard
-                        .submit_tagged(sizes, msg.clip, msg.ordinal, px)
-                        .unwrap_or_else(|e| panic!("detect stage cannot batch: {e}"));
+                    match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
+                        Ok(()) => {}
+                        Err(SubmitError::TimedOut { .. }) => {
+                            ctx.record_batcher_stall(msg.clip);
+                            ctx.counters.frame_exited();
+                            return;
+                        }
+                        Err(e) => panic!("detect stage cannot batch: {e}"),
+                    }
                     Vec::new()
                 }
             };
@@ -362,18 +577,23 @@ pub(crate) fn detect_stage(
         ctx.counters
             .frames_detected
             .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        if tx
-            .send(StageMsg::Frame(DetectedFrame {
+        match ctx.send_watch(
+            StageName::Detect,
+            msg.clip,
+            &tx,
+            StageMsg::Frame(DetectedFrame {
                 clip: msg.clip,
                 frame: msg.frame,
                 ordinal: msg.ordinal,
                 dets,
                 last: msg.last,
-            }))
-            .is_err()
-        {
-            ctx.counters.frame_exited();
-            return;
+            }),
+        ) {
+            SendStatus::Sent => {}
+            SendStatus::Closed | SendStatus::Stalled => {
+                ctx.counters.frame_exited();
+                return;
+            }
         }
         ctx.counters.observe_queue_depth(QUEUE_DETECT, tx.len());
     }
@@ -393,7 +613,7 @@ pub(crate) fn track_stage(
     let lookup = ClipLookup::new(ctx.clips);
     let mut tracker: Option<(usize, FrameTracker)> = None;
     let mut poisoned: HashSet<usize> = HashSet::new();
-    for msg in &rx {
+    while let Some(msg) = ctx.recv_watch(StageName::Track, &rx) {
         let msg = match msg {
             StageMsg::Abort { clip } => {
                 poisoned.insert(clip);
@@ -405,6 +625,17 @@ pub(crate) fn track_stage(
             StageMsg::Frame(m) => m,
         };
         if poisoned.contains(&msg.clip) {
+            ctx.counters.frame_exited();
+            continue;
+        }
+        if ctx.ghost[msg.clip] == GhostMode::Stream {
+            // Ghost: the scheduler pre-loaded the ledger, timeline and
+            // result from the journal; only the frame-flow bookkeeping
+            // happens here. No re-checkpoint either — the clip is
+            // already durable.
+            ctx.counters
+                .frames_tracked
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             ctx.counters.frame_exited();
             continue;
         }
@@ -445,6 +676,15 @@ pub(crate) fn track_stage(
             );
             ctx.timelines[msg.clip].lock().finalize =
                 ledger.get(Component::Tracker) + ledger.get(Component::Refinement) - before;
+            // Acknowledgement point: checkpoint the finished clip to the
+            // run journal *before* depositing the result. A checkpoint
+            // failure is counted but never fails the clip — the run
+            // continues in-memory and the clip is simply recomputed on a
+            // future resume.
+            if let Some(cp) = ctx.checkpoint {
+                let timeline = ctx.timelines[msg.clip].lock();
+                cp.checkpoint_clip(msg.clip, &tracks, &timeline, ledger, false, 0, 0.0);
+            }
             results.lock()[msg.clip] = Some(tracks);
         }
     }

@@ -200,6 +200,49 @@ pub struct EngineStats {
     /// between looped and batched runs by the bitwise-kernel contract;
     /// 0 when execution is off.
     pub detector_digest: u64,
+    /// Clips a resumed run replayed from the run journal instead of
+    /// recomputing (0 on fresh runs).
+    pub resumed_clips_skipped: usize,
+    /// Clips a resumed run had to recompute (they were unacknowledged
+    /// at the crash, or their checkpoint failed recovery; 0 on fresh
+    /// runs).
+    pub resumed_clips_recomputed: usize,
+    /// Clips durably checkpointed to the run journal this run (0 when
+    /// the run is unjournaled).
+    pub clips_checkpointed: u64,
+    /// Checkpoint attempts that failed (the clip still completes
+    /// in-memory; it is simply not acknowledged and will be recomputed
+    /// by a future resume).
+    pub checkpoint_failures: u64,
+}
+
+/// The deterministic subset of [`EngineStats`], with every `f64` as its
+/// exact bit pattern: what an interrupted-and-resumed run must
+/// reproduce byte-for-byte against an uninterrupted run (for
+/// healthy-compute runs). Excludes inherently racy observability
+/// (queue depths, in-flight peaks, wall-clock surrogate timings) and
+/// the resume/checkpoint bookkeeping itself.
+#[derive(Debug, PartialEq, Eq, Serialize, Deserialize)]
+struct DeterministicStats {
+    streams: usize,
+    clips: usize,
+    frames: u64,
+    batches: u64,
+    batch_items: u64,
+    mean_batch_occupancy: u64,
+    stage_seconds: [u64; 5],
+    execution_seconds: u64,
+    serial_seconds: u64,
+    prefetch_frames: usize,
+    stall_seconds: [u64; 3],
+    pipeline_speedup: u64,
+    failed_clips: usize,
+    retried_clips: usize,
+    retry_attempts: u64,
+    retry_backoff_seconds: u64,
+    launch_seconds: u64,
+    detector_exec: String,
+    detector_digest: u64,
 }
 
 impl EngineStats {
@@ -252,6 +295,10 @@ impl EngineStats {
             detector_forwards: 0,
             detector_exec_windows: 0,
             detector_digest: 0,
+            resumed_clips_skipped: 0,
+            resumed_clips_recomputed: 0,
+            clips_checkpointed: 0,
+            checkpoint_failures: 0,
         }
     }
 
@@ -259,6 +306,47 @@ impl EngineStats {
     /// no panics).
     pub fn healthy(&self) -> bool {
         self.failed_clips == 0 && self.panics == 0
+    }
+
+    /// Serialize the deterministic subset of this snapshot (every `f64`
+    /// as its exact bit pattern). Two healthy-compute runs over the same
+    /// inputs — including a crashed-and-resumed run against its
+    /// uninterrupted twin — must produce byte-identical projections.
+    pub fn deterministic_projection(&self) -> String {
+        let s = &self.stage_seconds;
+        let st = &self.stall_seconds;
+        serde_json::to_string(&DeterministicStats {
+            streams: self.streams,
+            clips: self.clips,
+            frames: self.frames,
+            batches: self.batches,
+            batch_items: self.batch_items,
+            mean_batch_occupancy: self.mean_batch_occupancy.to_bits(),
+            stage_seconds: [
+                s.decode.to_bits(),
+                s.proxy.to_bits(),
+                s.detector.to_bits(),
+                s.tracker.to_bits(),
+                s.refinement.to_bits(),
+            ],
+            execution_seconds: self.execution_seconds.to_bits(),
+            serial_seconds: self.serial_seconds.to_bits(),
+            prefetch_frames: self.prefetch_frames,
+            stall_seconds: [
+                st.decode_starved.to_bits(),
+                st.batcher_wait.to_bits(),
+                st.channel_backpressure.to_bits(),
+            ],
+            pipeline_speedup: self.pipeline_speedup.to_bits(),
+            failed_clips: self.failed_clips,
+            retried_clips: self.retried_clips,
+            retry_attempts: self.retry_attempts,
+            retry_backoff_seconds: self.retry_backoff_seconds.to_bits(),
+            launch_seconds: self.launch_seconds.to_bits(),
+            detector_exec: self.detector_exec.clone(),
+            detector_digest: self.detector_digest,
+        })
+        .expect("deterministic stats projection serializes")
     }
 }
 

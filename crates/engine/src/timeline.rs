@@ -63,6 +63,11 @@ pub struct ClipTimeline {
     /// Detector pixel seconds per frame; `None` for frames with no
     /// windows (they bypass the batcher entirely).
     pub detect_px: Vec<Option<f64>>,
+    /// Rounded detector window sizes per frame — the sizes the frame's
+    /// batcher ticket carried (empty for ticketless frames). Not part
+    /// of the replay; recorded so a run-journal checkpoint can
+    /// reproduce the ticket stream on resume.
+    pub sizes: Vec<Vec<(u32, u32)>>,
     /// Tracker step seconds per frame.
     pub track: Vec<f64>,
     /// Clip finalization seconds (track stitch + refinement), charged
@@ -78,10 +83,11 @@ pub struct ClipTimeline {
 
 impl ClipTimeline {
     /// Whether every per-frame vector recorded exactly `frames` frames.
-    fn complete(&self, frames: usize) -> bool {
+    pub(crate) fn complete(&self, frames: usize) -> bool {
         self.decode.len() == frames
             && self.window.len() == frames
             && self.detect_px.len() == frames
+            && self.sizes.len() == frames
             && self.track.len() == frames
     }
 }
@@ -350,6 +356,7 @@ mod tests {
             decode: vec![decode; n],
             window: vec![window; n],
             detect_px: vec![px; n],
+            sizes: vec![Vec::new(); n],
             track: vec![track; n],
             finalize: 0.0,
             detect_digest: 0,

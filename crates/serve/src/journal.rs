@@ -134,6 +134,7 @@ mod tests {
             fingerprint: 0xdead_beef ^ id as u64,
             cell_size: 13.0,
             occupied_cells: vec![(1, 2), (3, 4)],
+            source: None,
         }
     }
 

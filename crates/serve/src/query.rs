@@ -197,6 +197,7 @@ mod tests {
             fingerprint: 0,
             cell_size: 13.0,
             occupied_cells: vec![],
+            source: None,
         };
         let q = ServeQuery::Aggregate(AggregateQuery::PeakOccupancy);
         let exact = Answer::PerClip(vec![vec![4.0]]);

@@ -85,6 +85,13 @@ pub struct ClipMeta {
     pub cell_size: f32,
     /// Sorted `(col, row)` cells touched by rasterized track geometry.
     pub occupied_cells: Vec<(u32, u32)>,
+    /// Ingest source key (e.g. `<dataset>/<clip index>` from the engine
+    /// run that produced the tracks). Keyed re-ingest of the same
+    /// source with the same content fingerprint dedupes instead of
+    /// appending, making engine→store handoff exactly-once across
+    /// crash/resume. `None` for unkeyed (legacy) ingests, which always
+    /// append.
+    pub source: Option<String>,
 }
 
 impl ClipMeta {
@@ -215,15 +222,7 @@ fn rasterize_track(t: &Track, step: f32) -> Vec<Point> {
     out
 }
 
-/// FNV-1a 64-bit over a byte slice — stable across runs and platforms.
-pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
+pub(crate) use otif_core::fnv1a;
 
 /// Maximum number of overlapping `(first, last)` intervals.
 fn max_concurrent(tracks: &[Track]) -> usize {
@@ -442,6 +441,54 @@ impl TrackStore {
     /// rewrite afterwards is best-effort: its failure is swallowed
     /// because the journal already carries the entry.
     pub fn ingest_clip(&mut self, info: &ClipInfo, tracks: &[Track]) -> Result<usize, StoreError> {
+        self.ingest_inner(info, tracks, None)
+    }
+
+    /// [`Self::ingest_clip`] keyed by an ingest `source` (e.g.
+    /// `<dataset>/<clip index>`), making re-ingest idempotent: if a clip
+    /// with the same source and the same content fingerprint already
+    /// exists, its id is returned without appending anything (`false` in
+    /// the second slot); the same source with *different* content is an
+    /// error (the store is append-only — a source cannot be silently
+    /// rewritten). Together with the engine's run journal this makes the
+    /// engine→store handoff exactly-once across crash/resume.
+    pub fn ingest_clip_keyed(
+        &mut self,
+        info: &ClipInfo,
+        tracks: &[Track],
+        source: &str,
+    ) -> Result<(usize, bool), StoreError> {
+        let json = serde_json::to_string(tracks).map_err(|e| StoreError::Invalid {
+            detail: format!("track encode: {e}"),
+        })?;
+        let fingerprint = fnv1a(json.as_bytes());
+        if let Some(existing) = self
+            .catalog
+            .iter()
+            .find(|m| m.source.as_deref() == Some(source))
+        {
+            if existing.fingerprint == fingerprint {
+                return Ok((existing.id, false));
+            }
+            return Err(StoreError::Invalid {
+                detail: format!(
+                    "source {source:?} is already ingested as clip {} with a \
+                     different content fingerprint ({:016x} stored, {fingerprint:016x} \
+                     offered); the store is append-only",
+                    existing.id, existing.fingerprint
+                ),
+            });
+        }
+        let id = self.ingest_inner(info, tracks, Some(source.to_string()))?;
+        Ok((id, true))
+    }
+
+    fn ingest_inner(
+        &mut self,
+        info: &ClipInfo,
+        tracks: &[Track],
+        source: Option<String>,
+    ) -> Result<usize, StoreError> {
         let id = self.catalog.len();
         let json = serde_json::to_string(tracks).map_err(|e| StoreError::Invalid {
             detail: format!("track encode: {e}"),
@@ -473,6 +520,7 @@ impl TrackStore {
             fingerprint,
             cell_size,
             occupied_cells: cells,
+            source,
         };
 
         let path = self.clip_path(id);
@@ -880,6 +928,52 @@ mod tests {
     }
 
     #[test]
+    fn keyed_ingest_is_idempotent_and_rejects_rewrites() {
+        let dir = tmp_dir("keyed");
+        let mut store = TrackStore::create(&dir).unwrap();
+        let tracks = vec![track(0, &[(0, 10.0, 10.0), (50, 600.0, 300.0)])];
+        let (id, fresh) = store.ingest_clip_keyed(&info(), &tracks, "ds/0").unwrap();
+        assert!(fresh);
+        let fp = store.fingerprint();
+        // re-acknowledging the same source + content is a no-op
+        let (again, fresh) = store.ingest_clip_keyed(&info(), &tracks, "ds/0").unwrap();
+        assert_eq!(again, id);
+        assert!(!fresh, "duplicate ack must not re-ingest");
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.fingerprint(), fp, "store unchanged by duplicate ack");
+        // same source, different content: append-only stores refuse
+        let other = vec![track(0, &[(0, 1.0, 1.0), (5, 9.0, 9.0)])];
+        let err = store
+            .ingest_clip_keyed(&info(), &other, "ds/0")
+            .err()
+            .unwrap();
+        assert!(matches!(err, StoreError::Invalid { .. }), "{err}");
+        // a different source ingests normally
+        let (id2, fresh) = store.ingest_clip_keyed(&info(), &other, "ds/1").unwrap();
+        assert!(fresh);
+        assert_ne!(id2, id);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn keyed_ingest_dedupe_survives_reopen() {
+        let dir = tmp_dir("keyed-reopen");
+        let tracks = vec![track(0, &[(0, 10.0, 10.0), (50, 600.0, 300.0)])];
+        let id = {
+            let mut store = TrackStore::create(&dir).unwrap();
+            store.ingest_clip_keyed(&info(), &tracks, "ds/0").unwrap().0
+        };
+        // the source key rides in the journal, so a fresh open still dedupes
+        let mut store = TrackStore::open(&dir).unwrap();
+        assert_eq!(store.metas()[id].source.as_deref(), Some("ds/0"));
+        let (again, fresh) = store.ingest_clip_keyed(&info(), &tracks, "ds/0").unwrap();
+        assert_eq!(again, id);
+        assert!(!fresh);
+        assert_eq!(store.len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
     fn open_replays_journal_not_checkpoint() {
         let dir = tmp_dir("journal-first");
         let mut store = TrackStore::create(&dir).unwrap();
@@ -1081,6 +1175,7 @@ mod tests {
                 fingerprint: 0,
                 cell_size: 13.0,
                 occupied_cells: vec![],
+                source: None,
             },
             vec![
                 track(0, &[(0, 100.0, 100.0), (50, 110.0, 100.0)]),
@@ -1101,6 +1196,7 @@ mod tests {
                 fingerprint: 0,
                 cell_size: 13.0,
                 occupied_cells: vec![],
+                source: None,
             },
             vec![
                 track(0, &[(0, 10.0, 10.0), (50, 40.0, 10.0)]),

@@ -107,8 +107,14 @@ PY
 if cargo run --release -q --bin otif-cli -- store-fsck --store "$tmp/store" >/dev/null 2>&1; then
   echo "store-fsck must fail on a corrupt store without --repair"; exit 1
 fi
-cargo run --release -q --bin otif-cli -- store-fsck --store "$tmp/store" --repair \
-  --report "$tmp/fsck.json" >/dev/null
+# observation never fails: report-only exits 0 even on a corrupt store
+cargo run --release -q --bin otif-cli -- store-fsck --store "$tmp/store" --report-only >/dev/null
+# repair quarantines the corrupt clip — data was lost, so the exit is
+# still nonzero (scripts must not mistake a lossy repair for healthy)
+if cargo run --release -q --bin otif-cli -- store-fsck --store "$tmp/store" --repair \
+  --report "$tmp/fsck.json" >/dev/null 2>&1; then
+  echo "store-fsck --repair must exit nonzero when clips were quarantined"; exit 1
+fi
 grep -q '"corrupt_quarantined":\[0\]' "$tmp/fsck.json"
 cargo run --release -q --bin otif-cli -- serve-query \
   --store "$tmp/store" --query count > "$tmp/degraded.txt"
@@ -124,5 +130,31 @@ s = json.load(open(sys.argv[1]))
 assert s["degraded_answers"] > 0, s
 assert s["quarantined_clips"] == 1, s
 PY
+
+echo "== chaos smoke (engine run-journal kill/torn-tail/mid-rename sweep, resume byte-identity gates)"
+# The chaos bench hard-asserts internally: kills at three checkpoint
+# ordinals plus a torn journal tail and a mid-rename crash all resume
+# with zero acknowledged-clip loss, bitwise-identical tracks/ledgers/
+# stats, bounded recomputation and zero duplicate keyed store entries.
+# Hard wall-clock cap: a wedged resume must fail the check, not hang it.
+chaos_out="$(timeout 600 cargo run --release -q -p otif-bench --bin chaos smoke)"
+echo "$chaos_out" | grep -q 'zero acked loss, bitwise-identical resumes'
+# CLI round-trip: journal a run, cut the journal to its first
+# acknowledgement (simulated crash), resume, and demand byte-identical
+# tracks against the uninterrupted batched run from the exec smoke
+cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --streams 2 --detector-exec batched --run-dir "$tmp/run" \
+  --out "$tmp/tracks-journaled.json" >/dev/null 2>&1
+cmp "$tmp/tracks-batched.json" "$tmp/tracks-journaled.json"
+head -n 1 "$tmp/run/journal.log" > "$tmp/run/journal.cut"
+mv "$tmp/run/journal.cut" "$tmp/run/journal.log"
+timeout 300 cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 2 --seconds 6 --seed 3 \
+  --streams 2 --detector-exec batched --resume "$tmp/run" \
+  --stats "$tmp/stats-resumed.json" --out "$tmp/tracks-resumed.json" >/dev/null 2>&1
+cmp "$tmp/tracks-batched.json" "$tmp/tracks-resumed.json"
+grep -q '"resumed_clips_skipped":1' "$tmp/stats-resumed.json"
+grep -q '"resumed_clips_recomputed":1' "$tmp/stats-resumed.json"
 
 echo "All checks passed."

@@ -17,7 +17,9 @@
 
 use otif::core::workflow::OtifArtifacts;
 use otif::core::{Otif, OtifOptions};
-use otif::engine::{DetectorExec, Engine, EngineOptions, FaultPlan};
+use otif::engine::{
+    run_manifest, DetectorExec, Engine, EngineOptions, FaultPlan, RealRunIo, RunJournal, RunSession,
+};
 use otif::geom::{Point, Polygon};
 use otif::query::{AggregateQuery, FrameLimitQuery, FrameQueryKind, TrackQuery};
 use otif::serve::{
@@ -246,6 +248,28 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .unwrap_or_default();
     let fail_fast = flags.contains_key("fail-fast");
     let stats_out = flags.get("stats");
+    let run_dir = flags.get("run-dir");
+    let resume_dir = flags.get("resume");
+    if run_dir.is_some() && resume_dir.is_some() {
+        return Err(
+            "--run-dir starts a fresh journaled run and --resume continues one; pass one, not both"
+                .to_string(),
+        );
+    }
+    let stage_timeout: Option<f64> = flags
+        .get("stage-timeout-secs")
+        .map(|s| {
+            s.parse::<f64>()
+                .map_err(|e| format!("bad --stage-timeout-secs: {e}"))
+                .and_then(|v| {
+                    if v > 0.0 && v.is_finite() {
+                        Ok(v)
+                    } else {
+                        Err(format!("bad --stage-timeout-secs {v}: must be > 0"))
+                    }
+                })
+        })
+        .transpose()?;
     let detector_exec = flags
         .get("detector-exec")
         .map(|s| {
@@ -264,7 +288,10 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         || !faults.is_empty()
         || stats_out.is_some()
         || prefetch.is_some()
-        || detector_exec != DetectorExec::Off;
+        || detector_exec != DetectorExec::Off
+        || run_dir.is_some()
+        || resume_dir.is_some()
+        || stage_timeout.is_some();
     let (tracks, ledger, failures) = if use_engine {
         let ledger = otif::cv::CostLedger::new();
         let mut opts = EngineOptions {
@@ -276,12 +303,48 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         if let Some(p) = prefetch {
             opts.prefetch_frames = p;
         }
-        let run = Engine::run(
+        if let Some(secs) = stage_timeout {
+            opts.stage_timeout = Some(Duration::from_secs_f64(secs));
+        }
+        let ctx = otif.context();
+        // A journaled run checkpoints every completed clip durably; a
+        // resumed one ghost-replays the journal's clips bit-exactly and
+        // recomputes only the rest.
+        let session = if let Some(dir) = run_dir {
+            let manifest = run_manifest(&point.config, &ctx, &dataset.test, &opts);
+            let journal = RunJournal::create(Path::new(dir), Arc::new(RealRunIo), &manifest)
+                .map_err(|e| e.to_string())?;
+            eprintln!("journaling run -> {dir}");
+            Some(RunSession::fresh(Arc::new(journal)))
+        } else if let Some(dir) = resume_dir {
+            let manifest = run_manifest(&point.config, &ctx, &dataset.test, &opts);
+            let (journal, replayed) =
+                RunJournal::open(Path::new(dir), Arc::new(RealRunIo), &manifest)
+                    .map_err(|e| e.to_string())?;
+            let journal = Arc::new(journal);
+            let recovered = journal.recover(&replayed, dataset.test.len());
+            let session = RunSession::resumed(journal, recovered);
+            eprintln!(
+                "resuming {dir}: {} of {} clip(s) recovered from the run journal{}",
+                session.recovered_clips(),
+                dataset.test.len(),
+                if replayed.torn_tail {
+                    " (torn tail dropped)"
+                } else {
+                    ""
+                }
+            );
+            Some(session)
+        } else {
+            None
+        };
+        let run = Engine::run_with_session(
             &point.config,
-            &otif.context(),
+            &ctx,
             &dataset.test,
             &opts,
             &ledger,
+            session.as_ref(),
         );
         eprintln!(
             "engine: {} streams, {} frames, {} detector batches \
@@ -313,6 +376,16 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
                 run.stats.detector_forwards,
                 run.stats.detector_wall_seconds,
                 run.stats.detector_digest,
+            );
+        }
+        if session.is_some() {
+            eprintln!(
+                "run journal: {} clip(s) checkpointed ({} checkpoint failure(s)); \
+                 resume skipped {}, recomputed {}",
+                run.stats.clips_checkpointed,
+                run.stats.checkpoint_failures,
+                run.stats.resumed_clips_skipped,
+                run.stats.resumed_clips_recomputed
             );
         }
         if !run.stats.healthy() {
@@ -495,25 +568,40 @@ fn cmd_ingest(flags: HashMap<String, String>) -> Result<(), String> {
     } else {
         TrackStore::create(dir)?
     };
-    for (clip, ts) in dataset.test.iter().zip(&tracks) {
+    // Keyed ingest makes re-runs idempotent: a clip already stored
+    // under the same source key with the same content is skipped, so
+    // resuming a crashed ingest never duplicates store entries.
+    let mut deduped = 0usize;
+    for (idx, (clip, ts)) in dataset.test.iter().zip(&tracks).enumerate() {
         let info = ClipInfo {
             num_frames: clip.num_frames(),
             fps: dataset.scene.fps as f32,
             width: dataset.scene.width as f32,
             height: dataset.scene.height as f32,
         };
-        let id = store.ingest_clip(&info, ts)?;
-        println!(
-            "ingested clip {id}: {} tracks, {} frames",
-            ts.len(),
-            clip.num_frames()
-        );
+        let source = format!("{}/{idx}", dataset.kind.name());
+        let (id, fresh) = store.ingest_clip_keyed(&info, ts, &source)?;
+        if fresh {
+            println!(
+                "ingested clip {id}: {} tracks, {} frames (source {source})",
+                ts.len(),
+                clip.num_frames()
+            );
+        } else {
+            deduped += 1;
+            println!("clip {id} already stored for source {source} — skipped");
+        }
     }
     println!(
-        "store {}: {} clips, fingerprint {:016x}",
+        "store {}: {} clips, fingerprint {:016x}{}",
         dir.display(),
         store.len(),
-        store.fingerprint()
+        store.fingerprint(),
+        if deduped > 0 {
+            format!(", {deduped} duplicate ingest(s) skipped")
+        } else {
+            String::new()
+        }
     );
     Ok(())
 }
@@ -701,6 +789,10 @@ fn cmd_store_fsck(flags: HashMap<String, String>) -> Result<(), String> {
         .cloned()
         .unwrap_or_else(|| "otif-store".to_string());
     let repair = flags.contains_key("repair");
+    let report_only = flags.contains_key("report-only");
+    if repair && report_only {
+        return Err("--report-only never modifies or fails; drop it to use --repair".to_string());
+    }
     let report = fsck(Path::new(&dir), repair)?;
     println!(
         "journal: {} entr(ies), checkpoint {} entr(ies){}{}",
@@ -747,11 +839,33 @@ fn cmd_store_fsck(flags: HashMap<String, String>) -> Result<(), String> {
         std::fs::write(path, json).map_err(|e| e.to_string())?;
         eprintln!("wrote fsck report -> {path}");
     }
-    if repair {
-        if !report.missing_clips.is_empty() {
+    // Exit policy: report-only always exits 0 (observation never
+    // fails); otherwise a nonzero exit means issues remain *after* this
+    // invocation — unrepaired debris without --repair, or damage repair
+    // could not undo (lost payloads, corrupt records, quarantines).
+    if report_only {
+        println!(
+            "report only: store is {}",
+            if report.healthy() {
+                "healthy"
+            } else {
+                "unhealthy"
+            }
+        );
+    } else if repair {
+        if !report.consistent() {
             return Err(format!(
-                "unrepairable: {} acknowledged clip(s) have no payload on disk",
-                report.missing_clips.len()
+                "unrepairable: {} acknowledged clip(s) have no payload on disk, \
+                 {} corrupt journal record(s)",
+                report.missing_clips.len(),
+                report.invalid_records
+            ));
+        }
+        if !report.corrupt_quarantined.is_empty() || !report.already_quarantined.is_empty() {
+            return Err(format!(
+                "repaired with data loss: {} clip(s) quarantined ({} newly)",
+                report.corrupt_quarantined.len() + report.already_quarantined.len(),
+                report.corrupt_quarantined.len()
             ));
         }
         println!("store repaired: {} clip(s) intact", report.journal_entries);
@@ -842,7 +956,10 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|inges
   execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
            [--prefetch N] [--out tracks.json] [--stats stats.json] [--fail-fast]
            [--detector-exec off|looped|batched]   (run the detector surrogate per window, looped or batched)
-           [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error)
+           [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error|stall)
+           [--run-dir DIR]    (journal the run: checkpoint each completed clip durably into DIR)
+           [--resume DIR]     (resume a crashed journaled run; outputs are bitwise identical)
+           [--stage-timeout-secs S]   (watchdog: a stage stalled > S becomes a recoverable clip failure)
   query    --tracks tracks.json --dataset <name> [... same dataset flags] --query <count|breakdown|braking|volume>
   ingest       --tracks tracks.json --dataset <name> [... same dataset flags] [--store otif-store]
   serve-query  --store otif-store --query <avg|volume|peak|count|braking|busy|hotspot|region>
@@ -850,10 +967,12 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|inges
                [--deadline-ms MS --max-concurrent N --queue N]   (overload policy; degraded answers print [approximate])
   serve-bench  --store otif-store [--clients N --repeats N --seed N] [--threads N] [--no-prune]
                [--deadline-ms MS --max-concurrent N --queue N] [--stats stats.json]
-  store-fsck   --store otif-store [--repair] [--report report.json]   (journal replay; verifies every clip payload)";
+  store-fsck   --store otif-store [--repair] [--report-only] [--report report.json]
+               (journal replay; verifies every clip payload; exits nonzero while issues remain
+                unless --report-only)";
 
 /// Boolean flags (no value) across all commands.
-const SWITCH_FLAGS: [&str; 3] = ["fail-fast", "no-prune", "repair"];
+const SWITCH_FLAGS: [&str; 4] = ["fail-fast", "no-prune", "repair", "report-only"];
 
 /// Flags each command accepts (beyond the shared dataset flags).
 fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
@@ -872,6 +991,9 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             "detector-exec",
             "inject-fault",
             "fail-fast",
+            "run-dir",
+            "resume",
+            "stage-timeout-secs",
         ]),
         "query" => allowed.extend(["tracks", "query"]),
         "ingest" => allowed.extend(["tracks", "store"]),
@@ -905,7 +1027,7 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
                 "queue",
             ]
         }
-        "store-fsck" => allowed = vec!["store", "repair", "report"],
+        "store-fsck" => allowed = vec!["store", "repair", "report", "report-only"],
         _ => return None,
     }
     Some(allowed)

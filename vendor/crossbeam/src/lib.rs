@@ -244,6 +244,47 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Error returned by [`Sender::send_timeout`]; carries the unsent
+    /// message.
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full for the whole timeout.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => write!(f, "send timed out on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    write!(f, "sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The channel stayed empty for the whole timeout.
+        Timeout,
+        /// Channel is empty and all senders are gone.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => write!(f, "recv timed out on an empty channel"),
+                RecvTimeoutError::Disconnected => {
+                    write!(f, "receiving on an empty, disconnected channel")
+                }
+            }
+        }
+    }
+
     /// The sending half of a bounded channel.
     pub struct Sender<T> {
         inner: Arc<Inner<T>>,
@@ -293,6 +334,38 @@ pub mod channel {
             }
         }
 
+        /// Like [`Self::send`], but give up after `timeout` if the
+        /// channel stays full — the wedged-pipeline escape hatch for
+        /// watchdogged stages.
+        pub fn send_timeout(
+            &self,
+            msg: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut shared = self.inner.queue.lock().unwrap();
+            loop {
+                if shared.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(msg));
+                }
+                if shared.buf.len() < self.inner.cap {
+                    shared.buf.push_back(msg);
+                    self.inner.not_empty.notify_one();
+                    return Ok(());
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(SendTimeoutError::Timeout(msg));
+                };
+                let (guard, result) = self.inner.not_full.wait_timeout(shared, remaining).unwrap();
+                shared = guard;
+                if result.timed_out() && shared.buf.len() >= self.inner.cap && shared.receivers > 0
+                {
+                    return Err(SendTimeoutError::Timeout(msg));
+                }
+            }
+        }
+
         /// Number of messages currently queued.
         pub fn len(&self) -> usize {
             self.inner.queue.lock().unwrap().buf.len()
@@ -337,6 +410,35 @@ pub mod channel {
                     return Err(RecvError);
                 }
                 shared = self.inner.not_empty.wait(shared).unwrap();
+            }
+        }
+
+        /// Like [`Self::recv`], but give up after `timeout` if the
+        /// channel stays empty with senders still connected.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut shared = self.inner.queue.lock().unwrap();
+            loop {
+                if let Some(msg) = shared.buf.pop_front() {
+                    self.inner.not_full.notify_one();
+                    return Ok(msg);
+                }
+                if shared.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let Some(remaining) = deadline.checked_duration_since(std::time::Instant::now())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, result) = self
+                    .inner
+                    .not_empty
+                    .wait_timeout(shared, remaining)
+                    .unwrap();
+                shared = guard;
+                if result.timed_out() && shared.buf.is_empty() && shared.senders > 0 {
+                    return Err(RecvTimeoutError::Timeout);
+                }
             }
         }
 
@@ -460,6 +562,41 @@ pub mod channel {
             let (tx, rx) = bounded::<i32>(1);
             drop(rx);
             assert_eq!(tx.send(7), Err(SendError(7)));
+        }
+
+        #[test]
+        fn send_timeout_times_out_on_full_channel_only() {
+            use std::time::Duration;
+            let (tx, rx) = bounded(1);
+            tx.send(1).unwrap();
+            assert_eq!(
+                tx.send_timeout(2, Duration::from_millis(10)),
+                Err(SendTimeoutError::Timeout(2))
+            );
+            assert_eq!(rx.recv().unwrap(), 1);
+            tx.send_timeout(3, Duration::from_millis(10)).unwrap();
+            drop(rx);
+            assert_eq!(
+                tx.send_timeout(4, Duration::from_millis(10)),
+                Err(SendTimeoutError::Disconnected(4))
+            );
+        }
+
+        #[test]
+        fn recv_timeout_times_out_on_empty_channel_only() {
+            use std::time::Duration;
+            let (tx, rx) = bounded::<i32>(2);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Timeout)
+            );
+            tx.send(9).unwrap();
+            assert_eq!(rx.recv_timeout(Duration::from_millis(10)), Ok(9));
+            drop(tx);
+            assert_eq!(
+                rx.recv_timeout(Duration::from_millis(10)),
+                Err(RecvTimeoutError::Disconnected)
+            );
         }
 
         #[test]

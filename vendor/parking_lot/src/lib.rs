@@ -58,6 +58,18 @@ impl<T: ?Sized> RwLock<T> {
     }
 }
 
+/// Outcome of a timed condition-variable wait (parking_lot signature).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed (rather than
+    /// a notification).
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
 /// A condition variable compatible with [`Mutex`] guards.
 #[derive(Debug, Default)]
 pub struct Condvar(sync::Condvar);
@@ -73,6 +85,26 @@ impl Condvar {
         // Safety dance: std's API consumes the guard; parking_lot's takes
         // &mut. Re-create the &mut contract by replacing the guard.
         take_mut(guard, |g| self.0.wait(g).unwrap_or_else(|e| e.into_inner()));
+    }
+
+    /// Block until notified or until `timeout` elapses, releasing the
+    /// guard while waiting. Spurious wakeups are possible, exactly as
+    /// with [`Self::wait`] — callers must re-check their predicate.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let mut timed_out = false;
+        take_mut(guard, |g| {
+            let (g, result) = self
+                .0
+                .wait_timeout(g, timeout)
+                .unwrap_or_else(|e| e.into_inner());
+            timed_out = result.timed_out();
+            g
+        });
+        WaitTimeoutResult(timed_out)
     }
 
     /// Wake one waiting thread.
@@ -116,6 +148,33 @@ mod tests {
         assert_eq!(*l.read(), 5);
         *l.write() = 6;
         assert_eq!(*l.read(), 6);
+    }
+
+    #[test]
+    fn condvar_wait_for_times_out_and_wakes() {
+        use std::time::Duration;
+        let pair = Arc::new((Mutex::new(false), Condvar::new()));
+        // no notifier: the wait must end by timeout
+        {
+            let (m, cv) = &*pair;
+            let mut done = m.lock();
+            let r = cv.wait_for(&mut done, Duration::from_millis(10));
+            assert!(r.timed_out());
+        }
+        // with a notifier: the wait ends early
+        let p2 = Arc::clone(&pair);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*p2;
+            let mut done = m.lock();
+            while !*done {
+                let r = cv.wait_for(&mut done, Duration::from_secs(30));
+                assert!(!r.timed_out(), "notification must beat the timeout");
+            }
+        });
+        std::thread::sleep(Duration::from_millis(5));
+        *pair.0.lock() = true;
+        pair.1.notify_all();
+        h.join().unwrap();
     }
 
     #[test]
