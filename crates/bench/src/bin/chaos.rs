@@ -450,6 +450,104 @@ fn main() {
         }
     }
 
+    // Oversubscription guard: a 64-stream journaled kill/resume cycle
+    // on a fixed 4-worker pool. The task engine must keep the OS thread
+    // count at the pool size (+ main thread, watchdog and slack) no
+    // matter how many streams are in flight, and the resume must stay
+    // bitwise identical across worker counts.
+    {
+        const WORKERS: usize = 4;
+        const THREAD_SLACK: u64 = 4;
+        let wide_clips = DatasetConfig::new(
+            DatasetKind::Caldot1,
+            DatasetScale {
+                clips_per_split: 64,
+                clip_seconds: 1.0,
+            },
+            SEED ^ 0x40,
+        )
+        .generate()
+        .test;
+        let wide_opts = EngineOptions {
+            streams: 64,
+            workers: WORKERS,
+            detector_exec: DetectorExec::Batched,
+            ..EngineOptions::default()
+        };
+        let wide_ledger = CostLedger::new();
+        let wide_ref = Engine::run(&cfg, &ctx, &wide_clips, &wide_opts, &wide_ledger);
+        let cap = WORKERS as u64 + THREAD_SLACK;
+        assert!(
+            wide_ref.stats.peak_os_threads <= cap,
+            "64 streams oversubscribed the pool: peak {} OS threads > cap {cap}",
+            wide_ref.stats.peak_os_threads
+        );
+        assert_eq!(wide_ref.stats.failed_clips, 0);
+
+        // Journal on 4 workers, cut the journal halfway, resume on 1
+        // worker: byte identity and the thread cap both hold.
+        let wide_manifest = run_manifest(&cfg, &ctx, &wide_clips, &wide_opts);
+        let wide_dir = base.join("wide");
+        let journal =
+            Arc::new(RunJournal::create(&wide_dir, Arc::clone(&io), &wide_manifest).expect("wide"));
+        let session = RunSession::fresh(Arc::clone(&journal));
+        Engine::run_with_session(
+            &cfg,
+            &ctx,
+            &wide_clips,
+            &wide_opts,
+            &CostLedger::new(),
+            Some(&session),
+        );
+        let journal_bytes =
+            std::fs::read(wide_dir.join(RUN_JOURNAL_FILE)).expect("read wide journal");
+        let wide_lines: Vec<&[u8]> = journal_bytes.split_inclusive(|&b| b == b'\n').collect();
+        std::fs::write(
+            wide_dir.join(RUN_JOURNAL_FILE),
+            wide_lines[..wide_lines.len() / 2].concat(),
+        )
+        .expect("cut wide journal");
+        let narrow_opts = EngineOptions {
+            workers: 1,
+            ..wide_opts
+        };
+        let (reopened, replayed) =
+            RunJournal::open(&wide_dir, Arc::clone(&io), &wide_manifest).expect("reopen wide");
+        let reopened = Arc::new(reopened);
+        let recovered = reopened.recover(&replayed, wide_clips.len());
+        let session = RunSession::resumed(reopened, recovered);
+        let resumed_ledger = CostLedger::new();
+        let resumed = Engine::run_with_session(
+            &cfg,
+            &ctx,
+            &wide_clips,
+            &narrow_opts,
+            &resumed_ledger,
+            Some(&session),
+        );
+        assert!(
+            resumed.stats.peak_os_threads <= 1 + THREAD_SLACK,
+            "1-worker resume oversubscribed: peak {} OS threads",
+            resumed.stats.peak_os_threads
+        );
+        assert_eq!(
+            ledger_bits(&resumed_ledger),
+            ledger_bits(&wide_ledger),
+            "wide resume ledger diverged across worker counts"
+        );
+        assert_eq!(resumed.rounds, wide_ref.rounds);
+        let wide_peak = wide_ref.stats.peak_os_threads;
+        assert_eq!(
+            serde_json::to_string(&resumed.expect_tracks()).expect("tracks serialize"),
+            serde_json::to_string(&wide_ref.expect_tracks()).expect("tracks serialize"),
+            "wide resume tracks diverged across worker counts"
+        );
+        println!(
+            "oversubscription guard: 64 streams on {WORKERS} workers, peak {wide_peak} OS \
+             threads (cap {cap}); half-journal resume on 1 worker bitwise identical"
+        );
+    }
+
     let report = ChaosReport {
         scale: scale_name,
         dataset: DatasetKind::Caldot1.name().to_string(),

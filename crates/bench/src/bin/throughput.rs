@@ -43,6 +43,14 @@ const STREAM_COUNTS: [usize; 5] = [1, 2, 4, 8, 16];
 const PREFETCH_WINDOWS: [usize; 4] = [1, 4, 16, 64];
 const PREFETCH_STREAMS: usize = 4;
 
+/// Part 3 (elastic scheduler): stream counts swept on a fixed worker
+/// pool — the thousand-stream regime the task engine exists for.
+const ELASTIC_STREAMS: [usize; 4] = [16, 64, 256, 1000];
+const ELASTIC_WORKERS: usize = 4;
+/// OS threads allowed beyond the pool: the main thread, the stall
+/// watchdog, and a little platform slack.
+const THREAD_SLACK: u64 = 4;
+
 /// Makespan improvement the prefetch sweep must demonstrate at
 /// `prefetch=16` over `prefetch=1` (the PR's acceptance bar).
 const REQUIRED_PIPELINE_SPEEDUP: f64 = 1.5;
@@ -84,9 +92,31 @@ struct PrefetchPoint {
 }
 
 #[derive(Serialize)]
+struct ElasticPoint {
+    streams: usize,
+    workers: usize,
+    frames: u64,
+    /// Critical-path makespan of the virtual-time model —
+    /// worker-count-independent by construction.
+    execution_seconds: f64,
+    serial_seconds: f64,
+    wall_seconds: f64,
+    throughput_fps: f64,
+    /// Peak length of the pool's runnable-task backlog.
+    peak_runnable_tasks: u64,
+    /// Peak `/proc/self/task` count sampled during the run — the
+    /// oversubscription guard (must stay ≤ workers + `THREAD_SLACK`).
+    peak_os_threads: u64,
+    task_polls: u64,
+    task_steals: u64,
+    mean_batch_occupancy: f64,
+}
+
+#[derive(Serialize)]
 struct ThroughputReport {
     stream_scaling: Vec<ThroughputPoint>,
     prefetch_sweep: Vec<PrefetchPoint>,
+    elastic_scaling: Vec<ElasticPoint>,
 }
 
 fn main() {
@@ -100,14 +130,182 @@ fn main() {
 
     let stream_scaling = stream_scaling_sweep(&dataset);
     let prefetch_sweep = prefetch_sweep(&dataset);
+    let elastic_scaling = elastic_sweep();
 
     write_json(
         "BENCH_throughput",
         &ThroughputReport {
             stream_scaling,
             prefetch_sweep,
+            elastic_scaling,
         },
     );
+}
+
+/// Part 3: up to a thousand streams on a fixed 4-thread worker pool.
+/// Each row runs `streams` one-second clips, one clip per stream. Hard
+/// gates: every clip completes, the OS thread count never exceeds the
+/// pool (+ slack) at 64+ streams, all outputs are bitwise identical
+/// across worker counts {1, 2, 8} at 64 streams, and the virtual-time
+/// makespan at 16 streams is bit-equal between a 4-worker and a
+/// 64-worker pool (worker count is an execution resource, not part of
+/// the run's identity).
+fn elastic_sweep() -> Vec<ElasticPoint> {
+    let config = OtifConfig {
+        detector: DetectorConfig::new(DetectorArch::YoloV3, 0.25),
+        proxy: None,
+        gap: 2,
+        tracker: TrackerKind::Sort,
+        refine: false,
+    };
+    let ctx = ExecutionContext::bare(CostModel::default(), SEED);
+    let pool = make_dataset(
+        DatasetKind::Caldot1,
+        DatasetScale {
+            clips_per_split: *ELASTIC_STREAMS.iter().max().unwrap(),
+            clip_seconds: 1.0,
+        },
+    )
+    .test;
+
+    const COMPONENTS: [Component; 4] = [
+        Component::Decode,
+        Component::Proxy,
+        Component::Detector,
+        Component::Tracker,
+    ];
+    let run_at = |streams: usize, workers: usize| {
+        let clips = &pool[..streams];
+        let ledger = CostLedger::new();
+        let opts = EngineOptions {
+            streams,
+            workers,
+            ..EngineOptions::default()
+        };
+        let started = std::time::Instant::now();
+        let run = Engine::run(&config, &ctx, clips, &opts, &ledger);
+        let wall_seconds = started.elapsed().as_secs_f64();
+        assert_eq!(
+            run.stats.failed_clips, 0,
+            "elastic sweep must run fault-free ({streams} streams, {workers} workers)"
+        );
+        let bits: Vec<u64> = COMPONENTS
+            .iter()
+            .map(|&c| ledger.get(c).to_bits())
+            .collect();
+        let tracks = serde_json::to_string(&run.tracks).expect("tracks serialize");
+        (run, wall_seconds, bits, tracks)
+    };
+
+    let mut points = Vec::new();
+    for streams in ELASTIC_STREAMS {
+        let (run, wall_seconds, bits, tracks) = run_at(streams, ELASTIC_WORKERS);
+        let cap = ELASTIC_WORKERS as u64 + THREAD_SLACK;
+        if streams >= 64 {
+            assert!(
+                run.stats.peak_os_threads <= cap,
+                "{streams} streams oversubscribed the pool: peak {} OS threads > cap {cap}",
+                run.stats.peak_os_threads
+            );
+        }
+        if streams == 64 {
+            // Worker-count elasticity: same bits at 1, 2 and 8 workers.
+            for workers in [1usize, 2, 8] {
+                let (other, _, other_bits, other_tracks) = run_at(streams, workers);
+                assert_eq!(
+                    other_bits, bits,
+                    "ledger bits diverged at {workers} workers (64 streams)"
+                );
+                assert_eq!(
+                    other.rounds, run.rounds,
+                    "round log diverged at {workers} workers (64 streams)"
+                );
+                assert_eq!(
+                    other.stats.execution_seconds.to_bits(),
+                    run.stats.execution_seconds.to_bits(),
+                    "makespan diverged at {workers} workers (64 streams)"
+                );
+                assert_eq!(
+                    other_tracks, tracks,
+                    "tracks diverged at {workers} workers (64 streams)"
+                );
+            }
+        }
+        if streams == 16 {
+            // Makespan neutrality: the virtual-time model must not see
+            // the pool, even wildly oversubscribed.
+            let (wide, _, _, _) = run_at(streams, 64);
+            assert_eq!(
+                wide.stats.execution_seconds.to_bits(),
+                run.stats.execution_seconds.to_bits(),
+                "virtual makespan at 16 streams must be bit-equal on 4 vs 64 workers"
+            );
+        }
+        points.push(ElasticPoint {
+            streams,
+            workers: run.stats.workers,
+            frames: run.stats.frames,
+            execution_seconds: run.stats.execution_seconds,
+            serial_seconds: run.stats.serial_seconds,
+            wall_seconds,
+            throughput_fps: run.stats.frames as f64 / run.stats.execution_seconds,
+            peak_runnable_tasks: run.stats.peak_runnable_tasks,
+            peak_os_threads: run.stats.peak_os_threads,
+            task_polls: run.stats.task_polls,
+            task_steals: run.stats.task_steals,
+            mean_batch_occupancy: run.stats.mean_batch_occupancy,
+        });
+    }
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                p.streams.to_string(),
+                p.workers.to_string(),
+                p.frames.to_string(),
+                format!("{:.2}", p.execution_seconds),
+                format!("{:.1}", p.throughput_fps),
+                p.peak_runnable_tasks.to_string(),
+                p.peak_os_threads.to_string(),
+                p.task_polls.to_string(),
+                p.task_steals.to_string(),
+                format!("{:.2}", p.mean_batch_occupancy),
+                format!("{:.3}", p.wall_seconds),
+            ]
+        })
+        .collect();
+    print_table(
+        "Elastic scheduler — streams on a fixed 4-worker pool (Caldot1, 1 s clips)",
+        &[
+            "streams",
+            "workers",
+            "frames",
+            "makespan s",
+            "frames/sim-s",
+            "peak runnable",
+            "peak OS threads",
+            "polls",
+            "steals",
+            "batch occupancy",
+            "wall s",
+        ],
+        &rows,
+    );
+
+    let big = points
+        .iter()
+        .find(|p| p.streams == 256)
+        .expect("256-stream row");
+    println!(
+        "elastic smoke: 256 streams on {} workers, peak {} OS threads (cap {}), \
+         outputs bitwise identical across 1/2/8 workers at 64 streams",
+        big.workers,
+        big.peak_os_threads,
+        ELASTIC_WORKERS as u64 + THREAD_SLACK
+    );
+
+    points
 }
 
 fn stream_scaling_sweep(dataset: &Dataset) -> Vec<ThroughputPoint> {

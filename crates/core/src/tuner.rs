@@ -268,11 +268,19 @@ impl<'a> Tuner<'a> {
             .find(|e| e.arch == cur.detector.arch && e.scale == cur.detector.scale)?
             .time_per_frame;
         let budget = cur_t * (1.0 - self.options.c as f64);
+        // Accuracy ties break toward the slower entry: within the C
+        // budget, spending more time is the conservative choice (a
+        // cheaper config that merely tied on val data has less slack on
+        // unseen clips).
         let best = self
             .det_cache
             .iter()
             .filter(|e| e.time_per_frame <= budget)
-            .max_by(|a, b| a.accuracy.partial_cmp(&b.accuracy).unwrap())?;
+            .max_by(|a, b| {
+                (a.accuracy, a.time_per_frame)
+                    .partial_cmp(&(b.accuracy, b.time_per_frame))
+                    .unwrap()
+            })?;
         let mut cfg = *cur;
         cfg.detector = DetectorConfig::new(best.arch, best.scale);
         cfg.detector.conf_threshold = cur.detector.conf_threshold;
@@ -287,11 +295,17 @@ impl<'a> Tuner<'a> {
             return None;
         }
         let budget = self.dp_time_per_frame(cur) * (1.0 - self.options.c as f64);
+        // Recall ties break toward the slower entry (same rationale as
+        // `detection_candidate`).
         let best = self
             .proxy_cache
             .iter()
             .filter(|e| e.time_per_frame <= budget)
-            .max_by(|a, b| a.recall.partial_cmp(&b.recall).unwrap())?;
+            .max_by(|a, b| {
+                (a.recall, a.time_per_frame)
+                    .partial_cmp(&(b.recall, b.time_per_frame))
+                    .unwrap()
+            })?;
         let mut cfg = *cur;
         cfg.proxy = Some(ProxyParams {
             resolution_idx: best.resolution_idx,
@@ -348,8 +362,12 @@ impl<'a> Tuner<'a> {
                 break;
             }
             // Trial evaluations run on the pool; the argmax below walks
-            // the points sequentially in candidate order, so ties break
-            // exactly as the historical sequential loop did.
+            // the points sequentially in candidate order. Val-score ties
+            // break toward the *slower* candidate: every candidate
+            // already cleared the C-speedup budget, so when two tie on
+            // accuracy the one that kept more of the time budget is the
+            // safer step (a config that tied while cutting deeper has
+            // less slack on unseen clips).
             let ctx = self.ctx;
             let val = self.val;
             let points = evalpool::par_map(self.options.threads, candidates, |_, cand| {
@@ -367,7 +385,7 @@ impl<'a> Tuner<'a> {
                     None => true,
                     Some(b) => {
                         point.accuracy > b.accuracy
-                            || (point.accuracy == b.accuracy && point.val_seconds < b.val_seconds)
+                            || (point.accuracy == b.accuracy && point.val_seconds > b.val_seconds)
                     }
                 };
                 if better {
@@ -458,6 +476,49 @@ mod tests {
         let cand = tuner.detection_candidate(&theta_best).expect("candidate");
         let t_of = |cfg: &OtifConfig| tuner.dp_time_per_frame(cfg);
         assert!(t_of(&cand) <= t_of(&theta_best) * 0.7 + 1e-12);
+    }
+
+    /// Accuracy ties in the cached detector table break toward the
+    /// slower (arch, scale): within the C budget, keeping more of the
+    /// time budget is the conservative pick.
+    #[test]
+    fn detection_candidate_ties_break_toward_slower() {
+        let d = DatasetConfig::small(DatasetKind::Caldot2, 35).generate();
+        let ctx = ExecutionContext::bare(CostModel::default(), 4);
+        let metric = count_metric(&d.val);
+        let cur = OtifConfig {
+            detector: DetectorConfig::new(DetectorArch::MaskRcnn, 1.0),
+            proxy: None,
+            gap: 1,
+            tracker: TrackerKind::Sort,
+            refine: false,
+        };
+        let mut tuner = Tuner::new(&ctx, &d.val, &cur, &metric, TunerOptions::default());
+        // synthetic cache: two candidates tied on accuracy, both within
+        // the 30 % budget of the current 10.0 s/frame detector
+        tuner.det_cache = vec![
+            DetCacheEntry {
+                arch: DetectorArch::MaskRcnn,
+                scale: 1.0,
+                time_per_frame: 10.0,
+                accuracy: 0.9,
+            },
+            DetCacheEntry {
+                arch: DetectorArch::YoloV3,
+                scale: 0.5,
+                time_per_frame: 2.0,
+                accuracy: 0.8,
+            },
+            DetCacheEntry {
+                arch: DetectorArch::YoloV3,
+                scale: 1.0,
+                time_per_frame: 6.0,
+                accuracy: 0.8,
+            },
+        ];
+        let cand = tuner.detection_candidate(&cur).expect("candidate");
+        assert_eq!(cand.detector.arch, DetectorArch::YoloV3);
+        assert_eq!(cand.detector.scale, 1.0, "tie must pick the slower entry");
     }
 
     #[test]

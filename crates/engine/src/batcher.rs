@@ -32,11 +32,13 @@
 //! the remaining streams keep draining.
 
 use crate::exec::{DetectorExec, DetectorExecHarness};
+use otif_core::evalpool::TaskWaker;
 use otif_cv::{Component, CostLedger};
 use otif_nn::Tensor3;
 use parking_lot::{Condvar, Mutex};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -158,10 +160,37 @@ struct BatchState {
     /// blocked submitter wakes with `SubmitError::Interrupted` instead
     /// of assuming its ticket was flushed.
     interrupted: Vec<bool>,
+    /// Admission queue: streams not yet admitted (in index order).
+    /// `finish` pops the front each time an active stream completes, so
+    /// the admitted set at any round is a pure function of which streams
+    /// have finished — never of thread timing.
+    deferred: VecDeque<usize>,
+    /// Per-stream detect-task wakers (task engine): a flush or finish
+    /// that resolves a stream's pending ticket wakes its detect task.
+    detect_wakers: Vec<Option<TaskWaker>>,
+    /// Per-stream admission wakers (task engine): admitting a deferred
+    /// stream wakes every registered stage task. All four stages must
+    /// be woken, not just decode — the downstream stages parked at the
+    /// admission check before ever touching their queues, so no queue
+    /// has their interest registered and a send alone cannot revive
+    /// them.
+    admission_wakers: Vec<Vec<TaskWaker>>,
     /// Completed flush rounds.
     rounds: u64,
     /// Flush log in round order, consumed by the pipelined replay.
     log: Vec<RoundRecord>,
+}
+
+/// Outcome of a non-blocking batcher submit poll.
+#[derive(Debug)]
+pub enum PollSubmit {
+    /// The ticket's round flushed: the per-window surrogate outputs
+    /// (empty unless a batched-execution harness is attached).
+    Ready(Vec<Tensor3>),
+    /// The ticket is deposited but its round has not flushed yet; the
+    /// stream's detect waker fires when it does. Re-poll with
+    /// [`DetectorBatcher::poll_pending`].
+    Pending,
 }
 
 /// Coalesces same-size detector windows from all streams into batched
@@ -175,6 +204,9 @@ pub struct DetectorBatcher {
     max_batch: usize,
     ledger: CostLedger,
     exec: Option<Arc<DetectorExecHarness>>,
+    /// Per-stream admission flags, readable without the state lock
+    /// (decode tasks and the stall watchdog check these on hot paths).
+    admitted: Vec<AtomicBool>,
     /// Optional watchdog deadline for blocked submits (see
     /// [`Self::with_submit_timeout`]).
     submit_timeout: Option<std::time::Duration>,
@@ -190,6 +222,9 @@ impl DetectorBatcher {
                 outputs: (0..streams).map(|_| None).collect(),
                 live: vec![true; streams],
                 interrupted: vec![false; streams],
+                deferred: VecDeque::new(),
+                detect_wakers: (0..streams).map(|_| None).collect(),
+                admission_wakers: (0..streams).map(|_| Vec::new()).collect(),
                 rounds: 0,
                 log: Vec::new(),
             }),
@@ -198,8 +233,50 @@ impl DetectorBatcher {
             max_batch: max_batch.max(1),
             ledger,
             exec: None,
+            admitted: (0..streams).map(|_| AtomicBool::new(true)).collect(),
             submit_timeout: None,
         }
+    }
+
+    /// Admission control: only the first `max_active` streams start
+    /// active; streams `max_active..` are *deferred* — not live (they
+    /// don't gate the flush watermark) and not admitted (their decode
+    /// tasks wait). Each [`Self::finish`] of an active stream admits the
+    /// next deferred stream in index order, so at most `max_active`
+    /// streams are ever in flight and the admission sequence is
+    /// deterministic.
+    pub fn with_max_active(self, max_active: usize) -> Self {
+        let streams = self.admitted.len();
+        let max_active = max_active.clamp(1, streams.max(1));
+        {
+            let mut st = self.state.lock();
+            for s in max_active..streams {
+                st.live[s] = false;
+                st.deferred.push_back(s);
+                self.admitted[s].store(false, Ordering::SeqCst);
+            }
+        }
+        self
+    }
+
+    /// Whether `stream` has been admitted (always true without
+    /// [`Self::with_max_active`]).
+    pub fn is_admitted(&self, stream: usize) -> bool {
+        self.admitted[stream].load(Ordering::SeqCst)
+    }
+
+    /// Register the waker of `stream`'s detect task, fired when a flush
+    /// or finish resolves its pending ticket.
+    pub fn set_detect_waker(&self, stream: usize, waker: TaskWaker) {
+        self.state.lock().detect_wakers[stream] = Some(waker);
+    }
+
+    /// Register a waker fired when `stream` is admitted. Every stage
+    /// task of a deferrable stream must register here: all of them park
+    /// at the admission check without touching their queues, so the
+    /// admission hand-off is the only wake they can receive.
+    pub fn add_admission_waker(&self, stream: usize, waker: TaskWaker) {
+        self.state.lock().admission_wakers[stream].push(waker);
     }
 
     /// Attach a submit watchdog: a blocked [`Self::submit`] that waits
@@ -312,6 +389,67 @@ impl DetectorBatcher {
         }
     }
 
+    /// Non-blocking [`Self::submit_exec`] for pollable detect tasks:
+    /// deposit the ticket, flush if the watermark is met, and report
+    /// [`PollSubmit::Ready`] (round flushed inline) or
+    /// [`PollSubmit::Pending`] (the stream's detect waker fires when a
+    /// later flush or finish resolves the ticket; re-poll with
+    /// [`Self::poll_pending`]). Protocol violations are the same checked
+    /// errors as the blocking path.
+    pub fn poll_submit_exec(
+        &self,
+        stream: usize,
+        sizes: Vec<(u32, u32)>,
+        inputs: Vec<Tensor3>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<PollSubmit, SubmitError> {
+        debug_assert!(
+            inputs.is_empty() || inputs.len() == sizes.len(),
+            "one input tensor per window"
+        );
+        let mut st = self.state.lock();
+        if !st.live[stream] {
+            return Err(SubmitError::Finished { stream });
+        }
+        if st.tickets[stream].is_some() {
+            return Err(SubmitError::TicketPending { stream });
+        }
+        let ticket = Ticket {
+            stream,
+            clip,
+            ordinal,
+            items: sizes.len(),
+            pixel_seconds,
+        };
+        st.tickets[stream] = Some((sizes, inputs, ticket));
+        self.flush_if_ready(&mut st);
+        Self::poll_state(&mut st, stream)
+    }
+
+    /// Re-poll a ticket left [`PollSubmit::Pending`] by
+    /// [`Self::poll_submit_exec`].
+    pub fn poll_pending(&self, stream: usize) -> Result<PollSubmit, SubmitError> {
+        let mut st = self.state.lock();
+        Self::poll_state(&mut st, stream)
+    }
+
+    /// Shared resolution step: interrupted → error; ticket gone → the
+    /// round flushed (collect outputs); ticket still present → pending.
+    fn poll_state(st: &mut BatchState, stream: usize) -> Result<PollSubmit, SubmitError> {
+        if st.interrupted[stream] {
+            st.interrupted[stream] = false;
+            return Err(SubmitError::Interrupted { stream });
+        }
+        if st.tickets[stream].is_none() {
+            return Ok(PollSubmit::Ready(
+                st.outputs[stream].take().unwrap_or_default(),
+            ));
+        }
+        Ok(PollSubmit::Pending)
+    }
+
     /// Mark `stream` as done (idempotent). Finished streams stop gating
     /// the flush watermark, so remaining streams keep batching among
     /// themselves. If the stream still had a ticket pending (its stage
@@ -320,23 +458,55 @@ impl DetectorBatcher {
     /// [`SubmitError::Interrupted`].
     pub fn finish(&self, stream: usize) {
         let mut st = self.state.lock();
-        if !st.live[stream] {
+        if !st.live[stream] && self.is_admitted(stream) {
             return;
         }
+        let was_active = st.live[stream];
         st.live[stream] = false;
         st.outputs[stream] = None;
+        // A deferred stream finishing without ever being admitted (its
+        // tasks shut down early) must still vacate the admission queue.
+        if !self.is_admitted(stream) {
+            st.deferred.retain(|&s| s != stream);
+            self.admitted[stream].store(true, Ordering::SeqCst);
+        }
+        let mut interrupted_waker = None;
         if let Some((sizes, _, _)) = st.tickets[stream].take() {
             st.interrupted[stream] = true;
             // Count the orphan explicitly: it was never flushed or
             // charged, and `mean_batch_occupancy` must neither include
             // it nor hide that it was dropped.
             self.ledger.record_batch_discard(sizes.len());
+            interrupted_waker = st.detect_wakers[stream].clone();
+        }
+        // Admission hand-off happens BEFORE re-evaluating the watermark:
+        // the newly-admitted stream gates every round flushed from this
+        // point on, which is what keeps round contents a pure function
+        // of the finish set rather than of flush timing. Only an active
+        // stream finishing frees an admission slot — a deferred stream
+        // that shut down before admission never held one.
+        let mut admission_wakers = Vec::new();
+        if was_active {
+            if let Some(next) = st.deferred.pop_front() {
+                st.live[next] = true;
+                self.admitted[next].store(true, Ordering::SeqCst);
+                // One-shot hand-off: a stream is admitted at most once,
+                // so its wakers are consumed rather than cloned.
+                admission_wakers = std::mem::take(&mut st.admission_wakers[next]);
+            }
         }
         self.flush_if_ready(&mut st);
         // Wake waiters unconditionally: the interrupted submitter (if
         // any) must observe its discarded ticket even when no round
         // flushed, and remaining streams re-check the watermark.
         self.flushed.notify_all();
+        drop(st);
+        if let Some(w) = interrupted_waker {
+            w.wake();
+        }
+        for w in admission_wakers {
+            w.wake();
+        }
     }
 
     /// Number of flush rounds completed so far.
@@ -454,6 +624,15 @@ impl DetectorBatcher {
         });
         st.rounds += 1;
         self.flushed.notify_all();
+        // Task engine: a member stream's detect task may be parked on
+        // its now-resolved ticket. Waking under the batcher lock is safe
+        // (the pool's wake path never takes this lock) and a wake racing
+        // the member's own in-progress poll just latches harmlessly.
+        for &stream in &member_streams {
+            if let Some(w) = &st.detect_wakers[stream] {
+                w.wake();
+            }
+        }
     }
 }
 
@@ -500,6 +679,25 @@ impl<'a> StreamGuard<'a> {
     ) -> Result<Vec<Tensor3>, SubmitError> {
         self.batcher
             .submit_exec(self.stream, sizes, inputs, clip, ordinal, pixel_seconds)
+    }
+
+    /// Non-blocking submit for pollable detect tasks (same as the
+    /// batcher's `poll_submit_exec`).
+    pub fn poll_submit_exec(
+        &self,
+        sizes: Vec<(u32, u32)>,
+        inputs: Vec<Tensor3>,
+        clip: usize,
+        ordinal: usize,
+        pixel_seconds: f64,
+    ) -> Result<PollSubmit, SubmitError> {
+        self.batcher
+            .poll_submit_exec(self.stream, sizes, inputs, clip, ordinal, pixel_seconds)
+    }
+
+    /// Re-poll a pending ticket (same as the batcher's `poll_pending`).
+    pub fn poll_pending(&self) -> Result<PollSubmit, SubmitError> {
+        self.batcher.poll_pending(self.stream)
     }
 }
 

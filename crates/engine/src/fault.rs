@@ -11,11 +11,12 @@
 //!   stage sees a clip's sampled frames in the same order, a plan fires
 //!   at exactly the same point of the computation on every run, so
 //!   faulted runs are as reproducible as healthy ones.
-//! * [`supervise`] — the shim every stage thread runs under. It catches
-//!   panics (`catch_unwind`), records them on the [`HealthBoard`], and
-//!   lets the thread exit normally; the unwind drops the stage's
-//!   channel endpoints and (for the detect stage) its `StreamGuard`, so
-//!   sibling streams keep flowing instead of deadlocking or aborting.
+//! * [`supervise_poll`] — the shim every stage-task poll runs under. It
+//!   catches panics (`catch_unwind`), records them on the
+//!   [`HealthBoard`], and tells the worker pool to retire the task; the
+//!   dropped task releases its queue endpoints and (for the detect
+//!   stage) its `StreamGuard`, so sibling streams keep flowing instead
+//!   of deadlocking or aborting.
 //! * [`HealthBoard`] — shared per-run record of stream panics and
 //!   per-clip recoverable failures, folded into
 //!   [`EngineStats`](crate::stats::EngineStats) at the end of a run.
@@ -391,17 +392,27 @@ fn payload_message(payload: Box<dyn Any + Send>) -> String {
     }
 }
 
-/// Run a stage body under panic supervision: a panic is captured on the
-/// health board instead of propagating through the thread scope, and
-/// the unwind drops the stage's channel endpoints (and `StreamGuard`)
-/// so sibling streams keep draining.
-pub(crate) fn supervise<F: FnOnce()>(stage: StageName, stream: usize, health: &HealthBoard, f: F) {
+/// Run one stage-task poll under panic supervision: a panic is captured
+/// on the health board and `None` is returned so the caller drops the
+/// task (its queue endpoints and `StreamGuard` drop with it, letting
+/// sibling streams keep draining); a clean poll's result passes through
+/// as `Some`.
+pub(crate) fn supervise_poll<T>(
+    stage: StageName,
+    stream: usize,
+    health: &HealthBoard,
+    f: impl FnOnce() -> T,
+) -> Option<T> {
     install_supervised_panic_hook();
     SUPERVISED.with(|s| s.set(true));
     let result = catch_unwind(AssertUnwindSafe(f));
     SUPERVISED.with(|s| s.set(false));
-    if let Err(payload) = result {
-        health.record_panic(stream, stage, payload_message(payload));
+    match result {
+        Ok(v) => Some(v),
+        Err(payload) => {
+            health.record_panic(stream, stage, payload_message(payload));
+            None
+        }
     }
 }
 
@@ -437,14 +448,19 @@ mod tests {
     #[test]
     fn supervise_captures_panics_without_propagating() {
         let health = HealthBoard::new(2);
-        supervise(StageName::Window, 1, &health, || {
+        let outcome = supervise_poll(StageName::Window, 1, &health, || {
             panic!("boom in window");
         });
+        assert!(outcome.is_none(), "a panicking poll yields no result");
         let report = health.panic_of(1).expect("panic recorded");
         assert_eq!(report.stage, StageName::Window);
         assert!(report.reason.contains("boom in window"));
         assert!(health.panic_of(0).is_none());
         assert_eq!(health.panic_count(), 1);
+        assert_eq!(
+            supervise_poll(StageName::Track, 0, &health, || 7usize),
+            Some(7)
+        );
     }
 
     #[test]

@@ -134,6 +134,10 @@ pub struct RunManifest {
     /// Stream count (fixes the round-robin assignment and the batcher
     /// watermark, hence the launch charges).
     pub streams: usize,
+    /// Admitted-stream cap (fixes which streams batch together, hence
+    /// the round sequence). Unlimited runs store the resolved value
+    /// (`streams` — every stream admitted).
+    pub max_active_streams: usize,
     /// Batcher chunk bound (fixes round chunking, hence launch charges).
     pub max_batch: usize,
     /// Decode prefetch window (fixes the reported makespan/stalls).
@@ -618,6 +622,7 @@ mod tests {
             dataset_fingerprint: 22,
             clips: 3,
             streams: 2,
+            max_active_streams: 2,
             max_batch: 16,
             prefetch_frames: 16,
             detector_exec: "off".to_string(),

@@ -4,21 +4,25 @@
 //! once on shared GPUs, and gets its throughput from batching detector
 //! invocations across streams. This crate is that executor for the
 //! simulated pipeline: per stream, decode → window selection →
-//! detection → tracking run as four threads connected by bounded
-//! channels (backpressure, bounded frames in flight), and all streams'
-//! detect stages share a [`DetectorBatcher`] that coalesces same-size
-//! windows into batched invocations — charging one launch overhead per
-//! batch instead of per frame through the
-//! [`CostLedger`](otif_cv::CostLedger) batched path.
+//! detection → tracking run as four resumable state machines ([`tasks`])
+//! connected by bounded queue slots ([`slot`]) and polled by a fixed
+//! work-stealing worker pool ([`otif_core::evalpool`]) — a thousand
+//! streams run on [`EngineOptions::workers`] OS threads with bounded
+//! memory, and [`EngineOptions::max_active_streams`] caps how many
+//! streams are admitted concurrently. All streams' detect stages share
+//! a [`DetectorBatcher`] that coalesces same-size windows into batched
+//! invocations — charging one launch overhead per batch instead of per
+//! frame through the [`CostLedger`](otif_cv::CostLedger) batched path.
 //!
 //! Determinism is the design constraint: every per-clip result is
 //! byte-identical to the sequential [`Pipeline`](otif_core::Pipeline),
-//! and all cost accounting is independent of thread interleaving (the
-//! batcher flushes on a virtual-time watermark — a round completes when
-//! every live stream has submitted — so round contents are a pure
-//! function of the per-stream submission sequences).
+//! and all cost accounting is independent of scheduling interleaving —
+//! worker count included (the batcher flushes on a virtual-time
+//! watermark — a round completes when every live admitted stream has
+//! submitted — so round contents are a pure function of the per-stream
+//! submission sequences).
 //!
-//! The engine is fault-tolerant: every stage thread runs under a
+//! The engine is fault-tolerant: every stage task is polled under a
 //! panic-isolating supervisor, a dying stage takes down at most its
 //! own stream, recoverable per-clip failures are retried through the
 //! sequential pipeline, and [`Engine::run`] reports per-clip
@@ -43,8 +47,10 @@ pub mod exec;
 pub mod fault;
 pub mod journal;
 pub mod scheduler;
+pub(crate) mod slot;
 pub(crate) mod stage;
 pub mod stats;
+pub(crate) mod tasks;
 pub mod timeline;
 
 pub use batcher::{DetectorBatcher, RoundRecord, StreamGuard, SubmitError, Ticket};

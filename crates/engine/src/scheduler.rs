@@ -1,43 +1,56 @@
-//! Engine orchestration: clip assignment, supervised stage threads,
-//! channels, fault handling, retry and stats collection.
+//! Engine orchestration: clip assignment, the fixed worker pool over
+//! per-stream stage state machines, fault handling, retry and stats
+//! collection.
 //!
 //! [`Engine::run`] assigns clips round-robin to `streams` streams and
-//! gives each stream four threads (decode, window, detect, track)
-//! connected by bounded channels, so a slow stage exerts backpressure
-//! on everything upstream instead of buffering unboundedly. The detect
-//! stages of all streams share one [`DetectorBatcher`], which is the
-//! only cross-stream coupling; everything else is per-stream and
+//! gives each stream four resumable state machines (decode, window,
+//! detect, track — [`crate::tasks`]) connected by bounded queue slots
+//! ([`crate::slot`]), so a slow stage exerts backpressure on everything
+//! upstream instead of buffering unboundedly. All `4 * streams` tasks
+//! are polled by one fixed work-stealing worker pool
+//! ([`otif_core::evalpool::TaskPool`]) of [`EngineOptions::workers`] OS
+//! threads: a stage that would block parks without holding a thread,
+//! so a thousand streams run on a handful of workers with bounded
+//! memory. [`EngineOptions::max_active_streams`] adds admission
+//! control — deferred streams park behind the batcher's admission gate
+//! and are admitted (in stream order) as running streams finish. The
+//! detect stages of all streams share one [`DetectorBatcher`], which is
+//! the only cross-stream coupling; everything else is per-stream and
 //! therefore produces the exact per-clip output of the sequential
-//! [`Pipeline`](otif_core::Pipeline).
+//! [`Pipeline`](otif_core::Pipeline) — at any worker count.
 //!
-//! Fault tolerance (supervision tree):
+//! Fault tolerance (supervision tree, now per poll instead of per
+//! thread):
 //!
 //! ```text
-//! Engine::run
-//! ├─ stream 0: supervise(decode) ─ supervise(window) ─ supervise(detect) ─ supervise(track)
+//! Engine::run — TaskPool(workers)
+//! ├─ stream 0: Supervised(decode) ─ Supervised(window) ─ Supervised(detect) ─ Supervised(track)
 //! ├─ stream 1: …
 //! └─ retry: sequential Pipeline over recoverably-failed clips
 //! ```
 //!
-//! Every stage thread runs under [`supervise`]: a panic is captured on
-//! the health board and the unwind drops the stage's channel endpoints
-//! and `StreamGuard`, so sibling streams keep draining. Each clip
-//! charges into a private ledger; failed clips' charges are discarded
-//! (reported as `wasted_seconds`), which keeps the surviving clips'
-//! accounting identical to a fault-free run. `Engine::run` never
-//! panics on a failed clip — it reports a [`ClipOutcome::Failed`] and
-//! per-stream status in [`EngineStats`], and re-runs recoverably
-//! failed clips once through the sequential pipeline.
+//! Every stage task polls under the supervision shim
+//! (`fault::supervise_poll`): a panic is captured on the health board
+//! and the task retires, dropping its queue endpoints and
+//! `StreamGuard`, so sibling streams keep draining. Each clip charges
+//! into a private ledger; failed clips' charges are discarded (reported
+//! as `wasted_seconds`), which keeps the surviving clips' accounting
+//! identical to a fault-free run. `Engine::run` never panics on a
+//! failed clip — it reports a [`ClipOutcome::Failed`] and per-stream
+//! status in [`EngineStats`], and re-runs recoverably failed clips once
+//! through the sequential pipeline.
 
 use crate::batcher::{DetectorBatcher, RoundRecord, StreamGuard};
 use crate::exec::{DetectorExec, DetectorExecHarness};
-use crate::fault::{supervise, FaultPlan, HealthBoard, StageName};
+use crate::fault::{FaultPlan, HealthBoard, StageName};
 use crate::journal::{Checkpointer, ClipRecord, RunJournal, RunManifest};
-use crate::stage::{decode_stage, detect_stage, track_stage, window_stage, GhostMode, StageCtx};
+use crate::slot::SlotQueue;
+use crate::stage::{GhostMode, StageCtx};
 use crate::stats::{EngineCounters, EngineStats, FailedClip, StreamStatus};
+use crate::tasks::{decode_task, detect_task, track_task, window_task};
 use crate::timeline::{self, ClipTimeline};
-use crossbeam::channel::bounded;
 use otif_core::config::OtifConfig;
+use otif_core::evalpool::{PollTask, TaskPool};
 use otif_core::pipeline::ExecutionContext;
 use otif_core::{fnv1a, fold_digest, Pipeline, WindowNet, DIGEST_SEED};
 use otif_cv::{Component, CostLedger};
@@ -53,6 +66,18 @@ use std::time::Duration;
 pub struct EngineOptions {
     /// Number of concurrent streams (clamped to the clip count, min 1).
     pub streams: usize,
+    /// OS worker threads polling the stage tasks. `0` (the default)
+    /// auto-sizes to the machine's available parallelism, capped at
+    /// `4 * streams` (more workers than tasks is pure overhead). Any
+    /// worker count produces bitwise-identical ledgers, rounds,
+    /// timelines and digests — it only changes wall-clock speed.
+    pub workers: usize,
+    /// Admission control: at most this many streams run concurrently;
+    /// the rest park until a running stream finishes its clips, and are
+    /// admitted in stream-index order. `0` (the default) admits every
+    /// stream immediately. Bounds batcher rounds (the flush watermark
+    /// counts only admitted live streams) and per-run memory.
+    pub max_active_streams: usize,
     /// Capacity of each inter-stage channel; bounds frames in flight
     /// per stream and provides backpressure.
     pub channel_capacity: usize,
@@ -106,6 +131,8 @@ impl EngineOptions {
     pub fn new() -> Self {
         EngineOptions {
             streams: 2,
+            workers: 0,
+            max_active_streams: 0,
             channel_capacity: 4,
             prefetch_frames: 16,
             max_batch: 16,
@@ -124,6 +151,33 @@ impl EngineOptions {
             streams,
             ..EngineOptions::new()
         }
+    }
+}
+
+/// Resolve the worker-thread count for a run: an explicit request wins;
+/// `0` auto-sizes to the machine's available parallelism, capped at
+/// `4 * streams` (one task per stage per stream — extra workers would
+/// only spin).
+fn resolve_workers(requested: usize, streams: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(4 * streams)
+        .max(1)
+}
+
+/// Resolve the admitted-stream cap: `0` admits every stream; anything
+/// else is clamped to `[1, streams]`. Part of the run identity — rounds
+/// depend on which streams batch together — so it lands in the
+/// [`RunManifest`].
+fn resolve_max_active(requested: usize, streams: usize) -> usize {
+    if requested == 0 {
+        streams
+    } else {
+        requested.clamp(1, streams)
     }
 }
 
@@ -233,12 +287,14 @@ pub fn run_manifest(
             c.scene.height
         ));
     }
+    let streams = opts.streams.min(clips.len()).max(1);
     RunManifest {
         version: 1,
         config_fingerprint,
         dataset_fingerprint: fnv1a(dataset.as_bytes()),
         clips: clips.len(),
-        streams: opts.streams.min(clips.len()).max(1),
+        streams,
+        max_active_streams: resolve_max_active(opts.max_active_streams, streams),
         max_batch: opts.max_batch,
         prefetch_frames: opts.prefetch_frames.max(1),
         detector_exec: opts.detector_exec.as_str().to_string(),
@@ -366,13 +422,14 @@ impl Engine {
                 opts.detector_exec,
             ))
         });
+        let max_active = resolve_max_active(opts.max_active_streams, streams);
         let mut batcher = DetectorBatcher::new(
             streams,
             config.detector.arch.per_call(),
             opts.max_batch,
             launch.clone(),
         )
-        .with_submit_timeout(opts.stage_timeout);
+        .with_max_active(max_active);
         if opts.detector_exec == DetectorExec::Batched {
             if let Some(h) = &harness {
                 batcher = batcher.with_exec(Arc::clone(h));
@@ -411,56 +468,62 @@ impl Engine {
         }
         let checkpointer = session.map(|s| Checkpointer::new(Arc::clone(&s.journal)));
 
-        std::thread::scope(|scope| {
-            for (s, assigned) in assignments.iter().enumerate() {
-                let (dec_tx, dec_rx) = bounded(decode_capacity);
-                let (win_tx, win_rx) = bounded(capacity);
-                let (det_tx, det_rx) = bounded(capacity);
-                let guard = StreamGuard::new(&batcher, s);
-                let stage_ctx = StageCtx {
-                    config,
-                    exec: ctx,
-                    stream: s,
-                    clips: assigned,
-                    counters: &counters,
-                    clip_ledgers: &clip_ledgers,
-                    timelines: &timelines,
-                    faults: &opts.faults,
-                    health: &health,
-                    detector_exec: harness.as_deref(),
-                    ghost: &ghost,
-                    checkpoint: checkpointer.as_ref(),
-                    stage_timeout: opts.stage_timeout,
-                };
-                let (health, results) = (&health, &results);
-                // Four supervised stage threads per stream: a panic in
-                // any of them is captured, its channel endpoints (and
-                // the detect stage's StreamGuard) drop on unwind, and
-                // the sibling streams keep flowing.
-                let c = stage_ctx;
-                scope.spawn(move || {
-                    supervise(StageName::Decode, s, health, || decode_stage(&c, dec_tx))
-                });
-                let c = stage_ctx;
-                scope.spawn(move || {
-                    supervise(StageName::Window, s, health, || {
-                        window_stage(&c, dec_rx, win_tx)
-                    })
-                });
-                let c = stage_ctx;
-                scope.spawn(move || {
-                    supervise(StageName::Detect, s, health, || {
-                        detect_stage(&c, win_rx, det_tx, guard)
-                    })
-                });
-                let c = stage_ctx;
-                scope.spawn(move || {
-                    supervise(StageName::Track, s, health, || {
-                        track_stage(&c, det_rx, results)
-                    })
-                });
+        // The fixed worker pool: every stream contributes four stage
+        // tasks (ids 4s..4s+3, round-robin pre-distributed over the
+        // workers), connected by bounded queue slots whose wakers point
+        // at the adjacent tasks. The batcher's detect/admission wakers
+        // make the cross-stream rendezvous and the admission gate just
+        // more park/wake points — no task ever holds an OS thread while
+        // blocked.
+        let workers = resolve_workers(opts.workers, streams);
+        let pool = TaskPool::new(4 * streams, opts.stage_timeout);
+        let admission_gate = (max_active < streams).then_some(&batcher);
+        let mut tasks: Vec<Box<dyn PollTask + '_>> = Vec::with_capacity(4 * streams);
+        for (s, assigned) in assignments.iter().enumerate() {
+            let dec_q = SlotQueue::new(decode_capacity);
+            let win_q = SlotQueue::new(capacity);
+            let det_q = SlotQueue::new(capacity);
+            let (dec_tx, dec_rx) = dec_q.endpoints(pool.waker(4 * s), pool.waker(4 * s + 1));
+            let (win_tx, win_rx) = win_q.endpoints(pool.waker(4 * s + 1), pool.waker(4 * s + 2));
+            let (det_tx, det_rx) = det_q.endpoints(pool.waker(4 * s + 2), pool.waker(4 * s + 3));
+            batcher.set_detect_waker(s, pool.waker(4 * s + 2));
+            // All four stage tasks park at the admission check without
+            // registering queue interest, so admitting the stream must
+            // wake each of them — a decode-only wake would leave the
+            // downstream stages parked with no one to revive them.
+            for t in 0..4 {
+                batcher.add_admission_waker(s, pool.waker(4 * s + t));
             }
-        });
+            let guard = StreamGuard::new(&batcher, s);
+            let stage_ctx = StageCtx {
+                config,
+                exec: ctx,
+                stream: s,
+                clips: assigned,
+                counters: &counters,
+                clip_ledgers: &clip_ledgers,
+                timelines: &timelines,
+                faults: &opts.faults,
+                health: &health,
+                detector_exec: harness.as_deref(),
+                ghost: &ghost,
+                checkpoint: checkpointer.as_ref(),
+                stage_timeout: opts.stage_timeout,
+            };
+            tasks.push(decode_task(stage_ctx, dec_tx, admission_gate));
+            tasks.push(window_task(stage_ctx, dec_rx, win_tx, admission_gate));
+            tasks.push(detect_task(
+                stage_ctx,
+                win_rx,
+                det_tx,
+                guard,
+                admission_gate,
+            ));
+            tasks.push(track_task(stage_ctx, det_rx, &results, admission_gate));
+        }
+        counters.sample_os_threads();
+        let metrics = pool.run(workers, tasks);
+        counters.sample_os_threads();
 
         // Outcomes: a clip either deposited tracks, or it failed —
         // attribute the failure (recorded per-clip error, else the
@@ -635,6 +698,11 @@ impl Engine {
         }
 
         let mut stats = EngineStats::snapshot(streams, clips.len(), &counters, &inner);
+        stats.workers = metrics.workers;
+        stats.max_active_streams = max_active;
+        stats.peak_runnable_tasks = metrics.peak_runnable;
+        stats.task_steals = metrics.steals;
+        stats.task_polls = metrics.polls;
         stats.execution_seconds = replayed.makespan + retry_seconds + retry_backoff_seconds;
         stats.retry_attempts = retry_attempts;
         stats.retry_backoff_seconds = retry_backoff_seconds;

@@ -1,0 +1,332 @@
+//! Bounded SPSC queues with task wakers — the task engine's replacement
+//! for blocking channels between stage state machines.
+//!
+//! A [`SlotQueue`] carries the same backpressure contract as the old
+//! bounded crossbeam channel (capacity bounds frames in flight), but a
+//! full or empty queue never blocks an OS thread: `try_send`/`try_recv`
+//! report `Full`/`Empty`, the caller registers interest implicitly (the
+//! failed attempt sets a waiting flag under the queue lock) and returns
+//! [`Polled::Pending`](otif_core::evalpool::Polled) to its worker pool.
+//! The peer's next successful push/pop — or endpoint close — fires the
+//! stored [`TaskWaker`], re-enqueueing the parked task.
+//!
+//! Losing a wakeup is impossible by construction: the blocked-decision
+//! (set waiting flag, then return `Full`/`Empty`) happens under the
+//! queue lock, and a wake that races with the still-running poll is
+//! latched by the pool (`RUNNING → NOTIFIED`) and replayed as a
+//! re-enqueue after the poll returns.
+//!
+//! The RAII endpoints ([`SlotSender`]/[`SlotReceiver`]) mirror channel
+//! endpoint drops: dropping a task drops its endpoints, which closes
+//! the queue side and wakes the blocked peer — exactly how a panicking
+//! stage thread's unwind used to shut its neighbours down.
+
+use otif_core::evalpool::TaskWaker;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Outcome of a non-blocking send.
+pub(crate) enum TrySend<T> {
+    /// Message enqueued (receiver woken if it was parked).
+    Sent,
+    /// Queue at capacity; the message is handed back and the sender's
+    /// waker will fire on the next pop.
+    Full(T),
+    /// Receiver closed; the message is handed back and will never be
+    /// deliverable.
+    Closed(T),
+}
+
+/// Outcome of a non-blocking receive.
+pub(crate) enum TryRecv<T> {
+    /// A message (sender woken if it was parked on a full queue).
+    Msg(T),
+    /// Queue empty but the sender is still connected; the receiver's
+    /// waker will fire on the next push or on sender close.
+    Empty,
+    /// Queue empty and the sender is closed — no more messages ever.
+    Disconnected,
+}
+
+struct SlotInner<T> {
+    buf: VecDeque<T>,
+    cap: usize,
+    tx_closed: bool,
+    rx_closed: bool,
+    /// Sender parked on `Full`; cleared when woken.
+    tx_waiting: bool,
+    /// Receiver parked on `Empty`; cleared when woken.
+    rx_waiting: bool,
+    tx_waker: Option<TaskWaker>,
+    rx_waker: Option<TaskWaker>,
+}
+
+/// A bounded single-producer single-consumer queue between two pollable
+/// stage tasks.
+pub(crate) struct SlotQueue<T> {
+    inner: Mutex<SlotInner<T>>,
+}
+
+impl<T> SlotQueue<T> {
+    /// A queue holding at most `cap` messages (min 1).
+    pub fn new(cap: usize) -> Arc<SlotQueue<T>> {
+        Arc::new(SlotQueue {
+            inner: Mutex::new(SlotInner {
+                buf: VecDeque::with_capacity(cap.max(1)),
+                cap: cap.max(1),
+                tx_closed: false,
+                rx_closed: false,
+                tx_waiting: false,
+                rx_waiting: false,
+                tx_waker: None,
+                rx_waker: None,
+            }),
+        })
+    }
+
+    /// Split into RAII endpoints wired to the two tasks' wakers.
+    pub fn endpoints(
+        self: &Arc<Self>,
+        tx_waker: TaskWaker,
+        rx_waker: TaskWaker,
+    ) -> (SlotSender<T>, SlotReceiver<T>) {
+        {
+            let mut q = self.inner.lock();
+            q.tx_waker = Some(tx_waker);
+            q.rx_waker = Some(rx_waker);
+        }
+        (
+            SlotSender {
+                queue: Arc::clone(self),
+            },
+            SlotReceiver {
+                queue: Arc::clone(self),
+            },
+        )
+    }
+
+    fn try_send(&self, msg: T) -> TrySend<T> {
+        let mut q = self.inner.lock();
+        if q.rx_closed {
+            return TrySend::Closed(msg);
+        }
+        if q.buf.len() >= q.cap {
+            q.tx_waiting = true;
+            return TrySend::Full(msg);
+        }
+        q.buf.push_back(msg);
+        let waker = if q.rx_waiting {
+            q.rx_waiting = false;
+            q.rx_waker.clone()
+        } else {
+            None
+        };
+        drop(q);
+        if let Some(w) = waker {
+            w.wake();
+        }
+        TrySend::Sent
+    }
+
+    fn try_recv(&self) -> TryRecv<T> {
+        let mut q = self.inner.lock();
+        match q.buf.pop_front() {
+            Some(msg) => {
+                let waker = if q.tx_waiting {
+                    q.tx_waiting = false;
+                    q.tx_waker.clone()
+                } else {
+                    None
+                };
+                drop(q);
+                if let Some(w) = waker {
+                    w.wake();
+                }
+                TryRecv::Msg(msg)
+            }
+            None if q.tx_closed => TryRecv::Disconnected,
+            None => {
+                q.rx_waiting = true;
+                TryRecv::Empty
+            }
+        }
+    }
+
+    fn close_tx(&self) {
+        let mut q = self.inner.lock();
+        q.tx_closed = true;
+        let waker = if q.rx_waiting {
+            q.rx_waiting = false;
+            q.rx_waker.clone()
+        } else {
+            None
+        };
+        drop(q);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    fn close_rx(&self) {
+        let mut q = self.inner.lock();
+        q.rx_closed = true;
+        // Buffered messages become undeliverable — dropped exactly like
+        // a channel's buffer when its receiver thread unwound.
+        q.buf.clear();
+        let waker = if q.tx_waiting {
+            q.tx_waiting = false;
+            q.tx_waker.clone()
+        } else {
+            None
+        };
+        drop(q);
+        if let Some(w) = waker {
+            w.wake();
+        }
+    }
+
+    fn len(&self) -> usize {
+        self.inner.lock().buf.len()
+    }
+}
+
+/// Sending endpoint; dropping it closes the sender side and wakes a
+/// parked receiver (which then observes `Disconnected` once drained).
+pub(crate) struct SlotSender<T> {
+    queue: Arc<SlotQueue<T>>,
+}
+
+impl<T> SlotSender<T> {
+    /// Non-blocking send (see [`TrySend`]).
+    pub fn try_send(&self, msg: T) -> TrySend<T> {
+        self.queue.try_send(msg)
+    }
+
+    /// Messages currently buffered (queue-depth observability).
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+impl<T> Drop for SlotSender<T> {
+    fn drop(&mut self) {
+        self.queue.close_tx();
+    }
+}
+
+/// Receiving endpoint; dropping it closes the receiver side, discards
+/// buffered messages and wakes a parked sender (which then observes
+/// `Closed`).
+pub(crate) struct SlotReceiver<T> {
+    queue: Arc<SlotQueue<T>>,
+}
+
+impl<T> SlotReceiver<T> {
+    /// Non-blocking receive (see [`TryRecv`]).
+    pub fn try_recv(&self) -> TryRecv<T> {
+        self.queue.try_recv()
+    }
+}
+
+impl<T> Drop for SlotReceiver<T> {
+    fn drop(&mut self) {
+        self.queue.close_rx();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_bounds_and_fifo_order() {
+        let q: Arc<SlotQueue<u32>> = SlotQueue::new(2);
+        assert!(matches!(q.try_send(1), TrySend::Sent));
+        assert!(matches!(q.try_send(2), TrySend::Sent));
+        assert!(matches!(q.try_send(3), TrySend::Full(3)));
+        assert_eq!(q.len(), 2);
+        assert!(matches!(q.try_recv(), TryRecv::Msg(1)));
+        assert!(matches!(q.try_recv(), TryRecv::Msg(2)));
+        assert!(matches!(q.try_recv(), TryRecv::Empty));
+    }
+
+    #[test]
+    fn closing_sides_reports_disconnect_and_closed() {
+        let q: Arc<SlotQueue<u32>> = SlotQueue::new(4);
+        assert!(matches!(q.try_send(7), TrySend::Sent));
+        q.close_tx();
+        // buffered messages drain before Disconnected
+        assert!(matches!(q.try_recv(), TryRecv::Msg(7)));
+        assert!(matches!(q.try_recv(), TryRecv::Disconnected));
+
+        let q: Arc<SlotQueue<u32>> = SlotQueue::new(4);
+        q.close_rx();
+        assert!(matches!(q.try_send(1), TrySend::Closed(1)));
+    }
+
+    #[test]
+    fn wakers_fire_on_transitions() {
+        use otif_core::evalpool::{PollTask, Polled, TaskPool};
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        // Producer sends N items through a capacity-1 queue, consumer
+        // drains them; both park on Full/Empty and rely exclusively on
+        // slot wakes to resume. Completion proves no wakeup is lost.
+        const N: usize = 100;
+        struct Producer {
+            tx: Option<SlotSender<usize>>,
+            next: usize,
+        }
+        impl PollTask for Producer {
+            fn poll(&mut self) -> Polled {
+                loop {
+                    if self.next == N {
+                        self.tx = None; // close; consumer sees Disconnected
+                        return Polled::Done;
+                    }
+                    match self.tx.as_ref().unwrap().try_send(self.next) {
+                        TrySend::Sent => self.next += 1,
+                        TrySend::Full(_) => return Polled::Pending,
+                        TrySend::Closed(_) => return Polled::Done,
+                    }
+                }
+            }
+        }
+        struct Consumer {
+            rx: SlotReceiver<usize>,
+            got: Arc<AtomicUsize>,
+        }
+        impl PollTask for Consumer {
+            fn poll(&mut self) -> Polled {
+                loop {
+                    match self.rx.try_recv() {
+                        TryRecv::Msg(v) => {
+                            assert_eq!(v, self.got.fetch_add(1, Ordering::SeqCst));
+                        }
+                        TryRecv::Empty => return Polled::Pending,
+                        TryRecv::Disconnected => return Polled::Done,
+                    }
+                }
+            }
+        }
+        for workers in [1usize, 2, 4] {
+            let got = Arc::new(AtomicUsize::new(0));
+            let pool = TaskPool::new(2, None);
+            let q = SlotQueue::new(1);
+            let (tx, rx) = q.endpoints(pool.waker(0), pool.waker(1));
+            let tasks: Vec<Box<dyn PollTask>> = vec![
+                Box::new(Producer {
+                    tx: Some(tx),
+                    next: 0,
+                }),
+                Box::new(Consumer {
+                    rx,
+                    got: Arc::clone(&got),
+                }),
+            ];
+            pool.run(workers, tasks);
+            assert_eq!(got.load(Ordering::SeqCst), N, "workers={workers}");
+        }
+    }
+}

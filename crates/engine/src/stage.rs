@@ -1,7 +1,7 @@
-//! The four per-stream stage loops: decode → window → detect → track,
-//! connected by bounded channels. Each loop consumes its input channel
-//! until disconnect, so dropping the upstream sender drains and shuts
-//! the stream down gracefully.
+//! Shared context and message types for the four per-stream stages
+//! (decode → window → detect → track), now implemented as resumable
+//! state machines in [`crate::tasks`] and polled by a fixed worker
+//! pool instead of running as dedicated OS threads.
 //!
 //! All cost charging goes through the same `otif_core::stages`
 //! functions the sequential pipeline uses, but every charge lands in
@@ -18,29 +18,20 @@
 //! remaining frames) and forwards an abort so downstream stages drop
 //! their in-flight state for that clip; the stream then continues with
 //! its next clips. Injected panics unwind for real and are caught by
-//! the supervision shim in the scheduler.
+//! the per-poll supervision shim in [`crate::tasks`].
 
-use crate::batcher::{StreamGuard, SubmitError};
-use crate::exec::{DetectorExec, DetectorExecHarness};
+use crate::exec::DetectorExecHarness;
 use crate::fault::{FaultKind, FaultPlan, HealthBoard, StageName, STALL_SLEEP};
 use crate::journal::Checkpointer;
-use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
+use crate::stats::EngineCounters;
 use crate::timeline::ClipTimeline;
-use crossbeam::channel::{Receiver, RecvTimeoutError, SendTimeoutError, Sender};
 use otif_core::config::OtifConfig;
 use otif_core::pipeline::ExecutionContext;
-use otif_core::stages::{
-    charge_decode, charge_tracker_step, finalize_tracks, select_windows, FrameTracker,
-};
-use otif_core::{digest_tensor, fold_digest};
-use otif_cv::{Component, CostLedger, Detection, SimDetector};
+use otif_cv::{CostLedger, Detection};
 use otif_geom::Rect;
-use otif_nn::Tensor3;
-use otif_sim::{Clip, Renderer};
-use otif_track::Track;
+use otif_sim::Clip;
 use parking_lot::Mutex;
-use std::collections::HashSet;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// How a clip is processed on this run: live, or replayed from a run
 /// journal checkpoint without recomputation.
@@ -62,7 +53,7 @@ pub(crate) enum GhostMode {
     Skip,
 }
 
-/// Everything a stage loop needs besides its channels: the run
+/// Everything a stage task needs besides its queues: the run
 /// configuration, this stream's clip assignment, the shared counters,
 /// the per-clip cost ledgers and the fault machinery.
 #[derive(Clone, Copy)]
@@ -92,22 +83,11 @@ pub(crate) struct StageCtx<'a> {
     pub ghost: &'a [GhostMode],
     /// Run-journal checkpoint sink; `None` for unjournaled runs.
     pub checkpoint: Option<&'a Checkpointer>,
-    /// Stage watchdog: how long a stage may stay blocked on a wedged
-    /// channel send/recv or batcher rendezvous before converting the
-    /// wedge into a typed, recoverable stall failure and exiting.
+    /// Stage watchdog: how long a stage task may stay parked on a
+    /// wedged queue slot or batcher rendezvous before the wedge is
+    /// converted into a typed, recoverable stall failure and the task
+    /// retired.
     pub stage_timeout: Option<Duration>,
-}
-
-/// What became of a watchdogged channel send.
-pub(crate) enum SendStatus {
-    /// Message delivered.
-    Sent,
-    /// All receivers gone (downstream shut down) — exit quietly.
-    Closed,
-    /// The watchdog fired: downstream is wedged. The stall has been
-    /// recorded; the stage must exit so its dropped endpoints unwedge
-    /// the neighbours.
-    Stalled,
 }
 
 impl StageCtx<'_> {
@@ -116,7 +96,7 @@ impl StageCtx<'_> {
     /// clip); panics for real if a panic fault fired — the supervision
     /// shim catches it. A stall fault sleeps [`STALL_SLEEP`] and then
     /// lets the frame proceed normally.
-    fn fire(&self, stage: StageName, clip: usize, ordinal: usize) -> bool {
+    pub fn fire(&self, stage: StageName, clip: usize, ordinal: usize) -> bool {
         match self.faults.fire(stage, clip, ordinal) {
             None => false,
             Some(spec) => match spec.kind {
@@ -134,59 +114,38 @@ impl StageCtx<'_> {
         }
     }
 
-    /// Send under the optional stage watchdog. A send blocked past the
-    /// timeout means the pipeline downstream of `stage` is wedged: the
-    /// stall is recorded (stream-level, plus a recoverable failure for
-    /// the in-flight clip) and the caller must exit the stage.
-    fn send_watch<T>(&self, stage: StageName, clip: usize, tx: &Sender<T>, msg: T) -> SendStatus {
-        let Some(timeout) = self.stage_timeout else {
-            return match tx.send(msg) {
-                Ok(()) => SendStatus::Sent,
-                Err(_) => SendStatus::Closed,
-            };
-        };
-        match tx.send_timeout(msg, timeout) {
-            Ok(()) => SendStatus::Sent,
-            Err(SendTimeoutError::Disconnected(_)) => SendStatus::Closed,
-            Err(SendTimeoutError::Timeout(_)) => {
-                let reason = format!(
-                    "watchdog: {stage} stalled >{:.3}s sending to the next stage \
-                     (channel_backpressure)",
-                    timeout.as_secs_f64()
-                );
-                self.health.record_stall(self.stream, stage, reason.clone());
-                self.health.record_clip_failure(clip, stage, reason, true);
-                SendStatus::Stalled
-            }
-        }
+    /// Record a stage-watchdog starvation: the task was parked waiting
+    /// for input longer than the timeout while its upstream stayed
+    /// connected — upstream is wedged.
+    pub fn record_recv_stall(&self, stage: StageName) {
+        let timeout = self.stage_timeout.unwrap_or_default();
+        let reason = format!(
+            "watchdog: {stage} starved >{:.3}s waiting for input \
+             (decode_starved)",
+            timeout.as_secs_f64()
+        );
+        self.health.record_stall(self.stream, stage, reason);
     }
 
-    /// Receive under the optional stage watchdog. Returns `None` when
-    /// the stage should exit: channel disconnected (normal shutdown) or
-    /// the watchdog fired while senders were still connected (upstream
-    /// wedged; the stall is recorded stream-level).
-    fn recv_watch<T>(&self, stage: StageName, rx: &Receiver<T>) -> Option<T> {
-        let Some(timeout) = self.stage_timeout else {
-            return rx.recv().ok();
-        };
-        match rx.recv_timeout(timeout) {
-            Ok(msg) => Some(msg),
-            Err(RecvTimeoutError::Disconnected) => None,
-            Err(RecvTimeoutError::Timeout) => {
-                let reason = format!(
-                    "watchdog: {stage} starved >{:.3}s waiting for input \
-                     (decode_starved)",
-                    timeout.as_secs_f64()
-                );
-                self.health.record_stall(self.stream, stage, reason);
-                None
-            }
-        }
+    /// Record a stage-watchdog backpressure stall: the task was parked
+    /// on a full output slot longer than the timeout — the pipeline
+    /// downstream of `stage` is wedged. The in-flight clip fails
+    /// recoverably.
+    pub fn record_send_stall(&self, stage: StageName, clip: usize) {
+        let timeout = self.stage_timeout.unwrap_or_default();
+        let reason = format!(
+            "watchdog: {stage} stalled >{:.3}s sending to the next stage \
+             (channel_backpressure)",
+            timeout.as_secs_f64()
+        );
+        self.health.record_stall(self.stream, stage, reason.clone());
+        self.health.record_clip_failure(clip, stage, reason, true);
     }
 
-    /// Record a batcher-submit watchdog timeout (the cross-stream
-    /// rendezvous wedged) before the detect stage exits.
-    fn record_batcher_stall(&self, clip: usize) {
+    /// Record a batcher-rendezvous watchdog timeout (a sibling stream
+    /// wedged the cross-stream flush watermark) before the detect task
+    /// is retired.
+    pub fn record_batcher_stall(&self, clip: usize) {
         let timeout = self.stage_timeout.unwrap_or_default();
         let reason = format!(
             "watchdog: detect stalled >{:.3}s in the batcher rendezvous \
@@ -237,470 +196,17 @@ pub(crate) struct DetectedFrame {
     pub last: bool,
 }
 
-/// Decode stage: walks each assigned clip's sampled frames in order,
-/// charges decode cost and feeds the window stage. A recoverable fault
-/// aborts only the current clip; the loop continues with the stream's
-/// next clip.
-pub(crate) fn decode_stage(ctx: &StageCtx<'_>, tx: Sender<StageMsg<DecodedFrame>>) {
-    let gap = ctx.config.gap.max(1);
-    for &(clip_idx, clip) in ctx.clips {
-        let mode = ctx.ghost[clip_idx];
-        if mode == GhostMode::Skip {
-            // Replayed retry clip: not streamed at all; the scheduler
-            // replays its recorded accounting directly.
-            continue;
-        }
-        let ghost = mode == GhostMode::Stream;
-        let ledger = &ctx.clip_ledgers[clip_idx];
-        let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
-        let mut f = 0usize;
-        let mut ordinal = 0usize;
-        while f < clip.num_frames() {
-            if !ghost && ctx.fire(StageName::Decode, clip_idx, ordinal) {
-                if tx.send(StageMsg::Abort { clip: clip_idx }).is_err() {
-                    return; // downstream gone (shutdown)
-                }
-                break; // poison only this clip; continue with the next
-            }
-            if !ghost {
-                let before = ledger.get(Component::Decode);
-                charge_decode(ctx.config, ctx.exec, native_px, ledger);
-                ctx.timelines[clip_idx]
-                    .lock()
-                    .decode
-                    .push(ledger.get(Component::Decode) - before);
-            }
-            ctx.counters
-                .frames_decoded
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            ctx.counters.frame_entered();
-            let last = f + gap >= clip.num_frames();
-            match ctx.send_watch(
-                StageName::Decode,
-                clip_idx,
-                &tx,
-                StageMsg::Frame(DecodedFrame {
-                    clip: clip_idx,
-                    frame: f,
-                    ordinal,
-                    last,
-                }),
-            ) {
-                SendStatus::Sent => {}
-                SendStatus::Closed | SendStatus::Stalled => {
-                    // the frame never reached downstream: undo its entry
-                    // so the in-flight gauge doesn't drift on shutdown
-                    ctx.counters.frame_exited();
-                    return;
-                }
-            }
-            ctx.counters.observe_queue_depth(QUEUE_DECODE, tx.len());
-            f += gap;
-            ordinal += 1;
-        }
-    }
-}
-
-/// Window stage: runs the segmentation proxy (when configured) to pick
-/// detector windows for each frame. Frames of poisoned clips are
-/// dropped (and their in-flight entries released) without charging.
-pub(crate) fn window_stage(
-    ctx: &StageCtx<'_>,
-    rx: Receiver<StageMsg<DecodedFrame>>,
-    tx: Sender<StageMsg<WindowedFrame>>,
-) {
-    let lookup = ClipLookup::new(ctx.clips);
-    let mut poisoned: HashSet<usize> = HashSet::new();
-    while let Some(msg) = ctx.recv_watch(StageName::Window, &rx) {
-        let msg = match msg {
-            StageMsg::Abort { clip } => {
-                poisoned.insert(clip);
-                if tx.send(StageMsg::Abort { clip }).is_err() {
-                    return;
-                }
-                continue;
-            }
-            StageMsg::Frame(m) => m,
-        };
-        if poisoned.contains(&msg.clip) {
-            ctx.counters.frame_exited();
-            continue;
-        }
-        let windows = if ctx.ghost[msg.clip] == GhostMode::Stream {
-            // Ghost: no proxy charge, no timeline write. The detect
-            // stage replays the recorded ticket from the pre-populated
-            // timeline, so the windows themselves are not needed.
-            Vec::new()
-        } else {
-            if ctx.fire(StageName::Window, msg.clip, msg.ordinal) {
-                poisoned.insert(msg.clip);
-                ctx.counters.frame_exited();
-                if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
-                    return;
-                }
-                continue;
-            }
-            let clip = lookup.get(msg.clip);
-            let renderer = Renderer::new(clip);
-            let ledger = &ctx.clip_ledgers[msg.clip];
-            let before = ledger.get(Component::Proxy);
-            let windows = select_windows(
-                ctx.config,
-                ctx.exec,
-                &renderer,
-                clip.scene.frame_rect(),
-                msg.frame,
-                ledger,
-            );
-            ctx.timelines[msg.clip]
-                .lock()
-                .window
-                .push(ledger.get(Component::Proxy) - before);
-            windows
-        };
-        ctx.counters
-            .frames_windowed
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        match ctx.send_watch(
-            StageName::Window,
-            msg.clip,
-            &tx,
-            StageMsg::Frame(WindowedFrame {
-                clip: msg.clip,
-                frame: msg.frame,
-                ordinal: msg.ordinal,
-                windows,
-                last: msg.last,
-            }),
-        ) {
-            SendStatus::Sent => {}
-            SendStatus::Closed | SendStatus::Stalled => {
-                ctx.counters.frame_exited();
-                return;
-            }
-        }
-        ctx.counters.observe_queue_depth(QUEUE_WINDOW, tx.len());
-    }
-}
-
-/// Detect stage: charges per-window pixel cost to the clip's ledger,
-/// rendezvouses with the other streams through the batcher for the
-/// launch overhead, then computes detections with the pure (uncharged)
-/// detector path. Poisoned clips submit no tickets.
-pub(crate) fn detect_stage(
-    ctx: &StageCtx<'_>,
-    rx: Receiver<StageMsg<WindowedFrame>>,
-    tx: Sender<StageMsg<DetectedFrame>>,
-    batcher_guard: StreamGuard<'_>,
-) {
-    let lookup = ClipLookup::new(ctx.clips);
-    let detector = SimDetector::new(ctx.config.detector, ctx.exec.detector_seed);
-    let harness = ctx.detector_exec.filter(|h| h.mode() != DetectorExec::Off);
-    let mut poisoned: HashSet<usize> = HashSet::new();
-    while let Some(msg) = ctx.recv_watch(StageName::Detect, &rx) {
-        let msg = match msg {
-            StageMsg::Abort { clip } => {
-                poisoned.insert(clip);
-                if tx.send(StageMsg::Abort { clip }).is_err() {
-                    return;
-                }
-                continue;
-            }
-            StageMsg::Frame(m) => m,
-        };
-        if poisoned.contains(&msg.clip) {
-            ctx.counters.frame_exited();
-            continue;
-        }
-        if ctx.ghost[msg.clip] == GhostMode::Stream {
-            // Ghost: replay the recorded batcher ticket — the recorded
-            // pixel-seconds and window sizes reproduce the cross-stream
-            // round sequence bitwise — with no charge, digest fold or
-            // detection compute.
-            let (px, sizes) = {
-                let t = ctx.timelines[msg.clip].lock();
-                (t.detect_px[msg.ordinal], t.sizes[msg.ordinal].clone())
-            };
-            if let Some(px) = px {
-                match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
-                    Ok(()) => {}
-                    Err(SubmitError::TimedOut { .. }) => {
-                        ctx.record_batcher_stall(msg.clip);
-                        ctx.counters.frame_exited();
-                        return;
-                    }
-                    Err(e) => panic!("detect stage cannot batch: {e}"),
-                }
-            }
-            ctx.counters
-                .frames_detected
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            match ctx.send_watch(
-                StageName::Detect,
-                msg.clip,
-                &tx,
-                StageMsg::Frame(DetectedFrame {
-                    clip: msg.clip,
-                    frame: msg.frame,
-                    ordinal: msg.ordinal,
-                    dets: Vec::new(),
-                    last: msg.last,
-                }),
-            ) {
-                SendStatus::Sent => {}
-                SendStatus::Closed | SendStatus::Stalled => {
-                    ctx.counters.frame_exited();
-                    return;
-                }
-            }
-            ctx.counters.observe_queue_depth(QUEUE_DETECT, tx.len());
-            continue;
-        }
-        if ctx.fire(StageName::Detect, msg.clip, msg.ordinal) {
-            poisoned.insert(msg.clip);
-            ctx.counters.frame_exited();
-            if tx.send(StageMsg::Abort { clip: msg.clip }).is_err() {
-                return;
-            }
-            continue;
-        }
-        let dets = if msg.windows.is_empty() {
-            // No windows → no batcher ticket; the replay passes the
-            // frame through the detect stage with zero charge.
-            let mut t = ctx.timelines[msg.clip].lock();
-            t.detect_px.push(None);
-            t.sizes.push(Vec::new());
-            drop(t);
-            Vec::new()
-        } else {
-            let px: f64 = msg
-                .windows
-                .iter()
-                .map(|r| detector.window_px_cost(r.w, r.h))
-                .sum();
-            ctx.clip_ledgers[msg.clip].charge(Component::Detector, px);
-            let sizes: Vec<(u32, u32)> = msg
-                .windows
-                .iter()
-                .map(|r| (r.w.round() as u32, r.h.round() as u32))
-                .collect();
-            {
-                let mut t = ctx.timelines[msg.clip].lock();
-                t.detect_px.push(Some(px));
-                t.sizes.push(sizes.clone());
-            }
-            // Surrogate execution: materialize the window crops at the
-            // net's input resolution (identically for both modes — the
-            // shapes depend only on the rounded sizes the ticket
-            // carries, so the looped and batched paths run the same
-            // arithmetic per window).
-            let inputs: Vec<Tensor3> = match harness {
-                Some(h) => {
-                    let renderer = Renderer::new(lookup.get(msg.clip));
-                    msg.windows
-                        .iter()
-                        .zip(&sizes)
-                        .map(|(w, &sz)| h.net().materialize(&renderer, msg.frame, w, sz))
-                        .collect()
-                }
-                None => Vec::new(),
-            };
-            // A protocol violation here is an engine bug and the stream
-            // cannot continue coherently: fail the whole stream (the
-            // supervision shim records it; siblings keep flowing). A
-            // submit watchdog timeout instead records a typed stall and
-            // exits the stage, leaving the pending ticket for the
-            // guard-drop to discard.
-            let outputs = match harness.map(|h| (h, h.mode())) {
-                Some((h, DetectorExec::Looped)) => {
-                    // Wall-clock baseline: one forward per window, timed
-                    // around the forwards only (materialization happens
-                    // on this thread in both modes).
-                    let start = Instant::now();
-                    let outs: Vec<Tensor3> = inputs
-                        .iter()
-                        .map(|x| {
-                            let mut y = Tensor3::zeros(0, 0, 0);
-                            h.net().forward_into(x, &mut y);
-                            y
-                        })
-                        .collect();
-                    h.record(start.elapsed(), outs.len() as u64, outs.len() as u64);
-                    match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
-                        Ok(()) => {}
-                        Err(SubmitError::TimedOut { .. }) => {
-                            ctx.record_batcher_stall(msg.clip);
-                            ctx.counters.frame_exited();
-                            return;
-                        }
-                        Err(e) => panic!("detect stage cannot batch: {e}"),
-                    }
-                    outs
-                }
-                Some((_, DetectorExec::Batched)) => {
-                    match batcher_guard.submit_exec(sizes, inputs, msg.clip, msg.ordinal, px) {
-                        Ok(outs) => outs,
-                        Err(SubmitError::TimedOut { .. }) => {
-                            ctx.record_batcher_stall(msg.clip);
-                            ctx.counters.frame_exited();
-                            return;
-                        }
-                        Err(e) => panic!("detect stage cannot batch: {e}"),
-                    }
-                }
-                _ => {
-                    match batcher_guard.submit_tagged(sizes, msg.clip, msg.ordinal, px) {
-                        Ok(()) => {}
-                        Err(SubmitError::TimedOut { .. }) => {
-                            ctx.record_batcher_stall(msg.clip);
-                            ctx.counters.frame_exited();
-                            return;
-                        }
-                        Err(e) => panic!("detect stage cannot batch: {e}"),
-                    }
-                    Vec::new()
-                }
-            };
-            if harness.is_some() {
-                // Fold this frame's surrogate outputs (window order)
-                // into the clip's digest — the per-clip half of the
-                // batched≡looped bitwise contract. The detect stage is
-                // the clip's only writer and sees frames in ordinal
-                // order, so the fold is deterministic.
-                let mut t = ctx.timelines[msg.clip].lock();
-                for out in &outputs {
-                    t.detect_digest = fold_digest(t.detect_digest, digest_tensor(out));
-                }
-            }
-            detector.detect_windows_pure(lookup.get(msg.clip), msg.frame, &msg.windows)
-        };
-        ctx.counters
-            .frames_detected
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        match ctx.send_watch(
-            StageName::Detect,
-            msg.clip,
-            &tx,
-            StageMsg::Frame(DetectedFrame {
-                clip: msg.clip,
-                frame: msg.frame,
-                ordinal: msg.ordinal,
-                dets,
-                last: msg.last,
-            }),
-        ) {
-            SendStatus::Sent => {}
-            SendStatus::Closed | SendStatus::Stalled => {
-                ctx.counters.frame_exited();
-                return;
-            }
-        }
-        ctx.counters.observe_queue_depth(QUEUE_DETECT, tx.len());
-    }
-    // batcher_guard drops here → finish(stream): remaining streams keep
-    // batching among themselves
-}
-
-/// Track stage: steps the per-clip tracker, finalizes (stitch + refine)
-/// at each clip boundary and deposits results by clip index. An abort
-/// drops the poisoned clip's tracker state, leaving its result slot
-/// empty for the scheduler to report as failed.
-pub(crate) fn track_stage(
-    ctx: &StageCtx<'_>,
-    rx: Receiver<StageMsg<DetectedFrame>>,
-    results: &Mutex<Vec<Option<Vec<Track>>>>,
-) {
-    let lookup = ClipLookup::new(ctx.clips);
-    let mut tracker: Option<(usize, FrameTracker)> = None;
-    let mut poisoned: HashSet<usize> = HashSet::new();
-    while let Some(msg) = ctx.recv_watch(StageName::Track, &rx) {
-        let msg = match msg {
-            StageMsg::Abort { clip } => {
-                poisoned.insert(clip);
-                if tracker.as_ref().is_some_and(|(c, _)| *c == clip) {
-                    tracker = None;
-                }
-                continue;
-            }
-            StageMsg::Frame(m) => m,
-        };
-        if poisoned.contains(&msg.clip) {
-            ctx.counters.frame_exited();
-            continue;
-        }
-        if ctx.ghost[msg.clip] == GhostMode::Stream {
-            // Ghost: the scheduler pre-loaded the ledger, timeline and
-            // result from the journal; only the frame-flow bookkeeping
-            // happens here. No re-checkpoint either — the clip is
-            // already durable.
-            ctx.counters
-                .frames_tracked
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-            ctx.counters.frame_exited();
-            continue;
-        }
-        if ctx.fire(StageName::Track, msg.clip, msg.ordinal) {
-            poisoned.insert(msg.clip);
-            if tracker.as_ref().is_some_and(|(c, _)| *c == msg.clip) {
-                tracker = None;
-            }
-            ctx.counters.frame_exited();
-            continue;
-        }
-        let ledger = &ctx.clip_ledgers[msg.clip];
-        let before = ledger.get(Component::Tracker);
-        charge_tracker_step(ctx.exec, msg.dets.len(), ledger);
-        ctx.timelines[msg.clip]
-            .lock()
-            .track
-            .push(ledger.get(Component::Tracker) - before);
-        tracker
-            .get_or_insert_with(|| (msg.clip, FrameTracker::new(ctx.config, ctx.exec)))
-            .1
-            .step(msg.frame, msg.dets);
-        ctx.counters
-            .frames_tracked
-            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        ctx.counters.frame_exited();
-        if msg.last {
-            let (_, finished) = tracker
-                .take()
-                .expect("tracker exists for the clip being finalized");
-            let before = ledger.get(Component::Tracker) + ledger.get(Component::Refinement);
-            let tracks = finalize_tracks(
-                ctx.config,
-                ctx.exec,
-                lookup.get(msg.clip),
-                finished.finish(),
-                ledger,
-            );
-            ctx.timelines[msg.clip].lock().finalize =
-                ledger.get(Component::Tracker) + ledger.get(Component::Refinement) - before;
-            // Acknowledgement point: checkpoint the finished clip to the
-            // run journal *before* depositing the result. A checkpoint
-            // failure is counted but never fails the clip — the run
-            // continues in-memory and the clip is simply recomputed on a
-            // future resume.
-            if let Some(cp) = ctx.checkpoint {
-                let timeline = ctx.timelines[msg.clip].lock();
-                cp.checkpoint_clip(msg.clip, &tracks, &timeline, ledger, false, 0, 0.0);
-            }
-            results.lock()[msg.clip] = Some(tracks);
-        }
-    }
-}
-
 /// Clip-index → clip resolution for a stream's assigned clips.
-struct ClipLookup<'a> {
+pub(crate) struct ClipLookup<'a> {
     clips: &'a [(usize, &'a Clip)],
 }
 
 impl<'a> ClipLookup<'a> {
-    fn new(clips: &'a [(usize, &'a Clip)]) -> Self {
+    pub fn new(clips: &'a [(usize, &'a Clip)]) -> Self {
         ClipLookup { clips }
     }
 
-    fn get(&self, clip_idx: usize) -> &'a Clip {
+    pub fn get(&self, clip_idx: usize) -> &'a Clip {
         self.clips
             .iter()
             .find(|(i, _)| *i == clip_idx)

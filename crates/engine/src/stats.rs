@@ -27,9 +27,13 @@ pub struct EngineCounters {
     pub frames_detected: AtomicU64,
     /// Frames consumed by the tracker (pipeline exit).
     pub frames_tracked: AtomicU64,
+    /// Cooperative yields per stage task kind (decode, window, detect,
+    /// track) — a budget-exhausted task handing its worker back.
+    pub stage_yields: [AtomicU64; 4],
     in_flight: AtomicU64,
     max_in_flight: AtomicU64,
     max_queue_depth: [AtomicU64; 3],
+    peak_os_threads: AtomicU64,
 }
 
 impl EngineCounters {
@@ -53,6 +57,22 @@ impl EngineCounters {
     /// `QUEUE_*` indices).
     pub fn observe_queue_depth(&self, queue: usize, depth: usize) {
         self.max_queue_depth[queue].fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Sample the process's current OS thread count into the peak
+    /// gauge — the oversubscription guard for the fixed worker pool.
+    /// Cheap (one /proc readdir), called at clip boundaries only.
+    pub fn sample_os_threads(&self) {
+        #[cfg(target_os = "linux")]
+        if let Ok(entries) = std::fs::read_dir("/proc/self/task") {
+            let n = entries.count() as u64;
+            self.peak_os_threads.fetch_max(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Peak sampled OS thread count (0 if never sampled or unsupported).
+    pub fn peak_os_threads(&self) -> u64 {
+        self.peak_os_threads.load(Ordering::Relaxed)
     }
 }
 
@@ -214,6 +234,23 @@ pub struct EngineStats {
     /// in-memory; it is simply not acknowledged and will be recomputed
     /// by a future resume).
     pub checkpoint_failures: u64,
+    /// Worker threads the task pool used (0 for pre-task-engine stats).
+    pub workers: usize,
+    /// Admission cap on concurrently active streams (equals `streams`
+    /// when admission control is off).
+    pub max_active_streams: usize,
+    /// Peak number of runnable (queued) tasks observed by the worker
+    /// pool — how deep the ready queue got.
+    pub peak_runnable_tasks: u64,
+    /// Tasks stolen across worker-local deques.
+    pub task_steals: u64,
+    /// Total task polls the pool executed.
+    pub task_polls: u64,
+    /// Cooperative yields per stage (decode, window, detect, track).
+    pub stage_yields: [u64; 4],
+    /// Peak OS thread count sampled during the run (the
+    /// oversubscription guard; 0 when never sampled).
+    pub peak_os_threads: u64,
 }
 
 /// The deterministic subset of [`EngineStats`], with every `f64` as its
@@ -299,6 +336,18 @@ impl EngineStats {
             resumed_clips_recomputed: 0,
             clips_checkpointed: 0,
             checkpoint_failures: 0,
+            workers: 0,
+            max_active_streams: 0,
+            peak_runnable_tasks: 0,
+            task_steals: 0,
+            task_polls: 0,
+            stage_yields: [
+                counters.stage_yields[0].load(Ordering::Relaxed),
+                counters.stage_yields[1].load(Ordering::Relaxed),
+                counters.stage_yields[2].load(Ordering::Relaxed),
+                counters.stage_yields[3].load(Ordering::Relaxed),
+            ],
+            peak_os_threads: counters.peak_os_threads(),
         }
     }
 

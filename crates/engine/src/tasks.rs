@@ -1,0 +1,1032 @@
+//! The four per-stream stages as resumable state machines.
+//!
+//! Each stage from the thread-per-stream engine (decode → window →
+//! detect → track) becomes a [`StagePoll`] state machine polled by the
+//! fixed worker pool in [`otif_core::evalpool`]. Blocking points turn
+//! into explicit parked states: a full output slot, an empty input
+//! slot, an unresolved batcher ticket or a closed admission gate each
+//! stash the in-flight message, register waker interest and return
+//! [`Polled::Pending`]; the peer's next transition re-enqueues the
+//! task. A task that keeps making progress yields back to the pool
+//! every [`FRAMES_PER_POLL`] frames so a thousand streams share a
+//! handful of workers round-robin.
+//!
+//! The cost-charging code inside each state machine is carried over
+//! from the stage thread loops verbatim — same charges, same timeline
+//! appends, same counter increments in the same order per frame — so
+//! ledgers, round logs, timelines and digests stay bitwise identical
+//! to the thread engine at any worker count.
+//!
+//! Supervision moves from thread scope to poll scope: [`Supervised`]
+//! wraps every stage task and runs each `poll` under
+//! [`supervise_poll`], so an injected panic is caught, recorded on the
+//! [`HealthBoard`] and converted into task retirement — dropping the
+//! task's queue endpoints (and batcher guard) exactly like a stage
+//! thread's unwind used to.
+//!
+//! The stall watchdog also moves here: the pool calls
+//! [`StagePoll::on_stall`] on a task parked past the stage timeout,
+//! and the task attributes the wedge from its parked state — starved
+//! input, backpressured output or a wedged batcher rendezvous — using
+//! the same reason strings the thread engine's watchdog produced. A
+//! task parked only because its stream is not yet admitted is never
+//! expired; it keeps waiting for the admission gate.
+
+use crate::batcher::{DetectorBatcher, PollSubmit, StreamGuard};
+use crate::exec::DetectorExec;
+use crate::fault::{supervise_poll, HealthBoard, StageName};
+use crate::slot::{SlotReceiver, SlotSender, TryRecv, TrySend};
+use crate::stage::{
+    ClipLookup, DecodedFrame, DetectedFrame, GhostMode, StageCtx, StageMsg, WindowedFrame,
+};
+use crate::stats::{EngineCounters, QUEUE_DECODE, QUEUE_DETECT, QUEUE_WINDOW};
+use otif_core::evalpool::{PollTask, Polled};
+use otif_core::stages::{
+    charge_decode, charge_tracker_step, finalize_tracks, select_windows, FrameTracker,
+};
+use otif_core::{digest_tensor, fold_digest};
+use otif_cv::{Component, Detection, SimDetector};
+use otif_nn::Tensor3;
+use otif_sim::Renderer;
+use otif_track::Track;
+use parking_lot::Mutex;
+use std::collections::HashSet;
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// Fairness budget: frames a stage task may process in one `poll`
+/// before yielding the worker back to the pool.
+const FRAMES_PER_POLL: usize = 32;
+
+/// Why a stage task last returned [`Polled::Pending`] — consulted by
+/// `on_stall` to attribute a watchdog expiry to the right wedge.
+#[derive(Clone, Copy)]
+enum Blocked {
+    /// Parked on an empty input slot (upstream starved).
+    Recv,
+    /// Parked on a full output slot while carrying a frame or abort of
+    /// `clip` (downstream backpressure).
+    Send { clip: usize },
+    /// Parked on an unresolved batcher ticket for `clip` (a sibling
+    /// stream wedges the flush watermark).
+    Batcher { clip: usize },
+    /// Parked because the stream is not yet admitted — never expired.
+    Admission,
+}
+
+/// A pollable stage body. Unlike [`PollTask`] this is the *unsupervised*
+/// inner machine; [`Supervised`] adapts it to the pool, catching panics
+/// per poll.
+trait StagePoll: Send {
+    fn poll(&mut self) -> Polled;
+    /// Watchdog verdict: record the stall (by parked state) and return
+    /// `true` to expire, or `false` to keep waiting.
+    fn on_stall(&mut self) -> bool;
+}
+
+/// Whether `stream` is parked behind the admission gate (deferred by
+/// `--max-active-streams` and not yet admitted).
+fn admission_parked(admission: Option<&DetectorBatcher>, stream: usize) -> bool {
+    admission.is_some_and(|b| !b.is_admitted(stream))
+}
+
+/// A message stashed for the output slot: the message, whether it is a
+/// frame (and thus holds an in-flight gauge entry and a queue-depth
+/// observation), and the clip it belongs to (for stall attribution).
+type PendingMsg<T> = (StageMsg<T>, bool, usize);
+
+/// Flush a stashed message into the output slot. Returns `None` when
+/// flushed (or nothing was pending), or the poll outcome to propagate.
+fn flush_pending<T>(
+    pending: &mut Option<PendingMsg<T>>,
+    tx: Option<&SlotSender<StageMsg<T>>>,
+    blocked: &mut Blocked,
+    counters: &EngineCounters,
+    queue: usize,
+) -> Option<Polled> {
+    let (msg, is_frame, clip) = pending.take()?;
+    let Some(tx) = tx else {
+        return Some(Polled::Done);
+    };
+    match tx.try_send(msg) {
+        TrySend::Sent => {
+            if is_frame {
+                counters.observe_queue_depth(queue, tx.len());
+            }
+            None
+        }
+        TrySend::Full(msg) => {
+            *pending = Some((msg, is_frame, clip));
+            *blocked = Blocked::Send { clip };
+            Some(Polled::Pending)
+        }
+        TrySend::Closed(_) => {
+            if is_frame {
+                // the frame never reached downstream: undo its entry so
+                // the in-flight gauge doesn't drift on shutdown
+                counters.frame_exited();
+            }
+            Some(Polled::Done)
+        }
+    }
+}
+
+/// Decode stage machine: walks each assigned clip's sampled frames in
+/// order, charges decode cost and feeds the window stage. A recoverable
+/// fault aborts only the current clip; the machine continues with the
+/// stream's next clip.
+struct DecodeTask<'a> {
+    ctx: StageCtx<'a>,
+    tx: Option<SlotSender<StageMsg<DecodedFrame>>>,
+    admission: Option<&'a DetectorBatcher>,
+    /// Index into `ctx.clips` of the clip being decoded.
+    clip_i: usize,
+    /// Frame cursor within the current clip.
+    f: usize,
+    /// Arrival ordinal of the current clip's sampled frames.
+    ordinal: usize,
+    pending: Option<PendingMsg<DecodedFrame>>,
+    blocked: Blocked,
+}
+
+impl DecodeTask<'_> {
+    fn next_clip(&mut self) {
+        self.clip_i += 1;
+        self.f = 0;
+        self.ordinal = 0;
+    }
+}
+
+impl StagePoll for DecodeTask<'_> {
+    fn poll(&mut self) -> Polled {
+        if admission_parked(self.admission, self.ctx.stream) {
+            self.blocked = Blocked::Admission;
+            return Polled::Pending;
+        }
+        let gap = self.ctx.config.gap.max(1);
+        let mut budget = FRAMES_PER_POLL;
+        loop {
+            if let Some(out) = flush_pending(
+                &mut self.pending,
+                self.tx.as_ref(),
+                &mut self.blocked,
+                self.ctx.counters,
+                QUEUE_DECODE,
+            ) {
+                return out;
+            }
+            if budget == 0 {
+                return Polled::Yielded;
+            }
+            let Some(&(clip_idx, clip)) = self.ctx.clips.get(self.clip_i) else {
+                // All clips streamed: drop the sender so the window
+                // stage drains and shuts down.
+                self.tx = None;
+                return Polled::Done;
+            };
+            let mode = self.ctx.ghost[clip_idx];
+            if mode == GhostMode::Skip || self.f >= clip.num_frames() {
+                // Replayed retry clip: not streamed at all; the
+                // scheduler replays its recorded accounting directly.
+                self.next_clip();
+                continue;
+            }
+            let ghost = mode == GhostMode::Stream;
+            let frame = self.f;
+            let ordinal = self.ordinal;
+            if !ghost && self.ctx.fire(StageName::Decode, clip_idx, ordinal) {
+                // poison only this clip; continue with the next
+                self.next_clip();
+                self.pending = Some((StageMsg::Abort { clip: clip_idx }, false, clip_idx));
+                continue;
+            }
+            if !ghost {
+                let ledger = &self.ctx.clip_ledgers[clip_idx];
+                let native_px = (clip.scene.width as f64) * (clip.scene.height as f64);
+                let before = ledger.get(Component::Decode);
+                charge_decode(self.ctx.config, self.ctx.exec, native_px, ledger);
+                self.ctx.timelines[clip_idx]
+                    .lock()
+                    .decode
+                    .push(ledger.get(Component::Decode) - before);
+            }
+            self.ctx
+                .counters
+                .frames_decoded
+                .fetch_add(1, Ordering::Relaxed);
+            self.ctx.counters.frame_entered();
+            let last = frame + gap >= clip.num_frames();
+            // Cursors advance *before* the frame is stashed: a re-poll
+            // after a Full output slot must not recharge the frame.
+            self.f += gap;
+            self.ordinal += 1;
+            if last {
+                self.next_clip();
+            }
+            self.pending = Some((
+                StageMsg::Frame(DecodedFrame {
+                    clip: clip_idx,
+                    frame,
+                    ordinal,
+                    last,
+                }),
+                true,
+                clip_idx,
+            ));
+            budget -= 1;
+        }
+    }
+
+    fn on_stall(&mut self) -> bool {
+        if admission_parked(self.admission, self.ctx.stream) {
+            return false;
+        }
+        match self.blocked {
+            Blocked::Send { clip } => {
+                self.ctx.record_send_stall(StageName::Decode, clip);
+                true
+            }
+            _ => true,
+        }
+    }
+}
+
+impl Drop for DecodeTask<'_> {
+    fn drop(&mut self) {
+        if matches!(self.pending, Some((_, true, _))) {
+            self.ctx.counters.frame_exited();
+        }
+    }
+}
+
+/// Window stage machine: runs the segmentation proxy (when configured)
+/// to pick detector windows for each frame. Frames of poisoned clips
+/// are dropped (and their in-flight entries released) without charging.
+struct WindowTask<'a> {
+    ctx: StageCtx<'a>,
+    rx: Option<SlotReceiver<StageMsg<DecodedFrame>>>,
+    tx: Option<SlotSender<StageMsg<WindowedFrame>>>,
+    admission: Option<&'a DetectorBatcher>,
+    poisoned: HashSet<usize>,
+    pending: Option<PendingMsg<WindowedFrame>>,
+    blocked: Blocked,
+}
+
+impl StagePoll for WindowTask<'_> {
+    fn poll(&mut self) -> Polled {
+        if admission_parked(self.admission, self.ctx.stream) {
+            self.blocked = Blocked::Admission;
+            return Polled::Pending;
+        }
+        let lookup = ClipLookup::new(self.ctx.clips);
+        let mut budget = FRAMES_PER_POLL;
+        loop {
+            if let Some(out) = flush_pending(
+                &mut self.pending,
+                self.tx.as_ref(),
+                &mut self.blocked,
+                self.ctx.counters,
+                QUEUE_WINDOW,
+            ) {
+                return out;
+            }
+            if budget == 0 {
+                return Polled::Yielded;
+            }
+            let msg = match self
+                .rx
+                .as_ref()
+                .expect("receiver lives until Done")
+                .try_recv()
+            {
+                TryRecv::Msg(m) => m,
+                TryRecv::Empty => {
+                    self.blocked = Blocked::Recv;
+                    return Polled::Pending;
+                }
+                TryRecv::Disconnected => {
+                    self.rx = None;
+                    self.tx = None;
+                    return Polled::Done;
+                }
+            };
+            budget -= 1;
+            let m = match msg {
+                StageMsg::Abort { clip } => {
+                    self.poisoned.insert(clip);
+                    self.pending = Some((StageMsg::Abort { clip }, false, clip));
+                    continue;
+                }
+                StageMsg::Frame(m) => m,
+            };
+            if self.poisoned.contains(&m.clip) {
+                self.ctx.counters.frame_exited();
+                continue;
+            }
+            let windows = if self.ctx.ghost[m.clip] == GhostMode::Stream {
+                // Ghost: no proxy charge, no timeline write. The detect
+                // stage replays the recorded ticket from the
+                // pre-populated timeline, so the windows themselves are
+                // not needed.
+                Vec::new()
+            } else {
+                if self.ctx.fire(StageName::Window, m.clip, m.ordinal) {
+                    self.poisoned.insert(m.clip);
+                    self.ctx.counters.frame_exited();
+                    self.pending = Some((StageMsg::Abort { clip: m.clip }, false, m.clip));
+                    continue;
+                }
+                let clip = lookup.get(m.clip);
+                let renderer = Renderer::new(clip);
+                let ledger = &self.ctx.clip_ledgers[m.clip];
+                let before = ledger.get(Component::Proxy);
+                let windows = select_windows(
+                    self.ctx.config,
+                    self.ctx.exec,
+                    &renderer,
+                    clip.scene.frame_rect(),
+                    m.frame,
+                    ledger,
+                );
+                self.ctx.timelines[m.clip]
+                    .lock()
+                    .window
+                    .push(ledger.get(Component::Proxy) - before);
+                windows
+            };
+            self.ctx
+                .counters
+                .frames_windowed
+                .fetch_add(1, Ordering::Relaxed);
+            self.pending = Some((
+                StageMsg::Frame(WindowedFrame {
+                    clip: m.clip,
+                    frame: m.frame,
+                    ordinal: m.ordinal,
+                    windows,
+                    last: m.last,
+                }),
+                true,
+                m.clip,
+            ));
+        }
+    }
+
+    fn on_stall(&mut self) -> bool {
+        if admission_parked(self.admission, self.ctx.stream) {
+            return false;
+        }
+        match self.blocked {
+            Blocked::Recv => {
+                self.ctx.record_recv_stall(StageName::Window);
+                true
+            }
+            Blocked::Send { clip } => {
+                self.ctx.record_send_stall(StageName::Window, clip);
+                true
+            }
+            _ => true,
+        }
+    }
+}
+
+impl Drop for WindowTask<'_> {
+    fn drop(&mut self) {
+        if matches!(self.pending, Some((_, true, _))) {
+            self.ctx.counters.frame_exited();
+        }
+    }
+}
+
+/// Where the detect machine stands with the batcher.
+enum DetectStep {
+    /// No ticket outstanding: receive and process the next frame.
+    Ready,
+    /// A ticket for `m` is deposited and unresolved; `outs` holds
+    /// locally computed surrogate outputs (looped mode) and `ghost`
+    /// whether this is a replayed ticket. Resolved via `poll_pending`
+    /// at the top of the next poll.
+    Submit {
+        m: WindowedFrame,
+        outs: Vec<Tensor3>,
+        ghost: bool,
+    },
+}
+
+/// Detect stage machine: charges per-window pixel cost to the clip's
+/// ledger, rendezvouses with the other streams through the batcher for
+/// the launch overhead, then computes detections with the pure
+/// (uncharged) detector path. Poisoned clips submit no tickets.
+struct DetectTask<'a> {
+    ctx: StageCtx<'a>,
+    rx: Option<SlotReceiver<StageMsg<WindowedFrame>>>,
+    tx: Option<SlotSender<StageMsg<DetectedFrame>>>,
+    guard: Option<StreamGuard<'a>>,
+    admission: Option<&'a DetectorBatcher>,
+    detector: SimDetector,
+    poisoned: HashSet<usize>,
+    step: DetectStep,
+    pending: Option<PendingMsg<DetectedFrame>>,
+    blocked: Blocked,
+}
+
+impl DetectTask<'_> {
+    /// Per-frame epilogue shared by every completion path: count the
+    /// frame and stash it for the track stage.
+    fn finish_frame(&mut self, m: WindowedFrame, dets: Vec<Detection>) {
+        self.ctx
+            .counters
+            .frames_detected
+            .fetch_add(1, Ordering::Relaxed);
+        self.pending = Some((
+            StageMsg::Frame(DetectedFrame {
+                clip: m.clip,
+                frame: m.frame,
+                ordinal: m.ordinal,
+                dets,
+                last: m.last,
+            }),
+            true,
+            m.clip,
+        ));
+    }
+
+    /// Complete a live frame whose batcher ticket resolved: fold the
+    /// surrogate outputs into the clip digest (window order — the
+    /// detect machine is the clip's only writer and sees frames in
+    /// ordinal order, so the fold is deterministic) and compute
+    /// detections with the pure detector path.
+    fn complete_live_frame(&mut self, m: WindowedFrame, outputs: Vec<Tensor3>, fold: bool) {
+        if fold {
+            let mut t = self.ctx.timelines[m.clip].lock();
+            for out in &outputs {
+                t.detect_digest = fold_digest(t.detect_digest, digest_tensor(out));
+            }
+        }
+        let dets = self.detector.detect_windows_pure(
+            ClipLookup::new(self.ctx.clips).get(m.clip),
+            m.frame,
+            &m.windows,
+        );
+        self.finish_frame(m, dets);
+    }
+
+    /// Complete a ghost frame: frame-flow bookkeeping only.
+    fn complete_ghost_frame(&mut self, m: WindowedFrame) {
+        self.finish_frame(m, Vec::new());
+    }
+}
+
+impl StagePoll for DetectTask<'_> {
+    fn poll(&mut self) -> Polled {
+        if admission_parked(self.admission, self.ctx.stream) {
+            self.blocked = Blocked::Admission;
+            return Polled::Pending;
+        }
+        let harness = self
+            .ctx
+            .detector_exec
+            .filter(|h| h.mode() != DetectorExec::Off);
+        let lookup = ClipLookup::new(self.ctx.clips);
+        let mut budget = FRAMES_PER_POLL;
+        loop {
+            // Resolve an outstanding batcher ticket before anything
+            // else: its frame owns the machine until the round flushes.
+            if matches!(self.step, DetectStep::Submit { .. }) {
+                let flushed = match self
+                    .guard
+                    .as_ref()
+                    .expect("guard lives until Done")
+                    .poll_pending()
+                {
+                    Ok(PollSubmit::Pending) => return Polled::Pending,
+                    Ok(PollSubmit::Ready(flushed)) => flushed,
+                    // A protocol violation here is an engine bug and the
+                    // stream cannot continue coherently: fail the whole
+                    // stream (the supervision shim records it; siblings
+                    // keep flowing).
+                    Err(e) => panic!("detect stage cannot batch: {e}"),
+                };
+                let DetectStep::Submit { m, outs, ghost } =
+                    std::mem::replace(&mut self.step, DetectStep::Ready)
+                else {
+                    unreachable!()
+                };
+                if ghost {
+                    self.complete_ghost_frame(m);
+                } else {
+                    // Looped mode computed its outputs before the
+                    // submit; batched mode gets them from the flush.
+                    let outputs = if outs.is_empty() { flushed } else { outs };
+                    self.complete_live_frame(m, outputs, harness.is_some());
+                }
+                continue;
+            }
+            if let Some(out) = flush_pending(
+                &mut self.pending,
+                self.tx.as_ref(),
+                &mut self.blocked,
+                self.ctx.counters,
+                QUEUE_DETECT,
+            ) {
+                return out;
+            }
+            if budget == 0 {
+                return Polled::Yielded;
+            }
+            let msg = match self
+                .rx
+                .as_ref()
+                .expect("receiver lives until Done")
+                .try_recv()
+            {
+                TryRecv::Msg(m) => m,
+                TryRecv::Empty => {
+                    self.blocked = Blocked::Recv;
+                    return Polled::Pending;
+                }
+                TryRecv::Disconnected => {
+                    self.rx = None;
+                    self.tx = None;
+                    // Drop the guard eagerly: finish(stream) releases
+                    // the flush watermark for the remaining streams.
+                    self.guard = None;
+                    return Polled::Done;
+                }
+            };
+            budget -= 1;
+            let m = match msg {
+                StageMsg::Abort { clip } => {
+                    self.poisoned.insert(clip);
+                    self.pending = Some((StageMsg::Abort { clip }, false, clip));
+                    continue;
+                }
+                StageMsg::Frame(m) => m,
+            };
+            if self.poisoned.contains(&m.clip) {
+                self.ctx.counters.frame_exited();
+                continue;
+            }
+            if self.ctx.ghost[m.clip] == GhostMode::Stream {
+                // Ghost: replay the recorded batcher ticket — the
+                // recorded pixel-seconds and window sizes reproduce the
+                // cross-stream round sequence bitwise — with no charge,
+                // digest fold or detection compute.
+                let (px, sizes) = {
+                    let t = self.ctx.timelines[m.clip].lock();
+                    (t.detect_px[m.ordinal], t.sizes[m.ordinal].clone())
+                };
+                let Some(px) = px else {
+                    self.complete_ghost_frame(m);
+                    continue;
+                };
+                let clip = m.clip;
+                match self
+                    .guard
+                    .as_ref()
+                    .expect("guard lives until Done")
+                    .poll_submit_exec(sizes, Vec::new(), m.clip, m.ordinal, px)
+                {
+                    Ok(PollSubmit::Ready(_)) => {
+                        self.complete_ghost_frame(m);
+                        continue;
+                    }
+                    Ok(PollSubmit::Pending) => {
+                        self.blocked = Blocked::Batcher { clip };
+                        self.step = DetectStep::Submit {
+                            m,
+                            outs: Vec::new(),
+                            ghost: true,
+                        };
+                        return Polled::Pending;
+                    }
+                    Err(e) => panic!("detect stage cannot batch: {e}"),
+                }
+            }
+            if self.ctx.fire(StageName::Detect, m.clip, m.ordinal) {
+                self.poisoned.insert(m.clip);
+                self.ctx.counters.frame_exited();
+                self.pending = Some((StageMsg::Abort { clip: m.clip }, false, m.clip));
+                continue;
+            }
+            if m.windows.is_empty() {
+                // No windows → no batcher ticket; the replay passes the
+                // frame through the detect stage with zero charge.
+                {
+                    let mut t = self.ctx.timelines[m.clip].lock();
+                    t.detect_px.push(None);
+                    t.sizes.push(Vec::new());
+                }
+                self.finish_frame(m, Vec::new());
+                continue;
+            }
+            let px: f64 = m
+                .windows
+                .iter()
+                .map(|r| self.detector.window_px_cost(r.w, r.h))
+                .sum();
+            self.ctx.clip_ledgers[m.clip].charge(Component::Detector, px);
+            let sizes: Vec<(u32, u32)> = m
+                .windows
+                .iter()
+                .map(|r| (r.w.round() as u32, r.h.round() as u32))
+                .collect();
+            {
+                let mut t = self.ctx.timelines[m.clip].lock();
+                t.detect_px.push(Some(px));
+                t.sizes.push(sizes.clone());
+            }
+            // Surrogate execution: materialize the window crops at the
+            // net's input resolution (identically for both modes — the
+            // shapes depend only on the rounded sizes the ticket
+            // carries, so the looped and batched paths run the same
+            // arithmetic per window).
+            let inputs: Vec<Tensor3> = match harness {
+                Some(h) => {
+                    let renderer = Renderer::new(lookup.get(m.clip));
+                    m.windows
+                        .iter()
+                        .zip(&sizes)
+                        .map(|(w, &sz)| h.net().materialize(&renderer, m.frame, w, sz))
+                        .collect()
+                }
+                None => Vec::new(),
+            };
+            let (submit_inputs, outs) = match harness.map(|h| (h, h.mode())) {
+                Some((h, DetectorExec::Looped)) => {
+                    // Wall-clock baseline: one forward per window, timed
+                    // around the forwards only (materialization happens
+                    // on this worker in both modes).
+                    let start = Instant::now();
+                    let outs: Vec<Tensor3> = inputs
+                        .iter()
+                        .map(|x| {
+                            let mut y = Tensor3::zeros(0, 0, 0);
+                            h.net().forward_into(x, &mut y);
+                            y
+                        })
+                        .collect();
+                    h.record(start.elapsed(), outs.len() as u64, outs.len() as u64);
+                    (Vec::new(), outs)
+                }
+                Some((_, DetectorExec::Batched)) => (inputs, Vec::new()),
+                _ => (Vec::new(), Vec::new()),
+            };
+            let clip = m.clip;
+            match self
+                .guard
+                .as_ref()
+                .expect("guard lives until Done")
+                .poll_submit_exec(sizes, submit_inputs, m.clip, m.ordinal, px)
+            {
+                Ok(PollSubmit::Ready(flushed)) => {
+                    let outputs = if outs.is_empty() { flushed } else { outs };
+                    self.complete_live_frame(m, outputs, harness.is_some());
+                }
+                Ok(PollSubmit::Pending) => {
+                    self.blocked = Blocked::Batcher { clip };
+                    self.step = DetectStep::Submit {
+                        m,
+                        outs,
+                        ghost: false,
+                    };
+                    return Polled::Pending;
+                }
+                Err(e) => panic!("detect stage cannot batch: {e}"),
+            }
+        }
+    }
+
+    fn on_stall(&mut self) -> bool {
+        if admission_parked(self.admission, self.ctx.stream) {
+            return false;
+        }
+        match self.blocked {
+            Blocked::Recv => {
+                self.ctx.record_recv_stall(StageName::Detect);
+                true
+            }
+            Blocked::Send { clip } => {
+                self.ctx.record_send_stall(StageName::Detect, clip);
+                true
+            }
+            Blocked::Batcher { clip } => {
+                self.ctx.record_batcher_stall(clip);
+                true
+            }
+            Blocked::Admission => true,
+        }
+    }
+}
+
+impl Drop for DetectTask<'_> {
+    fn drop(&mut self) {
+        // Release the gauge entries of frames dying inside the machine:
+        // one stashed for the track stage, one parked mid-submit.
+        if matches!(self.pending, Some((_, true, _))) {
+            self.ctx.counters.frame_exited();
+        }
+        if matches!(self.step, DetectStep::Submit { .. }) {
+            self.ctx.counters.frame_exited();
+        }
+    }
+}
+
+/// Track stage machine: steps the per-clip tracker, finalizes (stitch +
+/// refine) at each clip boundary and deposits results by clip index. An
+/// abort drops the poisoned clip's tracker state, leaving its result
+/// slot empty for the scheduler to report as failed.
+struct TrackTask<'a> {
+    ctx: StageCtx<'a>,
+    rx: Option<SlotReceiver<StageMsg<DetectedFrame>>>,
+    admission: Option<&'a DetectorBatcher>,
+    results: &'a Mutex<Vec<Option<Vec<Track>>>>,
+    tracker: Option<(usize, FrameTracker)>,
+    poisoned: HashSet<usize>,
+    blocked: Blocked,
+}
+
+impl StagePoll for TrackTask<'_> {
+    fn poll(&mut self) -> Polled {
+        if admission_parked(self.admission, self.ctx.stream) {
+            self.blocked = Blocked::Admission;
+            return Polled::Pending;
+        }
+        let lookup = ClipLookup::new(self.ctx.clips);
+        let mut budget = FRAMES_PER_POLL;
+        loop {
+            if budget == 0 {
+                return Polled::Yielded;
+            }
+            let msg = match self
+                .rx
+                .as_ref()
+                .expect("receiver lives until Done")
+                .try_recv()
+            {
+                TryRecv::Msg(m) => m,
+                TryRecv::Empty => {
+                    self.blocked = Blocked::Recv;
+                    return Polled::Pending;
+                }
+                TryRecv::Disconnected => {
+                    self.rx = None;
+                    return Polled::Done;
+                }
+            };
+            budget -= 1;
+            let m = match msg {
+                StageMsg::Abort { clip } => {
+                    self.poisoned.insert(clip);
+                    if self.tracker.as_ref().is_some_and(|(c, _)| *c == clip) {
+                        self.tracker = None;
+                    }
+                    continue;
+                }
+                StageMsg::Frame(m) => m,
+            };
+            if self.poisoned.contains(&m.clip) {
+                self.ctx.counters.frame_exited();
+                continue;
+            }
+            if self.ctx.ghost[m.clip] == GhostMode::Stream {
+                // Ghost: the scheduler pre-loaded the ledger, timeline
+                // and result from the journal; only the frame-flow
+                // bookkeeping happens here. No re-checkpoint either —
+                // the clip is already durable.
+                self.ctx
+                    .counters
+                    .frames_tracked
+                    .fetch_add(1, Ordering::Relaxed);
+                self.ctx.counters.frame_exited();
+                continue;
+            }
+            if self.ctx.fire(StageName::Track, m.clip, m.ordinal) {
+                self.poisoned.insert(m.clip);
+                if self.tracker.as_ref().is_some_and(|(c, _)| *c == m.clip) {
+                    self.tracker = None;
+                }
+                self.ctx.counters.frame_exited();
+                continue;
+            }
+            let ledger = &self.ctx.clip_ledgers[m.clip];
+            let before = ledger.get(Component::Tracker);
+            charge_tracker_step(self.ctx.exec, m.dets.len(), ledger);
+            self.ctx.timelines[m.clip]
+                .lock()
+                .track
+                .push(ledger.get(Component::Tracker) - before);
+            self.tracker
+                .get_or_insert_with(|| (m.clip, FrameTracker::new(self.ctx.config, self.ctx.exec)))
+                .1
+                .step(m.frame, m.dets);
+            self.ctx
+                .counters
+                .frames_tracked
+                .fetch_add(1, Ordering::Relaxed);
+            self.ctx.counters.frame_exited();
+            if m.last {
+                let (_, finished) = self
+                    .tracker
+                    .take()
+                    .expect("tracker exists for the clip being finalized");
+                let before = ledger.get(Component::Tracker) + ledger.get(Component::Refinement);
+                let tracks = finalize_tracks(
+                    self.ctx.config,
+                    self.ctx.exec,
+                    lookup.get(m.clip),
+                    finished.finish(),
+                    ledger,
+                );
+                self.ctx.timelines[m.clip].lock().finalize =
+                    ledger.get(Component::Tracker) + ledger.get(Component::Refinement) - before;
+                // Acknowledgement point: checkpoint the finished clip to
+                // the run journal *before* depositing the result. A
+                // checkpoint failure is counted but never fails the clip
+                // — the run continues in-memory and the clip is simply
+                // recomputed on a future resume.
+                if let Some(cp) = self.ctx.checkpoint {
+                    let timeline = self.ctx.timelines[m.clip].lock();
+                    cp.checkpoint_clip(m.clip, &tracks, &timeline, ledger, false, 0, 0.0);
+                }
+                self.results.lock()[m.clip] = Some(tracks);
+                // Clip boundaries are where the worker population is
+                // interesting: sample the process thread count for the
+                // oversubscription gauge.
+                self.ctx.counters.sample_os_threads();
+            }
+        }
+    }
+
+    fn on_stall(&mut self) -> bool {
+        if admission_parked(self.admission, self.ctx.stream) {
+            return false;
+        }
+        match self.blocked {
+            Blocked::Recv => {
+                self.ctx.record_recv_stall(StageName::Track);
+                true
+            }
+            _ => true,
+        }
+    }
+}
+
+/// Index into the per-stage yield counters for `stage`.
+fn stage_index(stage: StageName) -> usize {
+    match stage {
+        StageName::Decode => 0,
+        StageName::Window => 1,
+        StageName::Detect => 2,
+        StageName::Track => 3,
+    }
+}
+
+/// Adapts a [`StagePoll`] machine to the pool's [`PollTask`], running
+/// every poll under the panic-supervision shim. A caught panic (or a
+/// normal `Done`) retires the machine immediately — its queue
+/// endpoints, batcher guard and stashed frames drop right here, waking
+/// and unwinding the neighbours exactly like a stage thread's unwind
+/// used to.
+struct Supervised<'a, T: StagePoll> {
+    stage: StageName,
+    stream: usize,
+    health: &'a HealthBoard,
+    counters: &'a EngineCounters,
+    inner: Option<T>,
+}
+
+impl<T: StagePoll> PollTask for Supervised<'_, T> {
+    fn poll(&mut self) -> Polled {
+        let Some(inner) = self.inner.as_mut() else {
+            return Polled::Done;
+        };
+        match supervise_poll(self.stage, self.stream, self.health, || inner.poll()) {
+            Some(Polled::Pending) => Polled::Pending,
+            Some(Polled::Yielded) => {
+                self.counters.stage_yields[stage_index(self.stage)].fetch_add(1, Ordering::Relaxed);
+                Polled::Yielded
+            }
+            // Finished — or panicked (recorded on the health board).
+            Some(Polled::Done) | None => {
+                self.inner = None;
+                Polled::Done
+            }
+        }
+    }
+
+    fn on_stall(&mut self) -> bool {
+        let Some(inner) = self.inner.as_mut() else {
+            return true;
+        };
+        match supervise_poll(self.stage, self.stream, self.health, || inner.on_stall()) {
+            Some(false) => false,
+            // Expired — or panicked inside the verdict.
+            Some(true) | None => {
+                self.inner = None;
+                true
+            }
+        }
+    }
+}
+
+/// Build the supervised decode task for one stream.
+pub(crate) fn decode_task<'a>(
+    ctx: StageCtx<'a>,
+    tx: SlotSender<StageMsg<DecodedFrame>>,
+    admission: Option<&'a DetectorBatcher>,
+) -> Box<dyn PollTask + 'a> {
+    Box::new(Supervised {
+        stage: StageName::Decode,
+        stream: ctx.stream,
+        health: ctx.health,
+        counters: ctx.counters,
+        inner: Some(DecodeTask {
+            ctx,
+            tx: Some(tx),
+            admission,
+            clip_i: 0,
+            f: 0,
+            ordinal: 0,
+            pending: None,
+            blocked: Blocked::Admission,
+        }),
+    })
+}
+
+/// Build the supervised window task for one stream.
+pub(crate) fn window_task<'a>(
+    ctx: StageCtx<'a>,
+    rx: SlotReceiver<StageMsg<DecodedFrame>>,
+    tx: SlotSender<StageMsg<WindowedFrame>>,
+    admission: Option<&'a DetectorBatcher>,
+) -> Box<dyn PollTask + 'a> {
+    Box::new(Supervised {
+        stage: StageName::Window,
+        stream: ctx.stream,
+        health: ctx.health,
+        counters: ctx.counters,
+        inner: Some(WindowTask {
+            ctx,
+            rx: Some(rx),
+            tx: Some(tx),
+            admission,
+            poisoned: HashSet::new(),
+            pending: None,
+            blocked: Blocked::Admission,
+        }),
+    })
+}
+
+/// Build the supervised detect task for one stream.
+pub(crate) fn detect_task<'a>(
+    ctx: StageCtx<'a>,
+    rx: SlotReceiver<StageMsg<WindowedFrame>>,
+    tx: SlotSender<StageMsg<DetectedFrame>>,
+    guard: StreamGuard<'a>,
+    admission: Option<&'a DetectorBatcher>,
+) -> Box<dyn PollTask + 'a> {
+    let detector = SimDetector::new(ctx.config.detector, ctx.exec.detector_seed);
+    Box::new(Supervised {
+        stage: StageName::Detect,
+        stream: ctx.stream,
+        health: ctx.health,
+        counters: ctx.counters,
+        inner: Some(DetectTask {
+            ctx,
+            rx: Some(rx),
+            tx: Some(tx),
+            guard: Some(guard),
+            admission,
+            detector,
+            poisoned: HashSet::new(),
+            step: DetectStep::Ready,
+            pending: None,
+            blocked: Blocked::Admission,
+        }),
+    })
+}
+
+/// Build the supervised track task for one stream.
+pub(crate) fn track_task<'a>(
+    ctx: StageCtx<'a>,
+    rx: SlotReceiver<StageMsg<DetectedFrame>>,
+    results: &'a Mutex<Vec<Option<Vec<Track>>>>,
+    admission: Option<&'a DetectorBatcher>,
+) -> Box<dyn PollTask + 'a> {
+    Box::new(Supervised {
+        stage: StageName::Track,
+        stream: ctx.stream,
+        health: ctx.health,
+        counters: ctx.counters,
+        inner: Some(TrackTask {
+            ctx,
+            rx: Some(rx),
+            admission,
+            results,
+            tracker: None,
+            poisoned: HashSet::new(),
+            blocked: Blocked::Admission,
+        }),
+    })
+}

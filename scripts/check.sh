@@ -131,6 +131,34 @@ assert s["degraded_answers"] > 0, s
 assert s["quarantined_clips"] == 1, s
 PY
 
+echo "== scheduler smoke (64 streams on a 4-worker pool: thread cap + worker-count determinism)"
+# The task engine runs every stream as four resumable state machines on
+# a fixed worker pool: 64 streams must finish on 4 OS worker threads
+# (peak_os_threads stays ≤ workers + slack for the main thread and the
+# stall watchdog), and re-running on 1 worker must produce
+# byte-identical tracks. Hard wall-clock cap: a wedged pool must fail
+# the check, not hang it.
+timeout 600 cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 64 --seconds 1 --seed 3 \
+  --streams 64 --workers 4 \
+  --stats "$tmp/sched-stats.json" --out "$tmp/tracks-w4.json" >/dev/null
+timeout 600 cargo run --release -q --bin otif-cli -- execute \
+  --model "$tmp/model.json" --dataset caldot2 --clips 64 --seconds 1 --seed 3 \
+  --streams 64 --workers 1 \
+  --out "$tmp/tracks-w1.json" >/dev/null
+cmp "$tmp/tracks-w4.json" "$tmp/tracks-w1.json"
+python3 - "$tmp/sched-stats.json" <<'PY'
+import json, sys
+s = json.load(open(sys.argv[1]))
+assert s["workers"] == 4, s["workers"]
+assert s["streams"] == 64, s["streams"]
+assert s["failed_clips"] == 0, s["failed_clips"]
+assert s["peak_os_threads"] <= 4 + 4, s["peak_os_threads"]
+assert s["peak_runnable_tasks"] <= 4 * 64, s["peak_runnable_tasks"]
+print(f"  64 streams on 4 workers: peak {s['peak_os_threads']} OS threads, "
+      f"peak {s['peak_runnable_tasks']} runnable tasks, tracks identical on 1 worker")
+PY
+
 echo "== chaos smoke (engine run-journal kill/torn-tail/mid-rename sweep, resume byte-identity gates)"
 # The chaos bench hard-asserts internally: kills at three checkpoint
 # ordinals plus a torn journal tail and a mid-rename crash all resume

@@ -241,6 +241,39 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         .get("prefetch")
         .map(|s| s.parse().map_err(|e| format!("bad --prefetch: {e}")))
         .transpose()?;
+    let workers: usize = flags
+        .get("workers")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad --workers: {e}"))
+                .and_then(|v| {
+                    if v > 0 {
+                        Ok(v)
+                    } else {
+                        Err("bad --workers 0: need at least one worker thread".to_string())
+                    }
+                })
+        })
+        .transpose()?
+        .unwrap_or(0);
+    let max_active_streams: usize = flags
+        .get("max-active-streams")
+        .map(|s| {
+            s.parse::<usize>()
+                .map_err(|e| format!("bad --max-active-streams: {e}"))
+                .and_then(|v| {
+                    if v > 0 {
+                        Ok(v)
+                    } else {
+                        Err(
+                            "bad --max-active-streams 0: need at least one admitted stream"
+                                .to_string(),
+                        )
+                    }
+                })
+        })
+        .transpose()?
+        .unwrap_or(0);
     let faults = flags
         .get("inject-fault")
         .map(|s| FaultPlan::parse(s))
@@ -291,13 +324,17 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
         || detector_exec != DetectorExec::Off
         || run_dir.is_some()
         || resume_dir.is_some()
-        || stage_timeout.is_some();
+        || stage_timeout.is_some()
+        || workers > 0
+        || max_active_streams > 0;
     let (tracks, ledger, failures) = if use_engine {
         let ledger = otif::cv::CostLedger::new();
         let mut opts = EngineOptions {
             streams,
             faults,
             detector_exec,
+            workers,
+            max_active_streams,
             ..EngineOptions::default()
         };
         if let Some(p) = prefetch {
@@ -354,6 +391,21 @@ fn cmd_execute(flags: HashMap<String, String>) -> Result<(), String> {
             run.stats.batches,
             run.stats.mean_batch_occupancy,
             run.stats.max_frames_in_flight
+        );
+        eprintln!(
+            "scheduler: {} workers ({} stream(s) admitted at once), peak {} runnable \
+             tasks, {} polls ({} stolen), yields decode {} / window {} / detect {} / \
+             track {}, peak {} OS threads",
+            run.stats.workers,
+            run.stats.max_active_streams,
+            run.stats.peak_runnable_tasks,
+            run.stats.task_polls,
+            run.stats.task_steals,
+            run.stats.stage_yields[0],
+            run.stats.stage_yields[1],
+            run.stats.stage_yields[2],
+            run.stats.stage_yields[3],
+            run.stats.peak_os_threads,
         );
         eprintln!(
             "pipeline: prefetch {} frames, makespan {:.3} s vs serial {:.3} s \
@@ -955,6 +1007,8 @@ const USAGE: &str = "usage: otif-cli <generate|prepare|curve|execute|query|inges
   curve    --model model.json
   execute  --model model.json --dataset <name> [... same dataset flags] [--pick 0.05] [--streams N]
            [--prefetch N] [--out tracks.json] [--stats stats.json] [--fail-fast]
+           [--workers N]             (fixed worker-pool size; default min(cores, 4*streams))
+           [--max-active-streams N]  (admission control: streams admitted concurrently; default all)
            [--detector-exec off|looped|batched]   (run the detector surrogate per window, looped or batched)
            [--inject-fault stage:kind:clip:frame[,...]]   (stage: decode|window|detect|track; kind: panic|error|stall)
            [--run-dir DIR]    (journal the run: checkpoint each completed clip durably into DIR)
@@ -994,6 +1048,8 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             "run-dir",
             "resume",
             "stage-timeout-secs",
+            "workers",
+            "max-active-streams",
         ]),
         "query" => allowed.extend(["tracks", "query"]),
         "ingest" => allowed.extend(["tracks", "store"]),

@@ -173,6 +173,11 @@ fn faulted_runs_are_deterministic() {
         stats.max_frames_in_flight = 0;
         stats.max_queue_depth = [0; 3];
         stats.wasted_seconds = 0.0;
+        stats.task_polls = 0;
+        stats.task_steals = 0;
+        stats.stage_yields = [0; 4];
+        stats.peak_runnable_tasks = 0;
+        stats.peak_os_threads = 0;
         (
             serde_json::to_string(&run.tracks).unwrap(),
             serde_json::to_string(&stats).unwrap(),
